@@ -1,0 +1,53 @@
+"""Benchmark fixtures.
+
+One full study is run per session at the default reproduction scale
+(0.05 ≈ 50k crawled URLs); each benchmark then times the analysis step
+that regenerates its table/figure and asserts the paper's shape.
+
+Paper reference values (DSN 2016):
+
+* Table I   — per-exchange malicious %: 33.8 / 14.6 / 8.7 / 51.9 / 7.4
+              (auto) and 10.2 / 10.4 / 8.5 / 12.2 (manual); overall >26%
+* Table II  — malicious-domain % between 4.3% and 18.4%
+* Table III — blacklisted 74.8, JS 18.8, redirects 5.8, short 0.5, flash 0.1
+* Table IV  — shortened URLs with hit stats, top referrers = exchanges
+* Fig 2     — SendSurf worst, Otohits best among auto-surf
+* Fig 3     — manual-surf bursty, auto-surf smooth
+* Fig 5     — redirection counts 1..7
+* Fig 6     — .com ≈70%, .net ≈22%
+* Fig 7     — business ≈58.6%, advertisement ≈21.8%
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro import MalwareSlumsStudy, StudyConfig
+
+PAPER_TABLE1 = {
+    "10KHits": 33.8, "ManyHits": 14.6, "Smiley Traffic": 8.7,
+    "SendSurf": 51.9, "Otohits": 7.4, "Cash N Hits": 10.2,
+    "Easyhits4u": 10.4, "Hit2Hit": 8.5, "Traffic Monsoon": 12.2,
+}
+
+
+@pytest.fixture(scope="session")
+def study() -> MalwareSlumsStudy:
+    study = MalwareSlumsStudy(StudyConfig(seed=2016, scale=0.05))
+    study.crawl_and_scan()
+    return study
+
+
+@pytest.fixture(scope="session")
+def dataset(study):
+    return study.pipeline.dataset
+
+
+@pytest.fixture(scope="session")
+def outcome(study):
+    return study.outcome
+
+
+@pytest.fixture(scope="session")
+def blacklists(study):
+    return study.pipeline.blacklists

@@ -1,0 +1,37 @@
+"""E7/E13 — Figure 4 (example redirection chain) and Figure 9 (rotating
+server-side redirect targets)."""
+
+from repro.analysis import example_chain, probe_rotating_redirector
+from repro.core.reporting import render_redirect_chain
+from repro.httpsim import SimHttpClient
+
+
+def test_figure4_example_chain(benchmark, dataset, outcome):
+    chain = benchmark(example_chain, dataset, outcome, 3)
+    assert chain is not None, "no multi-hop malicious chain observed"
+    print("\n" + render_redirect_chain(chain))
+    # Figure 4's chain: entry, several ad-bridge hops, destination
+    assert len(chain) >= 4
+    hosts = {url.split("://", 1)[-1].split("/", 1)[0] for url in chain}
+    assert len(hosts) >= 2  # crosses sites
+
+
+def test_figure9_rotating_redirector(benchmark, study):
+    web = study.web
+    target = None
+    for site in web.registry.sites(malicious=True):
+        if site.behavior.rotating_redirects:
+            path = next(iter(site.behavior.rotating_redirects))
+            target = site.url(path)
+            break
+    assert target is not None, "no rotating redirector generated"
+    client = SimHttpClient(study.pipeline.server)
+    targets = benchmark.pedantic(
+        probe_rotating_redirector, args=(client, target), kwargs={"probes": 8},
+        rounds=1, iterations=1,
+    )
+    print("\nrotating redirector %s ->" % target)
+    for t in targets:
+        print("   ", t)
+    # "any request to the URL is redirected to a different URL every time"
+    assert len(targets) >= 2

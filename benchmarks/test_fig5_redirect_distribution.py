@@ -1,0 +1,23 @@
+"""E8 — Figure 5: distribution of URL redirection counts.
+
+The paper observes malicious URLs redirecting up to 7 times, with short
+chains far more common than long ones.
+"""
+
+from repro.analysis import redirect_count_distribution
+from repro.core.reporting import render_figure5
+
+
+def test_figure5(benchmark, dataset, outcome):
+    distribution = benchmark(redirect_count_distribution, dataset, outcome)
+    print("\n" + render_figure5(distribution))
+
+    assert distribution.total > 0
+    assert 1 in distribution.counts
+    # chains reach deep but stay bounded (paper: up to 7)
+    assert 3 <= distribution.max_observed <= 8
+
+    # short chains dominate long ones
+    short = distribution.counts.get(1, 0) + distribution.counts.get(2, 0)
+    long_tail = sum(count for hops, count in distribution.counts.items() if hops >= 5)
+    assert short >= long_tail

@@ -1,0 +1,22 @@
+"""E9 — Figure 6: malicious URLs by top-level domain.
+
+Paper: .com 70%, .net 22%, .de 2%, .org 1%, others 5%.
+"""
+
+from repro.analysis import compute_tld_distribution
+from repro.core.reporting import render_figure6
+
+
+def test_figure6(benchmark, dataset, outcome):
+    distribution = benchmark(compute_tld_distribution, dataset, outcome)
+    print("\n" + render_figure6(distribution))
+
+    com = distribution.percentage("com")
+    net = distribution.percentage("net")
+    assert 55 < com < 85          # paper: 70
+    assert 8 < net < 32           # paper: 22
+    assert com > net              # ordering
+    # no other single TLD beats .net
+    third = [share for tld, share in distribution.top(10) if tld not in ("com", "net")]
+    assert all(share < net for share in third)
+    assert distribution.others_percentage(2) < 30

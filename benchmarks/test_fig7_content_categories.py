@@ -1,0 +1,24 @@
+"""E10 — Figure 7: malicious content across categories.
+
+Paper: business 58.6%, advertisement 21.8%, entertainment 8.7%,
+information technology 8.6%, others 2.6%.
+"""
+
+from repro.analysis import compute_content_categories
+from repro.core.reporting import render_figure7
+
+
+def test_figure7(benchmark, dataset, outcome):
+    distribution = benchmark(compute_content_categories, dataset, outcome)
+    print("\n" + render_figure7(distribution))
+
+    business = distribution.percentage("business")
+    ads = distribution.percentage("advertisement")
+    entertainment = distribution.percentage("entertainment")
+    it = distribution.percentage("information technology")
+
+    assert 40 < business < 75       # paper: 58.6
+    assert 10 < ads < 35            # paper: 21.8
+    assert business > ads           # ordering
+    assert ads > max(entertainment, it) * 0.7
+    assert entertainment < 25 and it < 25

@@ -1,0 +1,52 @@
+"""Pipeline throughput benchmarks (not a paper artifact).
+
+Measures the substrate's performance: synthetic-web generation, the
+crawl loop, and the scan loop — the numbers a user sizing a larger-scale
+run cares about.
+"""
+
+from repro import MalwareSlumsStudy, StudyConfig
+from repro.simweb.generator import WebGenerationConfig, WebGenerator
+
+
+def test_web_generation_throughput(benchmark):
+    def build():
+        return WebGenerator(WebGenerationConfig(seed=99, scale=0.02)).build()
+
+    web = benchmark(build)
+    assert len(web.registry) > 500
+
+
+def test_crawl_throughput(benchmark):
+    def crawl():
+        study = MalwareSlumsStudy(StudyConfig(seed=99, scale=0.01))
+        study.generate_web()
+        from repro.crawler import CrawlPipeline
+
+        pipeline = CrawlPipeline(study.web, seed=7)
+        pipeline.crawl()
+        return pipeline
+
+    pipeline = benchmark.pedantic(crawl, rounds=3, iterations=1)
+    records = len(pipeline.dataset)
+    assert records > 5_000
+    print("\ncrawled %d URL instances" % records)
+
+
+def test_scan_throughput(benchmark):
+    study = MalwareSlumsStudy(StudyConfig(seed=99, scale=0.01))
+    study.generate_web()
+    from repro.crawler import CrawlPipeline
+
+    pipeline = CrawlPipeline(study.web, seed=7)
+    pipeline.crawl()
+    distinct = len(pipeline.dataset.distinct_urls())
+
+    def scan():
+        pipeline.verdict_service = None  # force a fresh detection stack
+        pipeline.blacklists = None
+        return pipeline.scan()
+
+    outcome = benchmark.pedantic(scan, rounds=3, iterations=1)
+    assert len(outcome.verdicts) == distinct
+    print("\nscanned %d distinct URLs" % distinct)

@@ -1,0 +1,32 @@
+"""E2 — Table II: per-exchange domain statistics.
+
+The fraction of domains with at least one malicious URL ranged between
+4.3% and 18.4% in the paper, with SendSurf lowest despite its dominant
+URL-level rate (few domains, heavy traffic).
+"""
+
+from repro.analysis import compute_domain_stats, domains_on_multiple_exchanges
+from repro.core.reporting import render_table2
+
+
+def test_table2(benchmark, dataset, outcome):
+    rows = benchmark(compute_domain_stats, dataset, outcome)
+    print("\n" + render_table2(rows))
+
+    assert len(rows) == 9
+    fractions = {r.exchange: r.malware_fraction for r in rows}
+
+    # paper band is 4.3%..18.4%; allow measurement slack around it
+    for exchange, fraction in fractions.items():
+        assert 0.02 < fraction < 0.35, (exchange, fraction)
+
+    # SendSurf's paradox: highest URL rate, lowest domain rate of the
+    # auto-surf exchanges
+    auto = {n: fractions[n] for n in
+            ("10KHits", "ManyHits", "Smiley Traffic", "SendSurf", "Otohits")}
+    assert auto["SendSurf"] == min(auto.values())
+
+    # domains (incl. shared infrastructure) appear across most exchanges
+    shared = domains_on_multiple_exchanges(rows, min_exchanges=5)
+    assert "googleapis.com" in {d for d in shared if "googleapis" in d} or shared
+    assert len(shared) >= 3

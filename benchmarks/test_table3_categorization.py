@@ -1,0 +1,38 @@
+"""E3 — Table III: malware categorization.
+
+Paper shares (of categorized URLs): blacklisted 74.8%, malicious
+JavaScript 18.8%, suspicious redirection 5.8%, malicious shortened URLs
+0.5%, malicious Flash 0.1% — plus a large miscellaneous bucket
+(142,405 of 214,527 malicious URLs ≈ 66%).
+"""
+
+from repro.analysis import categorize_dataset
+from repro.core.reporting import render_table3
+from repro.malware.taxonomy import MalwareCategory
+
+
+def test_table3(benchmark, dataset, outcome, blacklists):
+    result = benchmark(categorize_dataset, dataset, outcome, blacklists)
+    print("\n" + render_table3(result))
+
+    shares = dict(result.table_rows())
+    blacklisted = shares[MalwareCategory.BLACKLISTED]
+    javascript = shares[MalwareCategory.MALICIOUS_JAVASCRIPT]
+    redirection = shares[MalwareCategory.SUSPICIOUS_REDIRECTION]
+    shortened = shares[MalwareCategory.MALICIOUS_SHORTENED_URL]
+    flash = shares[MalwareCategory.MALICIOUS_FLASH]
+
+    # ordering matches the paper exactly
+    assert blacklisted > javascript > redirection > shortened >= flash
+
+    # values land near the published shares
+    assert 60 < blacklisted < 88      # paper: 74.8
+    assert 8 < javascript < 30        # paper: 18.8
+    assert 2 < redirection < 12       # paper: 5.8
+    assert shortened < 5              # paper: 0.5
+    assert flash < 3                  # paper: 0.1
+
+    # the miscellaneous bucket dominates raw counts (paper: ~66%)
+    misc_share = result.count(MalwareCategory.MISCELLANEOUS) / result.total_malicious
+    print("miscellaneous share of malicious URLs: %.1f%% (paper: 66.4%%)" % (100 * misc_share))
+    assert 0.45 < misc_share < 0.85

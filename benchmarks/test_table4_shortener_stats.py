@@ -1,0 +1,30 @@
+"""E4 — Table IV: malicious shortened URL statistics.
+
+Rows carry the short URL, its hit count, the (possibly larger) long-URL
+hit count, the top visitor country, and the top referrer.  The paper's
+key observations: long-URL hits >= short-URL hits (multiple slugs can
+alias one URL), and top referrers are mostly traffic exchanges.
+"""
+
+from repro.analysis import compute_shortener_stats
+from repro.core.reporting import render_table4
+
+
+def test_table4(benchmark, study, dataset, outcome):
+    rows = benchmark(compute_shortener_stats, dataset, outcome, study.web.registry)
+    print("\n" + render_table4(rows))
+
+    assert rows, "no malicious shortened URLs surfaced in the crawl"
+    for row in rows:
+        assert row.short_hits > 0
+        assert row.long_hits >= row.short_hits
+        assert row.top_country != ""
+
+    # top referrers are dominated by the exchanges that surfed them
+    exchange_tokens = ("10khits", "manyhit", "smiley", "sendsurf", "otohits",
+                       "cashnhits", "easyhits4u", "hit2hit", "trafficmonsoon")
+    exchange_referred = sum(
+        1 for row in rows
+        if any(token in row.top_referrer for token in exchange_tokens)
+    )
+    assert exchange_referred >= len(rows) * 0.5

@@ -1,0 +1,42 @@
+"""E11 — Section III-B: detection tool vetting on the gold standard.
+
+The paper measured: VirusTotal 100%, Quttera 100%, URLQuery ~70%,
+BrightCloud 60%, SiteCheck 40%, SenderBase 10%, Wepawet 0%, AVG 0% —
+and kept only the 100% tools.
+"""
+
+import random
+
+from repro.detection import (
+    QutteraSim,
+    VirusTotalSim,
+    all_rejected_tools,
+    build_gold_standard,
+    vet_tools,
+)
+
+
+def test_vetting(benchmark):
+    samples = build_gold_standard(random.Random(7), per_family=20)
+    tools = [VirusTotalSim(), QutteraSim()] + all_rejected_tools()
+
+    result = benchmark.pedantic(vet_tools, args=(tools, samples), rounds=1, iterations=1)
+
+    print("\nTool accuracy on gold standard (paper values in parentheses):")
+    paper = {"VirusTotal": 100, "Quttera": 100, "URLQuery": 70, "BrightCloud": 60,
+             "SiteCheck": 40, "SenderBase": 10, "Wepawet": 0, "AVGThreatLab": 0}
+    for name, accuracy in result.table_rows():
+        print("  %-14s %5.1f%%  (%d%%)" % (name, 100 * accuracy, paper[name]))
+
+    assert result.accuracies["VirusTotal"] == 1.0
+    assert result.accuracies["Quttera"] == 1.0
+    assert result.accepted_tools() == ["Quttera", "VirusTotal"]
+    assert result.accuracies["Wepawet"] == 0.0
+    assert result.accuracies["AVGThreatLab"] == 0.0
+    assert 0.55 <= result.accuracies["URLQuery"] <= 0.85
+    assert 0.45 <= result.accuracies["BrightCloud"] <= 0.8
+    assert 0.25 <= result.accuracies["SiteCheck"] <= 0.55
+    assert 0.0 < result.accuracies["SenderBase"] <= 0.2
+    # the paper's ordering
+    assert (result.accuracies["URLQuery"] >= result.accuracies["BrightCloud"]
+            >= result.accuracies["SiteCheck"] >= result.accuracies["SenderBase"])

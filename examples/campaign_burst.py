@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""The Section IV burst-validation experiment.
+
+The paper validated the campaign→burst hypothesis by paying a manual-surf
+exchange $5 for 2,500 visits to a dummy website and receiving 4,621
+visits from 2,685 unique IP addresses in less than an hour.  This
+example reruns that purchase against the exchange engine and prints the
+delivery profile.
+"""
+
+import random
+from collections import Counter
+
+from repro.exchanges import HumanSolver, ManualSurfExchange, PricingPlan, StepKind
+from repro.exchanges.accounts import sample_country
+
+
+def main() -> None:
+    rng = random.Random(2016)
+    exchange = ManualSurfExchange(
+        name="BurstValidation",
+        host="www.burstcheck.example.com",
+        rng=rng,
+        min_surf_seconds=10.0,
+        self_referral_rate=0.05,
+        popular_referral_rate=0.05,
+        pricing=PricingPlan(usd_per_1000_visits=2.0),
+    )
+    for index in range(60):
+        exchange.list_site("http://member%02d.example.com/" % index)
+
+    # our dummy website's owner account
+    exchange.register_member("dummy-owner", "203.0.113.5")
+    visits = exchange.ledger.purchase_visits("dummy-owner", usd=5.0)
+    campaign = exchange.purchase_campaign(
+        "http://dummy-website.example.com/", visits=visits, start_step=120
+    )
+    print("purchased %d visits for $5 (window: steps %d..%d)"
+          % (visits, campaign.start_step, campaign.end_step))
+
+    # the exchange's member pool surfs; their visits deliver the campaign
+    exchange.register_member("surfer", "198.51.100.7")
+    session = exchange.open_session("surfer")
+    solver = HumanSolver(rng=rng)
+
+    delivered = []
+    member_ips = {}
+    for step in exchange.manual_surf(session, 9000, solver=solver):
+        if step.url == "http://dummy-website.example.com/":
+            # visits arrive from the diverse member IP pool
+            ip = "%d.%d.%d.%d" % (rng.randrange(1, 224), rng.randrange(256),
+                                  rng.randrange(256), rng.randrange(1, 255))
+            member_ips.setdefault(ip, sample_country(rng))
+            delivered.append((step.index, step.timestamp, ip))
+
+    if not delivered:
+        print("no visits delivered — increase the surf budget")
+        return
+
+    first_ts = delivered[0][1]
+    last_ts = delivered[-1][1]
+    window_minutes = (last_ts - first_ts) / 60.0
+    print("\ndummy website received %d visits from %d unique IPs"
+          % (len(delivered), len(set(ip for _i, _t, ip in delivered))))
+    print("paper received        4,621 visits from 2,685 unique IPs")
+    print("delivery window: %.0f simulated minutes (paper: under an hour)" % window_minutes)
+    print("over-delivery factor: %.2fx (paper: %.2fx)"
+          % (len(delivered) / visits, 4621 / 2500))
+
+    countries = Counter(member_ips.values())
+    print("\nvisitor countries (member-pool demographics):")
+    for country, count in countries.most_common(6):
+        print("  %-3s %d" % (country, count))
+
+    # the burst is visible in the delivery timeline
+    print("\ndelivery timeline (visits per 500-step bucket):")
+    buckets = Counter(index // 500 for index, _t, _ip in delivered)
+    for bucket in range(max(buckets) + 1):
+        bar = "#" * min(buckets.get(bucket, 0) // 4, 60)
+        print("  steps %5d-%5d %s" % (bucket * 500, bucket * 500 + 499, bar))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,90 @@
+#!/usr/bin/env python3
+"""Section VI countermeasures in action.
+
+1. The browser warning extension intercepts navigations to traffic
+   exchanges (known list + content heuristics).
+2. The ad-network fraud detector vets impression logs: exchange-driven
+   publishers are flagged (including referrer-spoofing ones), organic
+   publishers pass.
+"""
+
+import random
+
+from repro.countermeasures import (
+    AdFraudDetector,
+    ExchangeWarningExtension,
+    ImpressionRecord,
+)
+
+
+def demo_warning_extension() -> None:
+    print("=" * 68)
+    print("Browser warning extension")
+    print("=" * 68)
+    extension = ExchangeWarningExtension()
+    navigations = [
+        ("http://www.10khits.com/login", None),
+        ("http://members.otohits.net/surf", None),
+        ("http://www.mybakery.example.com/", "<html><body>fresh bread daily</body></html>"),
+        ("http://surfclub-new.example.net/", (
+            "<html><body><h1>SurfClub</h1><p>a traffic exchange where you earn "
+            "credits while the surf timer runs — earn traffic for your site!</p>"
+            '<div id="timer">00:30</div></body></html>'
+        )),
+    ]
+    for url, html in navigations:
+        warning = extension.check_navigation(url, page_html=html)
+        if warning is None:
+            print("ALLOW  %s" % url)
+        else:
+            print("WARN   %s\n       (%s) %s" % (url, warning.reason, warning.detail))
+    print()
+
+
+def demo_ad_fraud() -> None:
+    print("=" * 68)
+    print("Ad-network impression vetting")
+    print("=" * 68)
+    rng = random.Random(6)
+    impressions = []
+
+    # a publisher buying exchange traffic (what the paper measured)
+    for _ in range(400):
+        impressions.append(ImpressionRecord(
+            publisher_url="http://easymoneyblog.example.com/",
+            referrer="http://www.sendsurf.com/surf",
+            ip_address="%d.%d.%d.%d" % tuple(rng.randrange(1, 255) for _ in range(4)),
+            country=rng.choice(("IN", "PK", "EG", "BR", "RU")),
+            dwell_seconds=15.0 + rng.random(),
+            clicked=False,
+        ))
+    # an honest publisher with organic traffic
+    repeat_ips = ["10.1.%d.%d" % (rng.randrange(20), rng.randrange(255)) for _ in range(60)]
+    for _ in range(400):
+        impressions.append(ImpressionRecord(
+            publisher_url="http://citynews.example.org/",
+            referrer=rng.choice(("http://www.google.com/search", "", "http://reddit.example/")),
+            ip_address=rng.choice(repeat_ips),
+            country=rng.choice(("US", "US", "GB", "CA")),
+            dwell_seconds=max(2.0, rng.gauss(50, 35)),
+            clicked=rng.random() < 0.012,
+        ))
+
+    detector = AdFraudDetector()
+    reports = detector.analyze(impressions)
+    for domain, report in sorted(reports.items()):
+        verdict = "FRAUDULENT" if report.fraudulent else "ok"
+        print("%-18s %-11s impressions=%d ctr=%.3f%% exchange-share=%.0f%% "
+              "ip-diversity=%.2f" % (
+                  domain, verdict, report.impressions,
+                  100 * report.click_through_rate, 100 * report.exchange_share,
+                  report.ip_diversity))
+        for reason in report.reasons:
+            print("    - %s" % reason)
+    print("\n-> the fraudulent publisher is cut off; with ad revenue gone, the")
+    print("   monetary incentive behind traffic exchanges collapses (Section VI)")
+
+
+if __name__ == "__main__":
+    demo_warning_extension()
+    demo_ad_fraud()

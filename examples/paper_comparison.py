@@ -1,0 +1,34 @@
+#!/usr/bin/env python3
+"""Compare a reproduction run against the paper's published values.
+
+Runs the study at the requested scale and prints the machine-readable
+paper-vs-measured comparison (the programmatic EXPERIMENTS.md).
+
+Usage::
+
+    python examples/paper_comparison.py [scale] [seed]
+"""
+
+import sys
+
+from repro import MalwareSlumsStudy, StudyConfig
+from repro.core import compare_to_paper
+
+
+def main() -> None:
+    scale = float(sys.argv[1]) if len(sys.argv) > 1 else 0.02
+    seed = int(sys.argv[2]) if len(sys.argv) > 2 else 2016
+
+    study = MalwareSlumsStudy(StudyConfig(seed=seed, scale=scale))
+    results = study.run()
+    report = compare_to_paper(results)
+
+    print(report.render())
+    worst = report.worst()
+    print("\nlargest deviation: %s/%s at %+.1f points"
+          % (worst.artifact, worst.metric, worst.delta))
+    print("all shape claims hold: %s" % report.shapes_hold)
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,37 @@
+"""repro — reproduction of "Malware Slums: Measurement and Analysis of
+Malware on Traffic Exchanges" (DSN 2016).
+
+Quickstart::
+
+    from repro import MalwareSlumsStudy, StudyConfig, render_full_report
+
+    study = MalwareSlumsStudy(StudyConfig(seed=2016, scale=0.02))
+    results = study.run()
+    print(render_full_report(results))
+
+Package map (see DESIGN.md for the full inventory):
+
+* :mod:`repro.core` — study orchestration, results, reporting
+* :mod:`repro.simweb` — the synthetic web (URLs, sites, shorteners, generator)
+* :mod:`repro.htmlparse` — from-scratch HTML tokenizer/DOM/parser
+* :mod:`repro.jsengine` — JavaScript lexer/parser/interpreter + browser sandbox
+* :mod:`repro.flashsim` — SWF container, decompiler, player
+* :mod:`repro.httpsim` — HTTP simulation with HAR capture
+* :mod:`repro.exchanges` — auto-surf/manual-surf exchange engines
+* :mod:`repro.malware` — inert malware artifact generators
+* :mod:`repro.detection` — VirusTotal/Quttera simulations, blacklists, vetting
+* :mod:`repro.crawler` — crawl sessions, dataset, end-to-end pipeline
+* :mod:`repro.analysis` — table/figure computation
+"""
+
+from .core import MalwareSlumsStudy, StudyConfig, StudyResults, render_full_report
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "MalwareSlumsStudy",
+    "StudyConfig",
+    "StudyResults",
+    "render_full_report",
+    "__version__",
+]

@@ -1,0 +1,84 @@
+"""Analysis pipeline: rebuilds every table and figure from crawl data.
+
+* Table I / Figure 2 — :mod:`repro.analysis.exchange_stats`
+* Table II — :mod:`repro.analysis.domains`
+* Table III — :mod:`repro.analysis.categorize`
+* Table IV — :mod:`repro.analysis.shortener_stats`
+* Figure 3 — :mod:`repro.analysis.timeseries`
+* Figures 4/5/9 — :mod:`repro.analysis.redirects`
+* Figure 6 — :mod:`repro.analysis.tld`
+* Figure 7 — :mod:`repro.analysis.content_categories`
+* Section V case studies — :mod:`repro.analysis.casestudies`
+"""
+
+from .casestudies import (
+    DownloadCaseStudy,
+    FalsePositiveFinding,
+    FlashCaseStudy,
+    IframeCaseStudy,
+    deceptive_download_case,
+    flash_case_study,
+    identify_false_positives,
+    iframe_case_studies,
+)
+from .aliases import AliasDistribution, compute_alias_distribution
+from .categorize import CategorizationResult, categorize_dataset, categorize_url
+from .content_categories import ContentCategoryDistribution, compute_content_categories
+from .evaluation import (
+    DetectionScore,
+    EvaluationReport,
+    FamilyScore,
+    evaluate_detection,
+)
+from .domains import ExchangeDomainStats, compute_domain_stats, domains_on_multiple_exchanges
+from .exchange_stats import ExchangeUrlStats, compute_exchange_stats, overall_malicious_fraction
+from .redirects import (
+    RedirectDistribution,
+    example_chain,
+    probe_rotating_redirector,
+    redirect_count_distribution,
+)
+from .shortener_stats import ShortUrlRow, compute_shortener_stats
+from .timeseries import Burst, MaliciousTimeseries, burstiness_score, compute_timeseries, detect_bursts
+from .tld import TldDistribution, compute_tld_distribution
+
+__all__ = [
+    "AliasDistribution",
+    "CategorizationResult",
+    "DetectionScore",
+    "EvaluationReport",
+    "FamilyScore",
+    "evaluate_detection",
+    "ContentCategoryDistribution",
+    "DownloadCaseStudy",
+    "ExchangeDomainStats",
+    "ExchangeUrlStats",
+    "FalsePositiveFinding",
+    "FlashCaseStudy",
+    "IframeCaseStudy",
+    "MaliciousTimeseries",
+    "RedirectDistribution",
+    "ShortUrlRow",
+    "TldDistribution",
+    "Burst",
+    "burstiness_score",
+    "compute_alias_distribution",
+    "detect_bursts",
+    "categorize_dataset",
+    "categorize_url",
+    "compute_content_categories",
+    "compute_domain_stats",
+    "compute_exchange_stats",
+    "compute_shortener_stats",
+    "compute_timeseries",
+    "compute_tld_distribution",
+    "deceptive_download_case",
+    "domains_on_multiple_exchanges",
+    "example_chain",
+    "flash_case_study",
+    "identify_false_positives",
+    "iframe_case_studies",
+    "overall_malicious_fraction",
+    "probe_rotating_redirector",
+    "redirect_count_distribution",
+]

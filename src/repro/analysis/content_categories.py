@@ -1,0 +1,52 @@
+"""Content-category distribution of malicious URLs (Figure 7).
+
+Uses the content category VirusTotal reported for each malicious URL
+(inferred from the page's topic vocabulary), as the paper does.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from ..crawler.pipeline import ScanOutcome
+from ..crawler.storage import CrawlDataset, RecordKind
+
+__all__ = ["ContentCategoryDistribution", "compute_content_categories"]
+
+
+@dataclass
+class ContentCategoryDistribution:
+    """Share of malicious URLs per reported content category."""
+
+    counts: Counter = field(default_factory=Counter)
+
+    @property
+    def total(self) -> int:
+        return sum(self.counts.values())
+
+    def percentage(self, category: str) -> float:
+        return 100.0 * self.counts.get(category, 0) / self.total if self.total else 0.0
+
+    def ranked(self) -> List[Tuple[str, float]]:
+        return [(cat, self.percentage(cat)) for cat, _ in self.counts.most_common()]
+
+
+def compute_content_categories(dataset: CrawlDataset,
+                               outcome: ScanOutcome) -> ContentCategoryDistribution:
+    """Histogram malicious URL instances by VT-reported category.
+
+    URLs whose report carried no category (sub-resources, raw files)
+    inherit nothing and are skipped — like the paper, the figure covers
+    URLs the tools categorized.
+    """
+    result = ContentCategoryDistribution()
+    for record in dataset.records:
+        if record.kind != RecordKind.REGULAR or not outcome.is_malicious(record.url):
+            continue
+        verdict = outcome.verdict(record.url)
+        if verdict is None or not verdict.content_category:
+            continue
+        result.counts[verdict.content_category] += 1
+    return result

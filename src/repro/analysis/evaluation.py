@@ -1,0 +1,142 @@
+"""Detector evaluation against generator ground truth.
+
+The measurement pipeline never sees ground truth; this module is the
+*evaluation harness* that grades it afterwards — the reproduction
+analogue of the paper validating its tools against a gold standard.
+Produces overall and per-family precision/recall, and the confusion
+summary used by the ablation analysis.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..crawler.pipeline import ScanOutcome
+from ..crawler.storage import CrawlDataset, RecordKind
+from ..simweb.generator import GeneratedWeb
+from ..simweb.site import MalwareFamily
+from ..simweb.url import Url
+
+__all__ = ["DetectionScore", "FamilyScore", "EvaluationReport", "evaluate_detection"]
+
+
+@dataclass
+class DetectionScore:
+    """Binary-classification counts with derived metrics."""
+
+    true_positives: int = 0
+    false_positives: int = 0
+    false_negatives: int = 0
+    true_negatives: int = 0
+
+    @property
+    def total(self) -> int:
+        return (self.true_positives + self.false_positives
+                + self.false_negatives + self.true_negatives)
+
+    @property
+    def precision(self) -> float:
+        denominator = self.true_positives + self.false_positives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def recall(self) -> float:
+        denominator = self.true_positives + self.false_negatives
+        return self.true_positives / denominator if denominator else 0.0
+
+    @property
+    def f1(self) -> float:
+        p, r = self.precision, self.recall
+        return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass
+class FamilyScore:
+    """Recall per ground-truth malware family (URLs of that family)."""
+
+    family: MalwareFamily
+    detected: int = 0
+    missed: int = 0
+
+    @property
+    def recall(self) -> float:
+        total = self.detected + self.missed
+        return self.detected / total if total else 0.0
+
+
+@dataclass
+class EvaluationReport:
+    """Full grading of one study run."""
+
+    overall: DetectionScore = field(default_factory=DetectionScore)
+    by_family: Dict[MalwareFamily, FamilyScore] = field(default_factory=dict)
+    #: benign URLs that were flagged, for FP drill-down
+    false_positive_urls: List[str] = field(default_factory=list)
+    #: malicious URLs that were missed, for FN drill-down
+    false_negative_urls: List[str] = field(default_factory=list)
+
+    def family_recall(self, family: MalwareFamily) -> float:
+        score = self.by_family.get(family)
+        return score.recall if score is not None else 0.0
+
+    def summary_rows(self) -> List[tuple]:
+        rows = [("overall", self.overall.precision, self.overall.recall, self.overall.f1)]
+        for family, score in sorted(self.by_family.items(), key=lambda kv: kv[0].value):
+            rows.append((family.value, float("nan"), score.recall, float("nan")))
+        return rows
+
+
+def _family_of_url(web: GeneratedWeb, url: Url) -> Optional[MalwareFamily]:
+    site = web.registry.site(url.host)
+    if site is None:
+        return None
+    page, resource = site.lookup(url.path)
+    if page is not None and page.truth.family is not None:
+        return page.truth.family
+    if resource is not None and resource.truth.family is not None:
+        return resource.truth.family
+    return site.truth.family
+
+
+def evaluate_detection(
+    web: GeneratedWeb,
+    dataset: CrawlDataset,
+    outcome: ScanOutcome,
+    max_examples: int = 50,
+) -> EvaluationReport:
+    """Grade the scan outcome against ground truth, per distinct URL."""
+    report = EvaluationReport()
+    for url_text in dataset.distinct_urls(kind=RecordKind.REGULAR):
+        url = Url.try_parse(url_text)
+        if url is None:
+            continue
+        truth = web.registry.truth_for_url(url)
+        if truth is None:
+            continue  # shortener hosts / unknown: no defined truth
+        flagged = outcome.is_malicious(url_text)
+        if truth and flagged:
+            report.overall.true_positives += 1
+        elif truth and not flagged:
+            report.overall.false_negatives += 1
+            if len(report.false_negative_urls) < max_examples:
+                report.false_negative_urls.append(url_text)
+        elif not truth and flagged:
+            report.overall.false_positives += 1
+            if len(report.false_positive_urls) < max_examples:
+                report.false_positive_urls.append(url_text)
+        else:
+            report.overall.true_negatives += 1
+
+        if truth:
+            family = _family_of_url(web, url)
+            if family is not None:
+                score = report.by_family.get(family)
+                if score is None:
+                    score = FamilyScore(family=family)
+                    report.by_family[family] = score
+                if flagged:
+                    score.detected += 1
+                else:
+                    score.missed += 1
+    return report

@@ -1,0 +1,72 @@
+"""Per-exchange URL statistics (Table I) and malware ratios (Figure 2).
+
+Counts crawled URL instances per exchange, splits out self-referrals and
+popular referrals, and applies the scan verdicts to the regular
+remainder — exactly the accounting behind Table I and the stacked bars
+of Figure 2.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from ..crawler.storage import CrawlDataset, RecordKind
+from ..crawler.pipeline import ScanOutcome
+
+__all__ = ["ExchangeUrlStats", "compute_exchange_stats", "overall_malicious_fraction"]
+
+
+@dataclass
+class ExchangeUrlStats:
+    """One row of Table I."""
+
+    exchange: str
+    kind: str
+    urls_crawled: int = 0
+    self_referrals: int = 0
+    popular_referrals: int = 0
+    regular_urls: int = 0
+    malicious_urls: int = 0
+
+    @property
+    def benign_urls(self) -> int:
+        return self.regular_urls - self.malicious_urls
+
+    @property
+    def malicious_fraction(self) -> float:
+        if self.regular_urls == 0:
+            return 0.0
+        return self.malicious_urls / self.regular_urls
+
+
+def compute_exchange_stats(
+    dataset: CrawlDataset,
+    outcome: ScanOutcome,
+    exchange_kinds: Optional[Dict[str, str]] = None,
+) -> List[ExchangeUrlStats]:
+    """Build Table I rows from the crawl dataset and scan verdicts."""
+    rows: Dict[str, ExchangeUrlStats] = {}
+    for record in dataset.records:
+        row = rows.get(record.exchange)
+        if row is None:
+            kind = (exchange_kinds or {}).get(record.exchange, "")
+            row = ExchangeUrlStats(exchange=record.exchange, kind=kind)
+            rows[record.exchange] = row
+        row.urls_crawled += 1
+        if record.kind == RecordKind.SELF_REFERRAL:
+            row.self_referrals += 1
+        elif record.kind == RecordKind.POPULAR_REFERRAL:
+            row.popular_referrals += 1
+        else:
+            row.regular_urls += 1
+            if outcome.is_malicious(record.url):
+                row.malicious_urls += 1
+    return list(rows.values())
+
+
+def overall_malicious_fraction(rows: List[ExchangeUrlStats]) -> float:
+    """The paper's headline: malicious / regular across all exchanges."""
+    regular = sum(r.regular_urls for r in rows)
+    malicious = sum(r.malicious_urls for r in rows)
+    return malicious / regular if regular else 0.0

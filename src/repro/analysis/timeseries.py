@@ -1,0 +1,146 @@
+"""Temporal evolution of malicious URLs (Figure 3).
+
+Builds, per exchange, the cumulative count of malicious URLs as a
+function of the count of crawled URLs — the exact axes of Figure 3 —
+plus burst metrics that quantify the paper's observation that manual-
+surf exchanges show bursts (paid campaigns) while auto-surf curves are
+smooth and near-linear.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from ..crawler.pipeline import ScanOutcome
+from ..crawler.storage import CrawlDataset, RecordKind
+
+__all__ = ["Burst", "MaliciousTimeseries", "burstiness_score", "compute_timeseries", "detect_bursts"]
+
+
+@dataclass
+class MaliciousTimeseries:
+    """One exchange's Figure 3 curve."""
+
+    exchange: str
+    #: (crawled count, cumulative malicious count) samples, per URL
+    points: List[Tuple[int, int]] = field(default_factory=list)
+
+    @property
+    def final_malicious(self) -> int:
+        return self.points[-1][1] if self.points else 0
+
+    @property
+    def crawled(self) -> int:
+        return self.points[-1][0] if self.points else 0
+
+    def malicious_flags(self) -> List[int]:
+        """Per-URL 0/1 malicious indicators, in crawl order."""
+        flags: List[int] = []
+        previous = 0
+        for _crawled, cumulative in self.points:
+            flags.append(cumulative - previous)
+            previous = cumulative
+        return flags
+
+
+def compute_timeseries(dataset: CrawlDataset, outcome: ScanOutcome) -> Dict[str, MaliciousTimeseries]:
+    """Figure 3 curves for every exchange (regular URLs, crawl order)."""
+    series: Dict[str, MaliciousTimeseries] = {}
+    cumulative: Dict[str, int] = {}
+    crawled: Dict[str, int] = {}
+    for record in dataset.records:
+        if record.kind != RecordKind.REGULAR:
+            continue
+        ts = series.get(record.exchange)
+        if ts is None:
+            ts = MaliciousTimeseries(exchange=record.exchange)
+            series[record.exchange] = ts
+            cumulative[record.exchange] = 0
+            crawled[record.exchange] = 0
+        crawled[record.exchange] += 1
+        if outcome.is_malicious(record.url):
+            cumulative[record.exchange] += 1
+        ts.points.append((crawled[record.exchange], cumulative[record.exchange]))
+    return series
+
+
+@dataclass
+class Burst:
+    """One contiguous window of elevated malicious rate (a campaign)."""
+
+    start_index: int  # crawl position where the burst begins (1-based)
+    end_index: int    # crawl position where it ends (inclusive)
+    malicious: int    # malicious URLs inside the window
+    rate: float       # malicious rate inside the window
+
+    @property
+    def length(self) -> int:
+        return self.end_index - self.start_index + 1
+
+
+def detect_bursts(ts: MaliciousTimeseries, window: int = 40,
+                  rate_multiplier: float = 3.0, min_malicious: int = 5) -> List[Burst]:
+    """Find campaign-style bursts in a Figure 3 curve.
+
+    A burst is a maximal run of sliding windows whose malicious rate
+    exceeds ``rate_multiplier`` times the overall rate.  Auto-surf
+    exchanges yield few or no bursts; manual-surf exchanges with paid
+    campaigns yield one per campaign window.
+    """
+    flags = ts.malicious_flags()
+    if len(flags) < window:
+        return []
+    total = sum(flags)
+    if total == 0:
+        return []
+    overall_rate = total / len(flags)
+    threshold = overall_rate * rate_multiplier
+
+    bursts: List[Burst] = []
+    running = sum(flags[:window])
+    in_burst = False
+    burst_start = 0
+    for index in range(window, len(flags) + 1):
+        rate = running / window
+        if rate >= threshold and not in_burst:
+            in_burst = True
+            burst_start = index - window
+        elif rate < threshold and in_burst:
+            in_burst = False
+            start, end = burst_start, index - 1
+            malicious = sum(flags[start:end + 1])
+            if malicious >= min_malicious:
+                bursts.append(Burst(start_index=start + 1, end_index=end + 1,
+                                    malicious=malicious,
+                                    rate=malicious / (end - start + 1)))
+        if index < len(flags):
+            running += flags[index] - flags[index - window]
+    if in_burst:
+        start, end = burst_start, len(flags) - 1
+        malicious = sum(flags[start:end + 1])
+        if malicious >= min_malicious:
+            bursts.append(Burst(start_index=start + 1, end_index=end + 1,
+                                malicious=malicious,
+                                rate=malicious / (end - start + 1)))
+    return bursts
+
+
+def burstiness_score(ts: MaliciousTimeseries, window: int = 50) -> float:
+    """Peak windowed malicious rate over the overall rate.
+
+    ≈1 for a steady (auto-surf) stream; large for bursty (campaign
+    driven, manual-surf) streams.  Returns 0 when nothing is malicious.
+    """
+    flags = ts.malicious_flags()
+    total = sum(flags)
+    if total == 0 or len(flags) < window:
+        return 0.0
+    overall_rate = total / len(flags)
+    running = sum(flags[:window])
+    peak = running
+    for index in range(window, len(flags)):
+        running += flags[index] - flags[index - window]
+        peak = max(peak, running)
+    peak_rate = peak / window
+    return peak_rate / overall_rate if overall_rate else 0.0

@@ -1,0 +1,211 @@
+"""Command-line interface.
+
+Usage (after install)::
+
+    python -m repro run --scale 0.02 --seed 2016          # full study report
+    python -m repro run --table 1                         # one table only
+    python -m repro vet --per-family 20                   # tool vetting
+    python -m repro har --exchange 10KHits -o out.har     # export a HAR log
+    python -m repro records -o records.json               # export URL records
+"""
+
+from __future__ import annotations
+
+import argparse
+import random
+import sys
+from typing import List, Optional
+
+from . import MalwareSlumsStudy, StudyConfig
+from .core.reporting import (
+    render_figure2,
+    render_figure3_summary,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_full_report,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+
+__all__ = ["main", "build_parser"]
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduce 'Malware Slums: Measurement and Analysis of "
+                    "Malware on Traffic Exchanges' (DSN 2016).",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run = sub.add_parser("run", help="run the study and print tables/figures")
+    run.add_argument("--scale", type=float, default=0.02,
+                     help="crawl volume relative to the paper's 1M URLs (default 0.02)")
+    run.add_argument("--seed", type=int, default=2016)
+    run.add_argument("--table", type=int, choices=(1, 2, 3, 4),
+                     help="print only this table")
+    run.add_argument("--figure", type=int, choices=(2, 3, 5, 6, 7),
+                     help="print only this figure")
+    run.add_argument("--no-file-submission", action="store_true",
+                     help="disable the cloaking mitigation (URL-only scanning)")
+    run.add_argument("--markdown", action="store_true",
+                     help="emit the report as Markdown")
+
+    vet = sub.add_parser("vet", help="run the Section III-B tool vetting")
+    vet.add_argument("--per-family", type=int, default=10)
+    vet.add_argument("--seed", type=int, default=7)
+
+    har = sub.add_parser("har", help="export an exchange's HAR capture")
+    har.add_argument("--exchange", required=True)
+    har.add_argument("--scale", type=float, default=0.01)
+    har.add_argument("--seed", type=int, default=2016)
+    har.add_argument("-o", "--output", required=True)
+
+    records = sub.add_parser("records", help="export crawl records as JSON")
+    records.add_argument("--scale", type=float, default=0.01)
+    records.add_argument("--seed", type=int, default=2016)
+    records.add_argument("-o", "--output", required=True)
+
+    compare = sub.add_parser("compare", help="compare a run against the paper's values")
+    compare.add_argument("--scale", type=float, default=0.02)
+    compare.add_argument("--seed", type=int, default=2016)
+
+    export = sub.add_parser("export", help="run the study and export CSVs + results JSON")
+    export.add_argument("--scale", type=float, default=0.02)
+    export.add_argument("--seed", type=int, default=2016)
+    export.add_argument("-o", "--output-dir", required=True)
+
+    feed = sub.add_parser("feed", help="build a threat feed from a crawl")
+    feed.add_argument("--scale", type=float, default=0.02)
+    feed.add_argument("--seed", type=int, default=2016)
+    feed.add_argument("-o", "--output", required=True)
+
+    return parser
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    study = MalwareSlumsStudy(StudyConfig(
+        seed=args.seed, scale=args.scale,
+        submit_files=not args.no_file_submission,
+    ))
+    results = study.run()
+    if args.table == 1:
+        print(render_table1(results.table1))
+    elif args.table == 2:
+        print(render_table2(results.table2))
+    elif args.table == 3:
+        print(render_table3(results.table3))
+    elif args.table == 4:
+        print(render_table4(results.table4))
+    elif args.figure == 2:
+        print(render_figure2(results.figure2))
+    elif args.figure == 3:
+        print(render_figure3_summary(results.figure3))
+    elif args.figure == 5:
+        print(render_figure5(results.figure5))
+    elif args.figure == 6:
+        print(render_figure6(results.figure6))
+    elif args.figure == 7:
+        print(render_figure7(results.figure7))
+    elif args.markdown:
+        from .core import render_markdown_report
+
+        print(render_markdown_report(results))
+    else:
+        print(render_full_report(results))
+    return 0
+
+
+def _cmd_vet(args: argparse.Namespace) -> int:
+    from .detection import QutteraSim, VirusTotalSim, all_rejected_tools, build_gold_standard, vet_tools
+
+    samples = build_gold_standard(random.Random(args.seed), per_family=args.per_family)
+    result = vet_tools([VirusTotalSim(), QutteraSim()] + all_rejected_tools(), samples)
+    for name, accuracy in result.table_rows():
+        print("%-14s %6.1f%%" % (name, 100 * accuracy))
+    print("accepted: %s" % ", ".join(result.accepted_tools()))
+    return 0
+
+
+def _run_crawl(seed: int, scale: float) -> MalwareSlumsStudy:
+    study = MalwareSlumsStudy(StudyConfig(seed=seed, scale=scale))
+    study.crawl_and_scan()
+    return study
+
+
+def _cmd_har(args: argparse.Namespace) -> int:
+    study = _run_crawl(args.seed, args.scale)
+    log = study.pipeline.dataset.har_logs.get(args.exchange)
+    if log is None:
+        print("unknown exchange %r; choose from: %s"
+              % (args.exchange, ", ".join(study.pipeline.dataset.har_logs)), file=sys.stderr)
+        return 2
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(log.to_json())
+    print("wrote %d HAR entries to %s" % (len(log), args.output))
+    return 0
+
+
+def _cmd_records(args: argparse.Namespace) -> int:
+    study = _run_crawl(args.seed, args.scale)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(study.pipeline.dataset.records_to_json())
+    print("wrote %d records to %s" % (len(study.pipeline.dataset), args.output))
+    return 0
+
+
+def _cmd_compare(args: argparse.Namespace) -> int:
+    from .core import compare_to_paper
+
+    study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
+    report = compare_to_paper(study.run())
+    print(report.render())
+    return 0 if report.shapes_hold else 1
+
+
+def _cmd_export(args: argparse.Namespace) -> int:
+    import os
+
+    from .core import export_csvs, save_results
+
+    study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
+    results = study.run()
+    paths = export_csvs(results, args.output_dir)
+    json_path = os.path.join(args.output_dir, "results.json")
+    save_results(results, json_path)
+    paths.append(json_path)
+    for path in paths:
+        print("wrote %s" % path)
+    return 0
+
+
+def _cmd_feed(args: argparse.Namespace) -> int:
+    from .countermeasures import build_threat_feed
+
+    study = _run_crawl(args.seed, args.scale)
+    feed = build_threat_feed(study.pipeline.dataset, study.outcome)
+    with open(args.output, "w", encoding="utf-8") as handle:
+        handle.write(feed.to_text())
+    print("wrote %d domains to %s" % (len(feed), args.output))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    handler = {
+        "run": _cmd_run,
+        "vet": _cmd_vet,
+        "har": _cmd_har,
+        "records": _cmd_records,
+        "compare": _cmd_compare,
+        "export": _cmd_export,
+        "feed": _cmd_feed,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    raise SystemExit(main())

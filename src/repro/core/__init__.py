@@ -1,0 +1,54 @@
+"""Study orchestration: configuration, runner, results, reporting."""
+
+from .config import StudyConfig
+from .export import export_csvs
+from .experiments import EXPERIMENTS, Experiment, experiment, run_experiment
+from .reference import ComparisonReport, MetricComparison, compare_to_paper
+from .markdown import render_markdown_report
+from .persistence import load_results, results_from_json, results_to_json, save_results
+from .reporting import (
+    render_figure2,
+    render_figure3_summary,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_full_report,
+    render_redirect_chain,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from .results import Figure2Data, StudyResults
+from .study import MalwareSlumsStudy
+
+__all__ = [
+    "ComparisonReport",
+    "EXPERIMENTS",
+    "Experiment",
+    "Figure2Data",
+    "MalwareSlumsStudy",
+    "StudyConfig",
+    "StudyResults",
+    "render_figure2",
+    "render_figure3_summary",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_full_report",
+    "render_markdown_report",
+    "render_redirect_chain",
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "MetricComparison",
+    "compare_to_paper",
+    "experiment",
+    "export_csvs",
+    "load_results",
+    "results_from_json",
+    "results_to_json",
+    "run_experiment",
+    "save_results",
+]

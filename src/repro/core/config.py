@@ -1,0 +1,37 @@
+"""Study configuration."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+from ..exchanges.roster import EXCHANGE_PROFILES, ExchangeProfile
+from ..simweb.generator import WebGenerationConfig
+
+__all__ = ["StudyConfig"]
+
+
+@dataclass
+class StudyConfig:
+    """Everything needed to reproduce the full study deterministically.
+
+    ``scale`` linearly scales crawl volume against the paper's 1,003,087
+    URLs; 1.0 regenerates the full study size, the 0.05 default runs in
+    seconds while preserving every distribution's shape (see DESIGN.md
+    §5 on shape-preserving calibration).
+    """
+
+    seed: int = 2016
+    scale: float = 0.05
+    #: submit downloaded page files to the scanners (the paper's cloaking
+    #: mitigation, footnote 1); False reproduces the naive URL-only setup
+    submit_files: bool = True
+    profiles: Sequence[ExchangeProfile] = field(default_factory=lambda: EXCHANGE_PROFILES)
+    #: optional overrides for web generation (seed/scale are synced in)
+    web: Optional[WebGenerationConfig] = None
+
+    def web_config(self) -> WebGenerationConfig:
+        config = self.web if self.web is not None else WebGenerationConfig()
+        config.seed = self.seed
+        config.scale = self.scale
+        return config

@@ -1,0 +1,85 @@
+"""CSV export of every table/figure for external plotting.
+
+Writes one CSV per artifact (table1.csv ... figure7.csv) so the results
+can be re-plotted with matplotlib/R/gnuplot outside this library.
+"""
+
+from __future__ import annotations
+
+import csv
+import os
+from typing import Dict, List
+
+from .results import StudyResults
+
+__all__ = ["export_csvs"]
+
+
+def export_csvs(results: StudyResults, directory: str) -> List[str]:
+    """Write all artifacts as CSV files into ``directory``.
+
+    Returns the list of file paths written.
+    """
+    os.makedirs(directory, exist_ok=True)
+    written: List[str] = []
+
+    def write(name: str, header: List[str], rows: List[List]) -> None:
+        path = os.path.join(directory, name)
+        with open(path, "w", newline="", encoding="utf-8") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(header)
+            writer.writerows(rows)
+        written.append(path)
+
+    write(
+        "table1.csv",
+        ["exchange", "kind", "urls_crawled", "self_referrals", "popular_referrals",
+         "regular_urls", "malicious_urls", "malicious_fraction"],
+        [
+            [r.exchange, r.kind, r.urls_crawled, r.self_referrals, r.popular_referrals,
+             r.regular_urls, r.malicious_urls, "%.4f" % r.malicious_fraction]
+            for r in results.table1
+        ],
+    )
+    write(
+        "table2.csv",
+        ["exchange", "domains", "malware_domains", "malware_fraction"],
+        [
+            [r.exchange, r.domains, r.malware_domains, "%.4f" % r.malware_fraction]
+            for r in results.table2
+        ],
+    )
+    if results.table3 is not None:
+        write(
+            "table3.csv",
+            ["category", "count", "share_of_categorized_percent"],
+            [
+                [category.value, results.table3.count(category), "%.2f" % share]
+                for category, share in results.table3.table_rows()
+            ],
+        )
+    write(
+        "table4.csv",
+        ["short_url", "short_hits", "long_url", "long_hits", "top_country", "top_referrer"],
+        [
+            [r.short_url, r.short_hits, r.long_url, r.long_hits, r.top_country, r.top_referrer]
+            for r in results.table4
+        ],
+    )
+    figure3_rows: List[List] = []
+    for name, series in sorted(results.figure3.items()):
+        step = max(1, len(series.points) // 200)  # downsample long curves
+        for crawled, cumulative in series.points[::step]:
+            figure3_rows.append([name, crawled, cumulative])
+    write("figure3.csv", ["exchange", "crawled", "cumulative_malicious"], figure3_rows)
+
+    if results.figure5 is not None:
+        write("figure5.csv", ["redirections", "urls"],
+              [[hops, count] for hops, count in results.figure5.bars()])
+    if results.figure6 is not None:
+        write("figure6.csv", ["tld", "count"],
+              sorted(results.figure6.counts.items(), key=lambda kv: -kv[1]))
+    if results.figure7 is not None:
+        write("figure7.csv", ["category", "count"],
+              sorted(results.figure7.counts.items(), key=lambda kv: -kv[1]))
+    return written

@@ -1,0 +1,129 @@
+"""Markdown report writer.
+
+Renders a complete study into a single Markdown document (GitHub-table
+format) — the artifact a release pipeline would attach to a run, and the
+generator behind paper-vs-measured writeups.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+from ..malware.taxonomy import MalwareCategory
+from .reference import ComparisonReport, compare_to_paper
+from .results import StudyResults
+
+__all__ = ["render_markdown_report"]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    lines = ["| " + " | ".join(headers) + " |",
+             "|" + "|".join("---" for _ in headers) + "|"]
+    lines.extend("| " + " | ".join(str(c) for c in row) + " |" for row in rows)
+    return "\n".join(lines)
+
+
+def render_markdown_report(results: StudyResults, title: str = "Study report",
+                           include_comparison: bool = True) -> str:
+    """Render the full study as Markdown."""
+    sections: List[str] = ["# %s" % title, ""]
+
+    sections.append(
+        "**Headline:** %.1f%% of regular URLs malicious (paper: >26%%) — %s."
+        % (100 * results.overall_malicious_fraction,
+           "holds" if results.headline_holds else "does not hold")
+    )
+    sections.append("")
+
+    sections.append("## Table I — per-exchange URL statistics\n")
+    sections.append(_table(
+        ("Exchange", "Type", "URLs", "Self", "Popular", "Regular", "Malicious", "%"),
+        [
+            (r.exchange, r.kind, r.urls_crawled, r.self_referrals, r.popular_referrals,
+             r.regular_urls, r.malicious_urls, "%.1f%%" % (100 * r.malicious_fraction))
+            for r in results.table1
+        ],
+    ))
+
+    sections.append("\n## Table II — per-exchange domain statistics\n")
+    sections.append(_table(
+        ("Exchange", "Domains", "Malware domains", "%"),
+        [
+            (r.exchange, r.domains, r.malware_domains, "%.1f%%" % (100 * r.malware_fraction))
+            for r in results.table2
+        ],
+    ))
+
+    if results.table3 is not None:
+        sections.append("\n## Table III — malware categorization\n")
+        rows = [(category.value, "%.1f%%" % share)
+                for category, share in results.table3.table_rows()]
+        rows.append(("miscellaneous (count)",
+                     str(results.table3.count(MalwareCategory.MISCELLANEOUS))))
+        sections.append(_table(("Category", "Share of categorized"), rows))
+
+    if results.table4:
+        sections.append("\n## Table IV — malicious shortened URLs\n")
+        sections.append(_table(
+            ("Short URL", "Hits", "Long-URL hits", "Country", "Referrer"),
+            [
+                (r.short_url, r.short_hits, r.long_hits, r.top_country, r.top_referrer)
+                for r in results.table4[:20]
+            ],
+        ))
+
+    if results.figure5 is not None and results.figure5.total:
+        sections.append("\n## Figure 5 — redirection counts\n")
+        sections.append(_table(
+            ("Redirections", "URLs"),
+            [(hops, count) for hops, count in results.figure5.bars()],
+        ))
+
+    if results.figure6 is not None and results.figure6.total:
+        sections.append("\n## Figure 6 — TLD distribution\n")
+        rows = [(tld, "%.1f%%" % share) for tld, share in results.figure6.top(4)]
+        rows.append(("others", "%.1f%%" % results.figure6.others_percentage(4)))
+        sections.append(_table(("TLD", "Share"), rows))
+
+    if results.figure7 is not None and results.figure7.total:
+        sections.append("\n## Figure 7 — content categories\n")
+        sections.append(_table(
+            ("Category", "Share"),
+            [(category, "%.1f%%" % share) for category, share in results.figure7.ranked()],
+        ))
+
+    if results.figure4_chain:
+        sections.append("\n## Figure 4 — example redirection chain\n")
+        sections.append("```")
+        for index, url in enumerate(results.figure4_chain):
+            sections.append("%s%s" % ("  " * index, url))
+        sections.append("```")
+
+    sections.append("\n## False positives\n")
+    if results.false_positives:
+        sections.append(_table(
+            ("URL", "Reason"),
+            [(fp.url, fp.reason) for fp in results.false_positives[:15]],
+        ))
+    else:
+        sections.append("_none identified at this scale_")
+
+    if include_comparison:
+        comparison: ComparisonReport = compare_to_paper(results)
+        sections.append("\n## Paper comparison\n")
+        sections.append(_table(
+            ("Artifact", "Metric", "Paper", "Measured", "Delta"),
+            [
+                (m.artifact, m.metric, "%.1f%%" % m.paper, "%.1f%%" % m.measured,
+                 "%+.1f" % m.delta)
+                for m in comparison.metrics
+            ],
+        ))
+        sections.append("\n### Shape claims\n")
+        sections.append(_table(
+            ("Claim", "Status"),
+            [(name, "✓" if ok else "✗")
+             for name, ok in sorted(comparison.shape_checks.items())],
+        ))
+    sections.append("")
+    return "\n".join(sections)

@@ -1,0 +1,166 @@
+"""Study-results persistence.
+
+Serializes a :class:`~repro.core.results.StudyResults` to a stable JSON
+document and back — enough for archiving runs, diffing reproductions
+across seeds/scales, and feeding external plotting tools.
+"""
+
+from __future__ import annotations
+
+import json
+from typing import Any, Dict
+
+from collections import Counter
+
+from ..analysis import (
+    CategorizationResult,
+    ContentCategoryDistribution,
+    ExchangeDomainStats,
+    ExchangeUrlStats,
+    MaliciousTimeseries,
+    RedirectDistribution,
+    ShortUrlRow,
+    TldDistribution,
+)
+from ..analysis.casestudies import FalsePositiveFinding
+from ..malware.taxonomy import MalwareCategory
+from .results import Figure2Data, StudyResults
+
+__all__ = ["results_to_json", "results_from_json", "save_results", "load_results"]
+
+_FORMAT_VERSION = 1
+
+
+def results_to_json(results: StudyResults) -> str:
+    """Serialize results to a JSON string."""
+    payload: Dict[str, Any] = {
+        "format_version": _FORMAT_VERSION,
+        "overall_malicious_fraction": results.overall_malicious_fraction,
+        "table1": [
+            {
+                "exchange": r.exchange, "kind": r.kind,
+                "urls_crawled": r.urls_crawled, "self_referrals": r.self_referrals,
+                "popular_referrals": r.popular_referrals, "regular_urls": r.regular_urls,
+                "malicious_urls": r.malicious_urls,
+            }
+            for r in results.table1
+        ],
+        "table2": [
+            {
+                "exchange": r.exchange, "domains": r.domains,
+                "malware_domains": r.malware_domains,
+                "domain_set": sorted(r.domain_set),
+                "malware_domain_set": sorted(r.malware_domain_set),
+            }
+            for r in results.table2
+        ],
+        "table3": (
+            {
+                "counts": {c.value: n for c, n in results.table3.counts.items()},
+                "total_malicious": results.table3.total_malicious,
+            }
+            if results.table3 is not None else None
+        ),
+        "table4": [
+            {
+                "short_url": r.short_url, "short_hits": r.short_hits,
+                "long_url": r.long_url, "long_hits": r.long_hits,
+                "top_country": r.top_country, "top_referrer": r.top_referrer,
+            }
+            for r in results.table4
+        ],
+        "figure3": {
+            name: ts.points for name, ts in results.figure3.items()
+        },
+        "figure4_chain": results.figure4_chain,
+        "figure5": dict(results.figure5.counts) if results.figure5 is not None else None,
+        "figure6": dict(results.figure6.counts) if results.figure6 is not None else None,
+        "figure7": dict(results.figure7.counts) if results.figure7 is not None else None,
+        "false_positives": [
+            {"url": fp.url, "reason": fp.reason, "labels": fp.labels}
+            for fp in results.false_positives
+        ],
+    }
+    return json.dumps(payload, indent=2)
+
+
+def results_from_json(text: str) -> StudyResults:
+    """Rebuild :class:`StudyResults` from :func:`results_to_json` output."""
+    payload = json.loads(text)
+    if payload.get("format_version") != _FORMAT_VERSION:
+        raise ValueError("unsupported results format version %r" % payload.get("format_version"))
+
+    table1 = [
+        ExchangeUrlStats(
+            exchange=row["exchange"], kind=row["kind"],
+            urls_crawled=row["urls_crawled"], self_referrals=row["self_referrals"],
+            popular_referrals=row["popular_referrals"], regular_urls=row["regular_urls"],
+            malicious_urls=row["malicious_urls"],
+        )
+        for row in payload["table1"]
+    ]
+    table2 = []
+    for row in payload["table2"]:
+        stats = ExchangeDomainStats(
+            exchange=row["exchange"], domains=row["domains"],
+            malware_domains=row["malware_domains"],
+        )
+        stats.domain_set = set(row["domain_set"])
+        stats.malware_domain_set = set(row["malware_domain_set"])
+        table2.append(stats)
+
+    table3 = None
+    if payload.get("table3") is not None:
+        table3 = CategorizationResult(
+            counts={MalwareCategory(k): v for k, v in payload["table3"]["counts"].items()},
+            total_malicious=payload["table3"]["total_malicious"],
+        )
+
+    table4 = [ShortUrlRow(**row) for row in payload["table4"]]
+
+    figure3 = {
+        name: MaliciousTimeseries(exchange=name, points=[tuple(p) for p in points])
+        for name, points in payload["figure3"].items()
+    }
+
+    def counter_of(key: str, cast_key=lambda k: k):
+        raw = payload.get(key)
+        if raw is None:
+            return None
+        return Counter({cast_key(k): v for k, v in raw.items()})
+
+    figure5_counts = counter_of("figure5", int)
+    figure6_counts = counter_of("figure6")
+    figure7_counts = counter_of("figure7")
+
+    results = StudyResults(
+        table1=table1,
+        table2=table2,
+        table3=table3,
+        table4=table4,
+        figure2=Figure2Data.from_stats(table1),
+        figure3=figure3,
+        figure4_chain=payload.get("figure4_chain"),
+        figure5=RedirectDistribution(counts=figure5_counts) if figure5_counts is not None else None,
+        figure6=TldDistribution(counts=figure6_counts) if figure6_counts is not None else None,
+        figure7=(
+            ContentCategoryDistribution(counts=figure7_counts)
+            if figure7_counts is not None else None
+        ),
+        false_positives=[
+            FalsePositiveFinding(url=fp["url"], reason=fp["reason"], labels=fp["labels"])
+            for fp in payload.get("false_positives", [])
+        ],
+        overall_malicious_fraction=payload["overall_malicious_fraction"],
+    )
+    return results
+
+
+def save_results(results: StudyResults, path: str) -> None:
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(results_to_json(results))
+
+
+def load_results(path: str) -> StudyResults:
+    with open(path, "r", encoding="utf-8") as handle:
+        return results_from_json(handle.read())

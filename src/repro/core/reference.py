@@ -1,0 +1,177 @@
+"""Published reference values and programmatic paper-vs-measured comparison.
+
+Encodes the DSN 2016 paper's reported numbers (Tables I-III, Figures
+6-7, the vetting accuracies) and compares a :class:`StudyResults`
+against them, producing per-metric deltas — the machine-readable version
+of EXPERIMENTS.md.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..malware.taxonomy import MalwareCategory
+from .results import StudyResults
+
+__all__ = [
+    "PAPER_TABLE1_MALICIOUS_PCT",
+    "PAPER_TABLE2_MALWARE_DOMAIN_PCT",
+    "PAPER_TABLE3_SHARES_PCT",
+    "PAPER_FIGURE6_PCT",
+    "PAPER_FIGURE7_PCT",
+    "PAPER_VETTING_PCT",
+    "PAPER_OVERALL_MALICIOUS_PCT",
+    "MetricComparison",
+    "ComparisonReport",
+    "compare_to_paper",
+]
+
+PAPER_OVERALL_MALICIOUS_PCT = 26.7  # 214,527 / 802,434
+
+PAPER_TABLE1_MALICIOUS_PCT: Dict[str, float] = {
+    "10KHits": 33.8, "ManyHits": 14.6, "Smiley Traffic": 8.7,
+    "SendSurf": 51.9, "Otohits": 7.4, "Cash N Hits": 10.2,
+    "Easyhits4u": 10.4, "Hit2Hit": 8.5, "Traffic Monsoon": 12.2,
+}
+
+PAPER_TABLE2_MALWARE_DOMAIN_PCT: Dict[str, float] = {
+    "10KHits": 15.0, "ManyHits": 14.1, "Smiley Traffic": 9.5,
+    "SendSurf": 4.3, "Otohits": 13.9, "Cash N Hits": 17.1,
+    "Easyhits4u": 14.3, "Hit2Hit": 16.3, "Traffic Monsoon": 18.4,
+}
+
+PAPER_TABLE3_SHARES_PCT: Dict[MalwareCategory, float] = {
+    MalwareCategory.BLACKLISTED: 74.8,
+    MalwareCategory.MALICIOUS_JAVASCRIPT: 18.8,
+    MalwareCategory.SUSPICIOUS_REDIRECTION: 5.8,
+    MalwareCategory.MALICIOUS_SHORTENED_URL: 0.5,
+    MalwareCategory.MALICIOUS_FLASH: 0.1,
+}
+
+PAPER_FIGURE6_PCT: Dict[str, float] = {"com": 70.0, "net": 22.0, "de": 2.0, "org": 1.0}
+
+PAPER_FIGURE7_PCT: Dict[str, float] = {
+    "business": 58.6, "advertisement": 21.8,
+    "entertainment": 8.7, "information technology": 8.6,
+}
+
+PAPER_VETTING_PCT: Dict[str, float] = {
+    "VirusTotal": 100.0, "Quttera": 100.0, "URLQuery": 70.0,
+    "BrightCloud": 60.0, "SiteCheck": 40.0, "SenderBase": 10.0,
+    "Wepawet": 0.0, "AVGThreatLab": 0.0,
+}
+
+
+@dataclass
+class MetricComparison:
+    """One paper-vs-measured metric."""
+
+    artifact: str   # "table1", "figure6", ...
+    metric: str     # e.g. exchange or category name
+    paper: float
+    measured: float
+
+    @property
+    def delta(self) -> float:
+        return self.measured - self.paper
+
+    @property
+    def within(self) -> float:
+        """Absolute deviation (percentage points)."""
+        return abs(self.delta)
+
+
+@dataclass
+class ComparisonReport:
+    """All comparisons plus the shape checks the reproduction claims."""
+
+    metrics: List[MetricComparison] = field(default_factory=list)
+    shape_checks: Dict[str, bool] = field(default_factory=dict)
+
+    def for_artifact(self, artifact: str) -> List[MetricComparison]:
+        return [m for m in self.metrics if m.artifact == artifact]
+
+    @property
+    def shapes_hold(self) -> bool:
+        return all(self.shape_checks.values())
+
+    def worst(self, artifact: Optional[str] = None) -> Optional[MetricComparison]:
+        pool = self.metrics if artifact is None else self.for_artifact(artifact)
+        return max(pool, key=lambda m: m.within) if pool else None
+
+    def render(self) -> str:
+        lines = ["%-10s %-26s %8s %9s %7s" % ("artifact", "metric", "paper", "measured", "delta")]
+        for metric in self.metrics:
+            lines.append("%-10s %-26s %7.1f%% %8.1f%% %+6.1f" % (
+                metric.artifact, metric.metric, metric.paper, metric.measured, metric.delta))
+        lines.append("")
+        for name, ok in sorted(self.shape_checks.items()):
+            lines.append("shape %-40s %s" % (name, "OK" if ok else "VIOLATED"))
+        return "\n".join(lines)
+
+
+def compare_to_paper(results: StudyResults) -> ComparisonReport:
+    """Compare a finished study against the paper's published values."""
+    report = ComparisonReport()
+
+    report.metrics.append(MetricComparison(
+        "overall", "malicious fraction",
+        PAPER_OVERALL_MALICIOUS_PCT, 100 * results.overall_malicious_fraction,
+    ))
+
+    rates = {r.exchange: 100 * r.malicious_fraction for r in results.table1}
+    for exchange, paper_value in PAPER_TABLE1_MALICIOUS_PCT.items():
+        if exchange in rates:
+            report.metrics.append(MetricComparison("table1", exchange, paper_value, rates[exchange]))
+
+    domain_rates = {r.exchange: 100 * r.malware_fraction for r in results.table2}
+    for exchange, paper_value in PAPER_TABLE2_MALWARE_DOMAIN_PCT.items():
+        if exchange in domain_rates:
+            report.metrics.append(MetricComparison("table2", exchange, paper_value,
+                                                   domain_rates[exchange]))
+
+    if results.table3 is not None:
+        for category, paper_value in PAPER_TABLE3_SHARES_PCT.items():
+            report.metrics.append(MetricComparison(
+                "table3", category.value, paper_value, results.table3.percentage(category)))
+
+    if results.figure6 is not None:
+        for tld, paper_value in PAPER_FIGURE6_PCT.items():
+            report.metrics.append(MetricComparison(
+                "figure6", tld, paper_value, results.figure6.percentage(tld)))
+
+    if results.figure7 is not None:
+        for category, paper_value in PAPER_FIGURE7_PCT.items():
+            report.metrics.append(MetricComparison(
+                "figure7", category, paper_value, results.figure7.percentage(category)))
+
+    # --- the shape claims ---
+    checks = report.shape_checks
+    checks["headline >26% malicious"] = results.overall_malicious_fraction > 0.26
+    if rates:
+        checks["SendSurf worst exchange"] = rates.get("SendSurf", 0) == max(rates.values())
+        auto = [rates.get(n, 0) for n in ("10KHits", "ManyHits", "Smiley Traffic")]
+        checks["10KHits > ManyHits > Smiley"] = auto[0] > auto[1] > auto[2]
+    if domain_rates:
+        auto_domains = {n: domain_rates.get(n, 1) for n in
+                        ("10KHits", "ManyHits", "Smiley Traffic", "SendSurf", "Otohits")}
+        checks["SendSurf lowest domain rate (auto)"] = (
+            auto_domains["SendSurf"] == min(auto_domains.values())
+        )
+    if results.table3 is not None:
+        shares = dict(results.table3.table_rows())
+        checks["table3 ordering"] = (
+            shares[MalwareCategory.BLACKLISTED]
+            > shares[MalwareCategory.MALICIOUS_JAVASCRIPT]
+            > shares[MalwareCategory.SUSPICIOUS_REDIRECTION]
+        )
+    if results.figure6 is not None:
+        checks["com > net (TLDs)"] = (
+            results.figure6.percentage("com") > results.figure6.percentage("net")
+        )
+    if results.figure7 is not None:
+        checks["business leads categories"] = results.figure7.percentage("business") == max(
+            share for _c, share in results.figure7.ranked()
+        )
+    return report

@@ -1,0 +1,192 @@
+"""Text renderers: print the study's tables and figures like the paper's.
+
+Every renderer takes the corresponding results object and returns a
+plain-text block (monospace tables / ASCII bars) so benchmarks and
+examples can show paper-style output.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from ..analysis import (
+    CategorizationResult,
+    ContentCategoryDistribution,
+    ExchangeDomainStats,
+    ExchangeUrlStats,
+    MaliciousTimeseries,
+    RedirectDistribution,
+    ShortUrlRow,
+    TldDistribution,
+)
+from .results import Figure2Data, StudyResults
+
+__all__ = [
+    "render_table1",
+    "render_table2",
+    "render_table3",
+    "render_table4",
+    "render_figure2",
+    "render_figure3_summary",
+    "render_figure5",
+    "render_figure6",
+    "render_figure7",
+    "render_redirect_chain",
+    "render_full_report",
+]
+
+
+def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    fmt = "  ".join("%%-%ds" % w for w in widths)
+    lines = [fmt % tuple(headers), fmt % tuple("-" * w for w in widths)]
+    lines.extend(fmt % tuple(row) for row in rows)
+    return "\n".join(lines)
+
+
+def render_table1(rows: List[ExchangeUrlStats]) -> str:
+    """Table I: statistics of data from traffic exchanges."""
+    body = [
+        (
+            r.exchange, r.kind, "%d" % r.urls_crawled, "%d" % r.self_referrals,
+            "%d" % r.popular_referrals, "%d" % r.regular_urls,
+            "%d" % r.malicious_urls, "%.1f%%" % (100 * r.malicious_fraction),
+        )
+        for r in rows
+    ]
+    return _table(
+        ("Exchange", "Type", "#URLs", "#Self", "#Popular", "#Regular", "#Malicious", "%Malicious"),
+        body,
+    )
+
+
+def render_table2(rows: List[ExchangeDomainStats]) -> str:
+    """Table II: statistics of domains on traffic exchanges."""
+    body = [
+        (r.exchange, "%d" % r.domains, "%d" % r.malware_domains,
+         "%.1f%%" % (100 * r.malware_fraction))
+        for r in rows
+    ]
+    return _table(("Exchange", "#Domains", "#Malware", "%Malware"), body)
+
+
+def render_table3(result: CategorizationResult) -> str:
+    """Table III: malware categorization."""
+    body = [(str(category.value), "%.1f%%" % share) for category, share in result.table_rows()]
+    body.append(("(miscellaneous URLs)", "%d" % result.count(
+        __import__("repro.malware.taxonomy", fromlist=["MalwareCategory"]).MalwareCategory.MISCELLANEOUS
+    )))
+    return _table(("Category", "Percentage"), body)
+
+
+def render_table4(rows: List[ShortUrlRow], limit: int = 24) -> str:
+    """Table IV: statistics of malicious shortened URLs."""
+    body = [
+        (r.short_url, "%d" % r.short_hits, "%d" % r.long_hits, r.top_country, r.top_referrer)
+        for r in rows[:limit]
+    ]
+    return _table(
+        ("Shortened URL", "Short Hits", "Long URL Hits", "Top Country", "Top Referrer"), body
+    )
+
+
+def _bars(entries: Sequence, width: int = 40) -> str:
+    lines = []
+    peak = max((benign + malicious for _n, benign, malicious in entries), default=1)
+    peak = max(peak, 1)
+    for name, benign, malicious in entries:
+        total = benign + malicious
+        mal_cells = int(width * malicious / peak)
+        ben_cells = int(width * benign / peak)
+        pct = 100.0 * malicious / total if total else 0.0
+        lines.append("%-16s %s%s %5.1f%% malicious" % (name, "#" * mal_cells, "." * ben_cells, pct))
+    return "\n".join(lines)
+
+
+def render_figure2(figure: Figure2Data) -> str:
+    """Figure 2: malware ratio in auto-surf and manual-surf exchanges."""
+    return (
+        "(a) auto-surf exchanges ('#'=malware, '.'=benign)\n%s\n\n"
+        "(b) manual-surf exchanges\n%s"
+        % (_bars(figure.auto_surf), _bars(figure.manual_surf))
+    )
+
+
+def render_figure3_summary(series: Dict[str, MaliciousTimeseries]) -> str:
+    """Figure 3 condensed: final cumulative counts + burstiness."""
+    from ..analysis import burstiness_score
+
+    rows = [
+        (name, "%d" % ts.crawled, "%d" % ts.final_malicious, "%.2f" % burstiness_score(ts))
+        for name, ts in sorted(series.items())
+    ]
+    return _table(("Exchange", "Crawled", "Cumulative Malicious", "Burstiness"), rows)
+
+
+def render_figure5(distribution: RedirectDistribution, width: int = 40) -> str:
+    """Figure 5: distribution of URL redirection count."""
+    bars = distribution.bars()
+    peak = max((count for _h, count in bars), default=1)
+    lines = ["redirections  #URLs"]
+    for hops, count in bars:
+        cells = int(width * count / peak) if peak else 0
+        lines.append("%11d  %6d %s" % (hops, count, "#" * cells))
+    return "\n".join(lines)
+
+
+def render_figure6(distribution: TldDistribution) -> str:
+    """Figure 6: malicious URLs by top-level domain."""
+    rows = [(tld, "%.1f%%" % share) for tld, share in distribution.top(4)]
+    rows.append(("others", "%.1f%%" % distribution.others_percentage(4)))
+    return _table(("TLD", "Share"), rows)
+
+
+def render_figure7(distribution: ContentCategoryDistribution) -> str:
+    """Figure 7: malicious content across categories."""
+    rows = [(category, "%.1f%%" % share) for category, share in distribution.ranked()]
+    return _table(("Content Category", "Share"), rows)
+
+
+def render_redirect_chain(chain: Sequence[str]) -> str:
+    """Figure 4: one suspicious redirection chain."""
+    lines = []
+    for index, url in enumerate(chain):
+        prefix = "    " * index
+        lines.append("%s%s" % (prefix, url))
+        if index < len(chain) - 1:
+            lines.append("%s  |-> 302/meta" % prefix)
+    return "\n".join(lines)
+
+
+def render_full_report(results: StudyResults) -> str:
+    """All artifacts in one report."""
+    sections = [
+        "== Table I: URL statistics ==", render_table1(results.table1),
+        "\n== Table II: domain statistics ==", render_table2(results.table2),
+    ]
+    if results.table3 is not None:
+        sections += ["\n== Table III: malware categorization ==", render_table3(results.table3)]
+    sections += ["\n== Table IV: malicious shortened URLs ==", render_table4(results.table4)]
+    if results.figure2 is not None:
+        sections += ["\n== Figure 2: malware ratio ==", render_figure2(results.figure2)]
+    sections += ["\n== Figure 3: time series summary ==",
+                 render_figure3_summary(results.figure3)]
+    if results.figure4_chain:
+        sections += ["\n== Figure 4: example redirect chain ==",
+                     render_redirect_chain(results.figure4_chain)]
+    if results.figure5 is not None:
+        sections += ["\n== Figure 5: redirection counts ==", render_figure5(results.figure5)]
+    if results.figure6 is not None:
+        sections += ["\n== Figure 6: TLD distribution ==", render_figure6(results.figure6)]
+    if results.figure7 is not None:
+        sections += ["\n== Figure 7: content categories ==", render_figure7(results.figure7)]
+    sections.append(
+        "\nOverall: %.1f%% of regular URLs malicious (paper: >26%%); headline %s"
+        % (100 * results.overall_malicious_fraction,
+           "HOLDS" if results.headline_holds else "DOES NOT HOLD")
+    )
+    sections.append("False positives identified: %d" % len(results.false_positives))
+    return "\n".join(sections)

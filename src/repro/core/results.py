@@ -1,0 +1,62 @@
+"""Study results: one dataclass per table/figure, plus the container."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..analysis import (
+    CategorizationResult,
+    ContentCategoryDistribution,
+    ExchangeDomainStats,
+    ExchangeUrlStats,
+    FalsePositiveFinding,
+    MaliciousTimeseries,
+    RedirectDistribution,
+    ShortUrlRow,
+    TldDistribution,
+)
+
+__all__ = ["Figure2Data", "StudyResults"]
+
+
+@dataclass
+class Figure2Data:
+    """Benign/malware split per exchange (the Figure 2 stacked bars)."""
+
+    auto_surf: List[Tuple[str, int, int]] = field(default_factory=list)
+    manual_surf: List[Tuple[str, int, int]] = field(default_factory=list)
+
+    @staticmethod
+    def from_stats(rows: List[ExchangeUrlStats]) -> "Figure2Data":
+        data = Figure2Data()
+        for row in rows:
+            entry = (row.exchange, row.benign_urls, row.malicious_urls)
+            if row.kind == "auto-surf":
+                data.auto_surf.append(entry)
+            else:
+                data.manual_surf.append(entry)
+        return data
+
+
+@dataclass
+class StudyResults:
+    """Everything the study produced, keyed by the paper's artifacts."""
+
+    table1: List[ExchangeUrlStats] = field(default_factory=list)
+    table2: List[ExchangeDomainStats] = field(default_factory=list)
+    table3: Optional[CategorizationResult] = None
+    table4: List[ShortUrlRow] = field(default_factory=list)
+    figure2: Optional[Figure2Data] = None
+    figure3: Dict[str, MaliciousTimeseries] = field(default_factory=dict)
+    figure4_chain: Optional[List[str]] = None
+    figure5: Optional[RedirectDistribution] = None
+    figure6: Optional[TldDistribution] = None
+    figure7: Optional[ContentCategoryDistribution] = None
+    false_positives: List[FalsePositiveFinding] = field(default_factory=list)
+    overall_malicious_fraction: float = 0.0
+
+    @property
+    def headline_holds(self) -> bool:
+        """The paper's headline: >26% of regular URLs are malicious."""
+        return self.overall_malicious_fraction > 0.26

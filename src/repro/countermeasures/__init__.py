@@ -1,0 +1,26 @@
+"""Countermeasures from the paper's Section VI recommendations.
+
+* :class:`ExchangeWarningExtension` — the browser-plugin warning users
+  before they surf a traffic exchange,
+* :class:`AdFraudDetector` — the ad-network-side impression vetting that
+  makes exchanges unprofitable (AdSense/DoubleClick disallow them).
+"""
+
+from .adfraud import AdFraudDetector, ImpressionRecord, PublisherReport
+from .feed import FeedEntry, ThreatFeed, build_threat_feed
+from .impressions import impressions_from_surf, simulate_exchange_impressions
+from .warning import KNOWN_EXCHANGE_DOMAINS, ExchangeWarningExtension, NavigationWarning
+
+__all__ = [
+    "AdFraudDetector",
+    "ExchangeWarningExtension",
+    "FeedEntry",
+    "ImpressionRecord",
+    "KNOWN_EXCHANGE_DOMAINS",
+    "NavigationWarning",
+    "PublisherReport",
+    "ThreatFeed",
+    "build_threat_feed",
+    "impressions_from_surf",
+    "simulate_exchange_impressions",
+]

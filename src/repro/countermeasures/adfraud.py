@@ -1,0 +1,167 @@
+"""Ad-network impression-fraud vetting (Section VI).
+
+The paper's recommendation to ad networks: "look out for potential fraud
+in ad impressions, view counts, and clicks" — reputable networks
+(AdSense, DoubleClick) disallow traffic exchanges outright.  This module
+is the network-side vetting pipeline:
+
+* :class:`ImpressionRecord` — one served ad impression with the signals
+  a real ad server logs (referrer, IP, country, dwell time, click),
+* :class:`PublisherReport` — aggregate fraud signals per publisher,
+* :class:`AdFraudDetector` — the vetting rules: exchange referrers,
+  abnormal IP diversity, timer-quantized dwell times, and near-zero
+  click-through despite high impression volume.
+"""
+
+from __future__ import annotations
+
+import statistics
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Set
+
+from ..simweb.url import Url
+from .warning import KNOWN_EXCHANGE_DOMAINS
+
+__all__ = ["ImpressionRecord", "PublisherReport", "AdFraudDetector"]
+
+
+@dataclass(frozen=True)
+class ImpressionRecord:
+    """One ad impression as logged by the ad server."""
+
+    publisher_url: str
+    referrer: str
+    ip_address: str
+    country: str
+    dwell_seconds: float
+    clicked: bool = False
+
+    @property
+    def publisher_domain(self) -> str:
+        parsed = Url.try_parse(self.publisher_url)
+        return parsed.registrable_domain if parsed is not None else ""
+
+    @property
+    def referrer_domain(self) -> str:
+        parsed = Url.try_parse(self.referrer)
+        return parsed.registrable_domain if parsed is not None else ""
+
+
+@dataclass
+class PublisherReport:
+    """Aggregate fraud signals for one publisher."""
+
+    publisher_domain: str
+    impressions: int = 0
+    clicks: int = 0
+    exchange_referred: int = 0
+    unique_ips: int = 0
+    countries: Counter = field(default_factory=Counter)
+    dwell_values: List[float] = field(default_factory=list, repr=False)
+    fraudulent: bool = False
+    reasons: List[str] = field(default_factory=list)
+
+    @property
+    def click_through_rate(self) -> float:
+        return self.clicks / self.impressions if self.impressions else 0.0
+
+    @property
+    def exchange_share(self) -> float:
+        return self.exchange_referred / self.impressions if self.impressions else 0.0
+
+    @property
+    def ip_diversity(self) -> float:
+        """Unique IPs per impression — exchanges rotate a diverse pool."""
+        return self.unique_ips / self.impressions if self.impressions else 0.0
+
+    @property
+    def dwell_uniformity(self) -> float:
+        """1 / (1 + stdev/mean): near 1 when dwell is timer-quantized."""
+        if len(self.dwell_values) < 3:
+            return 0.0
+        mean = statistics.fmean(self.dwell_values)
+        if mean <= 0:
+            return 0.0
+        spread = statistics.pstdev(self.dwell_values)
+        return 1.0 / (1.0 + spread / mean)
+
+
+class AdFraudDetector:
+    """Vets publishers from impression logs."""
+
+    def __init__(
+        self,
+        exchange_domains: Optional[Iterable[str]] = None,
+        min_impressions: int = 20,
+        exchange_share_threshold: float = 0.3,
+        ip_diversity_threshold: float = 0.8,
+        max_organic_ctr: float = 0.002,
+        dwell_uniformity_threshold: float = 0.85,
+    ) -> None:
+        self.exchange_domains: Set[str] = (
+            set(exchange_domains) if exchange_domains is not None
+            else set(KNOWN_EXCHANGE_DOMAINS)
+        )
+        self.min_impressions = min_impressions
+        self.exchange_share_threshold = exchange_share_threshold
+        self.ip_diversity_threshold = ip_diversity_threshold
+        self.max_organic_ctr = max_organic_ctr
+        self.dwell_uniformity_threshold = dwell_uniformity_threshold
+
+    # ------------------------------------------------------------------
+    def analyze(self, impressions: Iterable[ImpressionRecord]) -> Dict[str, PublisherReport]:
+        """Aggregate and vet; returns per-publisher reports."""
+        reports: Dict[str, PublisherReport] = {}
+        ips: Dict[str, Set[str]] = {}
+        for record in impressions:
+            domain = record.publisher_domain
+            if not domain:
+                continue
+            report = reports.get(domain)
+            if report is None:
+                report = PublisherReport(publisher_domain=domain)
+                reports[domain] = report
+                ips[domain] = set()
+            report.impressions += 1
+            report.clicks += int(record.clicked)
+            report.countries[record.country] += 1
+            report.dwell_values.append(record.dwell_seconds)
+            ips[domain].add(record.ip_address)
+            if record.referrer_domain in self.exchange_domains:
+                report.exchange_referred += 1
+        for domain, report in reports.items():
+            report.unique_ips = len(ips[domain])
+            self._vet(report)
+        return reports
+
+    # ------------------------------------------------------------------
+    def _vet(self, report: PublisherReport) -> None:
+        if report.impressions < self.min_impressions:
+            return  # not enough volume to judge
+        if report.exchange_share >= self.exchange_share_threshold:
+            report.reasons.append(
+                "%.0f%% of impressions referred by traffic exchanges"
+                % (100 * report.exchange_share)
+            )
+        behavioural = 0
+        if report.ip_diversity >= self.ip_diversity_threshold:
+            behavioural += 1
+            report.reasons.append(
+                "abnormal IP diversity (%.2f unique IPs/impression)" % report.ip_diversity
+            )
+        if report.click_through_rate <= self.max_organic_ctr:
+            behavioural += 1
+            report.reasons.append(
+                "near-zero click-through (%.3f%%) at volume" % (100 * report.click_through_rate)
+            )
+        if report.dwell_uniformity >= self.dwell_uniformity_threshold:
+            behavioural += 1
+            report.reasons.append(
+                "timer-quantized dwell times (uniformity %.2f)" % report.dwell_uniformity
+            )
+        # fraud: direct exchange referrals, or at least two behavioural tells
+        report.fraudulent = report.exchange_share >= self.exchange_share_threshold or behavioural >= 2
+
+    def fraudulent_publishers(self, reports: Dict[str, PublisherReport]) -> List[str]:
+        return sorted(d for d, r in reports.items() if r.fraudulent)

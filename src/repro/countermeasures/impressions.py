@@ -1,0 +1,64 @@
+"""Bridge from exchange surf traffic to ad-network impression logs.
+
+Connects the two halves of the ecosystem the paper describes: member
+sites carry ad slots; exchange surf steps generate ad impressions from
+a diverse member-IP pool; the ad network's fraud detector
+(:mod:`repro.countermeasures.adfraud`) then vets those logs.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterable, Iterator, List, Optional
+
+from ..exchanges.accounts import sample_country
+from ..exchanges.base import StepKind, SurfStep, TrafficExchange
+from .adfraud import ImpressionRecord
+
+__all__ = ["impressions_from_surf", "simulate_exchange_impressions"]
+
+
+def impressions_from_surf(
+    exchange: TrafficExchange,
+    steps: Iterable[SurfStep],
+    rng: random.Random,
+    click_rate: float = 0.0005,
+) -> Iterator[ImpressionRecord]:
+    """Convert member-site surf steps into ad impressions.
+
+    Every member-site page view renders its ad slot once; the visitor's
+    IP comes from the exchange's diverse member pool and the dwell time
+    is the surf timer — the signals the fraud detector keys on.  Clicks
+    are vanishingly rare: auto-surf bots never click, and manual surfers
+    click the *next-site* button, not the ads.
+    """
+    for step in steps:
+        if step.kind not in (StepKind.MEMBER_SITE, StepKind.CAMPAIGN):
+            continue
+        yield ImpressionRecord(
+            publisher_url=step.url,
+            referrer="http://%s/surf" % exchange.host,
+            ip_address="%d.%d.%d.%d" % (
+                rng.randrange(1, 224), rng.randrange(256),
+                rng.randrange(256), rng.randrange(1, 255),
+            ),
+            country=sample_country(rng),
+            dwell_seconds=step.surf_seconds,
+            clicked=rng.random() < click_rate,
+        )
+
+
+def simulate_exchange_impressions(
+    exchange: TrafficExchange,
+    steps: int,
+    rng: Optional[random.Random] = None,
+    account_id: str = "ad-study-account",
+) -> List[ImpressionRecord]:
+    """Run a surf session and collect the impressions it generates."""
+    rng = rng or random.Random(0)
+    exchange.register_member(account_id, "192.0.2.%d" % rng.randrange(1, 255))
+    session = exchange.open_session(account_id)
+    if session is None:
+        raise RuntimeError("exchange refused the session")
+    surf = (exchange.next_step(session) for _ in range(steps))
+    return list(impressions_from_surf(exchange, surf, rng))

@@ -1,0 +1,23 @@
+"""The measurement crawler.
+
+Browser sessions with HAR capture, auto-/manual-surf crawlers, the crawl
+dataset, and the end-to-end :class:`CrawlPipeline` (crawl every exchange
+then scan every distinct URL).
+"""
+
+from .crawlers import CrawlStats, ExchangeCrawler
+from .pipeline import CrawlPipeline, ScanOutcome
+from .session import BrowserSession
+from .storage import CachedContent, CrawlDataset, RecordKind, UrlRecord
+
+__all__ = [
+    "BrowserSession",
+    "CachedContent",
+    "CrawlDataset",
+    "CrawlPipeline",
+    "CrawlStats",
+    "ExchangeCrawler",
+    "RecordKind",
+    "ScanOutcome",
+    "UrlRecord",
+]

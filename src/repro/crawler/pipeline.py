@@ -1,0 +1,385 @@
+"""The end-to-end crawl-and-scan pipeline.
+
+Wires the generated web, the HTTP layer, the nine exchanges, the
+crawlers, and the detection tools into the measurement the paper ran:
+
+1. build exchange instances from the generated pools, listing member
+   sites with weights calibrated so each exchange's true malware
+   prevalence matches its Table I profile,
+2. schedule paid campaigns (the Figure 3 burst mechanism, plus
+   SendSurf's boosted rotation),
+3. register measurement accounts and crawl,
+4. scan every distinct URL with VirusTotal + Quttera + blacklists,
+   submitting the crawler's saved page files (cloaking mitigation).
+
+The pipeline never reads ground truth during measurement; truth is used
+only in step 1 (the world-builder arranging prevalence) and by
+evaluation utilities.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..detection import (
+    BlacklistSet,
+    QutteraSim,
+    UrlVerdict,
+    UrlVerdictService,
+    VirusTotalSim,
+    build_blacklists,
+)
+from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
+from ..exchanges.roster import ExchangeProfile
+from ..httpsim import SimHttpClient, SimHttpServer
+from ..simweb import ContentCategory, GroundTruth, MalwareFamily, Page, Site
+from ..simweb.generator import ExchangePool, GeneratedWeb
+from ..simweb.url import Url
+from .crawlers import CrawlStats, ExchangeCrawler
+from .session import BrowserSession
+from .storage import CrawlDataset
+
+__all__ = ["ScanOutcome", "CrawlPipeline"]
+
+
+@dataclass
+class ScanOutcome:
+    """Everything the scan phase produced."""
+
+    verdicts: Dict[str, UrlVerdict] = field(default_factory=dict)
+
+    def is_malicious(self, url: str) -> bool:
+        verdict = self.verdicts.get(url)
+        return verdict.malicious if verdict is not None else False
+
+    def verdict(self, url: str) -> Optional[UrlVerdict]:
+        return self.verdicts.get(url)
+
+
+class CrawlPipeline:
+    """Runs the full measurement."""
+
+    def __init__(self, web: GeneratedWeb, seed: int = 77,
+                 submit_files: bool = True) -> None:
+        self.web = web
+        self.rng = random.Random(seed)
+        self.server = SimHttpServer(web.registry)
+        self.client = SimHttpClient(self.server)
+        self.dataset = CrawlDataset()
+        self.exchanges: Dict[str, TrafficExchange] = {}
+        self.crawl_stats: Dict[str, CrawlStats] = {}
+        self.submit_files = submit_files
+        self.blacklists: Optional[BlacklistSet] = None
+        self.verdict_service: Optional[UrlVerdictService] = None
+        self._build_exchange_sites()
+        self._build_exchanges()
+
+    # ------------------------------------------------------------------
+    # Setup
+    # ------------------------------------------------------------------
+    def _build_exchange_sites(self) -> None:
+        """Register a homepage site for each exchange (self-referrals)."""
+        for pool in self.web.pools.values():
+            host = pool.profile.host
+            if host in self.web.registry:
+                continue
+            site = Site(host, ContentCategory.ADVERTISEMENT, GroundTruth(False))
+            site.add_page(Page(
+                "/", pool.profile.name,
+                "<html><head><title>%s</title></head><body><h1>%s</h1>"
+                "<p>earn traffic by surfing member sites</p></body></html>"
+                % (pool.profile.name, pool.profile.name),
+            ))
+            self.web.registry.add(site)
+
+    def _build_exchanges(self) -> None:
+        for name, pool in self.web.pools.items():
+            self.exchanges[name] = self._build_exchange(pool)
+
+    def _build_exchange(self, pool: ExchangePool) -> TrafficExchange:
+        prof = pool.profile
+        cls = AutoSurfExchange if prof.is_auto else ManualSurfExchange
+        exchange = cls(
+            name=prof.name,
+            host=prof.host,
+            rng=random.Random(self.rng.randrange(2**32)),
+            min_surf_seconds=prof.min_surf_seconds,
+            self_referral_rate=prof.self_referral_rate,
+            popular_referral_rate=prof.popular_referral_rate,
+            popular_urls=self.web.popular_urls,
+            allow_multiple_ips=prof.allow_multiple_ips,
+        )
+        self._list_pool(exchange, pool)
+        return exchange
+
+    # -- calibration ---------------------------------------------------------
+    #: estimated probability that the scanners flag the *page URL* of a
+    #: malicious member site (the page itself, not its sub-resources).
+    #: Sites whose malware lives entirely in a remote script or SWF have
+    #: clean-looking pages — the paper's footnote 1 explains the same
+    #: asymmetry for cloaked pages.
+    _PAGE_DETECTABILITY: Dict[MalwareFamily, float] = {
+        MalwareFamily.IFRAME_TINY: 0.97,
+        MalwareFamily.IFRAME_INVISIBLE: 0.97,
+        MalwareFamily.IFRAME_JS_INJECTED: 0.97,
+        MalwareFamily.DECEPTIVE_DOWNLOAD: 0.97,
+        MalwareFamily.FINGERPRINTING: 0.90,
+        MalwareFamily.BLACKLISTED_HOST: 0.97,
+        MalwareFamily.MALICIOUS_JS_FILE: 0.05,
+        MalwareFamily.SUSPICIOUS_REDIRECT: 0.10,
+        MalwareFamily.MALICIOUS_SHORTENED: 0.95,
+        MalwareFamily.MALICIOUS_FLASH: 0.08,
+    }
+
+    def _visit_yield(self, site: Site) -> Tuple[float, float]:
+        """(urls logged per visit, expected *detected* urls per visit).
+
+        Estimated from the site's own structure — the world-builder's
+        calibration step, not part of the measurement.
+        """
+        page = site.pages.get("/") or (next(iter(site.pages.values())) if site.pages else None)
+        total = 1.0
+        malicious = 0.0
+        if site.malicious and page is not None and page.truth.malicious:
+            family = site.truth.family or page.truth.family
+            malicious = self._PAGE_DETECTABILITY.get(family, 0.9) if family else 0.9
+        if page is None:
+            return total, malicious
+        for sub in page.subresource_urls:
+            parsed = Url.try_parse(sub)
+            if parsed is None:
+                continue
+            truth = self.web.registry.truth_for_url(parsed)
+            chain_extra = 0.0
+            owner = self.web.registry.site(parsed.host)
+            if owner is not None and parsed.path in owner.behavior.redirects:
+                # redirect chains log every hop; estimate average length
+                chain_extra = 2.0
+            total += 1.0 + chain_extra
+            if truth:
+                malicious += (1.0 + chain_extra) * 0.93
+        return total, malicious
+
+    def _list_pool(self, exchange: TrafficExchange, pool: ExchangePool) -> None:
+        prof = pool.profile
+        if not pool.malicious:
+            for site in pool.benign:
+                exchange.list_site(site.url("/"), weight=1.0, owner_id="member-" + site.host)
+            return
+
+        ben_total, ben_urls = 0.0, 0.0
+        for site in pool.benign:
+            urls, _mal = self._visit_yield(site)
+            ben_urls += urls
+            ben_total += 1
+        mal_total, mal_urls, mal_mal = 0.0, 0.0, 0.0
+        for site in pool.malicious:
+            urls, mal = self._visit_yield(site)
+            mal_urls += urls
+            mal_mal += mal
+            mal_total += 1
+        t_benign = ben_urls / max(ben_total, 1)
+        t_mal = mal_urls / max(mal_total, 1)
+        m_mal = mal_mal / max(mal_total, 1)
+
+        target = prof.malicious_url_rate
+        # solve p (malicious-visit probability among member visits) from
+        # target = p*m_mal / (p*t_mal + (1-p)*t_benign)
+        denominator = m_mal - target * t_mal + target * t_benign
+        p_visit = min(0.95, max(0.01, target * t_benign / max(denominator, 1e-9)))
+
+        campaign_share = prof.campaign_share if self._campaigns_feasible(prof, p_visit) else 0.0
+        rotation_p = self._solve_rotation_probability(prof, p_visit, campaign_share)
+        # rotation weights: benign sites weight ~1 (mild popularity skew),
+        # malicious sites share w_total solving the rotation probability
+        benign_weight_total = 0.0
+        for site in pool.benign:
+            weight = 0.5 + self.rng.random()
+            benign_weight_total += weight
+            exchange.list_site(site.url("/"), weight=weight, owner_id="member-" + site.host)
+        if rotation_p >= 0.999:
+            malicious_weight_total = benign_weight_total * 99.0
+        else:
+            malicious_weight_total = benign_weight_total * rotation_p / max(1e-9, 1.0 - rotation_p)
+        #: rare families list at reduced weight — their sites exist on the
+        #: exchange (Table IV / Figure 5 need them observed) but a single
+        #: one must not claim an outsized slice of a small pool's traffic
+        rare_weight = {
+            MalwareFamily.MALICIOUS_SHORTENED: 0.35,
+            MalwareFamily.MALICIOUS_FLASH: 0.15,
+            MalwareFamily.SUSPICIOUS_REDIRECT: 0.5,
+        }
+        scaled = [
+            (site, rare_weight.get(site.truth.family, 1.0) * (0.5 + self.rng.random()))
+            for site in pool.malicious
+        ]
+        scale_norm = malicious_weight_total / max(sum(w for _s, w in scaled), 1e-9)
+        for site, weight in scaled:
+            exchange.list_site(self._listed_url(site), weight=max(weight * scale_norm, 1e-6),
+                               owner_id="member-" + site.host)
+
+        if campaign_share > 0:
+            self._schedule_campaigns(exchange, pool, p_visit)
+
+    def _campaign_visit_budget(self, prof: ExchangeProfile, p_visit: float) -> int:
+        steps_total = prof.scaled_urls(self.web.config.scale)
+        member_fraction = 1.0 - prof.self_referral_rate - prof.popular_referral_rate
+        return int(steps_total * member_fraction * p_visit * prof.campaign_share)
+
+    def _campaigns_feasible(self, prof: ExchangeProfile, p_visit: float) -> bool:
+        """Bursts need enough volume to schedule meaningful windows."""
+        return prof.campaign_share > 0 and self._campaign_visit_budget(prof, p_visit) >= 8
+
+    @staticmethod
+    def _solve_rotation_probability(prof: ExchangeProfile, p_visit: float,
+                                    campaign_share: float, intensity: float = 0.85) -> float:
+        """Rotation malicious-visit probability that, combined with the
+        scheduled campaign windows, yields ``p_visit`` overall.
+
+        Campaign windows claim whole steps (including would-be
+        self/popular referrals), so the naive ``p*(1-share)`` split
+        under-delivers; we solve the balance numerically.
+        """
+        if campaign_share <= 0:
+            return max(0.0, min(0.99, p_visit))
+        member_frac = 1.0 - prof.self_referral_rate - prof.popular_referral_rate
+        window_frac = min(0.9, p_visit * campaign_share * member_frac / intensity)
+        visits_window = intensity + (1.0 - intensity) * member_frac
+        lo, hi = 0.0, 0.99
+        for _ in range(40):
+            rotation = (lo + hi) / 2
+            malicious_window = intensity + (1.0 - intensity) * member_frac * rotation
+            member_visits = window_frac * visits_window + (1.0 - window_frac) * member_frac
+            malicious_visits = (
+                window_frac * malicious_window + (1.0 - window_frac) * member_frac * rotation
+            )
+            if malicious_visits / max(member_visits, 1e-9) < p_visit:
+                lo = rotation
+            else:
+                hi = rotation
+        return (lo + hi) / 2
+
+    def _schedule_campaigns(self, exchange: TrafficExchange, pool: ExchangePool,
+                            p_visit: float) -> None:
+        prof = pool.profile
+        if not pool.malicious:
+            return
+        steps_total = prof.scaled_urls(self.web.config.scale)
+        # campaign visits to deliver = share of malicious member visits
+        campaign_visits = self._campaign_visit_budget(prof, p_visit)
+        if campaign_visits < 8:
+            return
+        campaign_count = max(2, min(5, campaign_visits // 25))
+        visits_each = campaign_visits // campaign_count
+        previous_end = 0
+        # campaigns push page-level malware (the bursty listings the paper
+        # attributes to paid campaigns), not the rare subresource families
+        page_families = {
+            MalwareFamily.IFRAME_TINY, MalwareFamily.IFRAME_INVISIBLE,
+            MalwareFamily.IFRAME_JS_INJECTED, MalwareFamily.DECEPTIVE_DOWNLOAD,
+            MalwareFamily.FINGERPRINTING, MalwareFamily.BLACKLISTED_HOST,
+        }
+        candidates = [s for s in pool.malicious if s.truth.family in page_families]
+        if not candidates:
+            candidates = pool.malicious
+        for index in range(campaign_count):
+            target_site = candidates[self.rng.randrange(len(candidates))]
+            start = int(steps_total * (index + 0.5 + self.rng.random() * 0.3) / (campaign_count + 1))
+            start = max(start, previous_end + 1)  # windows must not overlap
+            campaign = exchange.purchase_campaign(
+                self._listed_url(target_site),
+                visits=max(2, int(visits_each / 1.5)),  # overdelivery restores total
+                start_step=start,
+                intensity=0.85,
+            )
+            previous_end = campaign.end_step
+
+    @staticmethod
+    def _listed_url(site: Site) -> str:
+        """The URL a member lists: the short URL for shortened-family sites."""
+        if (
+            site.truth.family is MalwareFamily.MALICIOUS_SHORTENED
+            and site.truth.detail.startswith("http")
+        ):
+            return site.truth.detail
+        return site.url("/")
+
+    # ------------------------------------------------------------------
+    # Crawl
+    # ------------------------------------------------------------------
+    def crawl(self, scale: Optional[float] = None) -> Dict[str, CrawlStats]:
+        """Crawl every exchange at ``scale`` (defaults to web config)."""
+        scale = scale if scale is not None else self.web.config.scale
+        for name, exchange in self.exchanges.items():
+            prof = self.web.pools[name].profile
+            steps = prof.scaled_urls(scale)
+            browser = BrowserSession(
+                client=self.client,
+                registry=self.web.registry,
+                dataset=self.dataset,
+                exchange_name=name,
+                exchange_host=prof.host,
+            )
+            crawler = ExchangeCrawler(
+                exchange, browser, random.Random(self.rng.randrange(2**32)),
+                account_id="measurement-%s" % name,
+            )
+            self.crawl_stats[name] = crawler.crawl(steps)
+        return self.crawl_stats
+
+    # ------------------------------------------------------------------
+    # Scan
+    # ------------------------------------------------------------------
+    def build_detection(self) -> UrlVerdictService:
+        """Assemble the detection stack (VT, Quttera, blacklists)."""
+        if self.verdict_service is not None:
+            return self.verdict_service
+        benign_domains = [
+            Url.parse("http://%s/" % host).registrable_domain
+            for host in self.web.benign_domains
+        ]
+        self.blacklists = build_blacklists(
+            known_bad_domains=[
+                Url.parse("http://%s/" % d).registrable_domain
+                for d in self.web.known_bad_domains
+            ],
+            benign_domains=benign_domains,
+            rng=random.Random(self.rng.randrange(2**32)),
+            guaranteed_multi_listed=[
+                Url.parse("http://%s/" % d).registrable_domain
+                for d in self.web.notorious_domains
+            ],
+        )
+        self.verdict_service = UrlVerdictService(
+            virustotal=VirusTotalSim(client=SimHttpClient(self.server)),
+            quttera=QutteraSim(client=SimHttpClient(self.server)),
+            blacklists=self.blacklists,
+            submit_files=self.submit_files,
+        )
+        return self.verdict_service
+
+    def scan(self) -> ScanOutcome:
+        """Scan every distinct crawled URL once."""
+        service = self.build_detection()
+        outcome = ScanOutcome()
+        for url in self.dataset.distinct_urls():
+            cached = self.dataset.content.get(url)
+            if cached is None:
+                verdict = service.verdict(url)
+            else:
+                verdict = service.verdict(
+                    url,
+                    content=cached.content,
+                    content_type=cached.content_type,
+                    final_url=cached.final_url,
+                )
+            outcome.verdicts[url] = verdict
+        return outcome
+
+    # ------------------------------------------------------------------
+    def run(self, scale: Optional[float] = None) -> ScanOutcome:
+        """Crawl then scan — the full measurement."""
+        self.crawl(scale)
+        return self.scan()

@@ -1,0 +1,102 @@
+"""The crawl browser session.
+
+Performs one "visit" the way the paper's instrumented Firefox did: fetch
+the listed URL with the exchange page as referrer (exchanges open sites
+in the surf iframe), follow every redirect mechanism, then fetch the
+page's sub-resources — logging each request URL into the dataset and the
+exchange's HAR log, and caching body bytes for later file submission to
+the scanners (the cloaking mitigation).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from ..httpsim import FetchResult, SimHttpClient
+from ..simweb.registry import WebRegistry
+from ..simweb.url import Url
+from .storage import CachedContent, CrawlDataset, RecordKind, UrlRecord
+
+__all__ = ["BrowserSession"]
+
+
+class BrowserSession:
+    """A crawling browser bound to one exchange account."""
+
+    def __init__(
+        self,
+        client: SimHttpClient,
+        registry: WebRegistry,
+        dataset: CrawlDataset,
+        exchange_name: str,
+        exchange_host: str,
+        country: str = "US",
+    ) -> None:
+        self.client = client
+        self.registry = registry
+        self.dataset = dataset
+        self.exchange_name = exchange_name
+        self.exchange_host = exchange_host
+        self.country = country
+
+    @property
+    def surf_referrer(self) -> str:
+        return "http://%s/surf" % self.exchange_host
+
+    # ------------------------------------------------------------------
+    def visit(self, url: str, kind: str, step_index: int, timestamp: float) -> FetchResult:
+        """Visit ``url``; log page, redirect hops, and sub-resources."""
+        page_ref = "%s-%06d" % (self.exchange_name, step_index)
+        result = self.client.fetch(
+            url, referrer=self.surf_referrer, country=self.country, page_ref=page_ref
+        )
+        self._log_chain(result, kind, step_index, timestamp)
+        self.dataset.har_log(self.exchange_name).extend(result.entries)
+
+        if kind == RecordKind.REGULAR and result.response.ok:
+            self._fetch_subresources(result, kind, step_index, timestamp, page_ref)
+        return result
+
+    # ------------------------------------------------------------------
+    def _log_chain(self, result: FetchResult, kind: str, step_index: int,
+                   timestamp: float) -> None:
+        """Log the requested URL and every redirect hop it traversed."""
+        chain_urls = [result.request_url] + [to for _frm, to in result.hops]
+        for position, chain_url in enumerate(chain_urls):
+            remaining = len(chain_urls) - 1 - position
+            self.dataset.add_record(UrlRecord(
+                url=chain_url,
+                exchange=self.exchange_name,
+                kind=kind,
+                step_index=step_index,
+                timestamp=timestamp,
+                role="page" if position == 0 else "hop",
+                final_url=result.final_url,
+                redirect_count=remaining,
+            ))
+            self.dataset.cache_content(chain_url, CachedContent(
+                content=result.response.body,
+                content_type=result.response.content_type,
+                final_url=result.final_url,
+                redirect_count=remaining,
+                status=result.response.status,
+            ))
+
+    def _fetch_subresources(self, page_result: FetchResult, kind: str,
+                            step_index: int, timestamp: float, page_ref: str) -> None:
+        final = Url.try_parse(page_result.final_url)
+        if final is None:
+            return
+        site = self.registry.site(final.host)
+        if site is None:
+            return
+        page, _resource = site.lookup(final.path)
+        if page is None:
+            return
+        for sub_url in page.subresource_urls:
+            sub_result = self.client.fetch(
+                sub_url, referrer=page_result.final_url,
+                country=self.country, page_ref=page_ref,
+            )
+            self._log_chain(sub_result, kind, step_index, timestamp)
+            self.dataset.har_log(self.exchange_name).extend(sub_result.entries)

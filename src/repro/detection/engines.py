@@ -1,0 +1,216 @@
+"""The simulated antivirus engine pool behind VirusTotal.
+
+VirusTotal "takes into account the results of multiple antivirus
+products, file characterization tools, and website scanning engines"
+(Section III-B).  We model a pool of engines with *heterogeneous
+capabilities*: each engine understands a subset of artifact classes and
+applies its own thresholds to the shared :class:`ContentAnalysis`, plus
+a small deterministic per-engine noise term — so engines disagree with
+each other the way real AV products do, and borderline samples slip past
+some engines but rarely the whole pool.
+
+Every detector receives the artifact key so that rare heuristic false
+positives (e.g. the Faceliker mislabeling of Google Analytics, Section
+V-E) fire deterministically on a sparse, stable subset of artifacts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Optional
+
+from .base import EngineResult, stable_unit
+from .heuristics import ContentAnalysis
+
+__all__ = ["SimulatedEngine", "default_engine_pool"]
+
+Detector = Callable[[ContentAnalysis, str], Optional[str]]
+
+
+@dataclass
+class SimulatedEngine:
+    """One AV engine: a named detector over :class:`ContentAnalysis`.
+
+    ``detector`` returns a label when the engine detects, else None.
+    ``miss_rate`` is the chance a true detection is dropped (signature
+    gaps); ``fp_rate`` the chance of a spurious verdict on clean-looking
+    content — both keyed deterministically on (engine, artifact).
+    """
+
+    name: str
+    detector: Detector
+    miss_rate: float = 0.03
+    fp_rate: float = 0.001
+
+    def scan(self, analysis: ContentAnalysis, artifact_key: str) -> EngineResult:
+        label = self.detector(analysis, artifact_key)
+        roll = stable_unit(self.name, artifact_key)
+        if label is not None:
+            if roll < self.miss_rate:
+                return EngineResult(engine=self.name, detected=False)
+            return EngineResult(engine=self.name, detected=True, label=label)
+        if roll > 1.0 - self.fp_rate:
+            return EngineResult(engine=self.name, detected=True, label="Heur.Suspicious.Generic")
+        return EngineResult(engine=self.name, detected=False)
+
+
+# ---------------------------------------------------------------------------
+# Detector functions — each encodes one real-world detection strategy
+# ---------------------------------------------------------------------------
+
+def _iframe_signature(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    """Signature-style hidden-iframe detector (no whitelist: FP-prone)."""
+    if analysis.malicious_iframe_score >= 0.5:
+        return "HTML/IframeRef.gen"
+    if analysis.hidden_iframes:
+        return "Mal_Hifrm"
+    return None
+
+
+def _iframe_whitelist_aware(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    """Hidden-iframe detector that skips trusted platform frames."""
+    untrusted = [f for f in analysis.hidden_iframes if not f.trusted_host]
+    if not untrusted:
+        return None
+    if any(f.injected_by_js for f in untrusted):
+        return "Trojan.IFrame.Script"
+    return "htm.iframe.art.gen"
+
+
+def _iframe_strict(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    """A third independent hidden-iframe signature corpus."""
+    untrusted = [f for f in analysis.hidden_iframes if not f.trusted_host]
+    if untrusted:
+        return "HiddenFrame.Gen"
+    return None
+
+
+def _script_injection(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.injection_score >= 0.55 and any(
+        f.injected_by_js for f in analysis.hidden_iframes
+    ):
+        return "Virus.ScrInject.JS"
+    if analysis.injection_score >= 0.55 and analysis.document_writes:
+        return "Script.virus"
+    return None
+
+
+def _obfuscation_heuristic(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.obfuscation_layers >= 2:
+        return "Trojan.Script.Heuristic-js.iacgm"
+    if analysis.obfuscation_layers == 1 and analysis.eval_count >= 1:
+        return "Trojan.Script.Heuristic-js.iacgm"
+    if analysis.obfuscation_score >= 0.6:
+        return "Heur.JS.Obfuscated"
+    return None
+
+
+def _redirector(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.redirect_stub:
+        return "Trojan:JS/Redirector"
+    if analysis.navigations and analysis.kind == "javascript" and not analysis.download_triggers:
+        return "Trojan.Script.Generic"
+    return None
+
+
+def _deceptive_download(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.download_triggers:
+        return "Trojan:Win32/FakeFlash"
+    if analysis.deceptive_download_bar:
+        return "Trojan.Script.Heuristic-js.iacgm"
+    return None
+
+
+def _flash_behaviour(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.kind != "flash":
+        return None
+    if analysis.flash_score >= 0.7:
+        return "BehavesLike.JS.ExploitBlacole.nv"
+    if analysis.flash_score >= 0.5:
+        return "BehavesLike.JS.ExploitBlacole.xm"
+    return None
+
+
+def _executable_signature(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.kind == "executable" and analysis.executable_signature_hit:
+        return "Trojan:Win32/Agent.REPRO"
+    return None
+
+
+def _executable_emulation(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    """A second, independent executable detector (emulation-style)."""
+    if analysis.kind == "executable" and analysis.executable_signature_hit:
+        return "Gen:Variant.Malware.Sim"
+    return None
+
+
+def _pdf_exploit(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.kind != "pdf":
+        return None
+    if analysis.pdf_malformed and analysis.pdf_embedded_js:
+        return "Exploit:PDF/Malformed.Gen"
+    if analysis.pdf_auto_executes:
+        return "Trojan:PDF/OpenAction.JS"
+    return None
+
+
+def _spyware(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.fingerprinting_listeners >= 2 and analysis.beacons:
+        return "Trojan:JS/Spy.Tracker"
+    return None
+
+
+def _popup_clicker(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.popups and (analysis.obfuscation_layers or analysis.external_interface_calls):
+        return "TrojanClicker:JS/Agent"
+    # GA-style dynamic script loaders occasionally trip this engine's
+    # like-jacking heuristic (the paper's Faceliker false positive,
+    # Section V-E); the trigger is sparse and deterministic per artifact.
+    if (
+        analysis.kind == "html"
+        and any("google-analytics" in s for s in analysis.remote_scripts)
+        and analysis.document_writes == 0
+        and stable_unit("faceliker-heuristic", key) < 0.08
+    ):
+        return "TrojanClicker:JS/Faceliker.D"
+    return None
+
+
+def _generalist_behaviour(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    if analysis.behavior_score >= 0.75:
+        return "Malware.Generic"
+    return None
+
+
+def _generalist_combined(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    score = max(
+        analysis.behavior_score,
+        analysis.malicious_iframe_score,
+        analysis.flash_score,
+    )
+    if analysis.kind == "executable" and analysis.executable_signature_hit:
+        score = max(score, 0.95)
+    if score >= 0.5:
+        return "Suspicious.Page"
+    return None
+
+
+def default_engine_pool() -> List[SimulatedEngine]:
+    """The standard pool of simulated engines (names are fictional)."""
+    return [
+        SimulatedEngine("AegisAV", _iframe_signature, miss_rate=0.03, fp_rate=0.001),
+        SimulatedEngine("BitSentry", _iframe_whitelist_aware, miss_rate=0.03),
+        SimulatedEngine("NanoDef", _iframe_strict, miss_rate=0.04),
+        SimulatedEngine("CipherGuard", _script_injection, miss_rate=0.05),
+        SimulatedEngine("DeepHeur", _obfuscation_heuristic, miss_rate=0.04),
+        SimulatedEngine("EverScan", _redirector, miss_rate=0.05),
+        SimulatedEngine("FortiSim", _deceptive_download, miss_rate=0.03),
+        SimulatedEngine("GlacierAV", _flash_behaviour, miss_rate=0.03),
+        SimulatedEngine("HexaShield", _executable_signature, miss_rate=0.01, fp_rate=0.0005),
+        SimulatedEngine("OberonLab", _executable_emulation, miss_rate=0.02, fp_rate=0.0005),
+        SimulatedEngine("PaperTiger", _pdf_exploit, miss_rate=0.03),
+        SimulatedEngine("IronVeil", _spyware, miss_rate=0.08),
+        SimulatedEngine("JadeWall", _popup_clicker, miss_rate=0.10, fp_rate=0.002),
+        SimulatedEngine("KoboldSec", _generalist_behaviour, miss_rate=0.04),
+        SimulatedEngine("LumenAV", _generalist_combined, miss_rate=0.04),
+    ]

@@ -1,0 +1,60 @@
+"""Traffic exchange engines.
+
+Auto-surf and manual-surf exchange simulations with the mechanics the
+paper describes: credit economies, one-account-per-IP policies, CAPTCHA
+gates, minimum surf timers, self/popular referrals, and paid campaigns
+that create traffic bursts.  The nine studied exchanges are available as
+calibrated profiles in :mod:`repro.exchanges.roster`.
+"""
+
+from .accounts import (
+    MEMBER_COUNTRY_WEIGHTS,
+    AccountPolicy,
+    Member,
+    SessionHandle,
+    sample_country,
+)
+from .autosurf import AutoSurfExchange
+from .base import ListedSite, StepKind, SurfStep, TrafficExchange
+from .campaigns import Campaign, CampaignSchedule
+from .captcha import Captcha, CaptchaGate, HumanSolver
+from .economy import CreditLedger, PricingPlan
+from .manualsurf import ManualSurfExchange
+from .proxies import ProxyPool, SessionObservation, SybilDetector, register_sybil_accounts
+from .roster import (
+    EXCHANGE_PROFILES,
+    ExchangeProfile,
+    auto_surf_names,
+    manual_surf_names,
+    profile,
+)
+
+__all__ = [
+    "AccountPolicy",
+    "AutoSurfExchange",
+    "Campaign",
+    "CampaignSchedule",
+    "Captcha",
+    "CaptchaGate",
+    "CreditLedger",
+    "EXCHANGE_PROFILES",
+    "ExchangeProfile",
+    "HumanSolver",
+    "ListedSite",
+    "MEMBER_COUNTRY_WEIGHTS",
+    "ManualSurfExchange",
+    "Member",
+    "PricingPlan",
+    "ProxyPool",
+    "SessionHandle",
+    "SessionObservation",
+    "StepKind",
+    "SurfStep",
+    "SybilDetector",
+    "TrafficExchange",
+    "auto_surf_names",
+    "manual_surf_names",
+    "profile",
+    "register_sybil_accounts",
+    "sample_country",
+]

@@ -1,0 +1,71 @@
+"""CAPTCHA gate for manual-surf exchanges.
+
+Manual-surf exchanges make the user "manually click and open websites,
+often after solving CAPTCHAs or other puzzles" (Figure 1(b): Cash N
+Hits' image CAPTCHA).  We model a simple arithmetic/image-pick challenge
+with a solver whose latency and accuracy reflect a human operator —
+which is what throttles manual crawls to a few thousand pages.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+
+__all__ = ["Captcha", "CaptchaGate", "HumanSolver"]
+
+
+@dataclass
+class Captcha:
+    """One challenge: pick index ``answer`` among ``choices`` options."""
+
+    challenge_id: int
+    choices: int
+    answer: int
+
+
+class CaptchaGate:
+    """Issues and verifies challenges."""
+
+    def __init__(self, rng: random.Random, choices: int = 6) -> None:
+        self._rng = rng
+        self._choices = choices
+        self._next_id = 1
+        self.issued = 0
+        self.passed = 0
+        self.failed = 0
+
+    def issue(self) -> Captcha:
+        captcha = Captcha(
+            challenge_id=self._next_id,
+            choices=self._choices,
+            answer=self._rng.randrange(self._choices),
+        )
+        self._next_id += 1
+        self.issued += 1
+        return captcha
+
+    def verify(self, captcha: Captcha, answer: int) -> bool:
+        ok = answer == captcha.answer
+        if ok:
+            self.passed += 1
+        else:
+            self.failed += 1
+        return ok
+
+
+@dataclass
+class HumanSolver:
+    """A human-like solver: slow, mostly right."""
+
+    rng: random.Random
+    accuracy: float = 0.92
+    seconds_per_solve: float = 6.0
+
+    def solve(self, captcha: Captcha) -> int:
+        if self.rng.random() < self.accuracy:
+            return captcha.answer
+        wrong = captcha.answer
+        while wrong == captcha.answer:
+            wrong = self.rng.randrange(captcha.choices)
+        return wrong

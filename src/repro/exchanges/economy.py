@@ -1,0 +1,65 @@
+"""The exchange credit economy.
+
+Members "earn credit for viewing other members' websites" and can
+"barter traffic for their own website" or simply purchase credits; the
+cost per thousand hits ranges from a few cents to a few dollars
+(Section II).  The ledger implements earn/spend/purchase with the
+reciprocity ratio exchanges apply (you do not get one visit per visit).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = ["CreditLedger", "PricingPlan"]
+
+
+@dataclass
+class PricingPlan:
+    """One exchange's economics."""
+
+    #: credits earned per completed surf (scaled by surf seconds)
+    credits_per_surf: float = 1.0
+    #: credits charged per visit delivered to a member's site
+    credits_per_visit: float = 1.25  # >1: reciprocity is not 1:1
+    #: USD per 1000 purchased visits (paper: cents to dollars; the
+    #: burst-validation experiment paid $5 for 2500 visits = $2 CPM)
+    usd_per_1000_visits: float = 2.0
+
+
+class CreditLedger:
+    """Tracks per-member credits."""
+
+    def __init__(self, plan: PricingPlan) -> None:
+        self.plan = plan
+        self._balances: Dict[str, float] = {}
+        self.total_purchased_usd = 0.0
+
+    def balance(self, member_id: str) -> float:
+        return self._balances.get(member_id, 0.0)
+
+    def earn_surf(self, member_id: str, surf_seconds: float, min_surf_seconds: float) -> float:
+        """Credit a completed page view; longer minimums earn more."""
+        earned = self.plan.credits_per_surf * max(surf_seconds / max(min_surf_seconds, 1.0), 1.0)
+        self._balances[member_id] = self.balance(member_id) + earned
+        return earned
+
+    def charge_visit(self, member_id: str) -> bool:
+        """Deduct the cost of one delivered visit; False if insolvent."""
+        cost = self.plan.credits_per_visit
+        if self.balance(member_id) < cost:
+            return False
+        self._balances[member_id] -= cost
+        return True
+
+    def purchase_visits(self, member_id: str, usd: float) -> int:
+        """Buy visits for cash; returns the number of visits credited."""
+        if usd <= 0:
+            raise ValueError("purchase amount must be positive")
+        visits = int(usd / self.plan.usd_per_1000_visits * 1000)
+        self._balances[member_id] = (
+            self.balance(member_id) + visits * self.plan.credits_per_visit
+        )
+        self.total_purchased_usd += usd
+        return visits

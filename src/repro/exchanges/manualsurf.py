@@ -1,0 +1,60 @@
+"""Manual-surf exchanges.
+
+Manual-surf services "require frequent manual user input to browse
+target websites" — a click plus often a CAPTCHA per page (Figure 1(b)).
+Data collection on them is "manual and slow", which is why the paper's
+manual-surf crawls stop at a few thousand URLs against the auto-surf
+services' hundreds of thousands (Table I).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Iterator, Optional
+
+from .accounts import SessionHandle
+from .base import SurfStep, TrafficExchange
+from .captcha import CaptchaGate, HumanSolver
+
+__all__ = ["ManualSurfExchange"]
+
+
+class ManualSurfExchange(TrafficExchange):
+    """An exchange requiring a human action (and CAPTCHA) per page."""
+
+    kind = "manual-surf"
+
+    def __init__(self, *args, captcha_every: int = 3, **kwargs) -> None:
+        super().__init__(*args, **kwargs)
+        self.captcha_every = captcha_every
+        self.gate = CaptchaGate(self.rng)
+        self._since_captcha = 0
+
+    def _surf_seconds(self) -> float:
+        # humans dwell beyond the timer: click latency, reading, captcha
+        return self.min_surf_seconds + 3.0 + self.rng.random() * 10.0
+
+    def manual_surf(
+        self,
+        session: SessionHandle,
+        steps: int,
+        solver: Optional[HumanSolver] = None,
+    ) -> Iterator[SurfStep]:
+        """Yield up to ``steps`` page views, solving CAPTCHAs on the way.
+
+        A failed CAPTCHA costs a retry (time, not a page view); the
+        solver defaults to a human-accuracy profile.
+        """
+        solver = solver or HumanSolver(rng=self.rng)
+        delivered = 0
+        while delivered < steps:
+            if self.captcha_every and self._since_captcha >= self.captcha_every:
+                captcha = self.gate.issue()
+                while not self.gate.verify(captcha, solver.solve(captcha)):
+                    self._clock += solver.seconds_per_solve
+                    captcha = self.gate.issue()
+                self._clock += solver.seconds_per_solve
+                self._since_captcha = 0
+            self._since_captcha += 1
+            delivered += 1
+            yield self.next_step(session)

@@ -1,0 +1,163 @@
+"""Proxy/VPN evasion of the one-account-per-IP policy (Section II-A).
+
+"To ensure a diverse IP pool, traffic exchanges enforce the use of only
+one account per IP address. ... Users can use proxies and VPN services
+to acquire multiple IP addresses and increase their earnings."
+
+This module models both sides of that arms race:
+
+* :class:`ProxyPool` — a rotating set of exit IPs a greedy member rents,
+* :func:`register_sybil_accounts` — the member's play: many accounts,
+  each behind a different exit IP,
+* :class:`SybilDetector` — the exchange's counter: correlating accounts
+  whose surfing is machine-identical (synchronized session starts,
+  identical dwell profiles, shared listed sites).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .accounts import Member
+from .base import TrafficExchange
+
+__all__ = ["ProxyPool", "register_sybil_accounts", "SessionObservation", "SybilDetector"]
+
+
+@dataclass
+class ProxyPool:
+    """A rented pool of proxy/VPN exit addresses."""
+
+    rng: random.Random
+    size: int = 20
+    _addresses: List[str] = field(default_factory=list)
+    _next: int = 0
+
+    def __post_init__(self) -> None:
+        seen: Set[str] = set()
+        while len(self._addresses) < self.size:
+            address = "%d.%d.%d.%d" % (
+                self.rng.randrange(1, 224), self.rng.randrange(256),
+                self.rng.randrange(256), self.rng.randrange(1, 255),
+            )
+            if address not in seen:
+                seen.add(address)
+                self._addresses.append(address)
+
+    def next_exit(self) -> str:
+        """Rotate to the next exit IP."""
+        address = self._addresses[self._next % len(self._addresses)]
+        self._next += 1
+        return address
+
+    @property
+    def addresses(self) -> Sequence[str]:
+        return tuple(self._addresses)
+
+
+def register_sybil_accounts(
+    exchange: TrafficExchange,
+    pool: ProxyPool,
+    count: int,
+    owner_tag: str = "sybil",
+    listed_url: Optional[str] = None,
+) -> List[Member]:
+    """Register ``count`` accounts, each behind a fresh proxy exit.
+
+    Every account lists the same member URL (the whole point: multiply
+    the credits flowing to one site).  The per-IP policy passes because
+    each registration arrives from a distinct exit address.
+    """
+    members: List[Member] = []
+    for index in range(count):
+        member = exchange.register_member(
+            "%s-%03d" % (owner_tag, index), pool.next_exit()
+        )
+        if listed_url:
+            member.listed_urls.append(listed_url)
+            exchange.list_site(listed_url, weight=1.0, owner_id=member.member_id)
+        members.append(member)
+    return members
+
+
+@dataclass
+class SessionObservation:
+    """What the exchange logs about one member's surf session."""
+
+    member_id: str
+    session_start: float
+    dwell_seconds: Sequence[float]
+    listed_urls: Tuple[str, ...] = ()
+
+    @property
+    def dwell_signature(self) -> Tuple[int, ...]:
+        """Quantized dwell profile — bots produce identical signatures."""
+        return tuple(int(d * 10) for d in self.dwell_seconds[:20])
+
+
+class SybilDetector:
+    """Exchange-side correlation of proxy-backed duplicate accounts.
+
+    Groups accounts whose behaviour is machine-identical:
+
+    * identical quantized dwell signatures (same bot, same timer),
+    * near-synchronized session starts,
+    * the same listed URL across many accounts (the payout giveaway).
+    """
+
+    def __init__(self, start_sync_seconds: float = 5.0,
+                 min_cluster_size: int = 3) -> None:
+        self.start_sync_seconds = start_sync_seconds
+        self.min_cluster_size = min_cluster_size
+
+    def cluster(self, observations: Iterable[SessionObservation]) -> List[List[str]]:
+        """Group member ids into suspected sybil clusters."""
+        groups: Dict[Tuple, List[SessionObservation]] = {}
+        for obs in observations:
+            groups.setdefault(obs.dwell_signature, []).append(obs)
+
+        clusters: List[List[str]] = []
+        for signature_group in groups.values():
+            if len(signature_group) < self.min_cluster_size:
+                continue
+            # split by session-start synchronization windows
+            ordered = sorted(signature_group, key=lambda o: o.session_start)
+            bucket: List[SessionObservation] = [ordered[0]]
+            for obs in ordered[1:]:
+                if obs.session_start - bucket[-1].session_start <= self.start_sync_seconds:
+                    bucket.append(obs)
+                else:
+                    if len(bucket) >= self.min_cluster_size:
+                        clusters.append([o.member_id for o in bucket])
+                    bucket = [obs]
+            if len(bucket) >= self.min_cluster_size:
+                clusters.append([o.member_id for o in bucket])
+
+        # shared-listing correlation: many accounts pushing one URL
+        by_url: Dict[str, List[str]] = {}
+        for obs in observations if isinstance(observations, list) else []:
+            for listed in obs.listed_urls:
+                by_url.setdefault(listed, []).append(obs.member_id)
+        for url, member_ids in by_url.items():
+            if len(set(member_ids)) >= self.min_cluster_size:
+                cluster = sorted(set(member_ids))
+                if cluster not in clusters:
+                    clusters.append(cluster)
+        return clusters
+
+    def suspend_clusters(self, exchange: TrafficExchange,
+                         clusters: Iterable[Iterable[str]]) -> int:
+        """Suspend every member in the given clusters; returns the count."""
+        suspended = 0
+        for cluster in clusters:
+            for member_id in cluster:
+                try:
+                    member = exchange.accounts.member(member_id)
+                except KeyError:
+                    continue
+                if not member.suspended:
+                    member.suspended = True
+                    suspended += 1
+        return suspended

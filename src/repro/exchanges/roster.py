@@ -1,0 +1,148 @@
+"""The nine studied exchanges, with calibration from Tables I and II.
+
+The study crawled five auto-surf exchanges (10KHits, ManyHits, Smiley
+Traffic, SendSurf, Otohits) and four manual-surf exchanges (Cash N Hits,
+Easyhits4u, Hit2Hit, Traffic Monsoon).  Each profile here captures that
+exchange's *mechanisms* as measured in the paper:
+
+* crawl volume (``urls_crawled``) — Table I column 3,
+* self-referral and popular-referral rates — Table I columns 4-5 as a
+  fraction of the crawl,
+* URL-level malicious fraction among regular URLs — Table I column 8,
+* rotation size (distinct domains) and malicious-domain fraction —
+  Table II,
+* burstiness — manual-surf exchanges deliver much of their malicious
+  traffic through paid campaigns (Figure 3(b)); auto-surf traffic is
+  steady (Figure 3(a)).  SendSurf is the exception: its extreme 51.9%
+  malicious URLs from only 4.3% malicious domains means a few heavily
+  boosted malicious sites dominate its rotation.
+
+Profile numbers feed the synthetic-web generator and the exchange
+builders; nothing downstream reads them (the pipeline measures).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Tuple
+
+__all__ = ["ExchangeProfile", "EXCHANGE_PROFILES", "profile", "auto_surf_names", "manual_surf_names"]
+
+
+@dataclass(frozen=True)
+class ExchangeProfile:
+    """Calibrated parameters for one exchange."""
+
+    name: str
+    host: str
+    kind: str  # "auto-surf" | "manual-surf"
+    urls_crawled: int          # Table I: # URLs crawled (full study scale)
+    self_referral_rate: float  # Table I: self referrals / crawled
+    popular_referral_rate: float
+    malicious_url_rate: float  # Table I: malicious / regular
+    domains: int               # Table II: # domains
+    malicious_domain_rate: float  # Table II: % malware domains
+    min_surf_seconds: float = 20.0
+    #: fraction of malicious traffic delivered through burst campaigns
+    campaign_share: float = 0.0
+    allow_multiple_ips: bool = False
+
+    @property
+    def is_auto(self) -> bool:
+        return self.kind == "auto-surf"
+
+    def scaled_urls(self, scale: float) -> int:
+        return max(50, int(self.urls_crawled * scale))
+
+    def scaled_domains(self, scale: float) -> int:
+        """Rotation size at a crawl scale.
+
+        Distinct-domain counts grow sublinearly with crawl size
+        (species accumulation); we use a square-root law capped at the
+        full-study count.
+        """
+        import math
+
+        scaled = int(self.domains * math.sqrt(min(scale, 1.0)))
+        return max(20, min(scaled, self.domains))
+
+
+EXCHANGE_PROFILES: Tuple[ExchangeProfile, ...] = (
+    # -- auto-surf (Table I rows 1-5) --
+    ExchangeProfile(
+        name="10KHits", host="www.10khits.com", kind="auto-surf",
+        urls_crawled=218_353, self_referral_rate=13_663 / 218_353,
+        popular_referral_rate=24_328 / 218_353, malicious_url_rate=0.338,
+        domains=4_823, malicious_domain_rate=0.150, min_surf_seconds=51.0,
+    ),
+    ExchangeProfile(
+        name="ManyHits", host="manyhit.com", kind="auto-surf",
+        urls_crawled=178_939, self_referral_rate=10_860 / 178_939,
+        popular_referral_rate=20_890 / 178_939, malicious_url_rate=0.146,
+        domains=3_705, malicious_domain_rate=0.141, min_surf_seconds=25.0,
+    ),
+    ExchangeProfile(
+        name="Smiley Traffic", host="www.smileytraffic.com", kind="auto-surf",
+        urls_crawled=244_677, self_referral_rate=15_789 / 244_677,
+        popular_referral_rate=12_847 / 244_677, malicious_url_rate=0.087,
+        domains=3_367, malicious_domain_rate=0.095, min_surf_seconds=20.0,
+    ),
+    ExchangeProfile(
+        name="SendSurf", host="www.sendsurf.com", kind="auto-surf",
+        urls_crawled=246_967, self_referral_rate=17_537 / 246_967,
+        popular_referral_rate=19_174 / 246_967, malicious_url_rate=0.519,
+        domains=1_460, malicious_domain_rate=0.043, min_surf_seconds=15.0,
+        # few malicious domains, majority-malicious traffic: heavy boosts
+        campaign_share=0.30,
+    ),
+    ExchangeProfile(
+        name="Otohits", host="www.otohits.net", kind="auto-surf",
+        urls_crawled=96_316, self_referral_rate=52_167 / 96_316,
+        popular_referral_rate=9_336 / 96_316, malicious_url_rate=0.074,
+        domains=2_106, malicious_domain_rate=0.139, min_surf_seconds=30.0,
+    ),
+    # -- manual-surf (Table I rows 6-9) --
+    ExchangeProfile(
+        name="Cash N Hits", host="www.cashnhits.com", kind="manual-surf",
+        urls_crawled=4_795, self_referral_rate=416 / 4_795,
+        popular_referral_rate=298 / 4_795, malicious_url_rate=0.102,
+        domains=614, malicious_domain_rate=0.171, min_surf_seconds=20.0,
+        campaign_share=0.6,
+    ),
+    ExchangeProfile(
+        name="Easyhits4u", host="www.easyhits4u.com", kind="manual-surf",
+        urls_crawled=4_638, self_referral_rate=703 / 4_638,
+        popular_referral_rate=694 / 4_638, malicious_url_rate=0.104,
+        domains=489, malicious_domain_rate=0.143, min_surf_seconds=15.0,
+        campaign_share=0.55,
+    ),
+    ExchangeProfile(
+        name="Hit2Hit", host="hit2hit.com", kind="manual-surf",
+        urls_crawled=3_355, self_referral_rate=651 / 3_355,
+        popular_referral_rate=211 / 3_355, malicious_url_rate=0.085,
+        domains=418, malicious_domain_rate=0.163, min_surf_seconds=20.0,
+        campaign_share=0.5,
+    ),
+    ExchangeProfile(
+        name="Traffic Monsoon", host="trafficmonsoon.com", kind="manual-surf",
+        urls_crawled=5_047, self_referral_rate=540 / 5_047,
+        popular_referral_rate=549 / 5_047, malicious_url_rate=0.122,
+        domains=466, malicious_domain_rate=0.184, min_surf_seconds=10.0,
+        campaign_share=0.7,
+    ),
+)
+
+_BY_NAME: Dict[str, ExchangeProfile] = {p.name: p for p in EXCHANGE_PROFILES}
+
+
+def profile(name: str) -> ExchangeProfile:
+    """Look up a profile by exchange name."""
+    return _BY_NAME[name]
+
+
+def auto_surf_names() -> Tuple[str, ...]:
+    return tuple(p.name for p in EXCHANGE_PROFILES if p.is_auto)
+
+
+def manual_surf_names() -> Tuple[str, ...]:
+    return tuple(p.name for p in EXCHANGE_PROFILES if not p.is_auto)

@@ -1,0 +1,32 @@
+"""Simulated Flash (SWF) substrate: container format, actions, decompiler, player.
+
+The paper's Section V-D decompiles malicious SWF files and finds
+``ExternalInterface`` calls into obfuscated JavaScript; this package
+provides structurally equivalent SWF artifacts and the tooling to
+analyze them::
+
+    from repro.flashsim import SwfFile, ActionProgram, OpCode, decompile, FlashPlayer
+"""
+
+from .actions import ActionProgram, Op, OpCode, decode_program, encode_program
+from .decompiler import DecompiledSwf, decompile, decompile_bytes
+from .player import FlashPlayer, PlaybackLog, StageState
+from .swf import SwfError, SwfFile, SwfTag, TagCode
+
+__all__ = [
+    "ActionProgram",
+    "DecompiledSwf",
+    "FlashPlayer",
+    "Op",
+    "OpCode",
+    "PlaybackLog",
+    "StageState",
+    "SwfError",
+    "SwfFile",
+    "SwfTag",
+    "TagCode",
+    "decode_program",
+    "decompile",
+    "decompile_bytes",
+    "encode_program",
+]

@@ -1,0 +1,151 @@
+"""Simplified ActionScript bytecode model.
+
+Real SWF files carry AVM bytecode; our simulated SWF container carries a
+small stack-free opcode list that captures the behaviours the paper's
+Flash case study observes (Section V-D): ``Security.allowDomain``,
+stage manipulation (scale mode, display state), event-listener wiring,
+``ExternalInterface.call`` out to JavaScript, ``navigateToURL`` and
+``getURL`` popups/navigations.
+
+Each opcode serializes to a compact binary record so the decompiler has
+real bytes to work on.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+__all__ = ["Op", "OpCode", "ActionProgram", "encode_program", "decode_program"]
+
+
+class OpCode:
+    """Opcode constants (one byte each)."""
+
+    ALLOW_DOMAIN = 0x01        # operand: domain pattern
+    SET_SCALE_MODE = 0x02      # operand: mode name
+    SET_DISPLAY_STATE = 0x03   # operand: "fullScreen" | "normal"
+    ADD_EVENT_LISTENER = 0x04  # operands: event name, handler label
+    EXTERNAL_CALL = 0x05       # operands: JS function name, arg string
+    NAVIGATE_TO_URL = 0x06     # operands: url, window target
+    SET_ALPHA = 0x07           # operand: alpha percent (string)
+    SET_SIZE = 0x08            # operands: width, height (strings)
+    LABEL = 0x09               # operand: handler label (start of handler)
+    END_HANDLER = 0x0A         # no operands
+    TRACE = 0x0B               # operand: message
+    LOAD_MOVIE = 0x0C          # operands: url, target
+
+    NAMES = {
+        ALLOW_DOMAIN: "allowDomain",
+        SET_SCALE_MODE: "setScaleMode",
+        SET_DISPLAY_STATE: "setDisplayState",
+        ADD_EVENT_LISTENER: "addEventListener",
+        EXTERNAL_CALL: "externalCall",
+        NAVIGATE_TO_URL: "navigateToURL",
+        SET_ALPHA: "setAlpha",
+        SET_SIZE: "setSize",
+        LABEL: "label",
+        END_HANDLER: "endHandler",
+        TRACE: "trace",
+        LOAD_MOVIE: "loadMovie",
+    }
+
+
+@dataclass(frozen=True)
+class Op:
+    """One action opcode with up to two string operands."""
+
+    code: int
+    operands: Tuple[str, ...] = ()
+
+    @property
+    def name(self) -> str:
+        return OpCode.NAMES.get(self.code, "op_%02x" % self.code)
+
+
+@dataclass
+class ActionProgram:
+    """A flat list of opcodes; handlers are LABEL..END_HANDLER spans."""
+
+    ops: List[Op] = field(default_factory=list)
+
+    def add(self, code: int, *operands: str) -> "ActionProgram":
+        self.ops.append(Op(code, tuple(operands)))
+        return self
+
+    def handler(self, label: str) -> List[Op]:
+        """The opcodes between ``LABEL label`` and the next END_HANDLER."""
+        out: List[Op] = []
+        active = False
+        for op in self.ops:
+            if op.code == OpCode.LABEL and op.operands and op.operands[0] == label:
+                active = True
+                continue
+            if active and op.code == OpCode.END_HANDLER:
+                break
+            if active:
+                out.append(op)
+        return out
+
+    def top_level(self) -> List[Op]:
+        """Opcodes outside any handler (executed at load)."""
+        out: List[Op] = []
+        depth = 0
+        for op in self.ops:
+            if op.code == OpCode.LABEL:
+                depth += 1
+                continue
+            if op.code == OpCode.END_HANDLER:
+                depth = max(0, depth - 1)
+                continue
+            if depth == 0:
+                out.append(op)
+        return out
+
+    @property
+    def external_calls(self) -> List[Tuple[str, str]]:
+        """All (function, argument) pairs from EXTERNAL_CALL ops anywhere."""
+        return [
+            (op.operands[0] if op.operands else "", op.operands[1] if len(op.operands) > 1 else "")
+            for op in self.ops
+            if op.code == OpCode.EXTERNAL_CALL
+        ]
+
+
+def encode_program(program: ActionProgram) -> bytes:
+    """Serialize to bytes: [count u16] then per-op [code u8][argc u8][len u16 + utf8]*."""
+    out = bytearray(struct.pack("<H", len(program.ops)))
+    for op in program.ops:
+        out += struct.pack("<BB", op.code, len(op.operands))
+        for operand in op.operands:
+            data = operand.encode("utf-8")
+            out += struct.pack("<H", len(data))
+            out += data
+    return bytes(out)
+
+
+def decode_program(data: bytes) -> ActionProgram:
+    """Inverse of :func:`encode_program`; raises ValueError on truncation."""
+    if len(data) < 2:
+        raise ValueError("action block too short")
+    (count,) = struct.unpack_from("<H", data, 0)
+    offset = 2
+    program = ActionProgram()
+    for _ in range(count):
+        if offset + 2 > len(data):
+            raise ValueError("truncated opcode header")
+        code, argc = struct.unpack_from("<BB", data, offset)
+        offset += 2
+        operands: List[str] = []
+        for _ in range(argc):
+            if offset + 2 > len(data):
+                raise ValueError("truncated operand length")
+            (length,) = struct.unpack_from("<H", data, offset)
+            offset += 2
+            if offset + length > len(data):
+                raise ValueError("truncated operand body")
+            operands.append(data[offset : offset + length].decode("utf-8"))
+            offset += length
+        program.ops.append(Op(code, tuple(operands)))
+    return program

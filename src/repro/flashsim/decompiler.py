@@ -1,0 +1,128 @@
+"""SWF decompiler: opcodes back to readable pseudo-ActionScript.
+
+Section V-D: "We then decompiled the files to get the swift code and
+found several external calls made to the obfuscated JavaScript code."
+This module produces that decompiled view for analysts and for the
+scanner heuristics, and summarizes the security-relevant facts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Tuple
+
+from .actions import ActionProgram, Op, OpCode
+from .swf import SwfError, SwfFile
+
+__all__ = ["DecompiledSwf", "decompile", "decompile_bytes"]
+
+
+@dataclass
+class DecompiledSwf:
+    """Decompilation output plus extracted indicators."""
+
+    source: str
+    external_calls: List[Tuple[str, str]] = field(default_factory=list)
+    allow_domains: List[str] = field(default_factory=list)
+    navigations: List[str] = field(default_factory=list)
+    event_handlers: List[str] = field(default_factory=list)
+    transparent_overlay: bool = False
+    fullscreen_toggle: bool = False
+
+    @property
+    def calls_external_interface(self) -> bool:
+        return bool(self.external_calls)
+
+    @property
+    def allows_any_domain(self) -> bool:
+        return "*" in self.allow_domains
+
+
+def _format_op(op: Op, indent: str) -> str:
+    operands = op.operands
+    if op.code == OpCode.ALLOW_DOMAIN:
+        return '%sSecurity.allowDomain("%s");' % (indent, operands[0] if operands else "")
+    if op.code == OpCode.SET_SCALE_MODE:
+        return "%sstage.scaleMode = StageScaleMode.%s;" % (indent, (operands[0] if operands else "").upper())
+    if op.code == OpCode.SET_DISPLAY_STATE:
+        state = operands[0] if operands else ""
+        const = "FULL_SCREEN" if state == "fullScreen" else "NORMAL"
+        return "%sstage.displayState = StageDisplayState.%s;" % (indent, const)
+    if op.code == OpCode.EXTERNAL_CALL:
+        name = operands[0] if operands else ""
+        arg = operands[1] if len(operands) > 1 else ""
+        if arg:
+            return '%sExternalInterface.call("%s", "%s");' % (indent, name, arg)
+        return '%sExternalInterface.call("%s");' % (indent, name)
+    if op.code == OpCode.NAVIGATE_TO_URL:
+        url = operands[0] if operands else ""
+        target = operands[1] if len(operands) > 1 else "_blank"
+        return '%snavigateToURL(new URLRequest("%s"), "%s");' % (indent, url, target)
+    if op.code == OpCode.SET_ALPHA:
+        return "%sthis.alpha = %s;" % (indent, operands[0] if operands else "0")
+    if op.code == OpCode.SET_SIZE:
+        width = operands[0] if operands else "0"
+        height = operands[1] if len(operands) > 1 else "0"
+        return "%sthis.width = %s; this.height = %s;" % (indent, width, height)
+    if op.code == OpCode.TRACE:
+        return '%strace("%s");' % (indent, operands[0] if operands else "")
+    if op.code == OpCode.LOAD_MOVIE:
+        return '%sloadMovie("%s", "%s");' % (
+            indent,
+            operands[0] if operands else "",
+            operands[1] if len(operands) > 1 else "_root",
+        )
+    return "%s// %s %s" % (indent, op.name, ", ".join(operands))
+
+
+def decompile(swf: SwfFile) -> DecompiledSwf:
+    """Decompile a parsed :class:`SwfFile`."""
+    lines: List[str] = ["package {", "  public class Movie extends MovieClip {", "    public function Movie() {"]
+    result = DecompiledSwf(source="")
+    for program in swf.action_programs():
+        _decompile_program(program, lines, result)
+    lines += ["    }", "  }", "}"]
+    result.source = "\n".join(lines)
+    return result
+
+
+def _decompile_program(program: ActionProgram, lines: List[str], result: DecompiledSwf) -> None:
+    in_handler = False
+    for op in program.ops:
+        if op.code == OpCode.LABEL:
+            event = op.operands[0] if op.operands else "?"
+            result.event_handlers.append(event)
+            lines.append(
+                "      stage.addEventListener(MouseEvent.%s, function(e:MouseEvent):void {"
+                % event.upper()
+            )
+            in_handler = True
+            continue
+        if op.code == OpCode.END_HANDLER:
+            lines.append("      });")
+            in_handler = False
+            continue
+        indent = "        " if in_handler else "      "
+        lines.append(_format_op(op, indent))
+        if op.code == OpCode.EXTERNAL_CALL:
+            name = op.operands[0] if op.operands else ""
+            arg = op.operands[1] if len(op.operands) > 1 else ""
+            result.external_calls.append((name, arg))
+        elif op.code == OpCode.ALLOW_DOMAIN and op.operands:
+            result.allow_domains.append(op.operands[0])
+        elif op.code == OpCode.NAVIGATE_TO_URL and op.operands:
+            result.navigations.append(op.operands[0])
+        elif op.code == OpCode.SET_ALPHA and op.operands:
+            try:
+                if float(op.operands[0]) <= 0.05:
+                    result.transparent_overlay = True
+            except ValueError:
+                pass
+        elif op.code == OpCode.SET_DISPLAY_STATE and op.operands:
+            if op.operands[0] == "fullScreen":
+                result.fullscreen_toggle = True
+
+
+def decompile_bytes(data: bytes) -> DecompiledSwf:
+    """Parse raw SWF bytes and decompile; raises SwfError on bad input."""
+    return decompile(SwfFile.from_bytes(data))

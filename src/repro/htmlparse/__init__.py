@@ -1,0 +1,34 @@
+"""From-scratch HTML parsing: tokenizer, DOM, parser, selectors, serializer.
+
+Public API::
+
+    from repro.htmlparse import parse, parse_fragment, select, serialize
+
+    doc = parse("<html><body><iframe width=1 height=1></iframe></body>")
+    frames = select(doc, "iframe[width=1]")
+"""
+
+from .dom import Comment, Document, Element, Node, Text
+from .parser import VOID_ELEMENTS, parse, parse_fragment
+from .query import matches, select, select_one
+from .serializer import serialize, serialize_children
+from .tokenizer import Token, TokenKind, tokenize
+
+__all__ = [
+    "Comment",
+    "Document",
+    "Element",
+    "Node",
+    "Text",
+    "Token",
+    "TokenKind",
+    "VOID_ELEMENTS",
+    "matches",
+    "parse",
+    "parse_fragment",
+    "select",
+    "select_one",
+    "serialize",
+    "serialize_children",
+    "tokenize",
+]

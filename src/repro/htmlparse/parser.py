@@ -1,0 +1,134 @@
+"""HTML tree construction on top of the tokenizer.
+
+Implements a pragmatic subset of the HTML5 tree-construction rules:
+void elements, implicit ``html``/``head``/``body`` synthesis, optional
+end tags for common containers, and misnested end-tag recovery.  The
+goal is that markup produced by our malware generators — and the messy
+real-world idioms they imitate — parses into the tree a browser would
+build, so that the detection heuristics see what the victim's browser
+would execute.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from .dom import Comment, Document, Element, Text
+from .tokenizer import Token, TokenKind, tokenize
+
+__all__ = ["parse", "parse_fragment", "VOID_ELEMENTS"]
+
+VOID_ELEMENTS = {
+    "area", "base", "br", "col", "embed", "hr", "img", "input",
+    "link", "meta", "param", "source", "track", "wbr",
+}
+
+#: Elements whose open instance is implicitly closed by a new sibling of
+#: the same tag (enough for generated markup; we are not a full browser).
+_AUTOCLOSE_SIBLINGS = {"p", "li", "option", "tr", "td", "th"}
+
+_HEAD_ONLY = {"title", "base", "link", "meta", "style"}
+
+
+def parse(html: str) -> Document:
+    """Parse a complete HTML document, synthesizing html/head/body."""
+    document = Document()
+    html_el = Element("html")
+    head_el = Element("head")
+    body_el = Element("body")
+
+    stack: List[Element] = []
+    in_head = True
+
+    def current() -> Element:
+        if stack:
+            return stack[-1]
+        return head_el if in_head else body_el
+
+    for token in tokenize(html):
+        if token.kind == TokenKind.DOCTYPE:
+            continue
+        if token.kind == TokenKind.COMMENT:
+            current().append(Comment(token.data))
+            continue
+        if token.kind == TokenKind.TEXT:
+            if not stack and in_head and token.data.strip():
+                in_head = False
+            current().append(Text(token.data))
+            continue
+        if token.kind == TokenKind.START_TAG:
+            name = token.data
+            if name == "html":
+                html_el.attrs.update(token.attrs)
+                continue
+            if name == "head":
+                continue
+            if name == "body":
+                body_el.attrs.update(token.attrs)
+                in_head = False
+                continue
+            if in_head and not stack and name not in _HEAD_ONLY and name != "script":
+                in_head = False
+            element = Element(name, token.attrs)
+            # implicit close of same-tag sibling (e.g. <li><li>)
+            if name in _AUTOCLOSE_SIBLINGS and stack and stack[-1].tag == name:
+                stack.pop()
+            current().append(element)
+            if name not in VOID_ELEMENTS and not token.self_closing:
+                stack.append(element)
+            continue
+        if token.kind == TokenKind.END_TAG:
+            name = token.data
+            if name in ("html", "head"):
+                in_head = False
+                continue
+            if name == "body":
+                stack.clear()
+                continue
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index].tag == name:
+                    del stack[index:]
+                    break
+            # unmatched end tag: ignored, like browsers do
+
+    document.append(html_el)
+    html_el.append(head_el)
+    html_el.append(body_el)
+    return document
+
+
+def parse_fragment(html: str, container_tag: str = "div") -> Element:
+    """Parse an HTML fragment into a container element.
+
+    Used by the JS host environment for ``document.write`` and
+    ``innerHTML`` assignment, where markup is parsed in the context of an
+    existing element rather than a full document.
+    """
+    container = Element(container_tag)
+    stack: List[Element] = []
+
+    def current() -> Element:
+        return stack[-1] if stack else container
+
+    for token in tokenize(html):
+        if token.kind in (TokenKind.DOCTYPE,):
+            continue
+        if token.kind == TokenKind.COMMENT:
+            current().append(Comment(token.data))
+        elif token.kind == TokenKind.TEXT:
+            current().append(Text(token.data))
+        elif token.kind == TokenKind.START_TAG:
+            if token.data in ("html", "head", "body"):
+                continue
+            element = Element(token.data, token.attrs)
+            if token.data in _AUTOCLOSE_SIBLINGS and stack and stack[-1].tag == token.data:
+                stack.pop()
+            current().append(element)
+            if token.data not in VOID_ELEMENTS and not token.self_closing:
+                stack.append(element)
+        elif token.kind == TokenKind.END_TAG:
+            for index in range(len(stack) - 1, -1, -1):
+                if stack[index].tag == token.data:
+                    del stack[index:]
+                    break
+    return container

@@ -1,0 +1,96 @@
+"""Simple selector queries over the DOM.
+
+Supports the selector forms the detection code uses:
+
+* ``tag`` — by tag name
+* ``#id`` — by id
+* ``.class`` — by class
+* ``tag.class`` / ``tag#id`` — combined
+* ``tag[attr]`` / ``tag[attr=value]`` — attribute presence/equality
+* ``ancestor descendant`` — descendant combinator (single space)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from .dom import Element
+
+__all__ = ["select", "select_one", "matches"]
+
+
+@dataclass(frozen=True)
+class _SimpleSelector:
+    tag: Optional[str] = None
+    element_id: Optional[str] = None
+    class_name: Optional[str] = None
+    attr_name: Optional[str] = None
+    attr_value: Optional[str] = None
+
+
+def _parse_simple(selector: str) -> _SimpleSelector:
+    tag = element_id = class_name = attr_name = attr_value = None
+    rest = selector.strip()
+
+    if "[" in rest:
+        rest, _, attr_part = rest.partition("[")
+        attr_part = attr_part.rstrip("]")
+        if "=" in attr_part:
+            attr_name, _, attr_value = attr_part.partition("=")
+            attr_value = attr_value.strip("\"'")
+        else:
+            attr_name = attr_part
+        attr_name = attr_name.strip().lower()
+
+    if "#" in rest:
+        rest, _, element_id = rest.partition("#")
+    elif "." in rest:
+        rest, _, class_name = rest.partition(".")
+
+    if rest:
+        tag = rest.lower()
+    return _SimpleSelector(tag, element_id, class_name, attr_name, attr_value)
+
+
+def matches(element: Element, selector: str) -> bool:
+    """True when ``element`` matches a simple (non-combinator) selector."""
+    simple = _parse_simple(selector)
+    if simple.tag and element.tag != simple.tag:
+        return False
+    if simple.element_id and element.id != simple.element_id:
+        return False
+    if simple.class_name and simple.class_name not in element.classes:
+        return False
+    if simple.attr_name:
+        if not element.has_attr(simple.attr_name):
+            return False
+        if simple.attr_value is not None and element.get(simple.attr_name) != simple.attr_value:
+            return False
+    return True
+
+
+def select(root: Element, selector: str) -> List[Element]:
+    """All descendants of ``root`` (and root itself) matching ``selector``."""
+    parts = selector.split()
+    if not parts:
+        return []
+    candidates = [el for el in root.iter() if matches(el, parts[0])]
+    for part in parts[1:]:
+        next_candidates: List[Element] = []
+        seen = set()
+        for candidate in candidates:
+            for el in candidate.iter():
+                if el is candidate:
+                    continue
+                if matches(el, part) and id(el) not in seen:
+                    seen.add(id(el))
+                    next_candidates.append(el)
+        candidates = next_candidates
+    return candidates
+
+
+def select_one(root: Element, selector: str) -> Optional[Element]:
+    """First match of ``selector`` under ``root``, or ``None``."""
+    results = select(root, selector)
+    return results[0] if results else None

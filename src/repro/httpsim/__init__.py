@@ -1,0 +1,30 @@
+"""HTTP simulation layer: messages, server farm, client, HAR capture.
+
+Stands in for the live HTTP(S) traffic the paper captured with Firebug +
+NetExport::
+
+    from repro.httpsim import SimHttpServer, SimHttpClient, HarLog
+
+    server = SimHttpServer(registry)
+    client = SimHttpClient(server)
+    result = client.fetch("http://example.com/", referrer="http://exchange/")
+"""
+
+from .client import FetchResult, SimHttpClient
+from .cookies import Cookie, CookieJar
+from .har import HarEntry, HarLog
+from .message import HttpRequest, HttpResponse, STATUS_REASONS
+from .server import SimHttpServer
+
+__all__ = [
+    "Cookie",
+    "CookieJar",
+    "FetchResult",
+    "HarEntry",
+    "HarLog",
+    "HttpRequest",
+    "HttpResponse",
+    "STATUS_REASONS",
+    "SimHttpClient",
+    "SimHttpServer",
+]

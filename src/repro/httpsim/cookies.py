@@ -1,0 +1,154 @@
+"""HTTP cookie jar.
+
+Exchanges track logged-in surf sessions with cookies; ad networks and
+trackers set theirs from sub-resources.  The jar implements the subset
+of RFC 6265 the simulation needs: ``Set-Cookie`` parsing with Domain /
+Path / Max-Age / Expires attributes, host-only vs domain cookies,
+longest-path-first ``Cookie`` header assembly, and expiry.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from ..simweb.url import Url
+
+__all__ = ["Cookie", "CookieJar"]
+
+
+@dataclass
+class Cookie:
+    """One stored cookie."""
+
+    name: str
+    value: str
+    domain: str
+    path: str = "/"
+    host_only: bool = True
+    #: absolute expiry on the jar's clock; None = session cookie
+    expires_at: Optional[float] = None
+
+    def matches(self, url: Url, now: float) -> bool:
+        if self.expires_at is not None and now >= self.expires_at:
+            return False
+        host = url.host
+        if self.host_only:
+            if host != self.domain:
+                return False
+        else:
+            if host != self.domain and not host.endswith("." + self.domain):
+                return False
+        path = url.path or "/"
+        if not path.startswith(self.path):
+            return False
+        if len(path) > len(self.path) and not self.path.endswith("/") and path[len(self.path)] != "/":
+            return False
+        return True
+
+
+class CookieJar:
+    """Stores cookies and builds request headers."""
+
+    def __init__(self) -> None:
+        self._cookies: Dict[Tuple[str, str, str], Cookie] = {}
+        self.clock = 0.0
+
+    def __len__(self) -> int:
+        return len(self._cookies)
+
+    def advance(self, seconds: float) -> None:
+        """Move the jar's clock (expiry is relative to it)."""
+        self.clock += seconds
+
+    # ------------------------------------------------------------------
+    def store(self, url: Url, set_cookie_header: str) -> Optional[Cookie]:
+        """Parse one ``Set-Cookie`` header value in the context of ``url``.
+
+        Returns the stored cookie, or None when the header is rejected
+        (malformed, or a Domain attribute outside the origin).
+        """
+        parts = [p.strip() for p in set_cookie_header.split(";")]
+        if not parts or "=" not in parts[0]:
+            return None
+        name, _, value = parts[0].partition("=")
+        name = name.strip()
+        if not name:
+            return None
+
+        domain = url.host
+        host_only = True
+        path = _default_path(url)
+        expires_at: Optional[float] = None
+        max_age: Optional[float] = None
+
+        for attribute in parts[1:]:
+            key, _, raw = attribute.partition("=")
+            key = key.strip().lower()
+            raw = raw.strip()
+            if key == "domain" and raw:
+                candidate = raw.lstrip(".").lower()
+                # reject cookies for foreign domains
+                if url.host != candidate and not url.host.endswith("." + candidate):
+                    return None
+                domain = candidate
+                host_only = False
+            elif key == "path" and raw.startswith("/"):
+                path = raw
+            elif key == "max-age":
+                try:
+                    max_age = float(raw)
+                except ValueError:
+                    continue
+            elif key == "expires":
+                # simulated servers send a bare relative-seconds value
+                try:
+                    expires_at = self.clock + float(raw)
+                except ValueError:
+                    continue
+
+        if max_age is not None:  # Max-Age wins over Expires (RFC 6265)
+            expires_at = self.clock + max_age
+
+        cookie = Cookie(name=name, value=value, domain=domain, path=path,
+                        host_only=host_only, expires_at=expires_at)
+        key = (cookie.domain, cookie.path, cookie.name)
+        if cookie.expires_at is not None and cookie.expires_at <= self.clock:
+            self._cookies.pop(key, None)  # immediate expiry = deletion
+            return None
+        self._cookies[key] = cookie
+        return cookie
+
+    # ------------------------------------------------------------------
+    def cookies_for(self, url: Url) -> List[Cookie]:
+        """Cookies applicable to a request, longest path first."""
+        matching = [c for c in self._cookies.values() if c.matches(url, self.clock)]
+        matching.sort(key=lambda c: (-len(c.path), c.name))
+        return matching
+
+    def cookie_header(self, url: Url) -> str:
+        """The ``Cookie`` request header value ("" when none apply)."""
+        return "; ".join("%s=%s" % (c.name, c.value) for c in self.cookies_for(url))
+
+    def get(self, url: Url, name: str) -> Optional[str]:
+        for cookie in self.cookies_for(url):
+            if cookie.name == name:
+                return cookie.value
+        return None
+
+    def purge_expired(self) -> int:
+        """Drop expired cookies; returns how many were removed."""
+        expired = [
+            key for key, cookie in self._cookies.items()
+            if cookie.expires_at is not None and cookie.expires_at <= self.clock
+        ]
+        for key in expired:
+            del self._cookies[key]
+        return len(expired)
+
+
+def _default_path(url: Url) -> str:
+    path = url.path or "/"
+    if path.count("/") <= 1:
+        return "/"
+    return path.rsplit("/", 1)[0] or "/"

@@ -1,0 +1,157 @@
+"""HTTP Archive (HAR) logging.
+
+The paper's crawlers captured traffic "including HTTP and HTTPS" with
+Firebug plus the NetExport extension, which writes HAR files (Section
+III-A).  This module provides a compatible subset of the HAR 1.2 format:
+entries with request/response records, redirect locations, and timings,
+plus (de)serialization — the redirection-chain analysis (Figures 4/5)
+runs off these records.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional
+
+from .message import HttpRequest, HttpResponse
+
+__all__ = ["HarEntry", "HarLog"]
+
+
+@dataclass
+class HarEntry:
+    """One request/response pair."""
+
+    url: str
+    method: str = "GET"
+    status: int = 200
+    content_type: str = ""
+    redirect_location: str = ""
+    referrer: str = ""
+    body_size: int = 0
+    started: float = 0.0  # seconds since crawl epoch
+    duration_ms: float = 0.0
+    #: page identifier tying sub-resources to their page visit
+    page_ref: str = ""
+
+    @classmethod
+    def from_transaction(
+        cls,
+        request: HttpRequest,
+        response: HttpResponse,
+        started: float = 0.0,
+        duration_ms: float = 0.0,
+        page_ref: str = "",
+    ) -> "HarEntry":
+        return cls(
+            url=str(request.url),
+            method=request.method,
+            status=response.status,
+            content_type=response.content_type,
+            redirect_location=response.location,
+            referrer=request.referrer,
+            body_size=len(response.body),
+            started=started,
+            duration_ms=duration_ms,
+            page_ref=page_ref,
+        )
+
+    def to_har_dict(self) -> Dict[str, Any]:
+        return {
+            "pageref": self.page_ref,
+            "startedDateTime": self.started,
+            "time": self.duration_ms,
+            "request": {
+                "method": self.method,
+                "url": self.url,
+                "headers": (
+                    [{"name": "Referer", "value": self.referrer}] if self.referrer else []
+                ),
+            },
+            "response": {
+                "status": self.status,
+                "content": {"size": self.body_size, "mimeType": self.content_type},
+                "redirectURL": self.redirect_location,
+            },
+        }
+
+    @classmethod
+    def from_har_dict(cls, data: Dict[str, Any]) -> "HarEntry":
+        request = data.get("request", {})
+        response = data.get("response", {})
+        referrer = ""
+        for header in request.get("headers", []):
+            if header.get("name") == "Referer":
+                referrer = header.get("value", "")
+        return cls(
+            url=request.get("url", ""),
+            method=request.get("method", "GET"),
+            status=response.get("status", 0),
+            content_type=response.get("content", {}).get("mimeType", ""),
+            redirect_location=response.get("redirectURL", ""),
+            referrer=referrer,
+            body_size=response.get("content", {}).get("size", 0),
+            started=data.get("startedDateTime", 0.0),
+            duration_ms=data.get("time", 0.0),
+            page_ref=data.get("pageref", ""),
+        )
+
+
+@dataclass
+class HarLog:
+    """An ordered log of entries (one crawl session's capture)."""
+
+    creator: str = "repro-netexport/1.0"
+    entries: List[HarEntry] = field(default_factory=list)
+
+    def add(self, entry: HarEntry) -> None:
+        self.entries.append(entry)
+
+    def extend(self, entries: List[HarEntry]) -> None:
+        self.entries.extend(entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def entries_for_page(self, page_ref: str) -> List[HarEntry]:
+        return [e for e in self.entries if e.page_ref == page_ref]
+
+    def redirect_chain(self, start_url: str) -> List[HarEntry]:
+        """Follow redirect records from ``start_url`` through the log."""
+        chain: List[HarEntry] = []
+        current = start_url
+        by_url: Dict[str, HarEntry] = {}
+        for entry in self.entries:
+            by_url.setdefault(entry.url, entry)
+        seen = set()
+        while current in by_url and current not in seen:
+            seen.add(current)
+            entry = by_url[current]
+            chain.append(entry)
+            if not entry.redirect_location:
+                break
+            current = entry.redirect_location
+        return chain
+
+    # -- (de)serialization --------------------------------------------------
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "log": {
+                    "version": "1.2",
+                    "creator": {"name": self.creator, "version": "1.0"},
+                    "entries": [entry.to_har_dict() for entry in self.entries],
+                }
+            },
+            indent=2,
+        )
+
+    @classmethod
+    def from_json(cls, text: str) -> "HarLog":
+        data = json.loads(text)
+        log = data.get("log", {})
+        out = cls(creator=log.get("creator", {}).get("name", "unknown"))
+        for entry in log.get("entries", []):
+            out.add(HarEntry.from_har_dict(entry))
+        return out

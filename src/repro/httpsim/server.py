@@ -1,0 +1,126 @@
+"""The simulated web server farm.
+
+Serves every request out of the :class:`~repro.simweb.registry.WebRegistry`,
+enacting each site's :class:`~repro.simweb.site.ServerBehavior`:
+
+* **redirect hops** — 302s or meta-refresh pages (Figure 4 chains),
+* **rotating redirectors** — a different target per request (Figure 9),
+* **cloaking** — a referrer-less fetch (how URL-submission scanners
+  fetch) receives the benign decoy; browser-like traffic arriving from
+  an exchange receives the real page (Section III, footnote 1),
+* **shortener services** — slug resolution with hit/referrer/country
+  accounting feeding Table IV.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..simweb.registry import WebRegistry
+from ..simweb.site import Page, RedirectHop, Resource, Site
+from ..simweb.url import Url
+from .message import HttpRequest, HttpResponse
+
+__all__ = ["SimHttpServer"]
+
+_META_REFRESH_TEMPLATE = (
+    "<html><head><meta http-equiv=\"refresh\" content=\"0;url=%s\"></head>"
+    "<body>Redirecting...</body></html>"
+)
+
+
+class SimHttpServer:
+    """Resolves simulated requests against the registry."""
+
+    def __init__(self, registry: WebRegistry) -> None:
+        self.registry = registry
+        #: per-(host, path) round-robin counters for rotating redirectors
+        self._rotation_counters: Dict[str, int] = {}
+        #: request counter, handy for tests and stats
+        self.requests_served = 0
+
+    # ------------------------------------------------------------------
+    def handle(self, request: HttpRequest) -> HttpResponse:
+        """Serve one request."""
+        self.requests_served += 1
+        url = request.url
+
+        if self.registry.shorteners.is_short_host(url.host):
+            return self._handle_shortener(request)
+
+        site = self.registry.site(url.host)
+        if site is None:
+            return HttpResponse.not_found(url=url)
+
+        behavior = site.behavior
+        path = url.path
+
+        rotation = behavior.rotating_redirects.get(path)
+        if rotation:
+            key = "%s|%s" % (url.host, path)
+            index = self._rotation_counters.get(key, 0)
+            self._rotation_counters[key] = index + 1
+            return HttpResponse.redirect(rotation[index % len(rotation)], url=url)
+
+        hop = behavior.redirects.get(path)
+        if hop is not None:
+            return self._serve_hop(hop, url)
+
+        cloak = behavior.cloaked_paths.get(path)
+        if cloak is not None and self._looks_like_scanner(request):
+            return HttpResponse.html(cloak, url=url)
+
+        page, resource = site.lookup(path)
+        response: Optional[HttpResponse] = None
+        if page is not None:
+            response = HttpResponse.html(page.html, url=url)
+        elif resource is not None:
+            response = HttpResponse(
+                status=200,
+                headers={"Content-Type": resource.content_type},
+                body=resource.body,
+                url=url,
+            )
+        if response is None:
+            return HttpResponse.not_found(url=url)
+        set_cookie = behavior.set_cookies.get(path)
+        if set_cookie is not None:
+            response.headers["Set-Cookie"] = set_cookie
+        return response
+
+    # ------------------------------------------------------------------
+    def _serve_hop(self, hop: RedirectHop, url: Url) -> HttpResponse:
+        if hop.mechanism == "meta":
+            return HttpResponse.html(_META_REFRESH_TEMPLATE % hop.location, url=url)
+        if hop.mechanism == "js":
+            markup = (
+                "<html><body><script>window.location.href = '%s';</script></body></html>"
+                % hop.location
+            )
+            return HttpResponse.html(markup, url=url)
+        return HttpResponse.redirect(hop.location, status=hop.status, url=url)
+
+    def _handle_shortener(self, request: HttpRequest) -> HttpResponse:
+        url = request.url
+        slug = url.path.lstrip("/")
+        referrer_domain = ""
+        if request.referrer:
+            referrer_url = Url.try_parse(request.referrer)
+            if referrer_url is not None:
+                referrer_domain = referrer_url.registrable_domain
+        target = self.registry.shorteners.service(url.host).resolve(
+            slug, referrer=referrer_domain, country=request.country
+        )
+        if target is None:
+            return HttpResponse.not_found(url=url)
+        return HttpResponse.redirect(target, status=301, url=url)
+
+    @staticmethod
+    def _looks_like_scanner(request: HttpRequest) -> bool:
+        """Cloaking trigger: direct fetches with no referrer.
+
+        Real cloaked sites fingerprint scanners by referrer and UA; our
+        model uses the referrer (URL scanners fetch bare URLs, while the
+        surf traffic always arrives from an exchange page).
+        """
+        return not request.referrer

@@ -1,0 +1,39 @@
+"""From-scratch JavaScript analysis engine.
+
+Provides everything the paper's behavioural/static JS analysis needs:
+
+* :func:`repro.jsengine.parser.parse` — ES5-subset parser,
+* :class:`repro.jsengine.interpreter.Interpreter` — sandboxed execution,
+* :class:`repro.jsengine.hostenv.BrowserHost` /
+  :func:`repro.jsengine.hostenv.run_script_in_page` — browser host
+  environment with behaviour capture,
+* :func:`repro.jsengine.deobfuscate.deobfuscate` — static layer peeling,
+* :func:`repro.jsengine.features.extract_features` — Zozzle-style
+  syntax-tree features.
+"""
+
+from .deobfuscate import DeobfuscationResult, deobfuscate, looks_obfuscated
+from .features import JsFeatures, extract_features
+from .hostenv import BehaviorLog, BrowserHost, run_script_in_page
+from .interpreter import BudgetExceeded, Interpreter
+from .lexer import LexError
+from .parser import ParseError, parse
+from .values import JSException, UNDEFINED
+
+__all__ = [
+    "BehaviorLog",
+    "BrowserHost",
+    "BudgetExceeded",
+    "DeobfuscationResult",
+    "Interpreter",
+    "JSException",
+    "JsFeatures",
+    "LexError",
+    "ParseError",
+    "UNDEFINED",
+    "deobfuscate",
+    "extract_features",
+    "looks_obfuscated",
+    "parse",
+    "run_script_in_page",
+]

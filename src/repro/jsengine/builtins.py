@@ -1,0 +1,510 @@
+"""Built-in methods for JS primitive and object values.
+
+Implements the String/Array/Number methods the obfuscated corpus uses
+(``charCodeAt``, ``fromCharCode``, ``split``/``join``/``reverse``,
+``replace``, ``substring`` ...), plus the global functions obfuscators
+lean on (``unescape``, ``decodeURIComponent``, ``parseInt``, ``atob``).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import math
+from typing import Any, Callable, List, Optional
+
+from .values import (
+    UNDEFINED,
+    JSArray,
+    JSException,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    to_number,
+    to_string,
+)
+
+__all__ = ["get_member", "call_method", "make_global_builtins", "js_unescape", "js_escape"]
+
+
+def _num(value: Any, default: float = 0.0) -> float:
+    if value is UNDEFINED:
+        return default
+    return to_number(value)
+
+
+def _int_or(value: Any, default: int) -> int:
+    if value is UNDEFINED:
+        return default
+    number = to_number(value)
+    if math.isnan(number):
+        return default
+    return int(number)
+
+
+# ---------------------------------------------------------------------------
+# escape/unescape — the de-obfuscation workhorses
+# ---------------------------------------------------------------------------
+
+def js_unescape(text: str) -> str:
+    """The legacy ``unescape`` global, faithful to %uNNNN handling."""
+    out: List[str] = []
+    i = 0
+    n = len(text)
+    while i < n:
+        ch = text[i]
+        if ch == "%" and i + 5 < n + 1 and i + 1 < n and text[i + 1] in "uU" and i + 6 <= n:
+            hex4 = text[i + 2 : i + 6]
+            if len(hex4) == 4 and all(c in "0123456789abcdefABCDEF" for c in hex4):
+                out.append(chr(int(hex4, 16)))
+                i += 6
+                continue
+        if ch == "%" and i + 3 <= n:
+            hex2 = text[i + 1 : i + 3]
+            if len(hex2) == 2 and all(c in "0123456789abcdefABCDEF" for c in hex2):
+                out.append(chr(int(hex2, 16)))
+                i += 3
+                continue
+        out.append(ch)
+        i += 1
+    return "".join(out)
+
+
+def js_escape(text: str) -> str:
+    """The legacy ``escape`` global."""
+    out: List[str] = []
+    for ch in text:
+        if ch.isalnum() or ch in "@*_+-./":
+            out.append(ch)
+        elif ord(ch) < 256:
+            out.append("%%%02X" % ord(ch))
+        else:
+            out.append("%%u%04X" % ord(ch))
+    return "".join(out)
+
+
+def _decode_uri_component(text: str) -> str:
+    out = bytearray()
+    i = 0
+    n = len(text)
+    while i < n:
+        if text[i] == "%" and i + 3 <= n:
+            hex2 = text[i + 1 : i + 3]
+            if all(c in "0123456789abcdefABCDEF" for c in hex2):
+                out.extend(bytes([int(hex2, 16)]))
+                i += 3
+                continue
+        out.extend(text[i].encode("utf-8"))
+        i += 1
+    return out.decode("utf-8", errors="replace")
+
+
+def _encode_uri_component(text: str) -> str:
+    out: List[str] = []
+    for ch in text:
+        if ch.isalnum() or ch in "-_.!~*'()":
+            out.append(ch)
+        else:
+            out.extend("%%%02X" % b for b in ch.encode("utf-8"))
+    return "".join(out)
+
+
+# ---------------------------------------------------------------------------
+# Member access on primitives / objects
+# ---------------------------------------------------------------------------
+
+def get_member(interp: Any, obj: Any, name: str) -> Any:
+    """Property lookup with builtin-method fallback.
+
+    ``interp`` is the calling interpreter; function-valued results that
+    need it (e.g. ``Array.prototype.map``-style callbacks) close over it.
+    """
+    if isinstance(obj, str):
+        return _string_member(interp, obj, name)
+    if isinstance(obj, (float, int)) and not isinstance(obj, bool):
+        return _number_member(obj, name)
+    if isinstance(obj, JSArray):
+        builtin = _array_member(interp, obj, name)
+        if builtin is not None:
+            return builtin
+        return obj.js_get(name)
+    if isinstance(obj, (JSObject, JSFunction, NativeFunction)):
+        value = obj.js_get(name)
+        if value is UNDEFINED and isinstance(obj, JSFunction) and name in ("call", "apply"):
+            return _function_call_apply(interp, obj, name)
+        return value
+    if hasattr(obj, "js_get"):
+        return obj.js_get(name)
+    if obj is None or obj is UNDEFINED:
+        raise JSException("TypeError: cannot read property %r of %s" % (name, to_string(obj)))
+    return UNDEFINED
+
+
+def call_method(interp: Any, obj: Any, name: str, args: List[Any]) -> Any:
+    fn = get_member(interp, obj, name)
+    return interp.call_function(fn, args, this=obj)
+
+
+def _string_member(interp: Any, s: str, name: str) -> Any:
+    if name == "length":
+        return float(len(s))
+
+    def method(fn: Callable[..., Any]) -> NativeFunction:
+        return NativeFunction("String.%s" % name, fn)
+
+    if name == "charAt":
+        return method(lambda idx=UNDEFINED: s[_int_or(idx, 0)] if 0 <= _int_or(idx, 0) < len(s) else "")
+    if name == "charCodeAt":
+        def char_code_at(idx: Any = UNDEFINED) -> float:
+            i = _int_or(idx, 0)
+            if 0 <= i < len(s):
+                return float(ord(s[i]))
+            return float("nan")
+        return method(char_code_at)
+    if name == "indexOf":
+        return method(lambda needle=UNDEFINED, start=UNDEFINED: float(s.find(to_string(needle), _int_or(start, 0))))
+    if name == "lastIndexOf":
+        return method(lambda needle=UNDEFINED: float(s.rfind(to_string(needle))))
+    if name == "substring":
+        def substring(a: Any = UNDEFINED, b: Any = UNDEFINED) -> str:
+            start = max(0, min(len(s), _int_or(a, 0)))
+            end = max(0, min(len(s), _int_or(b, len(s))))
+            if start > end:
+                start, end = end, start
+            return s[start:end]
+        return method(substring)
+    if name == "substr":
+        def substr(a: Any = UNDEFINED, length: Any = UNDEFINED) -> str:
+            start = _int_or(a, 0)
+            if start < 0:
+                start = max(0, len(s) + start)
+            count = _int_or(length, len(s) - start)
+            return s[start : start + max(0, count)]
+        return method(substr)
+    if name == "slice":
+        def str_slice(a: Any = UNDEFINED, b: Any = UNDEFINED) -> str:
+            start = _int_or(a, 0)
+            end = _int_or(b, len(s))
+            return s[slice(start, end)] if (start >= 0 and end >= 0) else s[start:end or None]
+        return method(str_slice)
+    if name == "split":
+        def split(sep: Any = UNDEFINED, limit: Any = UNDEFINED) -> JSArray:
+            if sep is UNDEFINED:
+                return JSArray([s])
+            separator = to_string(sep)
+            parts = list(s) if separator == "" else s.split(separator)
+            if limit is not UNDEFINED:
+                parts = parts[: _int_or(limit, len(parts))]
+            return JSArray(parts)
+        return method(split)
+    if name == "replace":
+        def replace(pattern: Any = UNDEFINED, repl: Any = UNDEFINED) -> str:
+            pat = to_string(pattern)
+            if isinstance(repl, (JSFunction, NativeFunction)):
+                idx = s.find(pat)
+                if idx == -1:
+                    return s
+                replacement = to_string(interp.call_function(repl, [pat], this=UNDEFINED))
+                return s[:idx] + replacement + s[idx + len(pat):]
+            return s.replace(pat, to_string(repl), 1)
+        return method(replace)
+    if name == "toLowerCase":
+        return method(lambda: s.lower())
+    if name == "toUpperCase":
+        return method(lambda: s.upper())
+    if name == "concat":
+        return method(lambda *args: s + "".join(to_string(a) for a in args))
+    if name == "trim":
+        return method(lambda: s.strip())
+    if name == "toString":
+        return method(lambda: s)
+    return UNDEFINED
+
+
+def _number_member(value: float, name: str) -> Any:
+    number = float(value)
+    if name == "toString":
+        def to_radix(radix: Any = UNDEFINED) -> str:
+            base = _int_or(radix, 10)
+            if base == 10:
+                return to_string(number)
+            digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+            n = int(number)
+            if n == 0:
+                return "0"
+            sign = "-" if n < 0 else ""
+            n = abs(n)
+            out = []
+            while n:
+                out.append(digits[n % base])
+                n //= base
+            return sign + "".join(reversed(out))
+        return NativeFunction("Number.toString", to_radix)
+    if name == "toFixed":
+        return NativeFunction("Number.toFixed", lambda d=UNDEFINED: "%.*f" % (_int_or(d, 0), number))
+    return UNDEFINED
+
+
+def _array_member(interp: Any, arr: JSArray, name: str) -> Optional[NativeFunction]:
+    def method(fn: Callable[..., Any]) -> NativeFunction:
+        return NativeFunction("Array.%s" % name, fn)
+
+    if name == "push":
+        def push(*args: Any) -> float:
+            arr.elements.extend(args)
+            return float(len(arr.elements))
+        return method(push)
+    if name == "pop":
+        return method(lambda: arr.elements.pop() if arr.elements else UNDEFINED)
+    if name == "shift":
+        return method(lambda: arr.elements.pop(0) if arr.elements else UNDEFINED)
+    if name == "unshift":
+        def unshift(*args: Any) -> float:
+            arr.elements[:0] = args
+            return float(len(arr.elements))
+        return method(unshift)
+    if name == "join":
+        def join(sep: Any = UNDEFINED) -> str:
+            separator = "," if sep is UNDEFINED else to_string(sep)
+            return separator.join(
+                "" if el is UNDEFINED or el is None else to_string(el) for el in arr.elements
+            )
+        return method(join)
+    if name == "reverse":
+        def reverse() -> JSArray:
+            arr.elements.reverse()
+            return arr
+        return method(reverse)
+    if name == "slice":
+        def arr_slice(a: Any = UNDEFINED, b: Any = UNDEFINED) -> JSArray:
+            start = _int_or(a, 0)
+            end = _int_or(b, len(arr.elements))
+            return JSArray(arr.elements[start:end])
+        return method(arr_slice)
+    if name == "concat":
+        def concat(*args: Any) -> JSArray:
+            out = list(arr.elements)
+            for arg in args:
+                if isinstance(arg, JSArray):
+                    out.extend(arg.elements)
+                else:
+                    out.append(arg)
+            return JSArray(out)
+        return method(concat)
+    if name == "indexOf":
+        def index_of(needle: Any = UNDEFINED) -> float:
+            from .values import strict_equals
+            for i, el in enumerate(arr.elements):
+                if strict_equals(el, needle):
+                    return float(i)
+            return -1.0
+        return method(index_of)
+    if name == "forEach":
+        def for_each(callback: Any = UNDEFINED) -> Any:
+            for index, element in enumerate(list(arr.elements)):
+                interp.call_function(callback, [element, float(index), arr], this=UNDEFINED)
+            return UNDEFINED
+        return method(for_each)
+    if name == "map":
+        def map_fn(callback: Any = UNDEFINED) -> JSArray:
+            return JSArray([
+                interp.call_function(callback, [element, float(index), arr], this=UNDEFINED)
+                for index, element in enumerate(list(arr.elements))
+            ])
+        return method(map_fn)
+    if name == "filter":
+        def filter_fn(callback: Any = UNDEFINED) -> JSArray:
+            from .values import to_boolean
+            return JSArray([
+                element for index, element in enumerate(list(arr.elements))
+                if to_boolean(interp.call_function(callback, [element, float(index), arr],
+                                                   this=UNDEFINED))
+            ])
+        return method(filter_fn)
+    if name == "sort":
+        def sort(comparator: Any = UNDEFINED) -> JSArray:
+            if comparator is UNDEFINED:
+                arr.elements.sort(key=to_string)
+            else:
+                import functools
+                arr.elements.sort(
+                    key=functools.cmp_to_key(
+                        lambda a, b: int(to_number(interp.call_function(comparator, [a, b], this=UNDEFINED)) or 0)
+                    )
+                )
+            return arr
+        return method(sort)
+    if name == "toString":
+        return method(lambda: to_string(arr))
+    return None
+
+
+def _function_call_apply(interp: Any, fn: JSFunction, name: str) -> NativeFunction:
+    if name == "call":
+        def call(this: Any = UNDEFINED, *args: Any) -> Any:
+            return interp.call_function(fn, list(args), this=this)
+        return NativeFunction("Function.call", call)
+
+    def apply(this: Any = UNDEFINED, args: Any = UNDEFINED) -> Any:
+        arg_list = args.elements if isinstance(args, JSArray) else []
+        return interp.call_function(fn, list(arg_list), this=this)
+    return NativeFunction("Function.apply", apply)
+
+
+# ---------------------------------------------------------------------------
+# Global builtins
+# ---------------------------------------------------------------------------
+
+def make_global_builtins(interp: Any) -> dict:
+    """Build the default global bindings (String, Math, parseInt, ...)."""
+
+    def _atob(data: Any = UNDEFINED) -> str:
+        text = to_string(data)
+        try:
+            return base64.b64decode(text + "=" * (-len(text) % 4)).decode("latin-1")
+        except (binascii.Error, ValueError):
+            raise JSException("InvalidCharacterError: atob")
+
+    def _btoa(data: Any = UNDEFINED) -> str:
+        return base64.b64encode(to_string(data).encode("latin-1", errors="replace")).decode("ascii")
+
+    def _parse_int(text: Any = UNDEFINED, radix: Any = UNDEFINED) -> float:
+        raw = to_string(text).strip()
+        base = _int_or(radix, 0)
+        sign = 1
+        if raw[:1] in "+-":
+            if raw[0] == "-":
+                sign = -1
+            raw = raw[1:]
+        if base == 0:
+            base = 16 if raw[:2].lower() == "0x" else 10
+        if base == 16 and raw[:2].lower() == "0x":
+            raw = raw[2:]
+        digits = "0123456789abcdefghijklmnopqrstuvwxyz"[:base]
+        end = 0
+        for ch in raw.lower():
+            if ch in digits:
+                end += 1
+            else:
+                break
+        if end == 0:
+            return float("nan")
+        return float(sign * int(raw[:end], base))
+
+    def _parse_float(text: Any = UNDEFINED) -> float:
+        raw = to_string(text).strip()
+        end = 0
+        seen_dot = seen_e = False
+        for i, ch in enumerate(raw):
+            if ch.isdigit():
+                end = i + 1
+            elif ch == "." and not seen_dot and not seen_e:
+                seen_dot = True
+            elif ch in "eE" and not seen_e and end:
+                seen_e = True
+            elif ch in "+-" and i == 0:
+                continue
+            else:
+                break
+        try:
+            return float(raw[: max(end, 1)])
+        except ValueError:
+            return float("nan")
+
+    string_ctor = NativeFunction("String", lambda v=UNDEFINED: "" if v is UNDEFINED else to_string(v))
+    string_obj = JSObject({
+        "fromCharCode": NativeFunction(
+            "String.fromCharCode",
+            lambda *codes: "".join(chr(int(to_number(c)) & 0xFFFF) for c in codes),
+        ),
+    })
+    # String is callable *and* has fromCharCode; model as a native function
+    # with properties via a small host wrapper.
+    string_host = _CallableWithProps(string_ctor, string_obj)
+
+    math_obj = JSObject({
+        "floor": NativeFunction("Math.floor", lambda v=UNDEFINED: float(math.floor(to_number(v)))),
+        "ceil": NativeFunction("Math.ceil", lambda v=UNDEFINED: float(math.ceil(to_number(v)))),
+        "round": NativeFunction("Math.round", lambda v=UNDEFINED: float(math.floor(to_number(v) + 0.5))),
+        "abs": NativeFunction("Math.abs", lambda v=UNDEFINED: abs(to_number(v))),
+        "max": NativeFunction("Math.max", lambda *vs: max((to_number(v) for v in vs), default=float("-inf"))),
+        "min": NativeFunction("Math.min", lambda *vs: min((to_number(v) for v in vs), default=float("inf"))),
+        "pow": NativeFunction("Math.pow", lambda a=UNDEFINED, b=UNDEFINED: to_number(a) ** to_number(b)),
+        "sqrt": NativeFunction("Math.sqrt", lambda v=UNDEFINED: math.sqrt(to_number(v))),
+        "random": NativeFunction("Math.random", lambda: interp.rng.random()),
+        "PI": math.pi,
+        "E": math.e,
+    })
+
+    json_obj = JSObject({
+        "stringify": NativeFunction("JSON.stringify", lambda v=UNDEFINED: _json_stringify(v)),
+    })
+
+    return {
+        "String": string_host,
+        "Math": math_obj,
+        "JSON": json_obj,
+        "NaN": float("nan"),
+        "Infinity": float("inf"),
+        "undefined": UNDEFINED,
+        "unescape": NativeFunction("unescape", lambda v=UNDEFINED: js_unescape(to_string(v))),
+        "escape": NativeFunction("escape", lambda v=UNDEFINED: js_escape(to_string(v))),
+        "decodeURIComponent": NativeFunction(
+            "decodeURIComponent", lambda v=UNDEFINED: _decode_uri_component(to_string(v))
+        ),
+        "encodeURIComponent": NativeFunction(
+            "encodeURIComponent", lambda v=UNDEFINED: _encode_uri_component(to_string(v))
+        ),
+        "decodeURI": NativeFunction("decodeURI", lambda v=UNDEFINED: _decode_uri_component(to_string(v))),
+        "parseInt": NativeFunction("parseInt", _parse_int),
+        "parseFloat": NativeFunction("parseFloat", _parse_float),
+        "isNaN": NativeFunction("isNaN", lambda v=UNDEFINED: math.isnan(to_number(v))),
+        "atob": NativeFunction("atob", _atob),
+        "btoa": NativeFunction("btoa", _btoa),
+        "Array": NativeFunction("Array", lambda *args: JSArray(list(args))),
+        "Object": NativeFunction("Object", lambda *args: JSObject()),
+        "Number": NativeFunction("Number", lambda v=UNDEFINED: to_number(v)),
+        "Boolean": NativeFunction("Boolean", lambda v=UNDEFINED: to_boolean_host(v)),
+        "Error": NativeFunction("Error", lambda msg=UNDEFINED: JSObject({"message": to_string(msg)})),
+    }
+
+
+def to_boolean_host(value: Any) -> bool:
+    from .values import to_boolean
+
+    return to_boolean(value)
+
+
+def _json_stringify(value: Any) -> str:
+    import json
+
+    def convert(v: Any):
+        if isinstance(v, JSArray):
+            return [convert(el) for el in v.elements]
+        if isinstance(v, JSObject):
+            return {k: convert(val) for k, val in v.properties.items()}
+        if v is UNDEFINED:
+            return None
+        if isinstance(v, float) and v == int(v):
+            return int(v)
+        return v
+
+    return json.dumps(convert(value))
+
+
+class _CallableWithProps:
+    """A host value that is callable and also carries properties."""
+
+    def __init__(self, fn: NativeFunction, props: JSObject) -> None:
+        self._fn = fn
+        self._props = props
+        self.name = fn.name
+
+    def __call__(self, *args: Any) -> Any:
+        return self._fn(*args)
+
+    def js_get(self, name: str) -> Any:
+        return self._props.js_get(name)
+
+    def js_set(self, name: str, value: Any) -> None:
+        self._props.js_set(name, value)

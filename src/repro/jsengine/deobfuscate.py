@@ -1,0 +1,252 @@
+"""Static de-obfuscation passes for JavaScript.
+
+Quttera-style scanners must see through the obfuscation layers malware
+uses to "hamper static code analysis" (Section III-B).  This module
+implements the common literal-level layers without executing code:
+
+* ``unescape('%69%66...')`` / ``decodeURIComponent`` literals,
+* ``String.fromCharCode(105, 102, ...)`` chains,
+* ``atob('aWZyYW1l...')`` literals,
+* string concatenation of literals (``'ifr' + 'ame'``),
+* reversed-string idiom (``'...'.split('').reverse().join('')``),
+* hex-escape-heavy strings (``"\\x69\\x66..."`` is already decoded by
+  the lexer; re-decoding exposes double-encoded payloads).
+
+:func:`deobfuscate` iterates the passes to a fixed point and returns the
+fully peeled source together with the number of layers removed — the
+layer count itself is a strong maliciousness signal.
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+import re
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from .builtins import js_unescape
+
+__all__ = ["DeobfuscationResult", "deobfuscate", "decode_literals", "looks_obfuscated"]
+
+_UNESCAPE_CALL = re.compile(
+    r"""(?:window\.)?(unescape|decodeURIComponent|decodeURI)\(\s*(['"])((?:[^'"\\]|\\.)*)\2\s*\)"""
+)
+_FROMCHARCODE_CALL = re.compile(
+    r"""String\.fromCharCode\(\s*([0-9,\s]+)\)"""
+)
+_ATOB_CALL = re.compile(
+    r"""(?:window\.)?atob\(\s*(['"])([A-Za-z0-9+/=]+)\1\s*\)"""
+)
+_STRING_LITERAL = r"""(?:"(?:[^"\\\n]|\\.)*"|'(?:[^'\\\n]|\\.)*')"""
+_CONCAT = re.compile(r"(%s)\s*\+\s*(%s)" % (_STRING_LITERAL, _STRING_LITERAL))
+_EVAL_STRING = re.compile(r"eval\(\s*(%s)\s*\)" % _STRING_LITERAL)
+_REVERSE_IDIOM = re.compile(
+    r"(%s)\.split\(\s*(?:''|\"\")\s*\)\.reverse\(\)\.join\(\s*(?:''|\"\")\s*\)" % _STRING_LITERAL
+)
+_PERCENT_RUN = re.compile(r"(?:%[0-9a-fA-F]{2}){4,}")
+
+
+@dataclass
+class DeobfuscationResult:
+    """Outcome of static de-obfuscation."""
+
+    source: str
+    layers: int
+    decoded_strings: List[str]
+
+    @property
+    def was_obfuscated(self) -> bool:
+        return self.layers > 0
+
+
+def _quote(text: str) -> str:
+    escaped = text.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    return '"%s"' % escaped
+
+
+def _pass_unescape(source: str, decoded: List[str]) -> str:
+    def repl(match: "re.Match[str]") -> str:
+        payload = js_unescape(match.group(3))
+        decoded.append(payload)
+        return _quote(payload)
+
+    return _UNESCAPE_CALL.sub(repl, source)
+
+
+def _pass_fromcharcode(source: str, decoded: List[str]) -> str:
+    def repl(match: "re.Match[str]") -> str:
+        codes = [int(c) for c in match.group(1).replace(" ", "").split(",") if c]
+        payload = "".join(chr(c & 0xFFFF) for c in codes)
+        decoded.append(payload)
+        return _quote(payload)
+
+    return _FROMCHARCODE_CALL.sub(repl, source)
+
+
+def _pass_atob(source: str, decoded: List[str]) -> str:
+    def repl(match: "re.Match[str]") -> str:
+        try:
+            payload = base64.b64decode(match.group(2) + "=" * (-len(match.group(2)) % 4)).decode(
+                "latin-1"
+            )
+        except (binascii.Error, ValueError):
+            return match.group(0)
+        decoded.append(payload)
+        return _quote(payload)
+
+    return _ATOB_CALL.sub(repl, source)
+
+
+def _unescape_js_literal(text: str) -> str:
+    out: List[str] = []
+    i = 0
+    while i < len(text):
+        if text[i] == "\\" and i + 1 < len(text):
+            nxt = text[i + 1]
+            if nxt == "x" and i + 4 <= len(text):
+                try:
+                    out.append(chr(int(text[i + 2 : i + 4], 16)))
+                    i += 4
+                    continue
+                except ValueError:
+                    pass
+            if nxt == "u" and i + 6 <= len(text):
+                try:
+                    out.append(chr(int(text[i + 2 : i + 6], 16)))
+                    i += 6
+                    continue
+                except ValueError:
+                    pass
+            mapped = {"n": "\n", "t": "\t", "r": "\r", "'": "'", '"': '"', "\\": "\\"}.get(nxt)
+            out.append(mapped if mapped is not None else nxt)
+            i += 2
+            continue
+        out.append(text[i])
+        i += 1
+    return "".join(out)
+
+
+def _strip_literal(literal: str) -> str:
+    return _unescape_js_literal(literal[1:-1])
+
+
+def _pass_concat(source: str) -> str:
+    previous = None
+    while previous != source:
+        previous = source
+
+        def repl(match: "re.Match[str]") -> str:
+            return _quote(_strip_literal(match.group(1)) + _strip_literal(match.group(2)))
+
+        source = _CONCAT.sub(repl, source, count=1)
+    return source
+
+
+def _pass_eval_unwrap(source: str, decoded: List[str]) -> str:
+    """Unwrap ``eval("<code>")`` — the outer shell every packer leaves."""
+
+    def repl(match: "re.Match[str]") -> str:
+        code = _strip_literal(match.group(1))
+        decoded.append(code)
+        return code
+
+    return _EVAL_STRING.sub(repl, source)
+
+
+_VAR_STRING = re.compile(r"var\s+([A-Za-z_$][\w$]*)\s*=\s*(%s)\s*;" % _STRING_LITERAL)
+_VAR_ARRAY = re.compile(
+    r"var\s+([A-Za-z_$][\w$]*)\s*=\s*\[((?:\s*%s\s*,?)*)\]\s*;" % _STRING_LITERAL
+)
+_LITERAL_FINDER = re.compile(_STRING_LITERAL)
+
+
+def _pass_var_eval(source: str, decoded: List[str]) -> str:
+    """Propagate single-assignment string variables into ``eval(name)``.
+
+    Handles the two stash-then-eval idioms packers use::
+
+        var _0x1 = "code...";        eval(_0x1);
+        var _a12 = ["co", "de"];     eval(_a12.join(''));
+    """
+    for match in _VAR_STRING.finditer(source):
+        name, literal = match.group(1), match.group(2)
+        eval_call = re.compile(r"eval\(\s*%s\s*\)" % re.escape(name))
+        if eval_call.search(source):
+            code = _strip_literal(literal)
+            decoded.append(code)
+            source = source.replace(match.group(0), "", 1)
+            source = eval_call.sub(lambda _m: code, source, count=1)
+            return source
+    for match in _VAR_ARRAY.finditer(source):
+        name, body = match.group(1), match.group(2)
+        eval_call = re.compile(
+            r"eval\(\s*%s\.join\(\s*(?:''|\"\")\s*\)\s*\)" % re.escape(name)
+        )
+        if eval_call.search(source):
+            code = "".join(_strip_literal(lit.group(0)) for lit in _LITERAL_FINDER.finditer(body))
+            decoded.append(code)
+            source = source.replace(match.group(0), "", 1)
+            source = eval_call.sub(lambda _m: code, source, count=1)
+            return source
+    return source
+
+
+def _pass_reverse(source: str, decoded: List[str]) -> str:
+    def repl(match: "re.Match[str]") -> str:
+        payload = _strip_literal(match.group(1))[::-1]
+        decoded.append(payload)
+        return _quote(payload)
+
+    return _REVERSE_IDIOM.sub(repl, source)
+
+
+def decode_literals(source: str) -> Tuple[str, List[str]]:
+    """Run one round of all literal-decoding passes."""
+    decoded: List[str] = []
+    source = _pass_concat(source)
+    source = _pass_unescape(source, decoded)
+    source = _pass_fromcharcode(source, decoded)
+    source = _pass_atob(source, decoded)
+    source = _pass_reverse(source, decoded)
+    source = _pass_var_eval(source, decoded)
+    source = _pass_eval_unwrap(source, decoded)
+    return source, decoded
+
+
+def deobfuscate(source: str, max_layers: int = 8) -> DeobfuscationResult:
+    """Iterate literal decoding to a fixed point (bounded)."""
+    layers = 0
+    all_decoded: List[str] = []
+    for _ in range(max_layers):
+        new_source, decoded = decode_literals(source)
+        # ``document.write(eval-like)`` unwrap: if the whole decoded payload
+        # is itself script-looking text inside a lone string statement,
+        # surface it for the next round.
+        if new_source == source and not decoded:
+            break
+        if decoded:
+            layers += 1
+        all_decoded.extend(decoded)
+        source = new_source
+    return DeobfuscationResult(source=source, layers=layers, decoded_strings=all_decoded)
+
+
+def looks_obfuscated(source: str) -> bool:
+    """Cheap syntactic test for obfuscation (pre-filter for scanners)."""
+    if len(source) < 40:
+        return False
+    if _PERCENT_RUN.search(source):
+        return True
+    if "fromCharCode" in source and source.count(",") > 15:
+        return True
+    if "unescape" in source or "atob(" in source:
+        return True
+    hex_escapes = source.count("\\x")
+    if hex_escapes >= 8:
+        return True
+    # high symbol density / very long lines are typical of packed code
+    longest_line = max((len(line) for line in source.splitlines()), default=0)
+    if longest_line > 600 and source.count(" ") / max(longest_line, 1) < 0.05:
+        return True
+    return False

@@ -1,0 +1,608 @@
+"""Tree-walking JavaScript interpreter.
+
+Executes the AST from :mod:`repro.jsengine.parser` against a host
+environment.  The paper executed obfuscated samples "in a virtual
+machine environment for behavioral analysis" (Section IV-A1); this
+interpreter is that virtual machine: side effects flow through host
+objects (see :mod:`repro.jsengine.hostenv`) which record behaviour.
+
+Safety properties:
+
+* a configurable **step budget** bounds runaway or adversarial loops,
+* no host filesystem/network access exists unless a host object grants it,
+* thrown JS values never escape as Python exceptions other than
+  :class:`~repro.jsengine.values.JSException`.
+"""
+
+from __future__ import annotations
+
+import math
+import random
+from typing import Any, Dict, List, Optional
+
+from . import nodes as N
+from .builtins import get_member, make_global_builtins
+from .parser import parse
+from .values import (
+    UNDEFINED,
+    JSArray,
+    JSException,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    loose_equals,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_string,
+    type_of,
+)
+
+__all__ = ["Interpreter", "BudgetExceeded", "Environment"]
+
+
+class BudgetExceeded(RuntimeError):
+    """The script exceeded its execution step budget."""
+
+
+class _Break(Exception):
+    pass
+
+
+class _Continue(Exception):
+    pass
+
+
+class _Return(Exception):
+    def __init__(self, value: Any) -> None:
+        super().__init__()
+        self.value = value
+
+
+class Environment:
+    """A lexical scope."""
+
+    __slots__ = ("vars", "parent")
+
+    def __init__(self, parent: Optional["Environment"] = None) -> None:
+        self.vars: Dict[str, Any] = {}
+        self.parent = parent
+
+    def lookup(self, name: str) -> Any:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.vars:
+                return env.vars[name]
+            env = env.parent
+        raise JSException("ReferenceError: %s is not defined" % name)
+
+    def has(self, name: str) -> bool:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.vars:
+                return True
+            env = env.parent
+        return False
+
+    def assign(self, name: str, value: Any) -> None:
+        env: Optional[Environment] = self
+        while env is not None:
+            if name in env.vars:
+                env.vars[name] = value
+                return
+            env = env.parent
+        # implicit global, like sloppy-mode JS
+        root = self
+        while root.parent is not None:
+            root = root.parent
+        root.vars[name] = value
+
+    def declare(self, name: str, value: Any = UNDEFINED) -> None:
+        self.vars[name] = value
+
+
+class Interpreter:
+    """Evaluates parsed programs.
+
+    Parameters
+    ----------
+    host_globals:
+        Extra global bindings (the browser host environment installs
+        ``window``, ``document``, etc. here).
+    step_budget:
+        Maximum number of AST-node evaluations before
+        :class:`BudgetExceeded` is raised.
+    rng:
+        Source of randomness for ``Math.random`` (seeded for
+        reproducibility).
+    """
+
+    #: strings longer than this abort the script (memory-bomb guard; real
+    #: sandboxes enforce allocation limits the same way)
+    MAX_STRING_LENGTH = 2_000_000
+
+    def __init__(
+        self,
+        host_globals: Optional[Dict[str, Any]] = None,
+        step_budget: int = 500_000,
+        rng: Optional[random.Random] = None,
+    ) -> None:
+        self.rng = rng or random.Random(0)
+        self.step_budget = step_budget
+        self.steps = 0
+        self.global_env = Environment()
+        for name, value in make_global_builtins(self).items():
+            self.global_env.declare(name, value)
+        self.global_env.declare("eval", NativeFunction("eval", self._eval_builtin))
+        self.eval_log: List[str] = []  # sources passed to eval(), for analysts
+        if host_globals:
+            for name, value in host_globals.items():
+                self.global_env.declare(name, value)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def run(self, source: str) -> Any:
+        """Parse and execute ``source`` in the global scope."""
+        program = parse(source)
+        return self.run_program(program)
+
+    def run_program(self, program: N.Program) -> Any:
+        self._hoist(program.body, self.global_env)
+        result: Any = UNDEFINED
+        for statement in program.body:
+            result = self._exec(statement, self.global_env)
+        return result
+
+    def call_function(self, fn: Any, args: List[Any], this: Any = UNDEFINED) -> Any:
+        """Invoke a JS or native function from host code."""
+        if isinstance(fn, NativeFunction):
+            return fn(*args)
+        if callable(fn) and not isinstance(fn, JSFunction):
+            return fn(*args)
+        if isinstance(fn, JSFunction):
+            env = Environment(fn.env)
+            for index, param in enumerate(fn.params):
+                env.declare(param, args[index] if index < len(args) else UNDEFINED)
+            env.declare("arguments", JSArray(list(args)))
+            env.declare("this", this)
+            self._hoist(fn.body, env)
+            try:
+                for statement in fn.body:
+                    self._exec(statement, env)
+            except _Return as ret:
+                return ret.value
+            return UNDEFINED
+        raise JSException("TypeError: %s is not a function" % to_string(fn))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _tick(self) -> None:
+        self.steps += 1
+        if self.steps > self.step_budget:
+            raise BudgetExceeded("step budget of %d exceeded" % self.step_budget)
+
+    def _eval_builtin(self, source: Any = UNDEFINED) -> Any:
+        """The ``eval`` global: executes in the global scope and logs the
+        source — layered obfuscators call this repeatedly, and each layer
+        is captured for the analyst (Section V-D "de-obfuscating the file
+        in bits and pieces")."""
+        if not isinstance(source, str):
+            return source
+        self.eval_log.append(source)
+        program = parse(source)
+        self._hoist(program.body, self.global_env)
+        result: Any = UNDEFINED
+        for statement in program.body:
+            result = self._exec(statement, self.global_env)
+        return result
+
+    def _hoist(self, body: List[N.Node], env: Environment) -> None:
+        """Hoist function declarations and var names (to UNDEFINED)."""
+        for statement in body:
+            if isinstance(statement, N.FunctionDecl):
+                env.declare(statement.name, JSFunction(statement.name, statement.params, statement.body, env))
+            elif isinstance(statement, N.VarDecl):
+                for name, _init in statement.declarations:
+                    if name not in env.vars:
+                        env.declare(name)
+            elif isinstance(statement, (N.If, N.While, N.DoWhile, N.For, N.ForIn, N.Block, N.Try)):
+                self._hoist(self._nested_bodies(statement), env)
+
+    def _nested_bodies(self, statement: N.Node) -> List[N.Node]:
+        out: List[N.Node] = []
+        if isinstance(statement, N.Block):
+            out.extend(statement.body)
+        elif isinstance(statement, N.If):
+            for branch in (statement.consequent, statement.alternate):
+                if isinstance(branch, N.Block):
+                    out.extend(branch.body)
+                elif branch is not None:
+                    out.append(branch)
+        elif isinstance(statement, (N.While, N.DoWhile, N.For, N.ForIn)):
+            body = statement.body
+            if isinstance(body, N.Block):
+                out.extend(body.body)
+            else:
+                out.append(body)
+        elif isinstance(statement, N.Try):
+            for block in (statement.block, statement.catch_block, statement.finally_block):
+                if isinstance(block, N.Block):
+                    out.extend(block.body)
+        return out
+
+    # -- statements -------------------------------------------------------
+    def _exec(self, node: N.Node, env: Environment) -> Any:
+        self._tick()
+        kind = type(node)
+        if kind is N.ExpressionStatement:
+            return self._eval(node.expression, env)
+        if kind is N.VarDecl:
+            for name, init in node.declarations:
+                value = self._eval(init, env) if init is not None else UNDEFINED
+                env.declare(name, value) if not env.has(name) else env.assign(name, value)
+            return UNDEFINED
+        if kind is N.FunctionDecl:
+            env.declare(node.name, JSFunction(node.name, node.params, node.body, env))
+            return UNDEFINED
+        if kind is N.Block:
+            result: Any = UNDEFINED
+            for statement in node.body:
+                result = self._exec(statement, env)
+            return result
+        if kind is N.If:
+            if to_boolean(self._eval(node.test, env)):
+                return self._exec(node.consequent, env)
+            if node.alternate is not None:
+                return self._exec(node.alternate, env)
+            return UNDEFINED
+        if kind is N.While:
+            while to_boolean(self._eval(node.test, env)):
+                self._tick()
+                try:
+                    self._exec(node.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return UNDEFINED
+        if kind is N.DoWhile:
+            while True:
+                self._tick()
+                try:
+                    self._exec(node.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if not to_boolean(self._eval(node.test, env)):
+                    break
+            return UNDEFINED
+        if kind is N.For:
+            if node.init is not None:
+                self._exec(node.init, env) if isinstance(node.init, (N.VarDecl, N.ExpressionStatement)) else self._eval(node.init, env)
+            while node.test is None or to_boolean(self._eval(node.test, env)):
+                self._tick()
+                try:
+                    self._exec(node.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    pass
+                if node.update is not None:
+                    self._eval(node.update, env)
+            else:
+                return UNDEFINED
+            return UNDEFINED
+        if kind is N.ForIn:
+            obj = self._eval(node.obj, env)
+            keys: List[str] = []
+            if isinstance(obj, JSArray):
+                keys = [str(i) for i in range(len(obj.elements))]
+            elif isinstance(obj, JSObject):
+                keys = obj.keys()
+            elif hasattr(obj, "js_keys"):
+                keys = list(obj.js_keys())
+            if node.declare and not env.has(node.target):
+                env.declare(node.target)
+            for key in keys:
+                env.assign(node.target, key)
+                self._tick()
+                try:
+                    self._exec(node.body, env)
+                except _Break:
+                    break
+                except _Continue:
+                    continue
+            return UNDEFINED
+        if kind is N.Return:
+            value = self._eval(node.argument, env) if node.argument is not None else UNDEFINED
+            raise _Return(value)
+        if kind is N.Break:
+            raise _Break()
+        if kind is N.Continue:
+            raise _Continue()
+        if kind is N.Throw:
+            raise JSException(self._eval(node.argument, env))
+        if kind is N.Try:
+            try:
+                self._exec(node.block, env)
+            except JSException as exc:
+                if node.catch_block is not None:
+                    catch_env = Environment(env)
+                    catch_env.declare(node.catch_param or "e", exc.value)
+                    self._exec(node.catch_block, catch_env)
+            finally:
+                if node.finally_block is not None:
+                    self._exec(node.finally_block, env)
+            return UNDEFINED
+        if kind is N.Switch:
+            discriminant = self._eval(node.discriminant, env)
+            matched = False
+            try:
+                for case in node.cases:
+                    if not matched and case.test is not None:
+                        if strict_equals(discriminant, self._eval(case.test, env)):
+                            matched = True
+                    if matched:
+                        for statement in case.body:
+                            self._exec(statement, env)
+                if not matched:
+                    # run default (and fall through) if present
+                    default_seen = False
+                    for case in node.cases:
+                        if case.test is None:
+                            default_seen = True
+                        if default_seen:
+                            for statement in case.body:
+                                self._exec(statement, env)
+            except _Break:
+                pass
+            return UNDEFINED
+        if kind is N.EmptyStatement:
+            return UNDEFINED
+        # expression node used in statement position (e.g. for-init)
+        return self._eval(node, env)
+
+    # -- expressions --------------------------------------------------------
+    def _eval(self, node: N.Node, env: Environment) -> Any:
+        self._tick()
+        kind = type(node)
+        if kind is N.NumberLiteral:
+            return node.value
+        if kind is N.StringLiteral:
+            return node.value
+        if kind is N.BooleanLiteral:
+            return node.value
+        if kind is N.NullLiteral:
+            return None
+        if kind is N.UndefinedLiteral:
+            return UNDEFINED
+        if kind is N.Identifier:
+            return env.lookup(node.name)
+        if kind is N.ThisExpr:
+            if env.has("this"):
+                return env.lookup("this")
+            return UNDEFINED
+        if kind is N.ArrayLiteral:
+            return JSArray([self._eval(el, env) for el in node.elements])
+        if kind is N.ObjectLiteral:
+            obj = JSObject()
+            for key, value_node in node.properties:
+                obj.js_set(to_string(key), self._eval(value_node, env))
+            return obj
+        if kind is N.FunctionExpr:
+            fn = JSFunction(node.name, node.params, node.body, env)
+            if node.name:
+                fn_env = Environment(env)
+                fn_env.declare(node.name, fn)
+                fn.env = fn_env
+            return fn
+        if kind is N.Unary:
+            return self._eval_unary(node, env)
+        if kind is N.Update:
+            return self._eval_update(node, env)
+        if kind is N.Binary:
+            return self._eval_binary(node.operator, self._eval(node.left, env), self._eval(node.right, env))
+        if kind is N.Logical:
+            left = self._eval(node.left, env)
+            if node.operator == "&&":
+                return self._eval(node.right, env) if to_boolean(left) else left
+            return left if to_boolean(left) else self._eval(node.right, env)
+        if kind is N.Conditional:
+            if to_boolean(self._eval(node.test, env)):
+                return self._eval(node.consequent, env)
+            return self._eval(node.alternate, env)
+        if kind is N.Assignment:
+            return self._eval_assignment(node, env)
+        if kind is N.Call:
+            return self._eval_call(node, env)
+        if kind is N.New:
+            return self._eval_new(node, env)
+        if kind is N.Member:
+            obj = self._eval(node.obj, env)
+            prop = to_string(self._eval(node.prop, env)) if node.computed else node.prop.value  # type: ignore[union-attr]
+            return get_member(self, obj, prop)
+        if kind is N.Sequence:
+            result: Any = UNDEFINED
+            for expression in node.expressions:
+                result = self._eval(expression, env)
+            return result
+        raise JSException("unsupported node %s" % kind.__name__)
+
+    def _eval_unary(self, node: N.Unary, env: Environment) -> Any:
+        operator = node.operator
+        if operator == "typeof":
+            if isinstance(node.argument, N.Identifier) and not env.has(node.argument.name):
+                return "undefined"
+            return type_of(self._eval(node.argument, env))
+        if operator == "delete":
+            if isinstance(node.argument, N.Member):
+                obj = self._eval(node.argument.obj, env)
+                prop = (
+                    to_string(self._eval(node.argument.prop, env))
+                    if node.argument.computed
+                    else node.argument.prop.value  # type: ignore[union-attr]
+                )
+                if isinstance(obj, JSObject):
+                    obj.js_delete(prop)
+                return True
+            return True
+        value = self._eval(node.argument, env)
+        if operator == "!":
+            return not to_boolean(value)
+        if operator == "-":
+            return -to_number(value)
+        if operator == "+":
+            return to_number(value)
+        if operator == "~":
+            return float(~_to_int32(to_number(value)))
+        if operator == "void":
+            return UNDEFINED
+        raise JSException("unsupported unary %s" % operator)
+
+    def _eval_update(self, node: N.Update, env: Environment) -> Any:
+        old = to_number(self._read_target(node.argument, env))
+        new = old + 1 if node.operator == "++" else old - 1
+        self._write_target(node.argument, new, env)
+        return new if node.prefix else old
+
+    def _read_target(self, target: N.Node, env: Environment) -> Any:
+        if isinstance(target, N.Identifier):
+            return env.lookup(target.name) if env.has(target.name) else UNDEFINED
+        if isinstance(target, N.Member):
+            obj = self._eval(target.obj, env)
+            prop = to_string(self._eval(target.prop, env)) if target.computed else target.prop.value  # type: ignore[union-attr]
+            return get_member(self, obj, prop)
+        raise JSException("invalid update target")
+
+    def _write_target(self, target: N.Node, value: Any, env: Environment) -> None:
+        if isinstance(target, N.Identifier):
+            env.assign(target.name, value)
+            return
+        if isinstance(target, N.Member):
+            obj = self._eval(target.obj, env)
+            prop = to_string(self._eval(target.prop, env)) if target.computed else target.prop.value  # type: ignore[union-attr]
+            if hasattr(obj, "js_set"):
+                obj.js_set(prop, value)
+            return
+        raise JSException("invalid assignment target")
+
+    def _eval_assignment(self, node: N.Assignment, env: Environment) -> Any:
+        if node.operator == "=":
+            value = self._eval(node.value, env)
+        else:
+            current = self._read_target(node.target, env)
+            operand = self._eval(node.value, env)
+            value = self._eval_binary(node.operator[:-1], current, operand)
+        self._write_target(node.target, value, env)
+        return value
+
+    def _eval_binary(self, operator: str, left: Any, right: Any) -> Any:
+        if operator == "+":
+            if isinstance(left, str) or isinstance(right, str) or isinstance(left, (JSObject, JSArray)) or isinstance(right, (JSObject, JSArray)):
+                joined = to_string(left) + to_string(right)
+                if len(joined) > self.MAX_STRING_LENGTH:
+                    raise BudgetExceeded(
+                        "string allocation limit (%d chars) exceeded" % self.MAX_STRING_LENGTH
+                    )
+                return joined
+            return to_number(left) + to_number(right)
+        if operator == "-":
+            return to_number(left) - to_number(right)
+        if operator == "*":
+            return to_number(left) * to_number(right)
+        if operator == "/":
+            rnum = to_number(right)
+            lnum = to_number(left)
+            if rnum == 0:
+                if lnum == 0 or math.isnan(lnum):
+                    return float("nan")
+                return math.copysign(float("inf"), lnum) * (1 if rnum == 0 and not str(rnum).startswith("-") else 1)
+            return lnum / rnum
+        if operator == "%":
+            rnum = to_number(right)
+            lnum = to_number(left)
+            if rnum == 0 or math.isnan(lnum) or math.isinf(lnum):
+                return float("nan")
+            return math.fmod(lnum, rnum)
+        if operator == "==":
+            return loose_equals(left, right)
+        if operator == "!=":
+            return not loose_equals(left, right)
+        if operator == "===":
+            return strict_equals(left, right)
+        if operator == "!==":
+            return not strict_equals(left, right)
+        if operator in ("<", ">", "<=", ">="):
+            if isinstance(left, str) and isinstance(right, str):
+                lval, rval = left, right
+            else:
+                lval, rval = to_number(left), to_number(right)
+                if math.isnan(lval) or math.isnan(rval):
+                    return False
+            if operator == "<":
+                return lval < rval
+            if operator == ">":
+                return lval > rval
+            if operator == "<=":
+                return lval <= rval
+            return lval >= rval
+        if operator == "&":
+            return float(_to_int32(to_number(left)) & _to_int32(to_number(right)))
+        if operator == "|":
+            return float(_to_int32(to_number(left)) | _to_int32(to_number(right)))
+        if operator == "^":
+            return float(_to_int32(to_number(left)) ^ _to_int32(to_number(right)))
+        if operator == "<<":
+            return float(_wrap_int32(_to_int32(to_number(left)) << (_to_int32(to_number(right)) & 31)))
+        if operator == ">>":
+            return float(_to_int32(to_number(left)) >> (_to_int32(to_number(right)) & 31))
+        if operator == ">>>":
+            return float((_to_int32(to_number(left)) & 0xFFFFFFFF) >> (_to_int32(to_number(right)) & 31))
+        if operator == "instanceof":
+            return isinstance(left, (JSObject, JSFunction))
+        if operator == "in":
+            if isinstance(right, JSObject):
+                return right.js_has(to_string(left))
+            return False
+        raise JSException("unsupported operator %s" % operator)
+
+    def _eval_call(self, node: N.Call, env: Environment) -> Any:
+        args = [self._eval(arg, env) for arg in node.arguments]
+        if isinstance(node.callee, N.Member):
+            obj = self._eval(node.callee.obj, env)
+            prop = (
+                to_string(self._eval(node.callee.prop, env))
+                if node.callee.computed
+                else node.callee.prop.value  # type: ignore[union-attr]
+            )
+            fn = get_member(self, obj, prop)
+            return self.call_function(fn, args, this=obj)
+        fn = self._eval(node.callee, env)
+        return self.call_function(fn, args, this=UNDEFINED)
+
+    def _eval_new(self, node: N.New, env: Environment) -> Any:
+        callee = self._eval(node.callee, env)
+        args = [self._eval(arg, env) for arg in node.arguments]
+        if isinstance(callee, NativeFunction) or (callable(callee) and not isinstance(callee, JSFunction)):
+            return callee(*args)
+        if isinstance(callee, JSFunction):
+            instance = JSObject()
+            result = self.call_function(callee, args, this=instance)
+            return result if isinstance(result, (JSObject, JSArray)) else instance
+        raise JSException("TypeError: %s is not a constructor" % to_string(callee))
+
+
+def _to_int32(value: float) -> int:
+    if math.isnan(value) or math.isinf(value):
+        return 0
+    return _wrap_int32(int(value))
+
+
+def _wrap_int32(value: int) -> int:
+    value &= 0xFFFFFFFF
+    if value >= 0x80000000:
+        value -= 0x100000000
+    return value

@@ -1,0 +1,294 @@
+"""JavaScript runtime values and coercions.
+
+The interpreter's value universe:
+
+* ``float`` — JS number
+* ``str`` — JS string
+* ``bool`` — JS boolean
+* ``None`` — JS ``null``
+* :data:`UNDEFINED` — JS ``undefined``
+* :class:`JSObject` / :class:`JSArray` — objects and arrays
+* :class:`JSFunction` — closures over interpreter environments
+* :class:`NativeFunction` — host/builtin callables
+* host objects — any Python object implementing ``js_get``/``js_set``
+
+Coercion helpers implement the ES5 abstract operations the corpus needs
+(ToString, ToNumber, ToBoolean, loose equality).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "UNDEFINED", "Undefined", "JSObject", "JSArray", "JSFunction",
+    "NativeFunction", "JSException", "to_string", "to_number",
+    "to_boolean", "loose_equals", "strict_equals", "type_of",
+]
+
+
+class Undefined:
+    """Singleton for JS ``undefined``."""
+
+    _instance: Optional["Undefined"] = None
+
+    def __new__(cls) -> "Undefined":
+        if cls._instance is None:
+            cls._instance = super().__new__(cls)
+        return cls._instance
+
+    def __repr__(self) -> str:
+        return "undefined"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNDEFINED = Undefined()
+
+
+class JSException(Exception):
+    """A thrown JS value propagating through the interpreter."""
+
+    def __init__(self, value: Any) -> None:
+        super().__init__(to_string(value))
+        self.value = value
+
+
+class JSObject:
+    """A plain JS object backed by an ordered dict."""
+
+    def __init__(self, properties: Optional[Dict[str, Any]] = None) -> None:
+        self.properties: Dict[str, Any] = dict(properties or {})
+
+    def js_get(self, name: str) -> Any:
+        return self.properties.get(name, UNDEFINED)
+
+    def js_set(self, name: str, value: Any) -> None:
+        self.properties[name] = value
+
+    def js_has(self, name: str) -> bool:
+        return name in self.properties
+
+    def js_delete(self, name: str) -> None:
+        self.properties.pop(name, None)
+
+    def keys(self) -> List[str]:
+        return list(self.properties)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "JSObject(%r)" % self.properties
+
+
+class JSArray(JSObject):
+    """A JS array; elements live in ``elements``, extra props in dict."""
+
+    def __init__(self, elements: Optional[List[Any]] = None) -> None:
+        super().__init__()
+        self.elements: List[Any] = list(elements or [])
+
+    def js_get(self, name: str) -> Any:
+        if name == "length":
+            return float(len(self.elements))
+        if name.lstrip("-").isdigit():
+            index = int(name)
+            if 0 <= index < len(self.elements):
+                return self.elements[index]
+            return UNDEFINED
+        return super().js_get(name)
+
+    def js_set(self, name: str, value: Any) -> None:
+        if name == "length":
+            new_len = int(to_number(value))
+            del self.elements[new_len:]
+            self.elements.extend([UNDEFINED] * (new_len - len(self.elements)))
+            return
+        if name.lstrip("-").isdigit():
+            index = int(name)
+            if index >= 0:
+                while len(self.elements) <= index:
+                    self.elements.append(UNDEFINED)
+                self.elements[index] = value
+                return
+        super().js_set(name, value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "JSArray(%r)" % self.elements
+
+
+class JSFunction:
+    """A user-defined function: closure over an environment."""
+
+    def __init__(self, name: Optional[str], params: List[str], body: list, env: Any) -> None:
+        self.name = name or ""
+        self.params = params
+        self.body = body
+        self.env = env
+        self.properties: Dict[str, Any] = {}
+
+    def js_get(self, name: str) -> Any:
+        if name == "length":
+            return float(len(self.params))
+        if name == "name":
+            return self.name
+        return self.properties.get(name, UNDEFINED)
+
+    def js_set(self, name: str, value: Any) -> None:
+        self.properties[name] = value
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "JSFunction(%s)" % (self.name or "<anonymous>")
+
+
+class NativeFunction:
+    """A builtin or host function exposed to scripts."""
+
+    def __init__(self, name: str, fn: Callable[..., Any]) -> None:
+        self.name = name
+        self.fn = fn
+
+    def __call__(self, *args: Any) -> Any:
+        return self.fn(*args)
+
+    def js_get(self, name: str) -> Any:
+        if name == "name":
+            return self.name
+        return UNDEFINED
+
+    def js_set(self, name: str, value: Any) -> None:  # host funcs are sealed
+        pass
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "NativeFunction(%s)" % self.name
+
+
+# ---------------------------------------------------------------------------
+# Coercions
+# ---------------------------------------------------------------------------
+
+def to_boolean(value: Any) -> bool:
+    if value is UNDEFINED or value is None:
+        return False
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0 and not math.isnan(value)
+    if isinstance(value, str):
+        return bool(value)
+    return True
+
+
+def to_number(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, int):  # host code may hand us ints
+        return float(value)
+    if value is None:
+        return 0.0
+    if value is UNDEFINED:
+        return float("nan")
+    if isinstance(value, str):
+        text = value.strip()
+        if not text:
+            return 0.0
+        try:
+            if text.lower().startswith(("0x", "-0x", "+0x")):
+                return float(int(text, 16))
+            return float(text)
+        except ValueError:
+            return float("nan")
+    if isinstance(value, JSArray):
+        if not value.elements:
+            return 0.0
+        if len(value.elements) == 1:
+            return to_number(value.elements[0])
+        return float("nan")
+    return float("nan")
+
+
+def _number_to_string(value: float) -> str:
+    if math.isnan(value):
+        return "NaN"
+    if math.isinf(value):
+        return "Infinity" if value > 0 else "-Infinity"
+    if value == int(value) and abs(value) < 1e21:
+        return str(int(value))
+    return repr(value)
+
+
+def to_string(value: Any) -> str:
+    if isinstance(value, str):
+        return value
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        return _number_to_string(value)
+    if isinstance(value, int):
+        return str(value)
+    if value is None:
+        return "null"
+    if value is UNDEFINED:
+        return "undefined"
+    if isinstance(value, JSArray):
+        return ",".join("" if el is UNDEFINED or el is None else to_string(el) for el in value.elements)
+    if isinstance(value, JSFunction):
+        return "function %s() { [code] }" % value.name
+    if isinstance(value, NativeFunction):
+        return "function %s() { [native code] }" % value.name
+    if isinstance(value, JSObject):
+        return "[object Object]"
+    if hasattr(value, "js_to_string"):
+        return value.js_to_string()
+    return "[object %s]" % type(value).__name__
+
+
+def type_of(value: Any) -> str:
+    if value is UNDEFINED:
+        return "undefined"
+    if isinstance(value, bool):
+        return "boolean"
+    if isinstance(value, (float, int)):
+        return "number"
+    if isinstance(value, str):
+        return "string"
+    if isinstance(value, (JSFunction, NativeFunction)):
+        return "function"
+    return "object"
+
+
+def strict_equals(a: Any, b: Any) -> bool:
+    if type_of(a) != type_of(b):
+        return False
+    if isinstance(a, float) and isinstance(b, float):
+        return a == b  # NaN != NaN falls out naturally
+    if a is UNDEFINED and b is UNDEFINED:
+        return True
+    if a is None and b is None:
+        return True
+    if isinstance(a, (str, bool)) and isinstance(b, (str, bool)):
+        return a == b
+    return a is b
+
+
+def loose_equals(a: Any, b: Any) -> bool:
+    ta, tb = type_of(a), type_of(b)
+    if ta == tb:
+        return strict_equals(a, b)
+    if (a is None and b is UNDEFINED) or (a is UNDEFINED and b is None):
+        return True
+    if ta == "number" and tb == "string":
+        return to_number(a) == to_number(b)
+    if ta == "string" and tb == "number":
+        return to_number(a) == to_number(b)
+    if ta == "boolean":
+        return loose_equals(to_number(a), b)
+    if tb == "boolean":
+        return loose_equals(a, to_number(b))
+    if ta in ("number", "string") and tb == "object":
+        return loose_equals(a, to_string(b))
+    if ta == "object" and tb in ("number", "string"):
+        return loose_equals(to_string(a), b)
+    return False

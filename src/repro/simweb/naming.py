@@ -1,0 +1,110 @@
+"""Deterministic name generation for the synthetic web.
+
+Produces plausible domain names, paths, and page titles from seeded
+randomness.  Word lists are flavoured by content category so that a
+"business" site gets shopping/finance-ish names — the paper's Figure 7
+drill-down depends on category-consistent content.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional, Sequence
+
+__all__ = ["NameForge"]
+
+_PREFIXES = (
+    "easy", "best", "top", "my", "the", "go", "pro", "smart", "fast",
+    "mega", "ultra", "prime", "net", "web", "cyber", "click", "true",
+    "real", "super", "daily", "insta", "quick", "free", "hot", "big",
+)
+
+_CORES = {
+    "business": ("shop", "pay", "deal", "market", "trade", "cash", "loan",
+                 "invest", "forex", "store", "offer", "coupon", "bazaar"),
+    "advertisement": ("ads", "banner", "click", "impress", "promo", "traffic",
+                      "cpm", "popup", "media", "reach", "views"),
+    "entertainment": ("stream", "movie", "game", "anime", "video", "music",
+                      "fun", "play", "tube", "flix", "toon"),
+    "information technology": ("host", "proxy", "server", "cloud", "code",
+                               "dev", "tech", "byte", "data", "seo", "dns"),
+    "news": ("news", "press", "daily", "times", "report", "headline"),
+    "education": ("learn", "study", "course", "tutor", "exam", "academy"),
+    "social": ("chat", "friend", "social", "forum", "share", "connect"),
+    "other": ("site", "page", "zone", "spot", "hub", "portal"),
+}
+
+_SUFFIXES = (
+    "hub", "zone", "spot", "land", "point", "base", "city", "world",
+    "place", "line", "link", "way", "box", "lab", "center", "depot",
+)
+
+_PATH_WORDS = (
+    "index", "home", "offers", "deals", "download", "free", "online",
+    "best", "new", "top", "latest", "win", "bonus", "promo", "landing",
+    "page", "view", "item", "category", "special",
+)
+
+_TITLE_TEMPLATES = (
+    "{word} — {topic}",
+    "{topic} | {word}",
+    "Welcome to {word}",
+    "{word}: {topic} and more",
+    "Best {topic} online — {word}",
+)
+
+
+class NameForge:
+    """Seeded generator of domains, paths, and titles.
+
+    All methods draw from the supplied :class:`random.Random`, so callers
+    control determinism.  Generated domain labels are unique per forge.
+    """
+
+    def __init__(self, rng: random.Random) -> None:
+        self._rng = rng
+        self._used: set = set()
+
+    def domain_label(self, category: str = "other") -> str:
+        """A unique second-level label like ``easyshopzone``."""
+        cores: Sequence[str] = _CORES.get(category, _CORES["other"])
+        for _ in range(1000):
+            parts: List[str] = []
+            if self._rng.random() < 0.7:
+                parts.append(self._rng.choice(_PREFIXES))
+            parts.append(self._rng.choice(cores))
+            if self._rng.random() < 0.6:
+                parts.append(self._rng.choice(_SUFFIXES))
+            if self._rng.random() < 0.35:
+                parts.append(str(self._rng.randrange(1, 1000)))
+            label = "".join(parts)
+            if label not in self._used:
+                self._used.add(label)
+                return label
+        # astronomically unlikely at our scales; make uniqueness certain
+        label = "site%d" % self._rng.randrange(10**9)
+        self._used.add(label)
+        return label
+
+    def domain(self, category: str, tld: str) -> str:
+        return "%s.%s" % (self.domain_label(category), tld)
+
+    def path(self, depth: Optional[int] = None, extension: str = "html") -> str:
+        """A path like ``/offers/download/page7.html``."""
+        if depth is None:
+            depth = self._rng.randrange(1, 4)
+        segments = [self._rng.choice(_PATH_WORDS) for _ in range(depth - 1)]
+        leaf = "%s%d" % (self._rng.choice(_PATH_WORDS), self._rng.randrange(1, 100))
+        if extension:
+            leaf += "." + extension
+        segments.append(leaf)
+        return "/" + "/".join(segments)
+
+    def title(self, domain: str, topic: str) -> str:
+        word = domain.split(".")[0].capitalize()
+        template = self._rng.choice(_TITLE_TEMPLATES)
+        return template.format(word=word, topic=topic)
+
+    def token(self, length: int = 8, alphabet: str = "abcdefghijklmnopqrstuvwxyz0123456789") -> str:
+        """A random token, e.g. for shortened-URL slugs or campaign ids."""
+        return "".join(self._rng.choice(alphabet) for _ in range(length))

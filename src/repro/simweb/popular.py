@@ -1,0 +1,73 @@
+"""Popular-site catalog and referral classification.
+
+Section III-A: the crawl logs contained frequent appearances of popular
+websites (Google, Facebook, YouTube ...) — "popular referrals" — and of
+the exchanges' own homepages — "self-referrals".  Both are excluded from
+the malware analysis.  This module carries the popular-domain catalog
+and the classification helpers the analysis pipeline uses.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Set
+
+from .url import Url
+
+__all__ = [
+    "POPULAR_DOMAINS",
+    "BENIGN_INFRA_DOMAINS",
+    "is_popular_url",
+    "is_self_referral",
+]
+
+#: Popular destinations traffic exchanges point at to garner bogus
+#: content views (the paper names Google, Facebook, and YouTube).
+POPULAR_DOMAINS: Set[str] = {
+    "google.com",
+    "facebook.com",
+    "youtube.com",
+    "twitter.com",
+    "wikipedia.org",
+    "yahoo.com",
+    "amazon.com",
+    "instagram.com",
+}
+
+#: Benign infrastructure domains that appear across most exchanges but do
+#: NOT count as popular referrals (Table II explicitly keeps
+#: ajax.googleapis.com inside the per-domain statistics).
+BENIGN_INFRA_DOMAINS: Set[str] = {
+    "ajax.googleapis.com",
+    "fonts.googleapis.com",
+    "cdn.jsdelivr.example",
+    "www.google-analytics.com",
+    "accounts.google.com",
+}
+
+_POPULAR_PATH_HINTS = ("/watch", "/results", "/search", "/profile")
+
+
+def is_popular_url(url: Url, extra_popular: Optional[Iterable[str]] = None) -> bool:
+    """True when ``url`` is a popular-referral destination.
+
+    Infrastructure subdomains (ajax.googleapis.com, google-analytics)
+    are *not* popular referrals even though their registrable domain is
+    popular — they are sub-resources of regular pages.
+    """
+    if url.host in BENIGN_INFRA_DOMAINS:
+        return False
+    domains = set(POPULAR_DOMAINS)
+    if extra_popular:
+        domains.update(extra_popular)
+    return url.registrable_domain in domains
+
+
+def is_self_referral(url: Url, exchange_hosts: Iterable[str]) -> bool:
+    """True when ``url`` points back at one of the exchanges themselves."""
+    host = url.host
+    registrable = url.registrable_domain
+    for exchange_host in exchange_hosts:
+        exchange_registrable = Url.parse("http://%s/" % exchange_host).registrable_domain
+        if host == exchange_host or registrable == exchange_registrable:
+            return True
+    return False

@@ -1,0 +1,143 @@
+"""URL shortening services with public hit statistics.
+
+Section IV-A5 / Table IV: the paper resolves malicious shortened URLs
+(goo.gl, bit.ly, j.mp, tiny.cc, zapit.nu, tr.im) and reads each
+service's public hit statistics — total hits, hits on the long URL, top
+visitor country, and top referrer.  This module models those services:
+slug minting, resolution (including *nested* shortening, which the paper
+notes makes detection harder), and per-slug hit accounting that the
+exchanges' surf traffic feeds.
+"""
+
+from __future__ import annotations
+
+import random
+from collections import Counter
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+__all__ = ["ShortUrlStats", "ShortenerService", "ShortenerDirectory", "SHORTENER_HOSTS"]
+
+#: Hosts of the shortening services seen in the paper's data set.
+SHORTENER_HOSTS = ("goo.gl", "bit.ly", "j.mp", "tiny.cc", "zapit.nu", "tr.im", "mbcurl.me")
+
+
+@dataclass
+class ShortUrlStats:
+    """Publicly visible statistics for one shortened URL."""
+
+    slug: str
+    long_url: str
+    hits: int = 0
+    referrer_counts: Counter = field(default_factory=Counter)
+    country_counts: Counter = field(default_factory=Counter)
+
+    @property
+    def top_referrer(self) -> str:
+        if not self.referrer_counts:
+            return "-"
+        return self.referrer_counts.most_common(1)[0][0]
+
+    @property
+    def top_country(self) -> str:
+        if not self.country_counts:
+            return "-"
+        return self.country_counts.most_common(1)[0][0]
+
+
+class ShortenerService:
+    """One shortening service (e.g. goo.gl)."""
+
+    def __init__(self, host: str, rng: random.Random) -> None:
+        self.host = host
+        self._rng = rng
+        self._by_slug: Dict[str, ShortUrlStats] = {}
+        #: long URL -> slugs pointing at it (a long URL may have several,
+        #: which the paper notes inflates its hit count)
+        self._by_long: Dict[str, List[str]] = {}
+
+    # -- minting -----------------------------------------------------------
+    def shorten(self, long_url: str, slug: Optional[str] = None) -> str:
+        """Create (or reuse) a short URL; returns the full short URL."""
+        if slug is None:
+            alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789"
+            while True:
+                slug = "".join(self._rng.choice(alphabet) for _ in range(6))
+                if slug not in self._by_slug:
+                    break
+        if slug in self._by_slug and self._by_slug[slug].long_url != long_url:
+            raise ValueError("slug %r already in use" % slug)
+        if slug not in self._by_slug:
+            self._by_slug[slug] = ShortUrlStats(slug=slug, long_url=long_url)
+            self._by_long.setdefault(long_url, []).append(slug)
+        return "http://%s/%s" % (self.host, slug)
+
+    # -- resolution ----------------------------------------------------------
+    def resolve(self, slug: str, referrer: str = "", country: str = "") -> Optional[str]:
+        """Resolve a slug, recording the hit; None for unknown slugs."""
+        stats = self._by_slug.get(slug)
+        if stats is None:
+            return None
+        stats.hits += 1
+        if referrer:
+            stats.referrer_counts[referrer] += 1
+        if country:
+            stats.country_counts[country] += 1
+        return stats.long_url
+
+    # -- public statistics API ------------------------------------------------
+    def stats(self, slug: str) -> Optional[ShortUrlStats]:
+        return self._by_slug.get(slug)
+
+    def long_url_hits(self, long_url: str) -> int:
+        """Aggregate hits across every slug pointing at ``long_url``."""
+        return sum(self._by_slug[s].hits for s in self._by_long.get(long_url, ()))
+
+    def slugs(self) -> List[str]:
+        return list(self._by_slug)
+
+
+class ShortenerDirectory:
+    """All shortening services; resolves any short URL and follows nesting."""
+
+    def __init__(self, rng: random.Random, hosts: tuple = SHORTENER_HOSTS) -> None:
+        self.services: Dict[str, ShortenerService] = {
+            host: ShortenerService(host, rng) for host in hosts
+        }
+
+    def is_short_host(self, host: str) -> bool:
+        return host in self.services
+
+    def service(self, host: str) -> ShortenerService:
+        return self.services[host]
+
+    def shorten(self, host: str, long_url: str, slug: Optional[str] = None) -> str:
+        return self.services[host].shorten(long_url, slug)
+
+    def resolve_url(self, url: str, referrer: str = "", country: str = "") -> Optional[str]:
+        """Resolve one level of shortening for a full short URL string."""
+        host, _, slug = url.partition("://")[2].partition("/")
+        service = self.services.get(host)
+        if service is None or not slug:
+            return None
+        return service.resolve(slug.split("?")[0], referrer=referrer, country=country)
+
+    def resolve_fully(self, url: str, referrer: str = "", country: str = "",
+                      max_depth: int = 5) -> tuple:
+        """Follow nested short URLs; returns (final_url, chain).
+
+        The chain includes each intermediate short URL.  Nested
+        shortening deeper than ``max_depth`` stops (defensive bound).
+        """
+        chain: List[str] = [url]
+        current = url
+        for _ in range(max_depth):
+            resolved = self.resolve_url(current, referrer=referrer, country=country)
+            if resolved is None:
+                break
+            chain.append(resolved)
+            current = resolved
+            host = current.partition("://")[2].partition("/")[0]
+            if host not in self.services:
+                break
+        return current, chain

@@ -1,0 +1,40 @@
+"""Shared fixtures.
+
+The session-scoped ``small_study`` runs the full pipeline once at a tiny
+scale; integration tests share it instead of re-crawling.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro import MalwareSlumsStudy, StudyConfig
+
+
+@pytest.fixture
+def rng() -> random.Random:
+    return random.Random(1234)
+
+
+@pytest.fixture(scope="session")
+def small_study() -> MalwareSlumsStudy:
+    study = MalwareSlumsStudy(StudyConfig(seed=2016, scale=0.01))
+    study.run()
+    return study
+
+
+@pytest.fixture(scope="session")
+def small_results(small_study):
+    return small_study.results
+
+
+@pytest.fixture(scope="session")
+def small_dataset(small_study):
+    return small_study.pipeline.dataset
+
+
+@pytest.fixture(scope="session")
+def small_outcome(small_study):
+    return small_study.outcome

@@ -1,0 +1,49 @@
+"""Tests for the detection-alias analysis (Section IV drill-down names)."""
+
+import pytest
+
+from repro.analysis import compute_alias_distribution
+from repro.malware.taxonomy import MalwareCategory
+
+
+@pytest.fixture(scope="module")
+def distribution(small_study, small_dataset, small_outcome):
+    return compute_alias_distribution(
+        small_dataset, small_outcome, small_study.pipeline.blacklists
+    )
+
+
+class TestAliasDistribution:
+    def test_javascript_aliases(self, distribution):
+        """IV-A1: malicious JavaScript reported as Script.virus /
+        Virus.ScrInject.JS / Trojan.Script.Heuristic-js.iacgm."""
+        labels = " ".join(distribution.labels(MalwareCategory.MALICIOUS_JAVASCRIPT))
+        assert ("iacgm" in labels or "ScrInject" in labels
+                or "Script.virus" in labels or "Redirector" in labels)
+
+    def test_misc_iframe_aliases(self, distribution):
+        """V-A: iframe injections reported as HTML/IframeRef.gen,
+        Mal_Hifrm, Trojan.IFrame.Script, htm.iframe.art.gen."""
+        labels = " ".join(distribution.labels(MalwareCategory.MISCELLANEOUS))
+        assert "IframeRef" in labels or "Hifrm" in labels or "iframe" in labels.lower()
+
+    def test_blacklist_label_present(self, distribution):
+        labels = distribution.labels(MalwareCategory.BLACKLISTED)
+        assert any("Blacklist" in label for label in labels)
+
+    def test_top_is_sorted(self, distribution):
+        top = distribution.top(MalwareCategory.MISCELLANEOUS, 10)
+        counts = [count for _label, count in top]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_render(self, distribution):
+        text = distribution.render()
+        assert "miscellaneous" in text or "blacklisted" in text
+
+    def test_empty_category_safe(self, distribution):
+        from repro.analysis import AliasDistribution
+
+        empty = AliasDistribution()
+        assert empty.top(MalwareCategory.MALICIOUS_FLASH) == []
+        assert empty.labels(MalwareCategory.MALICIOUS_FLASH) == []
+        assert empty.render() == ""

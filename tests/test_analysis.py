@@ -1,0 +1,211 @@
+"""Unit tests for repro.analysis on hand-built datasets."""
+
+import random
+
+import pytest
+
+from repro.analysis import (
+    burstiness_score,
+    categorize_url,
+    compute_domain_stats,
+    compute_exchange_stats,
+    compute_timeseries,
+    compute_tld_distribution,
+    overall_malicious_fraction,
+    redirect_count_distribution,
+)
+from repro.analysis.timeseries import MaliciousTimeseries
+from repro.crawler.pipeline import ScanOutcome
+from repro.crawler.storage import CrawlDataset, RecordKind, UrlRecord
+from repro.detection import UrlVerdict, build_blacklists
+from repro.malware.taxonomy import MalwareCategory
+
+
+def make_outcome(malicious_urls):
+    outcome = ScanOutcome()
+    for url in malicious_urls:
+        outcome.verdicts[url] = UrlVerdict(url=url, malicious=True)
+    return outcome
+
+
+def record(url, exchange="X", kind=RecordKind.REGULAR, step=0, ts=0.0, **kwargs):
+    return UrlRecord(url=url, exchange=exchange, kind=kind, step_index=step,
+                     timestamp=ts, **kwargs)
+
+
+@pytest.fixture
+def blacklists():
+    return build_blacklists(
+        known_bad_domains=[],
+        benign_domains=[],
+        rng=random.Random(0),
+        guaranteed_multi_listed=["listed.example"],
+    )
+
+
+class TestCategorizeUrl:
+    def test_shortener_first(self, blacklists):
+        category = categorize_url("http://goo.gl/abc", blacklists,
+                                  final_url="http://other.example/")
+        assert category is MalwareCategory.MALICIOUS_SHORTENED_URL
+
+    def test_cross_site_redirect(self, blacklists):
+        category = categorize_url("http://a.example/x.php", blacklists,
+                                  final_url="http://b.example/land")
+        assert category is MalwareCategory.SUSPICIOUS_REDIRECTION
+
+    def test_same_site_redirect_not_suspicious(self, blacklists):
+        category = categorize_url("http://a.example/x", blacklists,
+                                  final_url="http://www.a.example/y")
+        assert category is not MalwareCategory.SUSPICIOUS_REDIRECTION
+
+    def test_js_extension(self, blacklists):
+        assert categorize_url("http://a.example/lib/mal.js", blacklists) is \
+            MalwareCategory.MALICIOUS_JAVASCRIPT
+
+    def test_swf_extension(self, blacklists):
+        assert categorize_url("http://a.example/AdFlash.swf", blacklists) is \
+            MalwareCategory.MALICIOUS_FLASH
+
+    def test_blacklisted(self, blacklists):
+        assert categorize_url("http://listed.example/page", blacklists) is \
+            MalwareCategory.BLACKLISTED
+
+    def test_fallback_misc(self, blacklists):
+        assert categorize_url("http://fresh.example/page.html", blacklists) is \
+            MalwareCategory.MISCELLANEOUS
+
+    def test_redirect_beats_extension(self, blacklists):
+        category = categorize_url("http://a.example/r.js", blacklists,
+                                  final_url="http://b.example/")
+        assert category is MalwareCategory.SUSPICIOUS_REDIRECTION
+
+
+class TestExchangeStats:
+    def test_counting(self):
+        dataset = CrawlDataset()
+        dataset.add_record(record("http://ex.example/", kind=RecordKind.SELF_REFERRAL))
+        dataset.add_record(record("http://www.google.com/", kind=RecordKind.POPULAR_REFERRAL))
+        dataset.add_record(record("http://bad.example/"))
+        dataset.add_record(record("http://good.example/"))
+        outcome = make_outcome(["http://bad.example/"])
+        rows = compute_exchange_stats(dataset, outcome)
+        assert len(rows) == 1
+        row = rows[0]
+        assert row.urls_crawled == 4
+        assert row.self_referrals == 1
+        assert row.popular_referrals == 1
+        assert row.regular_urls == 2
+        assert row.malicious_urls == 1
+        assert row.malicious_fraction == 0.5
+        assert row.benign_urls == 1
+
+    def test_overall_fraction(self):
+        dataset = CrawlDataset()
+        for i in range(10):
+            dataset.add_record(record("http://site%d.example/" % i))
+        outcome = make_outcome(["http://site0.example/", "http://site1.example/",
+                                "http://site2.example/"])
+        rows = compute_exchange_stats(dataset, outcome)
+        assert overall_malicious_fraction(rows) == pytest.approx(0.3)
+
+    def test_instances_counted_not_distinct(self):
+        dataset = CrawlDataset()
+        for _ in range(5):
+            dataset.add_record(record("http://bad.example/"))
+        rows = compute_exchange_stats(dataset, make_outcome(["http://bad.example/"]))
+        assert rows[0].malicious_urls == 5
+
+
+class TestDomainStats:
+    def test_domain_aggregation(self):
+        dataset = CrawlDataset()
+        dataset.add_record(record("http://www.one.example/a"))
+        dataset.add_record(record("http://cdn.one.example/b"))
+        dataset.add_record(record("http://two.example/"))
+        outcome = make_outcome(["http://cdn.one.example/b"])
+        rows = compute_domain_stats(dataset, outcome)
+        row = rows[0]
+        assert row.domains == 2  # one.example + two.example
+        assert row.malware_domains == 1
+        assert row.malware_fraction == 0.5
+
+    def test_referrals_excluded(self):
+        dataset = CrawlDataset()
+        dataset.add_record(record("http://ex.example/", kind=RecordKind.SELF_REFERRAL))
+        rows = compute_domain_stats(dataset, ScanOutcome())
+        assert rows == [] or rows[0].domains == 0
+
+
+class TestRedirectDistribution:
+    def test_histogram(self):
+        dataset = CrawlDataset()
+        dataset.add_record(record("http://r1.example/x", redirect_count=3,
+                                  final_url="http://d.example/"))
+        dataset.add_record(record("http://r2.example/y", redirect_count=1,
+                                  final_url="http://d.example/"))
+        dataset.add_record(record("http://hop.example/h", redirect_count=2,
+                                  final_url="http://d.example/", role="hop"))
+        dataset.add_record(record("http://plain.example/"))
+        outcome = make_outcome(["http://r1.example/x", "http://r2.example/y",
+                                "http://hop.example/h"])
+        dist = redirect_count_distribution(dataset, outcome)
+        assert dist.counts[3] == 1
+        assert dist.counts[1] == 1
+        assert 2 not in dist.counts  # hops excluded
+        assert dist.max_observed == 3
+
+    def test_distinct_dedup(self):
+        dataset = CrawlDataset()
+        for _ in range(4):
+            dataset.add_record(record("http://r.example/x", redirect_count=2,
+                                      final_url="http://d.example/"))
+        outcome = make_outcome(["http://r.example/x"])
+        assert redirect_count_distribution(dataset, outcome).counts[2] == 1
+        assert redirect_count_distribution(dataset, outcome, distinct=False).counts[2] == 4
+
+
+class TestTimeseries:
+    def test_cumulative_points(self):
+        dataset = CrawlDataset()
+        urls = ["http://a.example/", "http://bad.example/", "http://c.example/",
+                "http://bad.example/"]
+        for index, url in enumerate(urls):
+            dataset.add_record(record(url, step=index, ts=float(index)))
+        outcome = make_outcome(["http://bad.example/"])
+        series = compute_timeseries(dataset, outcome)
+        points = series["X"].points
+        assert points == [(1, 0), (2, 1), (3, 1), (4, 2)]
+        assert series["X"].final_malicious == 2
+
+    def test_burstiness_steady_vs_bursty(self):
+        steady = MaliciousTimeseries("steady")
+        cumulative = 0
+        for i in range(1, 401):
+            if i % 4 == 0:
+                cumulative += 1
+            steady.points.append((i, cumulative))
+        bursty = MaliciousTimeseries("bursty")
+        cumulative = 0
+        for i in range(1, 401):
+            if 200 <= i < 300:
+                cumulative += 1
+            bursty.points.append((i, cumulative))
+        assert burstiness_score(bursty) > burstiness_score(steady) * 2
+
+    def test_burstiness_empty(self):
+        assert burstiness_score(MaliciousTimeseries("x")) == 0.0
+
+
+class TestTldDistribution:
+    def test_shares(self):
+        dataset = CrawlDataset()
+        for i in range(7):
+            dataset.add_record(record("http://s%d.example.com/" % i))
+        for i in range(3):
+            dataset.add_record(record("http://s%d.example.net/" % i))
+        all_urls = [r.url for r in dataset.records]
+        dist = compute_tld_distribution(dataset, make_outcome(all_urls))
+        assert dist.percentage("com") == pytest.approx(70.0)
+        assert dist.percentage("net") == pytest.approx(30.0)
+        assert dist.others_percentage(2) == pytest.approx(0.0)

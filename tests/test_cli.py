@@ -1,0 +1,87 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_run_defaults(self):
+        args = build_parser().parse_args(["run"])
+        assert args.scale == 0.02
+        assert args.seed == 2016
+
+    def test_invalid_table_rejected(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["run", "--table", "9"])
+
+
+class TestCommands:
+    def test_run_table1(self, capsys):
+        assert main(["run", "--scale", "0.003", "--seed", "5", "--table", "1"]) == 0
+        out = capsys.readouterr().out
+        assert "10KHits" in out
+        assert "%Malicious" in out
+
+    def test_run_figure6(self, capsys):
+        assert main(["run", "--scale", "0.003", "--seed", "5", "--figure", "6"]) == 0
+        assert "TLD" in capsys.readouterr().out
+
+    def test_run_full_report(self, capsys):
+        assert main(["run", "--scale", "0.003", "--seed", "5"]) == 0
+        out = capsys.readouterr().out
+        assert "Table I" in out and "Figure 7" in out
+
+    def test_vet(self, capsys):
+        assert main(["vet", "--per-family", "3"]) == 0
+        out = capsys.readouterr().out
+        assert "VirusTotal" in out
+        assert "accepted:" in out
+
+    def test_har_export(self, tmp_path, capsys):
+        target = tmp_path / "out.har"
+        assert main(["har", "--exchange", "Otohits", "--scale", "0.003",
+                     "--seed", "5", "-o", str(target)]) == 0
+        data = json.loads(target.read_text())
+        assert data["log"]["version"] == "1.2"
+        assert data["log"]["entries"]
+
+    def test_har_unknown_exchange(self, tmp_path, capsys):
+        target = tmp_path / "out.har"
+        assert main(["har", "--exchange", "NoSuch", "--scale", "0.003",
+                     "--seed", "5", "-o", str(target)]) == 2
+
+    def test_records_export(self, tmp_path, capsys):
+        target = tmp_path / "records.json"
+        assert main(["records", "--scale", "0.003", "--seed", "5",
+                     "-o", str(target)]) == 0
+        records = json.loads(target.read_text())
+        assert len(records) > 100
+        assert {"url", "exchange", "kind"} <= set(records[0])
+
+
+class TestNewCommands:
+    def test_compare(self, capsys):
+        exit_code = main(["compare", "--scale", "0.004", "--seed", "5"])
+        out = capsys.readouterr().out
+        assert "artifact" in out and "shape" in out
+        assert exit_code in (0, 1)  # shape claims may wobble at micro-scale
+
+    def test_export(self, tmp_path, capsys):
+        target = tmp_path / "out"
+        assert main(["export", "--scale", "0.004", "--seed", "5",
+                     "-o", str(target)]) == 0
+        assert (target / "table1.csv").exists()
+        assert (target / "results.json").exists()
+
+    def test_feed(self, tmp_path, capsys):
+        target = tmp_path / "feed.txt"
+        assert main(["feed", "--scale", "0.004", "--seed", "5",
+                     "-o", str(target)]) == 0
+        assert "threat feed" in target.read_text()

@@ -1,0 +1,124 @@
+"""Tests for the HTTP cookie jar and its client/server integration."""
+
+import random
+
+import pytest
+
+from repro.httpsim import CookieJar, SimHttpClient, SimHttpServer
+from repro.simweb import ContentCategory, GroundTruth, Page, Site, WebRegistry
+from repro.simweb.url import Url
+
+
+@pytest.fixture
+def jar():
+    return CookieJar()
+
+
+def url(text):
+    return Url.parse(text)
+
+
+class TestStore:
+    def test_basic(self, jar):
+        cookie = jar.store(url("http://a.example.com/"), "sid=abc123")
+        assert cookie is not None
+        assert jar.cookie_header(url("http://a.example.com/")) == "sid=abc123"
+
+    def test_host_only_by_default(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=1")
+        assert jar.cookie_header(url("http://sub.a.example.com/")) == ""
+
+    def test_domain_attribute_allows_subdomains(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=1; Domain=a.example.com")
+        assert jar.cookie_header(url("http://sub.a.example.com/")) == "sid=1"
+
+    def test_foreign_domain_rejected(self, jar):
+        assert jar.store(url("http://a.example.com/"), "sid=1; Domain=evil.com") is None
+
+    def test_path_scoping(self, jar):
+        jar.store(url("http://a.example.com/app/page"), "sid=1; Path=/app")
+        assert jar.cookie_header(url("http://a.example.com/app/other")) == "sid=1"
+        assert jar.cookie_header(url("http://a.example.com/elsewhere")) == ""
+
+    def test_path_prefix_needs_boundary(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=1; Path=/app")
+        assert jar.cookie_header(url("http://a.example.com/application")) == ""
+
+    def test_overwrite_same_key(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=old")
+        jar.store(url("http://a.example.com/"), "sid=new")
+        assert jar.get(url("http://a.example.com/"), "sid") == "new"
+        assert len(jar) == 1
+
+    def test_malformed_rejected(self, jar):
+        assert jar.store(url("http://a.example.com/"), "") is None
+        assert jar.store(url("http://a.example.com/"), "novalue") is None
+        assert jar.store(url("http://a.example.com/"), "=bare") is None
+
+
+class TestExpiry:
+    def test_max_age(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=1; Max-Age=10")
+        assert jar.get(url("http://a.example.com/"), "sid") == "1"
+        jar.advance(11)
+        assert jar.get(url("http://a.example.com/"), "sid") is None
+
+    def test_max_age_wins_over_expires(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=1; Expires=1000; Max-Age=5")
+        jar.advance(6)
+        assert jar.get(url("http://a.example.com/"), "sid") is None
+
+    def test_immediate_expiry_deletes(self, jar):
+        jar.store(url("http://a.example.com/"), "sid=1")
+        jar.store(url("http://a.example.com/"), "sid=1; Max-Age=0")
+        assert len(jar) == 0
+
+    def test_purge(self, jar):
+        jar.store(url("http://a.example.com/"), "a=1; Max-Age=5")
+        jar.store(url("http://a.example.com/"), "b=2")
+        jar.advance(10)
+        assert jar.purge_expired() == 1
+        assert len(jar) == 1
+
+
+class TestHeaderAssembly:
+    def test_longest_path_first(self, jar):
+        jar.store(url("http://a.example.com/app/x"), "specific=1; Path=/app")
+        jar.store(url("http://a.example.com/"), "general=2; Path=/")
+        header = jar.cookie_header(url("http://a.example.com/app/x"))
+        assert header == "specific=1; general=2"
+
+    def test_multiple_cookies(self, jar):
+        jar.store(url("http://a.example.com/"), "a=1")
+        jar.store(url("http://a.example.com/"), "b=2")
+        header = jar.cookie_header(url("http://a.example.com/"))
+        assert "a=1" in header and "b=2" in header
+
+
+class TestClientIntegration:
+    def test_session_cookie_round_trip(self):
+        registry = WebRegistry(random.Random(0))
+        site = Site("exchange.example.com", ContentCategory.ADVERTISEMENT, GroundTruth(False))
+        site.add_page(Page("/", "home", "<html><body>welcome</body></html>"))
+        site.behavior.set_cookies["/"] = "session=tok42; Path=/"
+        registry.add(site)
+        jar = CookieJar()
+        client = SimHttpClient(SimHttpServer(registry), cookie_jar=jar)
+
+        client.fetch("http://exchange.example.com/")
+        assert jar.get(url("http://exchange.example.com/"), "session") == "tok42"
+
+        # second request carries the cookie
+        result = client.fetch("http://exchange.example.com/")
+        assert result.entries[0].url == "http://exchange.example.com/"
+        # verify through a fresh request object built by the client
+        assert jar.cookie_header(url("http://exchange.example.com/")) == "session=tok42"
+
+    def test_no_jar_no_crash(self):
+        registry = WebRegistry(random.Random(0))
+        site = Site("x.example.com", ContentCategory.BUSINESS, GroundTruth(False))
+        site.add_page(Page("/", "x", "<html></html>"))
+        site.behavior.set_cookies["/"] = "a=b"
+        registry.add(site)
+        client = SimHttpClient(SimHttpServer(registry))
+        assert client.fetch("http://x.example.com/").response.ok

@@ -1,0 +1,93 @@
+"""Tests for core persistence and the experiment registry."""
+
+import math
+
+import pytest
+
+from repro.core import (
+    EXPERIMENTS,
+    experiment,
+    load_results,
+    results_from_json,
+    results_to_json,
+    run_experiment,
+    save_results,
+)
+from repro.malware.taxonomy import MalwareCategory
+
+
+class TestPersistence:
+    def test_round_trip(self, small_results, tmp_path):
+        path = tmp_path / "results.json"
+        save_results(small_results, str(path))
+        restored = load_results(str(path))
+
+        assert restored.overall_malicious_fraction == pytest.approx(
+            small_results.overall_malicious_fraction
+        )
+        original = {(r.exchange, r.urls_crawled, r.malicious_urls) for r in small_results.table1}
+        loaded = {(r.exchange, r.urls_crawled, r.malicious_urls) for r in restored.table1}
+        assert original == loaded
+
+    def test_table3_preserved(self, small_results):
+        restored = results_from_json(results_to_json(small_results))
+        assert restored.table3.total_malicious == small_results.table3.total_malicious
+        for category in MalwareCategory:
+            assert restored.table3.count(category) == small_results.table3.count(category)
+
+    def test_figures_preserved(self, small_results):
+        restored = results_from_json(results_to_json(small_results))
+        assert restored.figure5.counts == small_results.figure5.counts
+        assert restored.figure6.counts == small_results.figure6.counts
+        assert restored.figure7.counts == small_results.figure7.counts
+        for name, ts in small_results.figure3.items():
+            assert restored.figure3[name].points == ts.points
+
+    def test_figure2_rebuilt(self, small_results):
+        restored = results_from_json(results_to_json(small_results))
+        assert len(restored.figure2.auto_surf) == 5
+        assert len(restored.figure2.manual_surf) == 4
+
+    def test_renderers_work_on_restored(self, small_results):
+        from repro.core import render_full_report
+
+        restored = results_from_json(results_to_json(small_results))
+        report = render_full_report(restored)
+        assert "Table I" in report
+
+    def test_bad_version_rejected(self):
+        with pytest.raises(ValueError):
+            results_from_json('{"format_version": 999}')
+
+
+class TestExperimentRegistry:
+    def test_thirteen_experiments(self):
+        assert len(EXPERIMENTS) == 13
+        assert {e.experiment_id for e in EXPERIMENTS} == {"E%d" % i for i in range(1, 14)}
+
+    def test_lookup(self):
+        entry = experiment("E3")
+        assert entry.paper_artifact == "Table III"
+        assert "categorize" in entry.modules[0]
+
+    def test_unknown_id(self):
+        with pytest.raises(KeyError):
+            experiment("E99")
+
+    def test_every_bench_file_exists(self):
+        import os
+
+        for entry in EXPERIMENTS:
+            assert os.path.exists(entry.bench), entry.bench
+
+    def test_run_experiment_table1(self, small_study):
+        rows = run_experiment("E1", small_study)
+        assert len(rows) == 9
+
+    def test_run_experiment_fig6(self, small_study):
+        distribution = run_experiment("E9", small_study)
+        assert distribution.percentage("com") > 30
+
+    def test_runnerless_experiment_raises(self, small_study):
+        with pytest.raises(ValueError):
+            run_experiment("E11", small_study)

@@ -1,0 +1,179 @@
+"""Tests for repro.countermeasures (Section VI recommendations)."""
+
+import random
+
+import pytest
+
+from repro.countermeasures import (
+    AdFraudDetector,
+    ExchangeWarningExtension,
+    ImpressionRecord,
+    KNOWN_EXCHANGE_DOMAINS,
+)
+
+
+class TestWarningExtension:
+    def test_known_exchange_flagged(self):
+        extension = ExchangeWarningExtension()
+        warning = extension.check_navigation("http://www.10khits.com/surf")
+        assert warning is not None
+        assert warning.reason == "known-exchange"
+        assert "traffic exchange" in warning.message
+
+    def test_known_exchange_subdomain_flagged(self):
+        extension = ExchangeWarningExtension()
+        assert extension.check_navigation("http://members.otohits.net/start") is not None
+
+    def test_table4_referrers_listed(self):
+        assert "vtrafficrush.com" in KNOWN_EXCHANGE_DOMAINS
+        assert "hit4hit.org" in KNOWN_EXCHANGE_DOMAINS
+
+    def test_ordinary_site_passes(self):
+        extension = ExchangeWarningExtension()
+        assert extension.check_navigation("http://www.example-news.com/story") is None
+
+    def test_heuristic_catches_unknown_exchange(self):
+        extension = ExchangeWarningExtension()
+        html = (
+            "<html><body><h1>SurfMaster 5000</h1>"
+            "<p>Our traffic exchange lets you earn credits for every page you view. "
+            "Watch the surf timer and earn traffic for your own site!</p>"
+            '<div id="timer">00:20</div></body></html>'
+        )
+        warning = extension.check_navigation("http://brand-new-exchange.example.com/", html)
+        assert warning is not None
+        assert warning.reason == "exchange-heuristic"
+
+    def test_heuristic_ignores_normal_content(self):
+        extension = ExchangeWarningExtension()
+        html = "<html><body><p>Our bakery sells fresh bread daily.</p></body></html>"
+        assert extension.check_navigation("http://bakery.example.com/", html) is None
+
+    def test_list_update(self):
+        extension = ExchangeWarningExtension(known_domains=[])
+        assert extension.check_navigation("http://fresh-exchange.example.com/") is None
+        extension.add_domain("fresh-exchange.example.com")
+        assert extension.check_navigation("http://fresh-exchange.example.com/") is not None
+
+    def test_counters(self):
+        extension = ExchangeWarningExtension()
+        extension.check_navigation("http://www.10khits.com/")
+        extension.check_navigation("http://benign.example.com/")
+        assert extension.navigations_checked == 2
+        assert extension.warnings_shown == 1
+
+    def test_garbage_url_ignored(self):
+        extension = ExchangeWarningExtension()
+        assert extension.check_navigation("not a url") is None
+
+
+def exchange_impressions(rng, publisher, count=200):
+    """Impressions from exchange surf traffic: diverse IPs, quantized
+    dwell (the surf timer), effectively no clicks."""
+    out = []
+    for _ in range(count):
+        out.append(ImpressionRecord(
+            publisher_url=publisher,
+            referrer="http://www.sendsurf.com/surf",
+            ip_address="%d.%d.%d.%d" % tuple(rng.randrange(1, 255) for _ in range(4)),
+            country=rng.choice(("IN", "PK", "BR", "RU", "US")),
+            dwell_seconds=15.0 + rng.random(),  # timer-quantized
+            clicked=False,
+        ))
+    return out
+
+
+def organic_impressions(rng, publisher, count=200):
+    """Organic traffic: repeat visitors, varied dwell, normal CTR."""
+    ips = ["10.0.%d.%d" % (rng.randrange(30), rng.randrange(255)) for _ in range(count // 5)]
+    out = []
+    for _ in range(count):
+        out.append(ImpressionRecord(
+            publisher_url=publisher,
+            referrer=rng.choice(("http://www.google.com/search?q=x",
+                                 "http://news.site.example/story", "")),
+            ip_address=rng.choice(ips),
+            country=rng.choice(("US", "US", "GB", "DE")),
+            dwell_seconds=max(1.0, rng.gauss(45, 30)),
+            clicked=rng.random() < 0.015,
+        ))
+    return out
+
+
+class TestAdFraudDetector:
+    def test_exchange_traffic_flagged(self):
+        rng = random.Random(3)
+        detector = AdFraudDetector()
+        reports = detector.analyze(exchange_impressions(rng, "http://spamsite.example.com/"))
+        report = reports["example.com"]
+        assert report.fraudulent
+        assert report.exchange_share > 0.9
+        assert any("traffic exchanges" in r for r in report.reasons)
+
+    def test_behavioural_detection_without_referrer(self):
+        """Referrer spoofing: exchange hides itself; behaviour still tells."""
+        rng = random.Random(3)
+        impressions = [
+            ImpressionRecord(
+                publisher_url="http://spoofed.example.net/",
+                referrer="http://www.google.com/",  # spoofed
+                ip_address="%d.%d.%d.%d" % tuple(rng.randrange(1, 255) for _ in range(4)),
+                country=rng.choice(("IN", "PK", "BR")),
+                dwell_seconds=20.0 + rng.random() * 0.5,
+                clicked=False,
+            )
+            for _ in range(300)
+        ]
+        detector = AdFraudDetector()
+        report = detector.analyze(impressions)["example.net"]
+        assert report.fraudulent
+        assert report.exchange_share == 0.0  # caught on behaviour alone
+
+    def test_organic_traffic_passes(self):
+        rng = random.Random(3)
+        detector = AdFraudDetector()
+        reports = detector.analyze(organic_impressions(rng, "http://honest.example.org/"))
+        report = reports["example.org"]
+        assert not report.fraudulent, report.reasons
+
+    def test_low_volume_not_judged(self):
+        rng = random.Random(3)
+        detector = AdFraudDetector(min_impressions=20)
+        reports = detector.analyze(exchange_impressions(rng, "http://tiny.example.com/", count=5))
+        assert not reports["example.com"].fraudulent
+
+    def test_mixed_stream_separates_publishers(self):
+        rng = random.Random(9)
+        detector = AdFraudDetector()
+        stream = (exchange_impressions(rng, "http://bad-pub.example.com/")
+                  + organic_impressions(rng, "http://good-pub.example.org/"))
+        reports = detector.analyze(stream)
+        assert detector.fraudulent_publishers(reports) == ["example.com"]
+
+    def test_report_metrics(self):
+        rng = random.Random(1)
+        detector = AdFraudDetector()
+        reports = detector.analyze(organic_impressions(rng, "http://m.example.io/", count=100))
+        report = reports["example.io"]
+        assert report.impressions == 100
+        assert 0 <= report.click_through_rate <= 1
+        assert 0 < report.ip_diversity <= 1
+
+    def test_exchange_surf_feed_integration(self, small_study):
+        """Impressions built from a real exchange's surf steps get flagged."""
+        rng = random.Random(12)
+        exchange = small_study.pipeline.exchanges["10KHits"]
+        impressions = []
+        for listed in exchange.rotation[:1]:
+            for _ in range(60):
+                impressions.append(ImpressionRecord(
+                    publisher_url=listed.url,
+                    referrer="http://%s/surf" % exchange.host,
+                    ip_address="%d.%d.%d.%d" % tuple(rng.randrange(1, 255) for _ in range(4)),
+                    country="IN",
+                    dwell_seconds=exchange.min_surf_seconds + rng.random(),
+                    clicked=False,
+                ))
+        detector = AdFraudDetector()
+        reports = detector.analyze(impressions)
+        assert all(r.fraudulent for r in reports.values())

@@ -1,0 +1,125 @@
+"""Unit tests for BrowserSession and CrawlDataset plumbing."""
+
+import random
+
+import pytest
+
+from repro.crawler.session import BrowserSession
+from repro.crawler.storage import CachedContent, CrawlDataset, RecordKind, UrlRecord
+from repro.httpsim import SimHttpClient, SimHttpServer
+from repro.simweb import (
+    ContentCategory,
+    GroundTruth,
+    Page,
+    RedirectHop,
+    Site,
+    WebRegistry,
+)
+
+
+@pytest.fixture
+def world():
+    registry = WebRegistry(random.Random(0))
+    site = Site("member.example.com", ContentCategory.BUSINESS, GroundTruth(False))
+    site.add_page(Page(
+        "/", "home", "<html><body>home</body></html>",
+        subresource_urls=["http://cdn.example.net/lib.js"],
+    ))
+    registry.add(site)
+    cdn = Site("cdn.example.net", ContentCategory.INFORMATION_TECHNOLOGY, GroundTruth(False))
+    from repro.simweb import Resource
+    cdn.add_resource(Resource("/lib.js", "application/javascript", b"var lib = 1;"))
+    registry.add(cdn)
+    redirector = Site("hop.example.org", ContentCategory.ADVERTISEMENT, GroundTruth(True))
+    redirector.behavior.redirects["/go"] = RedirectHop("http://member.example.com/")
+    registry.add(redirector)
+    server = SimHttpServer(registry)
+    dataset = CrawlDataset()
+    session = BrowserSession(
+        client=SimHttpClient(server), registry=registry, dataset=dataset,
+        exchange_name="TestEx", exchange_host="exchange.example",
+    )
+    return registry, dataset, session
+
+
+class TestVisit:
+    def test_page_and_subresources_logged(self, world):
+        _registry, dataset, session = world
+        session.visit("http://member.example.com/", RecordKind.REGULAR, 0, 0.0)
+        urls = [r.url for r in dataset.records]
+        assert "http://member.example.com/" in urls
+        assert "http://cdn.example.net/lib.js" in urls
+        roles = {r.url: r.role for r in dataset.records}
+        assert roles["http://member.example.com/"] == "page"
+
+    def test_redirect_hops_logged(self, world):
+        _registry, dataset, session = world
+        session.visit("http://hop.example.org/go", RecordKind.REGULAR, 1, 0.0)
+        by_url = {r.url: r for r in dataset.records}
+        entry = by_url["http://hop.example.org/go"]
+        assert entry.redirect_count == 1
+        assert entry.final_url == "http://member.example.com/"
+        landed = by_url["http://member.example.com/"]
+        assert landed.role == "hop"
+        assert landed.redirect_count == 0
+
+    def test_content_cached_with_final_body(self, world):
+        _registry, dataset, session = world
+        session.visit("http://hop.example.org/go", RecordKind.REGULAR, 2, 0.0)
+        cached = dataset.content["http://hop.example.org/go"]
+        assert b"home" in cached.content  # the destination's body
+        assert cached.final_url == "http://member.example.com/"
+
+    def test_self_referral_no_subresources(self, world):
+        registry, dataset, session = world
+        exchange = Site("exchange.example", ContentCategory.ADVERTISEMENT, GroundTruth(False))
+        exchange.add_page(Page("/", "x", "<html><body>x</body></html>",
+                               subresource_urls=["http://cdn.example.net/lib.js"]))
+        registry.add(exchange)
+        session.visit("http://exchange.example/", RecordKind.SELF_REFERRAL, 3, 0.0)
+        urls = [r.url for r in dataset.records]
+        assert "http://cdn.example.net/lib.js" not in urls
+
+    def test_har_log_populated(self, world):
+        _registry, dataset, session = world
+        session.visit("http://member.example.com/", RecordKind.REGULAR, 4, 1.5)
+        log = dataset.har_log("TestEx")
+        assert len(log) == 2  # page + subresource
+        assert all(e.page_ref.startswith("TestEx-") for e in log.entries)
+
+    def test_referrer_is_exchange_surf_page(self, world):
+        _registry, dataset, session = world
+        session.visit("http://member.example.com/", RecordKind.REGULAR, 5, 0.0)
+        entries = dataset.har_log("TestEx").entries
+        assert entries[0].referrer == "http://exchange.example/surf"
+
+
+class TestDatasetOps:
+    def test_distinct_urls_ordering(self):
+        dataset = CrawlDataset()
+        for url in ("http://a/", "http://b/", "http://a/"):
+            dataset.add_record(UrlRecord(url=url, exchange="E", kind=RecordKind.REGULAR,
+                                         step_index=0, timestamp=0.0))
+        assert dataset.distinct_urls() == ["http://a/", "http://b/"]
+
+    def test_cache_first_wins(self):
+        dataset = CrawlDataset()
+        dataset.cache_content("u", CachedContent(b"first", "text/html", "u", 0))
+        dataset.cache_content("u", CachedContent(b"second", "text/html", "u", 0))
+        assert dataset.content["u"].content == b"first"
+
+    def test_records_json_round_trip(self):
+        dataset = CrawlDataset()
+        dataset.add_record(UrlRecord(url="http://a/", exchange="E",
+                                     kind=RecordKind.REGULAR, step_index=3,
+                                     timestamp=1.0, role="page",
+                                     final_url="http://b/", redirect_count=1))
+        restored = CrawlDataset.records_from_json(dataset.records_to_json())
+        assert restored.records == dataset.records
+
+    def test_distinct_domains(self):
+        dataset = CrawlDataset()
+        for url in ("http://www.a.example/", "http://cdn.a.example/", "http://b.example/"):
+            dataset.add_record(UrlRecord(url=url, exchange="E", kind=RecordKind.REGULAR,
+                                         step_index=0, timestamp=0.0))
+        assert sorted(dataset.distinct_domains()) == ["a.example", "b.example"]

@@ -1,0 +1,82 @@
+"""Tests for UrlVerdictService (the combined per-URL verdict)."""
+
+import random
+
+import pytest
+
+from repro.detection import (
+    QutteraSim,
+    UrlVerdictService,
+    VirusTotalSim,
+    build_blacklists,
+)
+from repro.malware import deceptive_download_bar, tiny_iframe
+
+SHELL = "<html><head><title>t</title></head><body><p>online shopping deals</p>%s</body></html>"
+
+
+@pytest.fixture
+def service():
+    blacklists = build_blacklists(
+        known_bad_domains=[],
+        benign_domains=[],
+        rng=random.Random(0),
+        guaranteed_multi_listed=["listed.example"],
+    )
+    return UrlVerdictService(
+        virustotal=VirusTotalSim(),
+        quttera=QutteraSim(),
+        blacklists=blacklists,
+    )
+
+
+class TestVerdicts:
+    def test_malicious_content(self, service):
+        rng = random.Random(1)
+        html = SHELL % tiny_iframe(rng, "http://bad.example/").html
+        verdict = service.verdict("http://page.example/", content=html.encode())
+        assert verdict.malicious
+        assert verdict.vt_report is not None
+        assert verdict.quttera_report is not None
+        assert verdict.labels
+
+    def test_blacklist_only_verdict(self, service):
+        # clean content on a multi-listed domain is still malicious
+        verdict = service.verdict("http://listed.example/anything",
+                                  content=(SHELL % "").encode())
+        assert verdict.blacklisted
+        assert verdict.malicious
+        assert "Blacklist.MultiList" in verdict.labels
+
+    def test_clean_page(self, service):
+        verdict = service.verdict("http://clean.example/", content=(SHELL % "").encode())
+        assert not verdict.malicious
+        assert verdict.blacklist_hits == []
+
+    def test_content_category_surface(self, service):
+        verdict = service.verdict("http://shop.example/", content=(SHELL % "").encode())
+        assert verdict.content_category == "business"
+
+    def test_deceptive_download_flagged(self, service):
+        rng = random.Random(1)
+        lure = deceptive_download_bar(rng, "http://p.example/flashplayer.exe")
+        verdict = service.verdict("http://dl.example/", content=(SHELL % lure.html).encode())
+        assert verdict.malicious
+
+    def test_min_blacklist_hits_configurable(self):
+        blacklists = build_blacklists([], [], random.Random(0),
+                                      guaranteed_multi_listed=["listed.example"])
+        strict = UrlVerdictService(
+            virustotal=VirusTotalSim(), quttera=QutteraSim(),
+            blacklists=blacklists, min_blacklist_hits=10,
+        )
+        verdict = strict.verdict("http://listed.example/", content=b"<html></html>")
+        assert not verdict.blacklisted
+
+    def test_verdict_deterministic(self, service):
+        rng = random.Random(1)
+        html = (SHELL % tiny_iframe(rng, "http://bad.example/").html).encode()
+        a = service.verdict("http://p.example/", content=html)
+        b = service.verdict("http://p.example/", content=html)
+        assert a.malicious == b.malicious
+        assert a.vt_report.positives == b.vt_report.positives

@@ -1,0 +1,125 @@
+"""Direct unit tests for the simulated AV engine detectors."""
+
+import pytest
+
+from repro.detection.engines import (
+    SimulatedEngine,
+    _deceptive_download,
+    _executable_signature,
+    _flash_behaviour,
+    _iframe_signature,
+    _iframe_strict,
+    _iframe_whitelist_aware,
+    _obfuscation_heuristic,
+    _pdf_exploit,
+    _popup_clicker,
+    _redirector,
+    _script_injection,
+    _spyware,
+    default_engine_pool,
+)
+from repro.detection.heuristics import ContentAnalysis, IframeFinding
+
+
+def untrusted_frame(injected=False, exfil=False):
+    return IframeFinding(src="http://bad.example/x", width=1.0, height=1.0,
+                         hidden_by="tiny", injected_by_js=injected,
+                         exfiltrates_query=exfil)
+
+
+def trusted_frame():
+    return IframeFinding(src="https://accounts.google.com/o/oauth2/x",
+                         width=1.0, height=1.0, hidden_by="tiny")
+
+
+class TestIframeDetectors:
+    def test_signature_flags_untrusted(self):
+        analysis = ContentAnalysis(hidden_iframes=[untrusted_frame()])
+        assert _iframe_signature(analysis, "k") == "HTML/IframeRef.gen"
+
+    def test_signature_fp_on_trusted(self):
+        analysis = ContentAnalysis(hidden_iframes=[trusted_frame()])
+        assert _iframe_signature(analysis, "k") == "Mal_Hifrm"  # no whitelist
+
+    def test_whitelist_aware_skips_trusted(self):
+        analysis = ContentAnalysis(hidden_iframes=[trusted_frame()])
+        assert _iframe_whitelist_aware(analysis, "k") is None
+
+    def test_whitelist_aware_js_label(self):
+        analysis = ContentAnalysis(hidden_iframes=[untrusted_frame(injected=True)])
+        assert _iframe_whitelist_aware(analysis, "k") == "Trojan.IFrame.Script"
+
+    def test_strict_untrusted_only(self):
+        assert _iframe_strict(ContentAnalysis(hidden_iframes=[trusted_frame()]), "k") is None
+        assert _iframe_strict(ContentAnalysis(hidden_iframes=[untrusted_frame()]), "k")
+
+
+class TestBehaviourDetectors:
+    def test_script_injection(self):
+        analysis = ContentAnalysis(
+            hidden_iframes=[untrusted_frame(injected=True)],
+            injection_score=0.7, document_writes=1,
+        )
+        assert _script_injection(analysis, "k") == "Virus.ScrInject.JS"
+
+    def test_obfuscation_layers(self):
+        assert _obfuscation_heuristic(ContentAnalysis(obfuscation_layers=2), "k") \
+            == "Trojan.Script.Heuristic-js.iacgm"
+        assert _obfuscation_heuristic(ContentAnalysis(), "k") is None
+
+    def test_redirector(self):
+        analysis = ContentAnalysis(redirect_stub=True, redirect_target="http://n/")
+        assert _redirector(analysis, "k") == "Trojan:JS/Redirector"
+
+    def test_deceptive_download(self):
+        analysis = ContentAnalysis(download_triggers=["http://p/x.exe"])
+        assert _deceptive_download(analysis, "k") == "Trojan:Win32/FakeFlash"
+
+    def test_flash_requires_flash_kind(self):
+        analysis = ContentAnalysis(kind="html", external_interface_calls=["f"],
+                                   flash_invisible_overlay=True,
+                                   flash_allows_any_domain=True)
+        assert _flash_behaviour(analysis, "k") is None
+        analysis.kind = "flash"
+        assert "Blacole" in _flash_behaviour(analysis, "k")
+
+    def test_executable(self):
+        analysis = ContentAnalysis(kind="executable", executable_signature_hit=True)
+        assert _executable_signature(analysis, "k")
+        analysis.executable_signature_hit = False
+        assert _executable_signature(analysis, "k") is None
+
+    def test_spyware(self):
+        analysis = ContentAnalysis(fingerprinting_listeners=3, beacons=["http://b/"])
+        assert _spyware(analysis, "k") == "Trojan:JS/Spy.Tracker"
+
+    def test_pdf(self):
+        analysis = ContentAnalysis(kind="pdf", pdf_malformed=True, pdf_embedded_js=True)
+        assert _pdf_exploit(analysis, "k") == "Exploit:PDF/Malformed.Gen"
+
+    def test_popup_clicker_on_popups(self):
+        analysis = ContentAnalysis(popups=["http://ad/"], obfuscation_layers=1)
+        assert _popup_clicker(analysis, "k") == "TrojanClicker:JS/Agent"
+
+
+class TestEngineWrapper:
+    def test_miss_rate_keyed_deterministically(self):
+        engine = SimulatedEngine("T", lambda a, k: "Label", miss_rate=0.5)
+        analysis = ContentAnalysis()
+        first = engine.scan(analysis, "artifact-1")
+        again = engine.scan(analysis, "artifact-1")
+        assert first.detected == again.detected
+
+    def test_zero_miss_always_detects(self):
+        engine = SimulatedEngine("T", lambda a, k: "Label", miss_rate=0.0, fp_rate=0.0)
+        assert engine.scan(ContentAnalysis(), "any").detected
+
+    def test_fp_rate_zero_never_false_positives(self):
+        engine = SimulatedEngine("T", lambda a, k: None, miss_rate=0.0, fp_rate=0.0)
+        for index in range(200):
+            assert not engine.scan(ContentAnalysis(), "a%d" % index).detected
+
+    def test_pool_composition(self):
+        pool = default_engine_pool()
+        names = {e.name for e in pool}
+        assert len(names) == len(pool) >= 14

@@ -1,0 +1,96 @@
+"""Tests for the detector-evaluation harness."""
+
+import pytest
+
+from repro.analysis import DetectionScore, evaluate_detection
+from repro.simweb.site import MalwareFamily
+
+
+class TestDetectionScore:
+    def test_metrics(self):
+        score = DetectionScore(true_positives=8, false_positives=2,
+                               false_negatives=2, true_negatives=88)
+        assert score.precision == pytest.approx(0.8)
+        assert score.recall == pytest.approx(0.8)
+        assert score.f1 == pytest.approx(0.8)
+        assert score.total == 100
+
+    def test_empty_safe(self):
+        score = DetectionScore()
+        assert score.precision == 0.0
+        assert score.recall == 0.0
+        assert score.f1 == 0.0
+
+
+class TestEvaluateDetection:
+    @pytest.fixture(scope="class")
+    def report(self, small_study):
+        return evaluate_detection(
+            small_study.web, small_study.pipeline.dataset, small_study.outcome
+        )
+
+    def test_overall_quality(self, report):
+        assert report.overall.precision > 0.9
+        assert report.overall.recall > 0.55
+        assert report.overall.total > 500
+
+    def test_page_families_well_detected(self, report):
+        for family in (MalwareFamily.IFRAME_TINY, MalwareFamily.DECEPTIVE_DOWNLOAD):
+            assert report.family_recall(family) > 0.8, family
+
+    def test_stealthier_families_recalled_less(self, report):
+        """Pages whose malware lives in remote scripts are naturally
+        harder at the page-URL level — the asymmetry the calibration
+        models."""
+        stealthy = report.family_recall(MalwareFamily.MALICIOUS_JS_FILE)
+        overt = report.family_recall(MalwareFamily.IFRAME_TINY)
+        assert overt >= stealthy
+
+    def test_example_lists_bounded(self, report):
+        assert len(report.false_positive_urls) <= 50
+        assert len(report.false_negative_urls) <= 50
+
+    def test_summary_rows(self, report):
+        rows = report.summary_rows()
+        assert rows[0][0] == "overall"
+        assert len(rows) >= 4
+
+
+class TestImpressionsBridge:
+    def test_surf_generates_flagged_impressions(self):
+        import random
+
+        from repro.countermeasures import AdFraudDetector, simulate_exchange_impressions
+        from repro.exchanges import AutoSurfExchange
+
+        rng = random.Random(8)
+        exchange = AutoSurfExchange(
+            name="AdTest", host="adtest.example.com", rng=rng,
+            min_surf_seconds=20.0, self_referral_rate=0.05, popular_referral_rate=0.05,
+        )
+        for index in range(5):
+            exchange.list_site("http://pub%d.example.com/" % index)
+        impressions = simulate_exchange_impressions(exchange, steps=600, rng=rng)
+        assert len(impressions) > 400  # member visits dominate
+        detector = AdFraudDetector(exchange_domains={"adtest.example.com", "example.com"})
+        reports = detector.analyze(impressions)
+        assert reports
+        flagged = detector.fraudulent_publishers(reports)
+        assert len(flagged) == len(reports)  # every exchange publisher caught
+
+    def test_referral_steps_skipped(self):
+        import random
+
+        from repro.countermeasures import impressions_from_surf
+        from repro.exchanges import AutoSurfExchange
+
+        rng = random.Random(8)
+        exchange = AutoSurfExchange(
+            name="AdTest2", host="adtest2.example.com", rng=rng,
+            self_referral_rate=1.0, popular_referral_rate=0.0,
+        )
+        exchange.register_member("m", "192.0.2.9")
+        session = exchange.open_session("m")
+        steps = [exchange.next_step(session) for _ in range(50)]
+        impressions = list(impressions_from_surf(exchange, steps, rng))
+        assert impressions == []  # all steps were self-referrals

@@ -1,0 +1,37 @@
+"""Smoke tests: every example script must run clean end to end.
+
+Run via subprocess at micro scale so a release never ships a broken
+example.
+"""
+
+import os
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES_DIR = os.path.join(os.path.dirname(__file__), "..", "examples")
+
+
+def run_example(name, *args, timeout=240):
+    return subprocess.run(
+        [sys.executable, os.path.join(EXAMPLES_DIR, name), *args],
+        capture_output=True, text=True, timeout=timeout,
+    )
+
+
+@pytest.mark.parametrize("name,args,expect", [
+    ("quickstart.py", ("0.004", "5"), "Table I"),
+    ("malware_drilldown.py", (), "ExternalInterface"),
+    ("campaign_burst.py", (), "unique IPs"),
+    ("tool_vetting.py", (), "accepted tools"),
+    ("cloaking_ablation.py", (), "file submission"),
+    ("countermeasures_demo.py", (), "FRAUDULENT"),
+    ("paper_comparison.py", ("0.004", "5"), "shape"),
+    ("detector_evaluation.py", ("0.004", "5"), "precision"),
+])
+def test_example_runs_clean(name, args, expect):
+    result = run_example(name, *args)
+    assert result.returncode == 0, result.stderr[-2000:]
+    assert expect in result.stdout
+    assert "Traceback" not in result.stderr

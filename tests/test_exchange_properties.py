@@ -1,0 +1,99 @@
+"""Property-based invariants for the exchange engines."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.exchanges import (
+    AutoSurfExchange,
+    CreditLedger,
+    PricingPlan,
+    StepKind,
+)
+
+
+class TestLedgerInvariants:
+    @given(st.lists(st.sampled_from(["earn", "charge", "buy"]), max_size=60))
+    @settings(max_examples=80, deadline=None)
+    def test_balance_never_negative(self, operations):
+        ledger = CreditLedger(PricingPlan())
+        for operation in operations:
+            if operation == "earn":
+                ledger.earn_surf("m", surf_seconds=10, min_surf_seconds=10)
+            elif operation == "charge":
+                ledger.charge_visit("m")
+            else:
+                ledger.purchase_visits("m", usd=1.0)
+            assert ledger.balance("m") >= 0.0
+
+    @given(st.floats(min_value=0.01, max_value=100.0))
+    @settings(max_examples=50, deadline=None)
+    def test_purchase_proportional(self, usd):
+        ledger = CreditLedger(PricingPlan(usd_per_1000_visits=2.0))
+        visits = ledger.purchase_visits("m", usd=usd)
+        assert visits == int(usd / 2.0 * 1000)
+
+
+class TestRotationInvariants:
+    @given(
+        st.integers(min_value=0, max_value=2**30),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.floats(min_value=0.0, max_value=0.4),
+        st.integers(min_value=1, max_value=12),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_steps_always_valid(self, seed, self_rate, popular_rate, site_count):
+        rng = random.Random(seed)
+        exchange = AutoSurfExchange(
+            name="Prop", host="prop.example.com", rng=rng,
+            self_referral_rate=self_rate, popular_referral_rate=popular_rate,
+            popular_urls=["http://www.google.com/"],
+        )
+        listed = ["http://member%d.example.com/" % i for i in range(site_count)]
+        for url in listed:
+            exchange.list_site(url, weight=0.1 + rng.random())
+        exchange.register_member("m", "198.51.100.3")
+        session = exchange.open_session("m")
+
+        previous_ts = 0.0
+        for _ in range(120):
+            step = exchange.next_step(session)
+            assert step.kind in (StepKind.SELF_REFERRAL, StepKind.POPULAR_REFERRAL,
+                                 StepKind.MEMBER_SITE, StepKind.CAMPAIGN)
+            if step.kind == StepKind.MEMBER_SITE:
+                assert step.url in listed
+            elif step.kind == StepKind.SELF_REFERRAL:
+                assert step.url == exchange.homepage_url
+            assert step.timestamp > previous_ts
+            previous_ts = step.timestamp
+            assert step.surf_seconds >= exchange.min_surf_seconds
+
+    @given(st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=30, deadline=None)
+    def test_indices_strictly_increasing(self, seed):
+        rng = random.Random(seed)
+        exchange = AutoSurfExchange(name="Idx", host="idx.example.com", rng=rng)
+        exchange.list_site("http://m.example.com/")
+        exchange.register_member("m", "198.51.100.4")
+        session = exchange.open_session("m")
+        indices = [exchange.next_step(session).index for _ in range(50)]
+        assert indices == sorted(set(indices))
+
+
+class TestCampaignInvariants:
+    @given(
+        st.integers(min_value=1, max_value=5000),
+        st.floats(min_value=0.3, max_value=1.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_window_covers_delivery(self, visits, intensity):
+        from repro.exchanges import Campaign
+
+        campaign = Campaign(target_url="http://t/", start_step=10,
+                            visits_purchased=visits, intensity=intensity)
+        window = campaign.end_step - campaign.start_step
+        # the window is sized so that `intensity * window` covers the
+        # over-delivered total
+        assert window * intensity >= campaign.visits_to_deliver - 1
+        assert campaign.visits_to_deliver >= visits

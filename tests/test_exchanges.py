@@ -1,0 +1,240 @@
+"""Tests for repro.exchanges: accounts, economy, campaigns, surfing."""
+
+import random
+
+import pytest
+
+from repro.exchanges import (
+    AutoSurfExchange,
+    Campaign,
+    CampaignSchedule,
+    CaptchaGate,
+    CreditLedger,
+    HumanSolver,
+    ManualSurfExchange,
+    PricingPlan,
+    StepKind,
+    profile,
+    auto_surf_names,
+    manual_surf_names,
+    EXCHANGE_PROFILES,
+)
+from repro.exchanges.accounts import AccountPolicy, sample_country
+
+
+@pytest.fixture
+def rng():
+    return random.Random(4)
+
+
+def make_auto(rng, **kwargs):
+    defaults = dict(
+        name="TestAuto", host="auto.example.com", rng=rng,
+        min_surf_seconds=10.0, self_referral_rate=0.1, popular_referral_rate=0.1,
+        popular_urls=["http://www.google.com/"],
+    )
+    defaults.update(kwargs)
+    return AutoSurfExchange(**defaults)
+
+
+class TestAccounts:
+    def test_one_account_per_ip(self):
+        policy = AccountPolicy()
+        policy.register("a", "1.2.3.4", "US")
+        with pytest.raises(ValueError):
+            policy.register("b", "1.2.3.4", "US")
+
+    def test_multiple_ips_allowed_when_configured(self):
+        policy = AccountPolicy(allow_multiple_ips=True)
+        policy.register("a", "1.2.3.4", "US")
+        policy.register("b", "1.2.3.4", "US")
+
+    def test_parallel_session_suspends(self):
+        policy = AccountPolicy()
+        policy.register("a", "1.2.3.4", "US")
+        first = policy.open_session("a")
+        assert first is not None
+        second = policy.open_session("a")  # Otohits Figure 1(c)
+        assert second is None
+        assert policy.member("a").suspended
+
+    def test_close_then_reopen(self):
+        policy = AccountPolicy()
+        policy.register("a", "1.2.3.4", "US")
+        handle = policy.open_session("a")
+        policy.close_session(handle)
+        assert policy.open_session("a") is not None
+
+    def test_country_sampling_mix(self, rng):
+        countries = {sample_country(rng) for _ in range(500)}
+        assert {"US", "IN", "BR"} <= countries
+
+
+class TestEconomy:
+    def test_earn_and_charge(self):
+        ledger = CreditLedger(PricingPlan(credits_per_surf=1.0, credits_per_visit=1.25))
+        ledger.earn_surf("m", surf_seconds=10, min_surf_seconds=10)
+        assert ledger.balance("m") == 1.0
+        assert not ledger.charge_visit("m")  # 1.0 < 1.25: reciprocity != 1:1
+        ledger.earn_surf("m", surf_seconds=10, min_surf_seconds=10)
+        assert ledger.charge_visit("m")
+
+    def test_purchase_visits(self):
+        ledger = CreditLedger(PricingPlan(usd_per_1000_visits=2.0))
+        visits = ledger.purchase_visits("m", usd=5.0)
+        assert visits == 2500  # the paper's validation purchase
+        assert ledger.balance("m") > 0
+
+    def test_purchase_requires_positive(self):
+        ledger = CreditLedger(PricingPlan())
+        with pytest.raises(ValueError):
+            ledger.purchase_visits("m", usd=0)
+
+
+class TestCampaigns:
+    def test_window_and_overdelivery(self):
+        campaign = Campaign(target_url="http://t/", start_step=100,
+                            visits_purchased=2500, intensity=0.85)
+        assert campaign.visits_to_deliver == 3750  # 1.5x overdelivery
+        assert campaign.active_at(100)
+        assert not campaign.active_at(99)
+        assert not campaign.active_at(campaign.end_step)
+
+    def test_schedule_pick(self, rng):
+        schedule = CampaignSchedule()
+        schedule.add(Campaign("http://t/", start_step=0, visits_purchased=100, intensity=1.0))
+        assert schedule.pick_url(0, rng) == "http://t/"
+        assert schedule.pick_url(10**9, rng) is None
+
+
+class TestCaptcha:
+    def test_gate_verification(self, rng):
+        gate = CaptchaGate(rng)
+        captcha = gate.issue()
+        assert gate.verify(captcha, captcha.answer)
+        captcha2 = gate.issue()
+        assert not gate.verify(captcha2, (captcha2.answer + 1) % captcha2.choices)
+        assert gate.passed == 1 and gate.failed == 1
+
+    def test_human_solver_mostly_right(self, rng):
+        gate = CaptchaGate(rng)
+        solver = HumanSolver(rng=rng, accuracy=0.9)
+        correct = sum(
+            1 for _ in range(300)
+            if (lambda c: solver.solve(c) == c.answer)(gate.issue())
+        )
+        assert 230 <= correct <= 300
+
+
+class TestAutoSurf:
+    def test_referral_rates(self, rng):
+        exchange = make_auto(rng, self_referral_rate=0.2, popular_referral_rate=0.1)
+        for index in range(30):
+            exchange.list_site("http://member%d.example.com/" % index)
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        steps = [exchange.next_step(session) for _ in range(3000)]
+        self_count = sum(1 for s in steps if s.kind == StepKind.SELF_REFERRAL)
+        pop_count = sum(1 for s in steps if s.kind == StepKind.POPULAR_REFERRAL)
+        assert 0.15 < self_count / 3000 < 0.25
+        assert 0.06 < pop_count / 3000 < 0.14
+
+    def test_weighted_rotation(self, rng):
+        exchange = make_auto(rng, self_referral_rate=0.0, popular_referral_rate=0.0)
+        exchange.list_site("http://heavy.example.com/", weight=9.0)
+        exchange.list_site("http://light.example.com/", weight=1.0)
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        heavy = sum(
+            1 for _ in range(2000)
+            if exchange.next_step(session).url == "http://heavy.example.com/"
+        )
+        assert 0.82 < heavy / 2000 < 0.97
+
+    def test_campaign_burst_dominates_window(self, rng):
+        exchange = make_auto(rng)
+        for index in range(10):
+            exchange.list_site("http://member%d.example.com/" % index)
+        exchange.purchase_campaign("http://burst.example.com/", visits=200,
+                                   start_step=100, intensity=0.9)
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        steps = [exchange.next_step(session) for _ in range(700)]
+        in_window = [s for s in steps if 100 <= s.index < 100 + int(300 / 0.9)]
+        burst_share = sum(1 for s in in_window if s.kind == StepKind.CAMPAIGN) / len(in_window)
+        assert burst_share > 0.75
+
+    def test_empty_rotation_self_refers(self, rng):
+        exchange = make_auto(rng, self_referral_rate=0.0, popular_referral_rate=0.0)
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        step = exchange.next_step(session)
+        assert step.url == exchange.homepage_url
+
+    def test_clock_advances_by_min_surf(self, rng):
+        exchange = make_auto(rng, min_surf_seconds=51.0)  # 10KHits' timer
+        exchange.list_site("http://m.example.com/")
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        first = exchange.next_step(session)
+        second = exchange.next_step(session)
+        assert second.timestamp - first.timestamp >= 51.0
+
+    def test_surfing_earns_credits(self, rng):
+        exchange = make_auto(rng)
+        exchange.list_site("http://m.example.com/")
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        exchange.next_step(session)
+        assert exchange.ledger.balance("crawler") > 0
+
+    def test_listing_weight_positive(self, rng):
+        exchange = make_auto(rng)
+        with pytest.raises(ValueError):
+            exchange.list_site("http://m.example.com/", weight=0)
+
+
+class TestManualSurf:
+    def test_captcha_gate_engaged(self, rng):
+        exchange = ManualSurfExchange(
+            name="TestManual", host="manual.example.com", rng=rng,
+            captcha_every=2, min_surf_seconds=5.0,
+            self_referral_rate=0.0, popular_referral_rate=0.0,
+        )
+        exchange.list_site("http://m.example.com/")
+        exchange.register_member("crawler", "9.9.9.9")
+        session = exchange.open_session("crawler")
+        steps = list(exchange.manual_surf(session, 20))
+        assert len(steps) == 20
+        assert exchange.gate.issued >= 9
+
+    def test_manual_dwell_longer_than_auto(self, rng):
+        manual = ManualSurfExchange(name="M", host="m.example", rng=random.Random(1),
+                                    min_surf_seconds=10.0)
+        auto = make_auto(random.Random(1), min_surf_seconds=10.0)
+        assert manual._surf_seconds() > auto._surf_seconds() - 2.0  # human latency dominates
+
+
+class TestRoster:
+    def test_nine_profiles(self):
+        assert len(EXCHANGE_PROFILES) == 9
+        assert len(auto_surf_names()) == 5
+        assert len(manual_surf_names()) == 4
+
+    def test_table1_calibration_values(self):
+        sendsurf = profile("SendSurf")
+        assert sendsurf.malicious_url_rate == pytest.approx(0.519)
+        assert profile("Otohits").self_referral_rate == pytest.approx(52167 / 96316)
+        assert profile("Traffic Monsoon").kind == "manual-surf"
+
+    def test_scaled_urls_floor(self):
+        assert profile("Hit2Hit").scaled_urls(0.0001) == 50
+
+    def test_scaled_domains_sublinear(self):
+        p = profile("10KHits")
+        assert p.scaled_domains(0.25) == pytest.approx(p.domains * 0.5, rel=0.01)
+        assert p.scaled_domains(2.0) == p.domains
+
+    def test_unknown_profile_raises(self):
+        with pytest.raises(KeyError):
+            profile("NoSuchExchange")

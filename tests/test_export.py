@@ -1,0 +1,60 @@
+"""Tests for CSV export of study artifacts."""
+
+import csv
+import os
+
+import pytest
+
+from repro.core import export_csvs
+
+
+class TestExport:
+    @pytest.fixture(scope="class")
+    def exported(self, small_results, tmp_path_factory):
+        directory = tmp_path_factory.mktemp("csvs")
+        paths = export_csvs(small_results, str(directory))
+        return directory, paths
+
+    def test_all_files_written(self, exported):
+        directory, paths = exported
+        names = {os.path.basename(p) for p in paths}
+        assert {"table1.csv", "table2.csv", "table3.csv", "table4.csv",
+                "figure3.csv", "figure5.csv", "figure6.csv", "figure7.csv"} <= names
+
+    def test_table1_contents(self, exported, small_results):
+        directory, _paths = exported
+        with open(os.path.join(str(directory), "table1.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert len(rows) == 9
+        by_name = {r["exchange"]: r for r in rows}
+        original = {r.exchange: r for r in small_results.table1}
+        for name, row in by_name.items():
+            assert int(row["urls_crawled"]) == original[name].urls_crawled
+            assert 0.0 <= float(row["malicious_fraction"]) <= 1.0
+
+    def test_figure3_downsampled(self, exported):
+        directory, _paths = exported
+        with open(os.path.join(str(directory), "figure3.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        assert rows
+        exchanges = {r["exchange"] for r in rows}
+        assert len(exchanges) == 9
+        # cumulative counts never decrease within one exchange
+        previous = {}
+        for row in rows:
+            name = row["exchange"]
+            value = int(row["cumulative_malicious"])
+            assert value >= previous.get(name, 0)
+            previous[name] = value
+
+    def test_figure6_sorted_desc(self, exported):
+        directory, _paths = exported
+        with open(os.path.join(str(directory), "figure6.csv")) as handle:
+            rows = list(csv.DictReader(handle))
+        counts = [int(r["count"]) for r in rows]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_creates_directory(self, small_results, tmp_path):
+        target = tmp_path / "nested" / "dir"
+        paths = export_csvs(small_results, str(target))
+        assert paths and target.exists()

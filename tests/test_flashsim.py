@@ -1,0 +1,154 @@
+"""Tests for repro.flashsim: container, actions, decompiler, player."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.flashsim import (
+    ActionProgram,
+    FlashPlayer,
+    OpCode,
+    SwfError,
+    SwfFile,
+    decode_program,
+    decompile,
+    decompile_bytes,
+    encode_program,
+)
+from repro.jsengine.hostenv import BrowserHost
+
+
+def clickjack_program():
+    program = ActionProgram()
+    program.add(OpCode.ALLOW_DOMAIN, "*")
+    program.add(OpCode.SET_SCALE_MODE, "exact_fit")
+    program.add(OpCode.SET_ALPHA, "0")
+    program.add(OpCode.SET_SIZE, "2000", "2000")
+    program.add(OpCode.LABEL, "mouse_up")
+    program.add(OpCode.EXTERNAL_CALL, "AdFlash.onClick")
+    program.add(OpCode.SET_DISPLAY_STATE, "fullScreen")
+    program.add(OpCode.EXTERNAL_CALL, "window.NqPnfu")
+    program.add(OpCode.SET_DISPLAY_STATE, "normal")
+    program.add(OpCode.END_HANDLER)
+    return program
+
+
+class TestActionCodec:
+    def test_round_trip(self):
+        program = clickjack_program()
+        decoded = decode_program(encode_program(program))
+        assert decoded.ops == program.ops
+
+    def test_empty_program(self):
+        assert decode_program(encode_program(ActionProgram())).ops == []
+
+    def test_truncated_raises(self):
+        data = encode_program(clickjack_program())
+        with pytest.raises(ValueError):
+            decode_program(data[: len(data) // 2])
+
+    def test_handler_extraction(self):
+        program = clickjack_program()
+        handler = program.handler("mouse_up")
+        assert [op.code for op in handler].count(OpCode.EXTERNAL_CALL) == 2
+
+    def test_top_level_excludes_handler(self):
+        top = clickjack_program().top_level()
+        assert all(op.code != OpCode.EXTERNAL_CALL for op in top)
+
+    @given(st.lists(st.tuples(
+        st.integers(min_value=1, max_value=12),
+        st.lists(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=20), max_size=3),
+    ), max_size=10))
+    def test_codec_property(self, op_specs):
+        program = ActionProgram()
+        for code, operands in op_specs:
+            program.add(code, *operands)
+        assert decode_program(encode_program(program)).ops == program.ops
+
+
+class TestSwfContainer:
+    def test_round_trip_compressed(self):
+        swf = SwfFile(width=640, height=480, frame_rate=30)
+        swf.add_actions(clickjack_program())
+        swf.add_metadata("AdFlash46")
+        parsed = SwfFile.from_bytes(swf.to_bytes())
+        assert parsed.width == 640 and parsed.height == 480
+        assert parsed.metadata == "AdFlash46"
+        assert parsed.action_programs()[0].ops == clickjack_program().ops
+        assert parsed.compressed
+
+    def test_round_trip_uncompressed(self):
+        swf = SwfFile(compressed=False)
+        swf.add_actions(clickjack_program())
+        data = swf.to_bytes()
+        assert data[:3] == b"FWS"
+        assert SwfFile.from_bytes(data).action_programs()
+
+    def test_sniff(self):
+        assert SwfFile.sniff(SwfFile().to_bytes())
+        assert not SwfFile.sniff(b"<html>")
+
+    @pytest.mark.parametrize("data", [b"", b"XXX1234", b"CWS\x0a1234notzlib"])
+    def test_bad_bytes_raise(self, data):
+        with pytest.raises(SwfError):
+            SwfFile.from_bytes(data)
+
+
+class TestDecompiler:
+    def test_indicators(self):
+        swf = SwfFile().add_actions(clickjack_program())
+        result = decompile(swf)
+        assert result.allows_any_domain
+        assert result.transparent_overlay
+        assert result.fullscreen_toggle
+        assert ("AdFlash.onClick", "") in result.external_calls
+        assert "mouse_up" in result.event_handlers
+
+    def test_source_readable(self):
+        result = decompile_bytes(SwfFile().add_actions(clickjack_program()).to_bytes())
+        assert 'Security.allowDomain("*")' in result.source
+        assert 'ExternalInterface.call("AdFlash.onClick")' in result.source
+        assert "StageScaleMode.EXACT_FIT" in result.source
+
+    def test_benign_swf_clean(self):
+        program = ActionProgram()
+        program.add(OpCode.SET_SCALE_MODE, "showAll")
+        program.add(OpCode.TRACE, "hello")
+        result = decompile(SwfFile().add_actions(program))
+        assert not result.calls_external_interface
+        assert not result.transparent_overlay
+        assert not result.allows_any_domain
+
+
+class TestPlayer:
+    def test_load_applies_stage(self):
+        player = FlashPlayer(SwfFile(width=2000, height=2000).add_actions(clickjack_program()))
+        player.load()
+        assert player.stage.invisible
+        assert player.stage.covers_page()
+        assert player.log.allow_domains == ["*"]
+
+    def test_dispatch_runs_handler(self):
+        player = FlashPlayer(SwfFile().add_actions(clickjack_program())).load()
+        player.dispatch("mouse_up")
+        assert len(player.log.external_calls) == 2
+        assert player.log.fullscreen_entered
+
+    def test_dispatch_unknown_event_noop(self):
+        player = FlashPlayer(SwfFile().add_actions(clickjack_program())).load()
+        player.dispatch("key_down")
+        assert player.log.external_calls == []
+
+    def test_external_interface_bridges_to_js(self):
+        host = BrowserHost(url="http://victim.com/")
+        host.run_script("var NqPnfu = function() { open('http://ads.com/pop'); };")
+        player = FlashPlayer(SwfFile().add_actions(clickjack_program()), browser_host=host)
+        player.load()
+        player.dispatch("mouse_up")
+        assert host.log.popups == ["http://ads.com/pop"]
+
+    def test_navigate_to_url_logged(self):
+        program = ActionProgram()
+        program.add(OpCode.NAVIGATE_TO_URL, "http://out.com/", "_blank")
+        player = FlashPlayer(SwfFile().add_actions(program)).load()
+        assert player.log.navigations == ["http://out.com/"]

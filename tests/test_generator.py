@@ -1,0 +1,153 @@
+"""Tests for repro.simweb.generator (the synthetic web builder)."""
+
+import random
+
+import pytest
+
+from repro.simweb import MalwareFamily, Url
+from repro.simweb.generator import (
+    DEFAULT_FAMILY_WEIGHTS,
+    GeneratedWeb,
+    WebGenerationConfig,
+    WebGenerator,
+)
+
+
+@pytest.fixture(scope="module")
+def web() -> GeneratedWeb:
+    return WebGenerator(WebGenerationConfig(seed=42, scale=0.02)).build()
+
+
+class TestStructure:
+    def test_nine_pools(self, web):
+        assert len(web.pools) == 9
+
+    def test_pool_sizes_follow_profiles(self, web):
+        for pool in web.pools.values():
+            expected = pool.profile.scaled_domains(0.02)
+            total = len(pool.benign) + len(pool.malicious)
+            assert abs(total - expected) <= len(web.pools["10KHits"].malicious)
+
+    def test_malicious_domain_fraction_ordering(self, web):
+        # SendSurf has by far the lowest malicious-domain rate (Table II)
+        rates = {
+            name: len(pool.malicious) / (len(pool.benign) + len(pool.malicious))
+            for name, pool in web.pools.items()
+        }
+        assert rates["SendSurf"] == min(rates.values())
+
+    def test_infrastructure_present(self, web):
+        assert "ajax.googleapis.com" in web.registry
+        assert "www.google-analytics.com" in web.registry
+        assert "accounts.google.com" in web.registry
+        assert web.ad_network_host in web.registry
+
+    def test_popular_sites(self, web):
+        assert any("google" in u for u in web.popular_urls)
+        assert any("youtube" in u for u in web.popular_urls)
+
+    def test_malware_hosts_and_named_domains(self, web):
+        hosts = [s.host for s in web.malware_hosts]
+        assert "counter.yadro.ru" in hosts
+        assert "visadd.com" in hosts
+        # only the named hosts are curated/known-bad
+        known = set(web.known_bad_domains)
+        fresh = [h for h in hosts if h not in known]
+        assert fresh  # fresh malware hosts exist (misc bucket feed)
+
+    def test_shared_sites_on_every_pool(self, web):
+        shared_hosts = None
+        for pool in web.pools.values():
+            hosts = {s.host for s in pool.malicious}
+            shared_hosts = hosts if shared_hosts is None else (shared_hosts & hosts)
+        assert shared_hosts and len(shared_hosts) >= web.config.shared_malicious_sites
+
+
+class TestDeterminism:
+    def test_same_seed_same_web(self):
+        a = WebGenerator(WebGenerationConfig(seed=7, scale=0.005)).build()
+        b = WebGenerator(WebGenerationConfig(seed=7, scale=0.005)).build()
+        assert sorted(a.registry.hosts) == sorted(b.registry.hosts)
+        host = a.registry.sites(malicious=True)[0].host
+        page_a = next(iter(a.registry.site(host).pages.values()), None)
+        page_b = next(iter(b.registry.site(host).pages.values()), None)
+        if page_a is not None and page_b is not None:
+            assert page_a.html == page_b.html
+
+    def test_different_seed_different_web(self):
+        a = WebGenerator(WebGenerationConfig(seed=7, scale=0.005)).build()
+        b = WebGenerator(WebGenerationConfig(seed=8, scale=0.005)).build()
+        assert sorted(a.registry.hosts) != sorted(b.registry.hosts)
+
+
+class TestSiteContent:
+    def test_every_member_site_has_a_page(self, web):
+        for pool in web.pools.values():
+            for site in pool.sites:
+                assert site.pages, site.host
+
+    def test_malicious_sites_have_family(self, web):
+        for pool in web.pools.values():
+            for site in pool.malicious:
+                assert site.truth.malicious
+                assert site.truth.family is not None
+
+    def test_family_mix_present(self, web):
+        families = set()
+        for pool in web.pools.values():
+            families.update(s.truth.family for s in pool.malicious)
+        # the dominant families must all be represented at this scale
+        assert {
+            MalwareFamily.IFRAME_TINY,
+            MalwareFamily.IFRAME_JS_INJECTED,
+            MalwareFamily.DECEPTIVE_DOWNLOAD,
+            MalwareFamily.BLACKLISTED_HOST,
+            MalwareFamily.MALICIOUS_JS_FILE,
+            MalwareFamily.SUSPICIOUS_REDIRECT,
+        } <= families
+
+    def test_redirector_chains_installed(self, web):
+        redirectors = [
+            s for pool in web.pools.values() for s in pool.malicious
+            if s.truth.family is MalwareFamily.SUSPICIOUS_REDIRECT
+        ]
+        assert redirectors
+        for site in redirectors:
+            assert site.behavior.redirects, site.host
+
+    def test_shortened_sites_registered_slug(self, web):
+        shortened = [
+            s for pool in web.pools.values() for s in pool.malicious
+            if s.truth.family is MalwareFamily.MALICIOUS_SHORTENED
+        ]
+        assert shortened
+        for site in shortened:
+            short_url = site.truth.detail
+            assert short_url.startswith("http")
+            host = Url.parse(short_url).host
+            assert web.registry.shorteners.is_short_host(host)
+
+    def test_flash_sites_carry_swf(self, web):
+        flash_sites = [
+            s for pool in web.pools.values() for s in pool.malicious
+            if s.truth.family is MalwareFamily.MALICIOUS_FLASH
+        ]
+        assert flash_sites
+        for site in flash_sites:
+            assert any(r.content_type.startswith("application/x-shockwave-flash")
+                       for r in site.resources.values())
+
+    def test_benign_pages_sometimes_carry_bait(self, web):
+        oauth_pages = 0
+        for pool in web.pools.values():
+            for site in pool.benign:
+                for page in site.pages.values():
+                    if page.truth.benign_lookalike:
+                        oauth_pages += 1
+        assert oauth_pages > 0
+
+    def test_tlds_drawn_from_catalogs(self, web):
+        for pool in web.pools.values():
+            for site in pool.malicious[:5]:
+                tld = site.host.rpartition(".")[2]
+                assert tld.isalpha()

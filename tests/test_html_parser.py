@@ -1,0 +1,188 @@
+"""Tests for repro.htmlparse parser, DOM, query, and serializer."""
+
+from hypothesis import given, strategies as st
+
+from repro.htmlparse import (
+    Document,
+    Element,
+    Text,
+    matches,
+    parse,
+    parse_fragment,
+    select,
+    select_one,
+    serialize,
+    serialize_children,
+)
+
+
+class TestTreeConstruction:
+    def test_implicit_structure(self):
+        doc = parse("<p>hello</p>")
+        assert doc.html is not None
+        assert doc.head is not None
+        assert doc.body is not None
+        assert doc.body.find("p").text_content() == "hello"
+
+    def test_head_content(self):
+        doc = parse("<title>T</title><p>body text</p>")
+        assert doc.head.find("title").text_content() == "T"
+        assert doc.body.find("p") is not None
+
+    def test_explicit_structure(self):
+        doc = parse("<html><head><title>x</title></head><body><div>y</div></body></html>")
+        assert doc.head.find("title") is not None
+        assert doc.body.find("div") is not None
+
+    def test_void_elements_dont_nest(self):
+        doc = parse("<div><br><img src='x'><p>after</p></div>")
+        div = doc.body.find("div")
+        tags = [c.tag for c in div.children if isinstance(c, Element)]
+        assert tags == ["br", "img", "p"]
+
+    def test_autoclose_siblings(self):
+        doc = parse("<ul><li>a<li>b<li>c</ul>")
+        items = doc.body.find_all("li")
+        assert len(items) == 3
+        assert [i.text_content() for i in items] == ["a", "b", "c"]
+
+    def test_misnested_end_tag_ignored(self):
+        doc = parse("<div><span>x</div></span>")
+        assert doc.body.find("span").text_content() == "x"
+
+    def test_nested_depth(self):
+        doc = parse("<div><div><div><em>deep</em></div></div></div>")
+        assert doc.body.find("em").text_content() == "deep"
+
+    def test_body_attrs(self):
+        doc = parse('<body onload="go()"><p>x</p></body>')
+        assert doc.body.get("onload") == "go()"
+
+    def test_comment_preserved(self):
+        doc = parse("<body><!--note--></body>")
+        from repro.htmlparse import Comment
+        comments = [n for n in doc.body.children if isinstance(n, Comment)]
+        assert comments and comments[0].data == "note"
+
+
+class TestFragment:
+    def test_simple(self):
+        frag = parse_fragment("<span>a</span><span>b</span>")
+        assert len(frag.find_all("span")) == 2
+
+    def test_iframe_fragment(self):
+        frag = parse_fragment('<iframe width="1" height="1" src="http://x.com/"></iframe>')
+        iframe = frag.find("iframe")
+        assert iframe.get("src") == "http://x.com/"
+
+    def test_fragment_ignores_body_tags(self):
+        frag = parse_fragment("<body><p>x</p></body>")
+        assert frag.find("p") is not None
+        assert frag.find("body") is None
+
+
+class TestDomOps:
+    def test_dimension_from_attr(self):
+        el = Element("iframe", {"width": "1", "height": "100%"})
+        assert el.dimension("width") == 1.0
+        assert el.dimension("height") is None
+
+    def test_dimension_from_style(self):
+        el = Element("iframe", {"style": "width: 2px; height: 3PX"})
+        assert el.dimension("width") == 2.0
+        assert el.dimension("height") == 3.0
+
+    def test_style_parsing(self):
+        el = Element("div", {"style": "visibility: hidden; top: -100px"})
+        assert el.style == {"visibility": "hidden", "top": "-100px"}
+
+    def test_append_detaches(self):
+        a, b = Element("div"), Element("div")
+        child = Element("span")
+        a.append(child)
+        b.append(child)
+        assert child.parent is b
+        assert child not in a.children
+
+    def test_ancestors(self):
+        doc = parse("<div><p><em>x</em></p></div>")
+        em = doc.body.find("em")
+        tags = [a.tag for a in em.ancestors]
+        assert tags[:2] == ["p", "div"]
+
+    def test_get_element_by_id(self):
+        doc = parse('<div id="target">x</div>')
+        assert doc.get_element_by_id("target").text_content() == "x"
+        assert doc.get_element_by_id("missing") is None
+
+
+class TestQuery:
+    DOC = parse(
+        '<div class="a b"><iframe id="f1" width="1" src="u"></iframe></div>'
+        '<iframe id="f2" width="500"></iframe>'
+    )
+
+    def test_by_tag(self):
+        assert len(select(self.DOC, "iframe")) == 2
+
+    def test_by_id(self):
+        assert select_one(self.DOC, "#f1").get("src") == "u"
+
+    def test_by_class(self):
+        assert select_one(self.DOC, "div.a") is not None
+        assert select_one(self.DOC, "div.missing") is None
+
+    def test_attr_equals(self):
+        assert len(select(self.DOC, "iframe[width=1]")) == 1
+
+    def test_attr_presence(self):
+        assert len(select(self.DOC, "iframe[src]")) == 1
+
+    def test_descendant(self):
+        assert select_one(self.DOC, "div iframe").id == "f1"
+
+    def test_matches(self):
+        el = Element("iframe", {"width": "1"})
+        assert matches(el, "iframe[width=1]")
+        assert not matches(el, "iframe[width=2]")
+
+
+class TestSerializer:
+    def test_round_trip_simple(self):
+        html = '<div id="x"><p>hello</p></div>'
+        doc = parse(html)
+        assert html in serialize(doc)
+
+    def test_script_not_escaped(self):
+        doc = parse('<script>var a = 1 < 2 && "x";</script>')
+        out = serialize(doc)
+        assert 'var a = 1 < 2 && "x";' in out
+
+    def test_text_escaped(self):
+        doc = parse("<p>a &amp; b</p>")
+        # literal & in text re-escapes
+        assert "&amp;" in serialize(doc)
+
+    def test_void_no_end_tag(self):
+        doc = parse("<br>")
+        out = serialize(doc)
+        assert "<br>" in out and "</br>" not in out
+
+    def test_serialize_children(self):
+        doc = parse("<div><em>a</em>b</div>")
+        assert serialize_children(doc.body.find("div")) == "<em>a</em>b"
+
+    def test_reparse_stable(self):
+        html = '<div class="x"><iframe width="1" src="http://e.com/"></iframe><script>var x="<p>";</script></div>'
+        once = serialize(parse(html))
+        twice = serialize(parse(once))
+        assert once == twice
+
+    @given(st.text(alphabet=st.characters(min_codepoint=32, max_codepoint=126), max_size=60))
+    def test_text_round_trip_property(self, text):
+        doc = Document()
+        body = Element("body")
+        body.append(Text(text))
+        doc.append(body)
+        reparsed = parse(serialize(doc))
+        assert reparsed.body.text_content() == text

@@ -1,0 +1,114 @@
+"""Tests for repro.htmlparse.tokenizer."""
+
+from repro.htmlparse.tokenizer import Token, TokenKind, tokenize
+
+
+def kinds(html):
+    return [t.kind for t in tokenize(html)]
+
+
+class TestBasics:
+    def test_text_only(self):
+        tokens = list(tokenize("hello world"))
+        assert len(tokens) == 1
+        assert tokens[0].kind == TokenKind.TEXT
+        assert tokens[0].data == "hello world"
+
+    def test_simple_tag(self):
+        tokens = list(tokenize("<p>hi</p>"))
+        assert [t.kind for t in tokens] == [TokenKind.START_TAG, TokenKind.TEXT, TokenKind.END_TAG]
+        assert tokens[0].data == "p"
+        assert tokens[2].data == "p"
+
+    def test_tag_names_lowercased(self):
+        tokens = list(tokenize("<DIV></DIV>"))
+        assert tokens[0].data == "div"
+        assert tokens[1].data == "div"
+
+    def test_comment(self):
+        tokens = list(tokenize("<!-- hi -->"))
+        assert tokens[0].kind == TokenKind.COMMENT
+        assert tokens[0].data == " hi "
+
+    def test_doctype(self):
+        tokens = list(tokenize("<!DOCTYPE html><p>"))
+        assert tokens[0].kind == TokenKind.DOCTYPE
+
+    def test_self_closing(self):
+        tokens = list(tokenize("<br/>"))
+        assert tokens[0].self_closing
+
+
+class TestAttributes:
+    def test_quoted(self):
+        token = next(iter(tokenize('<iframe src="http://x.com/a" width="1">')))
+        assert token.attrs == {"src": "http://x.com/a", "width": "1"}
+
+    def test_single_quoted(self):
+        token = next(iter(tokenize("<a href='x'>")))
+        assert token.attr("href") == "x"
+
+    def test_bare(self):
+        token = next(iter(tokenize("<iframe width=1 height=1>")))
+        assert token.attr("width") == "1"
+        assert token.attr("height") == "1"
+
+    def test_valueless(self):
+        token = next(iter(tokenize("<iframe allowtransparency>")))
+        assert "allowtransparency" in token.attrs
+
+    def test_attr_names_lowercased(self):
+        token = next(iter(tokenize('<a HREF="x">')))
+        assert token.attr("href") == "x"
+
+    def test_duplicate_attr_first_wins(self):
+        token = next(iter(tokenize('<a href="first" href="second">')))
+        assert token.attr("href") == "first"
+
+    def test_value_with_spaces(self):
+        token = next(iter(tokenize('<iframe style="border: 0 solid #990000;">')))
+        assert token.attr("style") == "border: 0 solid #990000;"
+
+
+class TestRawText:
+    def test_script_body_not_parsed(self):
+        html = '<script>var s = "<div>not a tag</div>";</script>'
+        tokens = list(tokenize(html))
+        assert [t.kind for t in tokens] == [TokenKind.START_TAG, TokenKind.TEXT, TokenKind.END_TAG]
+        assert "<div>" in tokens[1].data
+
+    def test_script_end_needs_real_tag(self):
+        html = "<script>if (a </script2) {}</script>"
+        tokens = list(tokenize(html))
+        assert tokens[1].data == "if (a </script2) {}"
+
+    def test_style_raw(self):
+        tokens = list(tokenize("<style>a < b</style>"))
+        assert tokens[1].data == "a < b"
+
+    def test_unterminated_script(self):
+        tokens = list(tokenize("<script>var x = 1;"))
+        assert tokens[-1].kind == TokenKind.TEXT
+        assert tokens[-1].data == "var x = 1;"
+
+
+class TestMalformed:
+    def test_stray_lt(self):
+        tokens = list(tokenize("a < b"))
+        assert "".join(t.data for t in tokens if t.kind == TokenKind.TEXT) == "a < b"
+
+    def test_unterminated_tag(self):
+        tokens = list(tokenize("<div class='x'"))
+        # degraded to text, never raises
+        assert all(t.kind == TokenKind.TEXT for t in tokens)
+
+    def test_unterminated_comment(self):
+        tokens = list(tokenize("<!-- never closed"))
+        assert tokens[0].kind == TokenKind.COMMENT
+
+    def test_empty_input(self):
+        assert list(tokenize("")) == []
+
+    def test_bang_without_gt(self):
+        tokens = list(tokenize("<!bad"))
+        assert tokens[0].kind == TokenKind.TEXT

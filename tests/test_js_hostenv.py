@@ -1,0 +1,159 @@
+"""Tests for repro.jsengine.hostenv — the browser sandbox."""
+
+from repro.htmlparse import select
+from repro.jsengine.hostenv import BrowserHost, run_script_in_page
+
+
+def page(body_script, **kwargs):
+    return run_script_in_page(
+        "<html><body><script>%s</script></body></html>" % body_script, **kwargs
+    )
+
+
+class TestDocumentWrite:
+    def test_write_appends_markup(self):
+        host = page("document.write('<div id=\"x\">hi</div>');")
+        assert host.document_tree.get_element_by_id("x") is not None
+        assert host.log.document_writes == ['<div id="x">hi</div>']
+
+    def test_write_injected_iframe_in_dom(self):
+        host = page("document.write('<iframe src=\"http://e.com/\" width=\"1\" height=\"1\"></iframe>');")
+        frames = select(host.document_tree, "iframe")
+        assert len(frames) == 1
+        assert frames[0].get("src") == "http://e.com/"
+
+    def test_written_script_executes(self):
+        host = page("document.write('<script>window.location.href = \"http://next.com/\";</scr' + 'ipt>');")
+        assert "http://next.com/" in host.log.navigations
+
+    def test_written_remote_script_recorded(self):
+        host = page("document.write('<script src=\"http://cdn.com/x.js\"></scr' + 'ipt>');")
+        assert "http://cdn.com/x.js" in host.requested_scripts
+
+
+class TestDomBridge:
+    def test_create_and_append(self):
+        host = page(
+            "var el = document.createElement('iframe');"
+            "el.setAttribute('src', 'http://t.com/');"
+            "el.width = '1'; el.height = '1';"
+            "document.body.appendChild(el);"
+        )
+        frames = select(host.document_tree, "iframe")
+        assert frames[0].get("src") == "http://t.com/"
+        assert "iframe" in host.log.created_elements
+        assert "iframe" in host.log.appended_elements
+
+    def test_inner_html(self):
+        host = page("document.body.innerHTML = '<p>replaced</p>';")
+        assert host.document_tree.body.find("p").text_content() == "replaced"
+
+    def test_get_element_by_id(self):
+        host = run_script_in_page(
+            '<html><body><div id="t">x</div>'
+            "<script>var el = document.getElementById('t'); el.innerHTML = 'y';</script>"
+            "</body></html>"
+        )
+        assert host.document_tree.get_element_by_id("t").text_content() == "y"
+
+    def test_style_assignment(self):
+        host = run_script_in_page(
+            '<html><body><div id="d"></div>'
+            "<script>document.getElementById('d').style.display = 'none';</script>"
+            "</body></html>"
+        )
+        assert host.document_tree.get_element_by_id("d").style["display"] == "none"
+
+    def test_get_elements_by_tag_name(self):
+        host = run_script_in_page(
+            "<html><body><p>a</p><p>b</p>"
+            "<script>var n = document.getElementsByTagName('p').length;"
+            "document.title = '' + n;</script></body></html>"
+        )
+        assert host.document_tree.find("title").text_content() == "2"
+
+
+class TestNavigation:
+    def test_location_href_assignment(self):
+        host = page("window.location.href = 'http://go.com/';")
+        assert host.log.navigations == ["http://go.com/"]
+
+    def test_location_replace(self):
+        host = page("window.location.replace('http://r.com/');")
+        assert host.log.navigations == ["http://r.com/"]
+
+    def test_window_open_popup(self):
+        host = page("open('http://pop.com/ad');")
+        assert host.log.popups == ["http://pop.com/ad"]
+
+    def test_location_read(self):
+        host = page("document.title = location.hostname;", url="http://host.example.com/p")
+        assert host.document_tree.find("title").text_content() == "host.example.com"
+
+    def test_download_triggers(self):
+        host = page("window.location.href = 'http://x.com/flashplayer.exe';")
+        assert host.log.download_triggers == ["http://x.com/flashplayer.exe"]
+
+
+class TestEventsAndTimers:
+    def test_listener_recorded(self):
+        host = page("document.addEventListener('mousemove', function(e) {});")
+        assert ("document", "mousemove") in host.log.listeners
+        assert host.log.fingerprinting_events
+
+    def test_set_timeout_runs(self):
+        host = page("var fired = false; setTimeout(function() { window.location.href = 'http://late.com/'; }, 100);")
+        assert "http://late.com/" in host.log.navigations
+        assert host.log.timeouts_scheduled == 1
+
+    def test_set_timeout_string_arg(self):
+        host = page("setTimeout(\"window.location.href = 'http://s.com/'\", 10);")
+        assert "http://s.com/" in host.log.navigations
+
+    def test_click_event_dispatch(self):
+        host = page("document.onclick = function() { open('http://clicked.com/'); };")
+        assert "http://clicked.com/" in host.log.popups  # sandbox simulates a click
+
+
+class TestBeaconsAndCookies:
+    def test_image_beacon(self):
+        host = page("var img = new Image(); img.src = 'http://track.com/p.gif';")
+        assert host.log.beacons == ["http://track.com/p.gif"]
+
+    def test_xhr_beacon(self):
+        host = page("var x = new XMLHttpRequest(); x.open('GET', 'http://api.com/c'); x.send();")
+        assert "http://api.com/c" in host.log.beacons
+
+    def test_cookies(self):
+        host = page("document.cookie = 'sid=abc';")
+        assert host.log.cookies_set == ["sid=abc"]
+
+    def test_navigator_and_screen(self):
+        host = page("document.title = navigator.platform + '/' + screen.width;")
+        assert host.document_tree.find("title").text_content() == "Win32/1366"
+
+
+class TestRobustness:
+    def test_broken_script_recorded_not_raised(self):
+        host = page("this is not javascript at all {{{")
+        assert host.log.errors
+
+    def test_infinite_loop_bounded(self):
+        host = run_script_in_page(
+            "<html><body><script>while (true) {}</script></body></html>",
+            step_budget=5000,
+        )
+        assert any("budget" in e.lower() for e in host.log.errors)
+
+    def test_multiple_scripts_run_in_order(self):
+        host = run_script_in_page(
+            "<html><body><script>var acc = 'a';</script>"
+            "<script>acc += 'b'; document.title = acc;</script></body></html>"
+        )
+        assert host.document_tree.find("title").text_content() == "ab"
+
+    def test_remote_script_src_recorded(self):
+        host = run_script_in_page(
+            '<html><body><script src="http://remote.com/lib.js"></script></body></html>'
+        )
+        assert host.requested_scripts == ["http://remote.com/lib.js"]

@@ -1,0 +1,92 @@
+"""Tests for repro.jsengine.lexer."""
+
+import pytest
+
+from repro.jsengine.lexer import LexError, tokenize
+
+
+def values(source):
+    return [(t.kind, t.value) for t in tokenize(source) if t.kind != "eof"]
+
+
+class TestNumbers:
+    def test_integer(self):
+        assert tokenize("42")[0].number == 42.0
+
+    def test_float(self):
+        assert tokenize("3.14")[0].number == pytest.approx(3.14)
+
+    def test_leading_dot(self):
+        assert tokenize(".5")[0].number == 0.5
+
+    def test_hex(self):
+        assert tokenize("0xFF")[0].number == 255.0
+
+    def test_exponent(self):
+        assert tokenize("1e3")[0].number == 1000.0
+        assert tokenize("2.5e-2")[0].number == pytest.approx(0.025)
+
+    def test_bad_hex(self):
+        with pytest.raises(LexError):
+            tokenize("0x")
+
+
+class TestStrings:
+    @pytest.mark.parametrize("source,expected", [
+        ('"hello"', "hello"),
+        ("'hi'", "hi"),
+        (r'"a\nb"', "a\nb"),
+        (r'"a\tb"', "a\tb"),
+        (r'"\x41"', "A"),
+        (r'"A"', "A"),
+        (r'"\\"', "\\"),
+        (r'"\""', '"'),
+        (r'"%u9090"', "%u9090"),
+    ])
+    def test_escapes(self, source, expected):
+        assert tokenize(source)[0].value == expected
+
+    def test_unterminated(self):
+        with pytest.raises(LexError):
+            tokenize('"never ends')
+
+    def test_newline_in_string(self):
+        with pytest.raises(LexError):
+            tokenize('"a\nb"')
+
+
+class TestIdentifiersKeywords:
+    def test_keyword(self):
+        token = tokenize("function")[0]
+        assert token.kind == "keyword"
+
+    def test_identifier_with_dollar(self):
+        token = tokenize("_0x1a$b")[0]
+        assert token.kind == "identifier"
+        assert token.value == "_0x1a$b"
+
+    def test_keyword_prefix_is_identifier(self):
+        assert tokenize("functional")[0].kind == "identifier"
+
+
+class TestOperatorsComments:
+    def test_longest_match(self):
+        ops = [t.value for t in tokenize("=== == = >>> >> >") if t.kind == "punct"]
+        assert ops == ["===", "==", "=", ">>>", ">>", ">"]
+
+    def test_line_comment(self):
+        assert values("a // comment\nb") == [("identifier", "a"), ("identifier", "b")]
+
+    def test_block_comment(self):
+        assert values("a /* x */ b") == [("identifier", "a"), ("identifier", "b")]
+
+    def test_unterminated_block_comment(self):
+        with pytest.raises(LexError):
+            tokenize("/* never")
+
+    def test_unexpected_char(self):
+        with pytest.raises(LexError):
+            tokenize("a @ b")
+
+    def test_eof_token(self):
+        assert tokenize("")[-1].kind == "eof"

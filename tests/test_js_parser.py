@@ -1,0 +1,160 @@
+"""Tests for repro.jsengine.parser (AST shapes)."""
+
+import pytest
+
+from repro.jsengine import nodes as N
+from repro.jsengine.parser import ParseError, parse
+
+
+def first(source):
+    return parse(source).body[0]
+
+
+class TestStatements:
+    def test_var_decl(self):
+        stmt = first("var a = 1, b;")
+        assert isinstance(stmt, N.VarDecl)
+        assert [name for name, _ in stmt.declarations] == ["a", "b"]
+
+    def test_function_decl(self):
+        stmt = first("function f(a, b) { return a; }")
+        assert isinstance(stmt, N.FunctionDecl)
+        assert stmt.params == ["a", "b"]
+
+    def test_if_else(self):
+        stmt = first("if (x) { a(); } else b();")
+        assert isinstance(stmt, N.If)
+        assert stmt.alternate is not None
+
+    def test_while(self):
+        assert isinstance(first("while (x) {}"), N.While)
+
+    def test_do_while(self):
+        assert isinstance(first("do { x(); } while (y);"), N.DoWhile)
+
+    def test_for_classic(self):
+        stmt = first("for (var i = 0; i < 5; i++) {}")
+        assert isinstance(stmt, N.For)
+        assert isinstance(stmt.init, N.VarDecl)
+
+    def test_for_empty_clauses(self):
+        stmt = first("for (;;) { break; }")
+        assert stmt.init is None and stmt.test is None and stmt.update is None
+
+    def test_for_in(self):
+        stmt = first("for (var k in obj) {}")
+        assert isinstance(stmt, N.ForIn)
+        assert stmt.target == "k"
+
+    def test_try_catch_finally(self):
+        stmt = first("try { a(); } catch (e) { b(); } finally { c(); }")
+        assert isinstance(stmt, N.Try)
+        assert stmt.catch_param == "e"
+        assert stmt.finally_block is not None
+
+    def test_try_requires_handler(self):
+        with pytest.raises(ParseError):
+            parse("try { a(); }")
+
+    def test_switch(self):
+        stmt = first("switch (x) { case 1: a(); break; default: b(); }")
+        assert isinstance(stmt, N.Switch)
+        assert len(stmt.cases) == 2
+
+    def test_throw(self):
+        assert isinstance(first("throw 'err';"), N.Throw)
+
+    def test_missing_semicolons_ok(self):
+        program = parse("var a = 1\nvar b = 2")
+        assert len(program.body) == 2
+
+
+class TestExpressions:
+    def test_precedence(self):
+        expr = first("1 + 2 * 3;").expression
+        assert isinstance(expr, N.Binary) and expr.operator == "+"
+        assert isinstance(expr.right, N.Binary) and expr.right.operator == "*"
+
+    def test_parens(self):
+        expr = first("(1 + 2) * 3;").expression
+        assert expr.operator == "*"
+
+    def test_logical(self):
+        expr = first("a && b || c;").expression
+        assert isinstance(expr, N.Logical) and expr.operator == "||"
+
+    def test_conditional(self):
+        assert isinstance(first("a ? b : c;").expression, N.Conditional)
+
+    def test_assignment_chain(self):
+        expr = first("a = b = 1;").expression
+        assert isinstance(expr.value, N.Assignment)
+
+    def test_compound_assignment(self):
+        assert first("a += 2;").expression.operator == "+="
+
+    def test_invalid_assignment_target(self):
+        with pytest.raises(ParseError):
+            parse("1 = 2;")
+
+    def test_member_dot(self):
+        expr = first("document.write;").expression
+        assert isinstance(expr, N.Member) and not expr.computed
+        assert expr.prop.value == "write"
+
+    def test_member_keyword_prop(self):
+        expr = first("obj.delete;").expression
+        assert expr.prop.value == "delete"
+
+    def test_member_computed(self):
+        expr = first("a['x'];").expression
+        assert expr.computed
+
+    def test_call_chain(self):
+        expr = first("a.b(1)(2);").expression
+        assert isinstance(expr, N.Call)
+        assert isinstance(expr.callee, N.Call)
+
+    def test_new(self):
+        expr = first("new Image();").expression
+        assert isinstance(expr, N.New)
+
+    def test_new_with_member(self):
+        expr = first("new a.B(1).go();").expression
+        assert isinstance(expr, N.Call)
+
+    def test_function_expr(self):
+        expr = first("(function (x) { return x; });").expression
+        assert isinstance(expr, N.FunctionExpr)
+
+    def test_array_literal(self):
+        expr = first("[1, 2, 3];").expression
+        assert isinstance(expr, N.ArrayLiteral)
+        assert len(expr.elements) == 3
+
+    def test_object_literal(self):
+        expr = first("({a: 1, 'b': 2});").expression
+        assert isinstance(expr, N.ObjectLiteral)
+        assert [k for k, _ in expr.properties] == ["a", "b"]
+
+    def test_unary(self):
+        assert first("typeof x;").expression.operator == "typeof"
+        assert first("!x;").expression.operator == "!"
+
+    def test_update(self):
+        expr = first("x++;").expression
+        assert isinstance(expr, N.Update) and not expr.prefix
+
+    def test_sequence(self):
+        assert isinstance(first("a, b, c;").expression, N.Sequence)
+
+    def test_unexpected_token(self):
+        with pytest.raises(ParseError):
+            parse("var = 5;")
+
+
+class TestWalk:
+    def test_walk_covers_nested(self):
+        program = parse("function f() { if (a) { return [1, {x: g()}]; } }")
+        names = [n.name for n in program.walk() if isinstance(n, N.Identifier)]
+        assert "a" in names and "g" in names

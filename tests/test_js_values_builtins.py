@@ -1,0 +1,139 @@
+"""Tests for repro.jsengine.values and builtins edge cases."""
+
+import math
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.jsengine.builtins import js_escape, js_unescape
+from repro.jsengine.values import (
+    UNDEFINED,
+    JSArray,
+    JSObject,
+    Undefined,
+    loose_equals,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_string,
+    type_of,
+)
+
+
+class TestUndefined:
+    def test_singleton(self):
+        assert Undefined() is UNDEFINED
+        assert not UNDEFINED
+
+    def test_typeof(self):
+        assert type_of(UNDEFINED) == "undefined"
+
+
+class TestToBoolean:
+    @pytest.mark.parametrize("value,expected", [
+        (UNDEFINED, False), (None, False), (0.0, False), (float("nan"), False),
+        ("", False), (1.0, True), ("x", True), (True, True), (False, False),
+    ])
+    def test_primitives(self, value, expected):
+        assert to_boolean(value) is expected
+
+    def test_objects_truthy(self):
+        assert to_boolean(JSObject())
+        assert to_boolean(JSArray())
+
+
+class TestToNumber:
+    @pytest.mark.parametrize("value,expected", [
+        (True, 1.0), (False, 0.0), (None, 0.0), ("", 0.0), ("  42 ", 42.0),
+        ("0x10", 16.0), (3, 3.0),
+    ])
+    def test_values(self, value, expected):
+        assert to_number(value) == expected
+
+    def test_nan_cases(self):
+        assert math.isnan(to_number(UNDEFINED))
+        assert math.isnan(to_number("abc"))
+
+    def test_array_coercion(self):
+        assert to_number(JSArray([])) == 0.0
+        assert to_number(JSArray([7.0])) == 7.0
+        assert math.isnan(to_number(JSArray([1.0, 2.0])))
+
+
+class TestToString:
+    @pytest.mark.parametrize("value,expected", [
+        (1.0, "1"), (1.5, "1.5"), (-0.0, "0"), (float("inf"), "Infinity"),
+        (float("nan"), "NaN"), (True, "true"), (None, "null"),
+        (UNDEFINED, "undefined"),
+    ])
+    def test_values(self, value, expected):
+        assert to_string(value) == expected
+
+    def test_array_join(self):
+        assert to_string(JSArray([1.0, "a", None])) == "1,a,"
+
+    def test_object(self):
+        assert to_string(JSObject()) == "[object Object]"
+
+
+class TestEquality:
+    def test_strict_type_mismatch(self):
+        assert not strict_equals(1.0, "1")
+        assert not strict_equals(None, UNDEFINED)
+
+    def test_strict_nan(self):
+        assert not strict_equals(float("nan"), float("nan"))
+
+    def test_loose_null_undefined(self):
+        assert loose_equals(None, UNDEFINED)
+
+    def test_loose_number_string(self):
+        assert loose_equals(5.0, "5")
+        assert not loose_equals(5.0, "6")
+
+    def test_loose_boolean(self):
+        assert loose_equals(True, 1.0)
+        assert loose_equals(False, "")
+
+    def test_object_identity(self):
+        a, b = JSObject(), JSObject()
+        assert strict_equals(a, a)
+        assert not strict_equals(a, b)
+
+
+class TestJSArray:
+    def test_index_get_set(self):
+        arr = JSArray([1.0])
+        arr.js_set("3", "x")
+        assert len(arr.elements) == 4
+        assert arr.js_get("3") == "x"
+        assert arr.js_get("1") is UNDEFINED
+        assert arr.js_get("length") == 4.0
+
+    def test_length_truncation(self):
+        arr = JSArray([1.0, 2.0, 3.0])
+        arr.js_set("length", 1.0)
+        assert arr.elements == [1.0]
+
+    def test_named_props(self):
+        arr = JSArray()
+        arr.js_set("custom", 5.0)
+        assert arr.js_get("custom") == 5.0
+
+
+class TestEscapeUnescape:
+    def test_round_trip_ascii(self):
+        text = "hello <world> & 'friends'"
+        assert js_unescape(js_escape(text)) == text
+
+    def test_unicode_uses_percent_u(self):
+        assert js_escape("€") == "%u20AC"
+        assert js_unescape("%u20AC") == "€"
+
+    def test_malformed_percent_passthrough(self):
+        assert js_unescape("%zz") == "%zz"
+        assert js_unescape("100%") == "100%"
+
+    @given(st.text(alphabet=st.characters(min_codepoint=1, max_codepoint=0xFFFF), max_size=40))
+    def test_round_trip_property(self, text):
+        assert js_unescape(js_escape(text)) == text

@@ -1,0 +1,47 @@
+"""Tests for the Markdown report writer."""
+
+import pytest
+
+from repro.core import render_markdown_report
+from repro.core.results import StudyResults
+
+
+class TestMarkdownReport:
+    @pytest.fixture(scope="class")
+    def markdown(self, small_results):
+        return render_markdown_report(small_results, title="Test run")
+
+    def test_title_and_headline(self, markdown):
+        assert markdown.startswith("# Test run")
+        assert "**Headline:**" in markdown
+        assert "holds" in markdown
+
+    def test_all_sections_present(self, markdown):
+        for section in ("## Table I", "## Table II", "## Table III",
+                        "## Figure 6", "## Figure 7", "## Paper comparison",
+                        "### Shape claims"):
+            assert section in markdown, section
+
+    def test_tables_are_valid_markdown(self, markdown):
+        lines = markdown.splitlines()
+        for index, line in enumerate(lines):
+            if line.startswith("|") and index + 1 < len(lines):
+                nxt = lines[index + 1]
+                if nxt.startswith("|---"):
+                    # header and separator have equal column counts
+                    assert line.count("|") == nxt.count("|")
+
+    def test_exchanges_listed(self, markdown):
+        for exchange in ("10KHits", "SendSurf", "Traffic Monsoon"):
+            assert exchange in markdown
+
+    def test_without_comparison(self, small_results):
+        markdown = render_markdown_report(small_results, include_comparison=False)
+        assert "## Paper comparison" not in markdown
+
+    def test_empty_results_render(self):
+        markdown = render_markdown_report(
+            StudyResults(overall_malicious_fraction=0.1), include_comparison=False
+        )
+        assert "does not hold" in markdown
+        assert "_none identified" in markdown

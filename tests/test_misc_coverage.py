@@ -1,0 +1,169 @@
+"""Coverage for smaller surfaces: hostenv host objects, flash player
+edge cases, rejected-tool capabilities, roster scaling, naming titles."""
+
+import random
+
+import pytest
+
+from repro.detection.heuristics import analyze_content
+from repro.detection.others import _broad, _js_only, _reputation_only
+from repro.flashsim import ActionProgram, FlashPlayer, OpCode, SwfFile
+from repro.jsengine.hostenv import BrowserHost, run_script_in_page
+
+
+class TestHostEnvMisc:
+    def test_date_fixed_clock(self):
+        host = run_script_in_page(
+            "<html><body><script>var d = new Date(); document.title = '' + d.getFullYear();"
+            "</script></body></html>"
+        )
+        assert host.document_tree.find("title").text_content() == "2015"
+
+    def test_date_get_time_stable(self):
+        a = run_script_in_page(
+            "<html><body><script>document.title = '' + new Date().getTime();</script></body></html>"
+        )
+        b = run_script_in_page(
+            "<html><body><script>document.title = '' + new Date().getTime();</script></body></html>"
+        )
+        assert a.document_tree.find("title").text_content() == \
+            b.document_tree.find("title").text_content()
+
+    def test_window_aliases(self):
+        host = run_script_in_page(
+            "<html><body><script>"
+            "document.title = '' + (window === self) + (window === top);"
+            "</script></body></html>"
+        )
+        assert host.document_tree.find("title").text_content() == "truetrue"
+
+    def test_window_property_assignment_reaches_global(self):
+        host = BrowserHost()
+        host.run_script("window.flag = 'set-on-window'; var got = flag;")
+        assert host.interpreter.global_env.lookup("got") == "set-on-window"
+
+    def test_remove_child(self):
+        host = run_script_in_page(
+            '<html><body><div id="parent"><span id="kid">x</span></div>'
+            "<script>var p = document.getElementById('parent');"
+            "p.removeChild(document.getElementById('kid'));</script></body></html>"
+        )
+        assert host.document_tree.get_element_by_id("kid") is None
+
+    def test_insert_before(self):
+        host = run_script_in_page(
+            '<html><body><div id="c"><em id="ref">b</em></div>'
+            "<script>var el = document.createElement('strong');"
+            "el.textContent = 'a';"
+            "document.getElementById('c').insertBefore(el, document.getElementById('ref'));"
+            "</script></body></html>"
+        )
+        container = host.document_tree.get_element_by_id("c")
+        from repro.htmlparse import Element
+
+        tags = [c.tag for c in container.children if isinstance(c, Element)]
+        assert tags == ["strong", "em"]
+
+    def test_location_pathname_search(self):
+        host = run_script_in_page(
+            "<html><body><script>document.title = location.pathname + location.search;"
+            "</script></body></html>",
+            url="http://h.example.com/a/b?x=1",
+        )
+        assert host.document_tree.find("title").text_content() == "/a/b?x=1"
+
+    def test_anchor_click_follows_href(self):
+        host = run_script_in_page(
+            '<html><body><a id="lnk" href="http://next.example/">go</a>'
+            "<script>document.getElementById('lnk').click();</script></body></html>"
+        )
+        assert "http://next.example/" in host.log.navigations
+
+    def test_document_cookie_read_back(self):
+        host = run_script_in_page(
+            "<html><body><script>document.cookie = 'a=1';"
+            "document.title = document.cookie;</script></body></html>"
+        )
+        assert "a=1" in host.document_tree.find("title").text_content()
+
+
+class TestFlashPlayerEdges:
+    def test_empty_swf_plays(self):
+        player = FlashPlayer(SwfFile()).load()
+        assert player.log.external_calls == []
+
+    def test_bad_alpha_ignored(self):
+        program = ActionProgram().add(OpCode.SET_ALPHA, "not-a-number")
+        player = FlashPlayer(SwfFile().add_actions(program)).load()
+        assert player.stage.alpha == 1.0
+
+    def test_external_call_without_browser(self):
+        program = ActionProgram()
+        program.add(OpCode.LABEL, "mouse_up")
+        program.add(OpCode.EXTERNAL_CALL, "window.missing")
+        program.add(OpCode.END_HANDLER)
+        player = FlashPlayer(SwfFile().add_actions(program)).load()
+        player.dispatch("mouse_up")  # no browser: just logged
+        assert player.log.external_calls == [("window.missing", "")]
+
+    def test_missing_js_function_recorded_not_raised(self):
+        host = BrowserHost()
+        program = ActionProgram()
+        program.add(OpCode.LABEL, "mouse_up")
+        program.add(OpCode.EXTERNAL_CALL, "window.noSuchFn")
+        program.add(OpCode.END_HANDLER)
+        player = FlashPlayer(SwfFile().add_actions(program), browser_host=host)
+        player.load()
+        player.dispatch("mouse_up")  # silently absent target
+        assert ("window.noSuchFn", "") in player.log.external_calls
+
+    def test_load_movie_logged(self):
+        program = ActionProgram().add(OpCode.LOAD_MOVIE, "http://x.example/next.swf", "_root")
+        player = FlashPlayer(SwfFile().add_actions(program)).load()
+        assert player.log.loaded_movies == ["http://x.example/next.swf"]
+
+
+class TestRejectedToolCapabilities:
+    def test_broad_on_exe(self):
+        from repro.malware import make_executable
+
+        analysis = analyze_content(make_executable(random.Random(0)),
+                                   "application/x-msdownload")
+        assert _broad(analysis)
+        assert not _reputation_only(analysis)
+
+    def test_js_only_needs_script_signal(self):
+        analysis = analyze_content(b"<html><body><p>plain</p></body></html>", "text/html")
+        assert not _js_only(analysis)
+
+    def test_reputation_on_redirect_stub(self):
+        analysis = analyze_content(
+            b"<html><body><script>window.location.href = 'http://n.example/';"
+            b"</script></body></html>",
+            "text/html",
+        )
+        assert _reputation_only(analysis)
+
+
+class TestNamingAndRoster:
+    def test_title_contains_domain_word(self):
+        from repro.simweb import NameForge
+
+        forge = NameForge(random.Random(1))
+        title = forge.title("easyshop.example.com", "online shopping")
+        assert "Easyshop" in title or "online shopping" in title
+
+    def test_scaled_urls_monotone(self):
+        from repro.exchanges import profile
+
+        prof = profile("10KHits")
+        assert prof.scaled_urls(0.1) < prof.scaled_urls(0.2) < prof.scaled_urls(1.0)
+        assert prof.scaled_urls(1.0) == prof.urls_crawled
+
+    def test_sample_many(self):
+        from repro.simweb import WeightedChoice
+
+        sampler = WeightedChoice({"a": 1.0, "b": 1.0})
+        draws = sampler.sample_many(random.Random(0), 10)
+        assert len(draws) == 10
+        assert set(draws) <= {"a", "b"}

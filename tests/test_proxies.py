@@ -1,0 +1,125 @@
+"""Tests for proxy/VPN sybil accounts and exchange-side detection."""
+
+import random
+
+import pytest
+
+from repro.exchanges import AutoSurfExchange
+from repro.exchanges.proxies import (
+    ProxyPool,
+    SessionObservation,
+    SybilDetector,
+    register_sybil_accounts,
+)
+
+
+@pytest.fixture
+def exchange():
+    return AutoSurfExchange(
+        name="SybilTest", host="sybiltest.example.com", rng=random.Random(1),
+        self_referral_rate=0.0, popular_referral_rate=0.0,
+    )
+
+
+class TestProxyPool:
+    def test_unique_exits(self):
+        pool = ProxyPool(rng=random.Random(2), size=30)
+        assert len(set(pool.addresses)) == 30
+
+    def test_rotation_wraps(self):
+        pool = ProxyPool(rng=random.Random(2), size=3)
+        exits = [pool.next_exit() for _ in range(6)]
+        assert exits[:3] == exits[3:]
+
+
+class TestSybilRegistration:
+    def test_policy_evaded_via_proxies(self, exchange):
+        pool = ProxyPool(rng=random.Random(3), size=10)
+        members = register_sybil_accounts(exchange, pool, count=10,
+                                          listed_url="http://payout.example.com/")
+        assert len(members) == 10
+        assert len({m.ip_address for m in members}) == 10
+        assert all(not m.suspended for m in members)
+
+    def test_without_proxies_policy_blocks(self, exchange):
+        exchange.register_member("honest", "198.51.100.1")
+        with pytest.raises(ValueError):
+            exchange.register_member("dup", "198.51.100.1")
+
+    def test_listed_url_multiplied(self, exchange):
+        pool = ProxyPool(rng=random.Random(3), size=5)
+        register_sybil_accounts(exchange, pool, count=5,
+                                listed_url="http://payout.example.com/")
+        listings = [l for l in exchange.rotation if l.url == "http://payout.example.com/"]
+        assert len(listings) == 5
+
+
+class TestSybilDetector:
+    def _bot_observation(self, member_id, start, url="http://payout.example.com/"):
+        return SessionObservation(
+            member_id=member_id,
+            session_start=start,
+            dwell_seconds=[20.0] * 20,  # machine-identical timer
+            listed_urls=(url,),
+        )
+
+    def _human_observation(self, member_id, rng, start):
+        return SessionObservation(
+            member_id=member_id,
+            session_start=start,
+            dwell_seconds=[15 + rng.random() * 30 for _ in range(20)],
+            listed_urls=("http://site-%s.example.com/" % member_id,),
+        )
+
+    def test_bot_cluster_found(self):
+        detector = SybilDetector()
+        observations = [self._bot_observation("bot-%d" % i, start=100.0 + i * 0.5)
+                        for i in range(6)]
+        clusters = detector.cluster(observations)
+        assert clusters
+        assert len(max(clusters, key=len)) == 6
+
+    def test_humans_not_clustered(self):
+        rng = random.Random(5)
+        detector = SybilDetector()
+        observations = [self._human_observation("user-%d" % i, rng, start=i * 120.0)
+                        for i in range(10)]
+        assert detector.cluster(observations) == []
+
+    def test_mixed_population(self):
+        rng = random.Random(5)
+        detector = SybilDetector()
+        observations = [self._bot_observation("bot-%d" % i, 50.0 + i) for i in range(4)]
+        observations += [self._human_observation("user-%d" % i, rng, 1000.0 + i * 300)
+                         for i in range(6)]
+        clusters = detector.cluster(observations)
+        flagged = {m for cluster in clusters for m in cluster}
+        assert flagged == {"bot-0", "bot-1", "bot-2", "bot-3"}
+
+    def test_shared_listing_correlation(self):
+        rng = random.Random(5)
+        detector = SybilDetector()
+        # humans with *different* dwell but the same payout URL
+        observations = [
+            SessionObservation(
+                member_id="s-%d" % i, session_start=i * 500.0,
+                dwell_seconds=[10 + rng.random() * 40 for _ in range(20)],
+                listed_urls=("http://same-payout.example.com/",),
+            )
+            for i in range(4)
+        ]
+        clusters = detector.cluster(observations)
+        assert any(len(c) == 4 for c in clusters)
+
+    def test_suspension(self, exchange):
+        pool = ProxyPool(rng=random.Random(3), size=6)
+        register_sybil_accounts(exchange, pool, count=6, owner_tag="bot",
+                                listed_url="http://payout.example.com/")
+        detector = SybilDetector()
+        observations = [self._bot_observation("bot-%03d" % i, 10.0 + i) for i in range(6)]
+        clusters = detector.cluster(observations)
+        suspended = detector.suspend_clusters(exchange, clusters)
+        assert suspended == 6
+        assert exchange.accounts.member("bot-000").suspended
+        # suspended accounts cannot open sessions anymore
+        assert exchange.open_session("bot-000") is None

@@ -1,0 +1,76 @@
+"""Tests for the paper-vs-measured comparison module."""
+
+import pytest
+
+from repro.core import compare_to_paper
+from repro.core.reference import (
+    PAPER_OVERALL_MALICIOUS_PCT,
+    PAPER_TABLE1_MALICIOUS_PCT,
+    PAPER_VETTING_PCT,
+    MetricComparison,
+)
+from repro.core.results import StudyResults
+
+
+class TestMetricComparison:
+    def test_delta(self):
+        metric = MetricComparison("table1", "X", paper=30.0, measured=33.5)
+        assert metric.delta == pytest.approx(3.5)
+        assert metric.within == pytest.approx(3.5)
+
+    def test_negative_delta(self):
+        metric = MetricComparison("table1", "X", paper=30.0, measured=25.0)
+        assert metric.delta == pytest.approx(-5.0)
+        assert metric.within == pytest.approx(5.0)
+
+
+class TestReferenceConstants:
+    def test_table1_has_all_nine(self):
+        assert len(PAPER_TABLE1_MALICIOUS_PCT) == 9
+        assert PAPER_TABLE1_MALICIOUS_PCT["SendSurf"] == 51.9
+
+    def test_overall(self):
+        assert PAPER_OVERALL_MALICIOUS_PCT == pytest.approx(26.7)
+
+    def test_vetting(self):
+        assert PAPER_VETTING_PCT["VirusTotal"] == 100.0
+        assert PAPER_VETTING_PCT["Wepawet"] == 0.0
+
+
+class TestCompareToPaper:
+    @pytest.fixture(scope="class")
+    def report(self, small_results):
+        return compare_to_paper(small_results)
+
+    def test_every_artifact_compared(self, report):
+        artifacts = {m.artifact for m in report.metrics}
+        assert {"overall", "table1", "table2", "table3", "figure6", "figure7"} <= artifacts
+
+    def test_shape_checks_hold_on_study(self, report):
+        assert report.shape_checks["headline >26% malicious"]
+        assert report.shape_checks["SendSurf worst exchange"]
+        assert report.shape_checks["com > net (TLDs)"]
+        assert report.shapes_hold, report.shape_checks
+
+    def test_table1_deltas_reasonable(self, report):
+        # the reproduction tracks the paper's auto-surf rates closely
+        for metric in report.for_artifact("table1"):
+            if metric.metric in ("10KHits", "ManyHits", "Smiley Traffic", "SendSurf", "Otohits"):
+                assert metric.within < 10.0, metric
+
+    def test_worst_lookup(self, report):
+        worst = report.worst()
+        assert worst is not None
+        assert worst.within == max(m.within for m in report.metrics)
+        assert report.worst("table1").artifact == "table1"
+
+    def test_render(self, report):
+        text = report.render()
+        assert "artifact" in text
+        assert "shape" in text
+        assert "OK" in text
+
+    def test_empty_results_safe(self):
+        report = compare_to_paper(StudyResults(overall_malicious_fraction=0.30))
+        assert report.shape_checks["headline >26% malicious"]
+        assert report.worst("table1") is None

@@ -1,0 +1,103 @@
+"""Edge-case tests for the text renderers."""
+
+from collections import Counter
+
+from repro.analysis import (
+    CategorizationResult,
+    ContentCategoryDistribution,
+    ExchangeDomainStats,
+    ExchangeUrlStats,
+    MaliciousTimeseries,
+    RedirectDistribution,
+    TldDistribution,
+)
+from repro.core.reporting import (
+    render_figure2,
+    render_figure3_summary,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_full_report,
+    render_redirect_chain,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.core.results import Figure2Data, StudyResults
+
+
+class TestEmptyInputs:
+    def test_empty_table1(self):
+        out = render_table1([])
+        assert "Exchange" in out
+
+    def test_empty_table2(self):
+        assert "#Domains" in render_table2([])
+
+    def test_empty_categorization(self):
+        result = CategorizationResult()
+        out = render_table3(result)
+        assert "blacklisted" in out
+        assert result.percentage.__call__ is not None
+
+    def test_empty_table4(self):
+        assert "Shortened URL" in render_table4([])
+
+    def test_empty_figure2(self):
+        out = render_figure2(Figure2Data())
+        assert "auto-surf" in out
+
+    def test_empty_figure3(self):
+        assert "Exchange" in render_figure3_summary({})
+
+    def test_empty_figure5(self):
+        out = render_figure5(RedirectDistribution())
+        assert "redirections" in out
+
+    def test_empty_figure6(self):
+        out = render_figure6(TldDistribution())
+        assert "others" in out
+
+    def test_empty_figure7(self):
+        assert "Content Category" in render_figure7(ContentCategoryDistribution())
+
+    def test_single_url_chain(self):
+        out = render_redirect_chain(["http://only.example/"])
+        assert "only.example" in out
+        assert "302" not in out
+
+    def test_minimal_full_report(self):
+        results = StudyResults(
+            table1=[ExchangeUrlStats(exchange="X", kind="auto-surf",
+                                     urls_crawled=10, regular_urls=10,
+                                     malicious_urls=3)],
+            table2=[ExchangeDomainStats(exchange="X", domains=5, malware_domains=1)],
+            figure2=Figure2Data(auto_surf=[("X", 7, 3)]),
+            figure3={"X": MaliciousTimeseries("X", points=[(1, 0), (2, 1)])},
+            overall_malicious_fraction=0.3,
+        )
+        report = render_full_report(results)
+        assert "Table I" in report
+        assert "HOLDS" in report  # 30% > 26%
+
+    def test_headline_does_not_hold(self):
+        results = StudyResults(overall_malicious_fraction=0.1)
+        assert "DOES NOT HOLD" in render_full_report(results)
+
+
+class TestBarScaling:
+    def test_zero_totals_safe(self):
+        figure = Figure2Data(auto_surf=[("Empty", 0, 0)])
+        out = render_figure2(figure)
+        assert "0.0% malicious" in out
+
+    def test_wide_values_aligned(self):
+        rows = [
+            ExchangeUrlStats(exchange="VeryLongExchangeName", kind="manual-surf",
+                             urls_crawled=10**9, regular_urls=10**9,
+                             malicious_urls=5 * 10**8),
+        ]
+        out = render_table1(rows)
+        lines = out.splitlines()
+        assert len(lines[0]) == len(lines[1])  # header and rule align

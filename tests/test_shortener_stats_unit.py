@@ -1,0 +1,84 @@
+"""Unit tests for Table IV computation on a hand-built world."""
+
+import random
+
+import pytest
+
+from repro.analysis import compute_shortener_stats
+from repro.crawler.pipeline import ScanOutcome
+from repro.crawler.storage import CrawlDataset, RecordKind, UrlRecord
+from repro.detection import UrlVerdict
+from repro.simweb import WebRegistry
+
+
+@pytest.fixture
+def world():
+    registry = WebRegistry(random.Random(0))
+    directory = registry.shorteners
+    short_a = directory.shorten("goo.gl", "http://landing-a.example/", slug="VAdNHA")
+    short_b = directory.shorten("bit.ly", "http://landing-b.example/", slug="joker1")
+    # alias slug pointing at the same long URL as A (long hits aggregate)
+    alias = directory.shorten("goo.gl", "http://landing-a.example/", slug="q5Z0q")
+
+    # traffic: A resolved 3x from an exchange, alias 2x, B once organic
+    for _ in range(3):
+        directory.resolve_url(short_a, referrer="10khits.com", country="US")
+    for _ in range(2):
+        directory.resolve_url(alias, referrer="otohits.net", country="BR")
+    directory.resolve_url(short_b, referrer="", country="MY")
+
+    dataset = CrawlDataset()
+    for index, url in enumerate((short_a, short_b, alias, short_a)):
+        dataset.add_record(UrlRecord(url=url, exchange="10KHits",
+                                     kind=RecordKind.REGULAR, step_index=index,
+                                     timestamp=float(index)))
+    outcome = ScanOutcome()
+    for url in (short_a, alias):  # only A's slugs were flagged malicious
+        outcome.verdicts[url] = UrlVerdict(url=url, malicious=True)
+    outcome.verdicts[short_b] = UrlVerdict(url=short_b, malicious=False)
+    return registry, dataset, outcome, short_a, alias
+
+
+class TestComputeShortenerStats:
+    def test_only_malicious_short_urls_reported(self, world):
+        registry, dataset, outcome, short_a, alias = world
+        rows = compute_shortener_stats(dataset, outcome, registry)
+        reported = {row.short_url for row in rows}
+        assert reported == {short_a, alias}
+
+    def test_long_hits_aggregate_aliases(self, world):
+        registry, dataset, outcome, short_a, alias = world
+        rows = {r.short_url: r for r in compute_shortener_stats(dataset, outcome, registry)}
+        # A has 3 hits, alias 2; the long URL accumulates 5 through both
+        assert rows[short_a].short_hits == 3
+        assert rows[alias].short_hits == 2
+        assert rows[short_a].long_hits == 5
+        assert rows[alias].long_hits == 5
+
+    def test_top_referrer_and_country(self, world):
+        registry, dataset, outcome, short_a, alias = world
+        rows = {r.short_url: r for r in compute_shortener_stats(dataset, outcome, registry)}
+        assert rows[short_a].top_referrer == "10khits.com"
+        assert rows[short_a].top_country == "US"
+        assert rows[alias].top_referrer == "otohits.net"
+        assert rows[alias].top_country == "BR"
+
+    def test_sorted_by_hits(self, world):
+        registry, dataset, outcome, _a, _alias = world
+        rows = compute_shortener_stats(dataset, outcome, registry)
+        hits = [r.short_hits for r in rows]
+        assert hits == sorted(hits, reverse=True)
+
+    def test_duplicate_records_deduplicated(self, world):
+        registry, dataset, outcome, short_a, _alias = world
+        rows = compute_shortener_stats(dataset, outcome, registry)
+        assert sum(1 for r in rows if r.short_url == short_a) == 1
+
+    def test_non_short_urls_ignored(self, world):
+        registry, dataset, outcome, _a, _alias = world
+        dataset.add_record(UrlRecord(url="http://plain.example/", exchange="X",
+                                     kind=RecordKind.REGULAR, step_index=9, timestamp=9.0))
+        outcome.verdicts["http://plain.example/"] = UrlVerdict(
+            url="http://plain.example/", malicious=True)
+        rows = compute_shortener_stats(dataset, outcome, registry)
+        assert all("plain.example" not in r.short_url for r in rows)

@@ -1,0 +1,196 @@
+"""Tests for the smaller simweb modules: naming, popular, registry,
+shortener details, samplers."""
+
+import random
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.simweb import (
+    ContentCategory,
+    GroundTruth,
+    NameForge,
+    Page,
+    Site,
+    Url,
+    WebRegistry,
+    WeightedChoice,
+    is_popular_url,
+    is_self_referral,
+)
+from repro.simweb.categories import BENIGN_CATEGORY_SAMPLER, MALICIOUS_CATEGORY_SAMPLER
+from repro.simweb.shortener import ShortenerDirectory, ShortenerService
+from repro.simweb.tlds import BENIGN_TLD_WEIGHTS, MALICIOUS_TLD_WEIGHTS
+
+
+class TestNameForge:
+    def test_domain_labels_unique(self):
+        forge = NameForge(random.Random(1))
+        labels = [forge.domain_label("business") for _ in range(500)]
+        assert len(set(labels)) == 500
+
+    def test_category_flavour(self):
+        forge = NameForge(random.Random(2))
+        from repro.simweb.naming import _CORES
+
+        label = forge.domain_label("advertisement")
+        assert any(core in label for core in _CORES["advertisement"])
+
+    def test_path_shape(self):
+        forge = NameForge(random.Random(3))
+        path = forge.path(depth=3, extension="html")
+        assert path.startswith("/")
+        assert path.endswith(".html")
+        assert path.count("/") == 3
+
+    def test_path_no_extension(self):
+        forge = NameForge(random.Random(3))
+        assert "." not in forge.path(depth=1, extension="")
+
+    def test_token_alphabet(self):
+        forge = NameForge(random.Random(4))
+        token = forge.token(12)
+        assert len(token) == 12
+        assert token.isalnum()
+
+    def test_deterministic(self):
+        a = NameForge(random.Random(9)).domain("business", "com")
+        b = NameForge(random.Random(9)).domain("business", "com")
+        assert a == b
+
+
+class TestWeightedChoice:
+    def test_respects_weights(self):
+        rng = random.Random(0)
+        sampler = WeightedChoice({"a": 90.0, "b": 10.0})
+        draws = [sampler.sample(rng) for _ in range(2000)]
+        share_a = draws.count("a") / len(draws)
+        assert 0.85 < share_a < 0.95
+
+    def test_zero_weight_never_drawn(self):
+        rng = random.Random(0)
+        sampler = WeightedChoice({"a": 1.0, "b": 0.0})
+        assert all(sampler.sample(rng) == "a" for _ in range(100))
+
+    def test_rejects_bad_weights(self):
+        with pytest.raises(ValueError):
+            WeightedChoice({})
+        with pytest.raises(ValueError):
+            WeightedChoice({"a": -1.0})
+        with pytest.raises(ValueError):
+            WeightedChoice({"a": 0.0})
+
+    @given(st.integers(min_value=0, max_value=10**6))
+    def test_always_returns_member(self, seed):
+        sampler = WeightedChoice(MALICIOUS_TLD_WEIGHTS)
+        assert sampler.sample(random.Random(seed)) in MALICIOUS_TLD_WEIGHTS
+
+    def test_category_samplers_valid(self):
+        rng = random.Random(0)
+        assert ContentCategory(BENIGN_CATEGORY_SAMPLER.sample(rng))
+        assert ContentCategory(MALICIOUS_CATEGORY_SAMPLER.sample(rng))
+
+    def test_tld_catalogs_shape(self):
+        # Figure 6 calibration: com dominates, then net
+        assert MALICIOUS_TLD_WEIGHTS["com"] > MALICIOUS_TLD_WEIGHTS["net"] > MALICIOUS_TLD_WEIGHTS["de"]
+        assert BENIGN_TLD_WEIGHTS["com"] == max(BENIGN_TLD_WEIGHTS.values())
+
+
+class TestPopularClassification:
+    def test_popular_domains(self):
+        assert is_popular_url(Url.parse("http://www.youtube.com/watch?v=x"))
+        assert is_popular_url(Url.parse("http://facebook.com/profile"))
+
+    def test_infra_not_popular(self):
+        assert not is_popular_url(Url.parse("http://ajax.googleapis.com/ajax/libs/x.js"))
+        assert not is_popular_url(Url.parse("http://www.google-analytics.com/analytics.js"))
+
+    def test_random_site_not_popular(self):
+        assert not is_popular_url(Url.parse("http://myshop.example.com/"))
+
+    def test_extra_popular(self):
+        url = Url.parse("http://special.example.com/")
+        assert not is_popular_url(url)
+        assert is_popular_url(url, extra_popular={"example.com"})
+
+    def test_self_referral(self):
+        hosts = ["www.10khits.com", "www.otohits.net"]
+        assert is_self_referral(Url.parse("http://www.10khits.com/surf"), hosts)
+        assert is_self_referral(Url.parse("http://members.otohits.net/x"), hosts)
+        assert not is_self_referral(Url.parse("http://other.example.com/"), hosts)
+
+
+class TestRegistry:
+    def test_duplicate_host_rejected(self):
+        registry = WebRegistry(random.Random(0))
+        registry.add(Site("a.example.com", ContentCategory.BUSINESS, GroundTruth(False)))
+        with pytest.raises(ValueError):
+            registry.add(Site("a.example.com", ContentCategory.BUSINESS, GroundTruth(False)))
+
+    def test_filtering(self):
+        registry = WebRegistry(random.Random(0))
+        registry.add(Site("good.example.com", ContentCategory.BUSINESS, GroundTruth(False)))
+        registry.add(Site("bad.example.com", ContentCategory.BUSINESS, GroundTruth(True)))
+        assert len(registry.sites(malicious=True)) == 1
+        assert len(registry.sites(malicious=False)) == 1
+        assert len(registry.sites()) == 2
+        assert "good.example.com" in registry
+        assert len(registry) == 2
+
+    def test_truth_for_url(self):
+        registry = WebRegistry(random.Random(0))
+        site = Site("mixed.example.com", ContentCategory.BUSINESS, GroundTruth(False))
+        site.add_page(Page("/", "ok", "<html></html>", GroundTruth(False)))
+        site.add_page(Page("/evil", "bad", "<html></html>", GroundTruth(True)))
+        registry.add(site)
+        assert registry.truth_for_url(Url.parse("http://mixed.example.com/evil")) is True
+        assert registry.truth_for_url(Url.parse("http://mixed.example.com/")) is False
+        assert registry.truth_for_url(Url.parse("http://unknown.example.com/")) is None
+
+
+class TestShortener:
+    def test_slug_collision_rejected(self):
+        service = ShortenerService("goo.gl", random.Random(0))
+        service.shorten("http://a.example/", slug="abc")
+        with pytest.raises(ValueError):
+            service.shorten("http://b.example/", slug="abc")
+
+    def test_same_long_url_reuses_slug(self):
+        service = ShortenerService("goo.gl", random.Random(0))
+        first = service.shorten("http://a.example/", slug="abc")
+        second = service.shorten("http://a.example/", slug="abc")
+        assert first == second
+
+    def test_multiple_slugs_aggregate_long_hits(self):
+        service = ShortenerService("goo.gl", random.Random(0))
+        service.shorten("http://a.example/", slug="one")
+        service.shorten("http://a.example/", slug="two")
+        service.resolve("one")
+        service.resolve("one")
+        service.resolve("two")
+        assert service.stats("one").hits == 2
+        assert service.long_url_hits("http://a.example/") == 3
+
+    def test_unknown_slug_none(self):
+        service = ShortenerService("goo.gl", random.Random(0))
+        assert service.resolve("nope") is None
+        assert service.stats("nope") is None
+
+    def test_directory_nested_resolution_bounded(self):
+        directory = ShortenerDirectory(random.Random(0))
+        url = "http://destination.example/"
+        for _ in range(8):  # deeper than max_depth
+            url = directory.shorten("goo.gl", url)
+        final, chain = directory.resolve_fully(url, max_depth=5)
+        assert len(chain) <= 7
+
+    def test_referrer_and_country_tracking(self):
+        directory = ShortenerDirectory(random.Random(0))
+        short = directory.shorten("bit.ly", "http://d.example/")
+        slug = short.rsplit("/", 1)[1]
+        directory.resolve_url(short, referrer="10khits.com", country="BR")
+        directory.resolve_url(short, referrer="10khits.com", country="US")
+        directory.resolve_url(short, referrer="otohits.net", country="BR")
+        stats = directory.service("bit.ly").stats(slug)
+        assert stats.top_referrer == "10khits.com"
+        assert stats.top_country == "BR"

@@ -1,0 +1,49 @@
+"""Cross-seed stability: the reproduction's claims are not seed luck.
+
+Runs the full study under multiple seeds at a small scale and asserts
+the paper's shape claims hold under every one.
+"""
+
+import pytest
+
+from repro import MalwareSlumsStudy, StudyConfig
+from repro.core import compare_to_paper
+
+SEEDS = (101, 202, 303)
+
+
+@pytest.fixture(scope="module", params=SEEDS)
+def seeded_results(request):
+    study = MalwareSlumsStudy(StudyConfig(seed=request.param, scale=0.008))
+    return study.run()
+
+
+class TestSeedStability:
+    def test_headline_holds(self, seeded_results):
+        assert seeded_results.overall_malicious_fraction > 0.26
+
+    def test_sendsurf_always_worst(self, seeded_results):
+        rates = {r.exchange: r.malicious_fraction for r in seeded_results.table1}
+        auto = {n: rates[n] for n in
+                ("10KHits", "ManyHits", "Smiley Traffic", "SendSurf", "Otohits")}
+        assert max(auto, key=auto.get) == "SendSurf"
+
+    def test_blacklisted_always_largest_category(self, seeded_results):
+        from repro.malware.taxonomy import MalwareCategory
+
+        shares = dict(seeded_results.table3.table_rows())
+        assert shares[MalwareCategory.BLACKLISTED] == max(shares.values())
+
+    def test_com_always_dominates(self, seeded_results):
+        assert seeded_results.figure6.percentage("com") > seeded_results.figure6.percentage("net")
+
+    def test_shape_checks(self, seeded_results):
+        report = compare_to_paper(seeded_results)
+        core_shapes = (
+            "headline >26% malicious",
+            "SendSurf worst exchange",
+            "com > net (TLDs)",
+            "table3 ordering",
+        )
+        for name in core_shapes:
+            assert report.shape_checks[name], (name, report.shape_checks)

@@ -1,0 +1,115 @@
+"""End-to-end study tests: table/figure shapes at small scale."""
+
+import pytest
+
+from repro import MalwareSlumsStudy, StudyConfig
+from repro.core.reporting import (
+    render_figure2,
+    render_figure3_summary,
+    render_figure5,
+    render_figure6,
+    render_figure7,
+    render_full_report,
+    render_table1,
+    render_table2,
+    render_table3,
+    render_table4,
+)
+from repro.malware.taxonomy import MalwareCategory
+
+
+class TestResultsShape:
+    def test_table1_nine_rows(self, small_results):
+        assert len(small_results.table1) == 9
+        assert sum(r.urls_crawled for r in small_results.table1) > 1000
+
+    def test_table1_accounting_consistent(self, small_results):
+        for row in small_results.table1:
+            assert row.urls_crawled == (
+                row.self_referrals + row.popular_referrals + row.regular_urls
+            )
+            assert 0 <= row.malicious_urls <= row.regular_urls
+
+    def test_headline_over_26_percent(self, small_results):
+        assert small_results.headline_holds
+
+    def test_sendsurf_worst_auto_exchange(self, small_results):
+        rates = {r.exchange: r.malicious_fraction for r in small_results.table1}
+        auto = {n: rates[n] for n in
+                ("10KHits", "ManyHits", "Smiley Traffic", "SendSurf", "Otohits")}
+        assert max(auto, key=auto.get) == "SendSurf"
+        assert auto["SendSurf"] > 0.35
+        assert auto["10KHits"] > auto["Smiley Traffic"]
+
+    def test_otohits_dominated_by_self_referrals(self, small_results):
+        row = next(r for r in small_results.table1 if r.exchange == "Otohits")
+        assert row.self_referrals / row.urls_crawled > 0.35
+
+    def test_table2_rows(self, small_results):
+        assert len(small_results.table2) == 9
+        for row in small_results.table2:
+            assert 0 < row.malware_fraction < 0.6
+
+    def test_table3_blacklisted_largest(self, small_results):
+        table3 = small_results.table3
+        shares = dict(table3.table_rows())
+        assert shares[MalwareCategory.BLACKLISTED] == max(shares.values())
+        assert shares[MalwareCategory.MALICIOUS_FLASH] <= shares[MalwareCategory.MALICIOUS_JAVASCRIPT]
+        assert table3.count(MalwareCategory.MISCELLANEOUS) > 0
+
+    def test_figure2_split(self, small_results):
+        assert len(small_results.figure2.auto_surf) == 5
+        assert len(small_results.figure2.manual_surf) == 4
+
+    def test_figure3_series(self, small_results):
+        assert len(small_results.figure3) == 9
+        for ts in small_results.figure3.values():
+            crawled, cumulative = ts.points[-1]
+            assert cumulative <= crawled
+
+    def test_figure5_bounded_chains(self, small_results):
+        assert small_results.figure5.max_observed <= 10
+
+    def test_figure6_com_dominates(self, small_results):
+        figure6 = small_results.figure6
+        assert figure6.percentage("com") > 40
+        top = dict(figure6.top(2))
+        assert set(top) >= {"com"}
+
+    def test_figure7_business_and_ads_lead(self, small_results):
+        ranked = small_results.figure7.ranked()
+        top_two = {category for category, _ in ranked[:2]}
+        assert "business" in top_two
+
+    def test_caching(self, small_study):
+        # run() twice returns the same object (idempotent)
+        assert small_study.run() is small_study.results
+
+
+class TestRendering:
+    def test_all_renderers_produce_text(self, small_results):
+        assert "10KHits" in render_table1(small_results.table1)
+        assert "#Domains" in render_table2(small_results.table2)
+        assert "blacklisted" in render_table3(small_results.table3)
+        assert "Shortened URL" in render_table4(small_results.table4)
+        assert "auto-surf" in render_figure2(small_results.figure2)
+        assert "Burstiness" in render_figure3_summary(small_results.figure3)
+        assert "redirections" in render_figure5(small_results.figure5)
+        assert "TLD" in render_figure6(small_results.figure6)
+        assert "Content Category" in render_figure7(small_results.figure7)
+
+    def test_full_report(self, small_results):
+        report = render_full_report(small_results)
+        assert "Table I" in report
+        assert "Figure 7" in report
+        assert "HOLDS" in report
+
+
+class TestDeterminism:
+    def test_same_seed_same_results(self):
+        a = MalwareSlumsStudy(StudyConfig(seed=3, scale=0.004)).run()
+        b = MalwareSlumsStudy(StudyConfig(seed=3, scale=0.004)).run()
+        rows_a = {(r.exchange, r.urls_crawled, r.malicious_urls) for r in a.table1}
+        rows_b = {(r.exchange, r.urls_crawled, r.malicious_urls) for r in b.table1}
+        assert rows_a == rows_b
+        assert a.overall_malicious_fraction == b.overall_malicious_fraction

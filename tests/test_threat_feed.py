@@ -1,0 +1,122 @@
+"""Tests for the measurement-derived threat feed."""
+
+import pytest
+
+from repro.countermeasures import (
+    AdFraudDetector,
+    ExchangeWarningExtension,
+    ThreatFeed,
+    build_threat_feed,
+)
+from repro.crawler.pipeline import ScanOutcome
+from repro.crawler.storage import CrawlDataset, RecordKind, UrlRecord
+from repro.detection import UrlVerdict
+
+
+def record(url, exchange="X"):
+    return UrlRecord(url=url, exchange=exchange, kind=RecordKind.REGULAR,
+                     step_index=0, timestamp=0.0)
+
+
+def outcome_with(malicious_urls):
+    outcome = ScanOutcome()
+    for url in malicious_urls:
+        outcome.verdicts[url] = UrlVerdict(url=url, malicious=True)
+    return outcome
+
+
+class TestBuildFeed:
+    def test_majority_bad_domain_listed(self):
+        dataset = CrawlDataset()
+        for path in ("a", "b", "c"):
+            dataset.add_record(record("http://badsite-example.com/%s" % path))
+        outcome = outcome_with(["http://badsite-example.com/a", "http://badsite-example.com/b"])
+        feed = build_threat_feed(dataset, outcome)
+        assert "badsite-example.com" in feed
+        entry = feed.entries["badsite-example.com"]
+        assert entry.malicious_urls == 2
+        assert entry.total_urls == 3
+
+    def test_mostly_benign_domain_spared(self):
+        dataset = CrawlDataset()
+        for index in range(10):
+            dataset.add_record(record("http://bigsite-example.com/p%d" % index))
+        outcome = outcome_with(["http://bigsite-example.com/p0", "http://bigsite-example.com/p1"])
+        feed = build_threat_feed(dataset, outcome, min_malicious_fraction=0.5)
+        assert "bigsite-example.com" not in feed
+
+    def test_single_bad_url_not_enough(self):
+        dataset = CrawlDataset()
+        dataset.add_record(record("http://oncesite-example.com/x"))
+        outcome = outcome_with(["http://oncesite-example.com/x"])
+        assert "oncesite-example.com" not in build_threat_feed(dataset, outcome)
+
+    def test_instances_deduplicated(self):
+        dataset = CrawlDataset()
+        for _ in range(100):
+            dataset.add_record(record("http://loudsite-example.com/only"))
+        outcome = outcome_with(["http://loudsite-example.com/only"])
+        # 100 instances of ONE distinct URL still count as 1
+        assert "loudsite-example.com" not in build_threat_feed(dataset, outcome)
+
+    def test_exchanges_seen(self):
+        dataset = CrawlDataset()
+        dataset.add_record(record("http://multisite-example.com/a", exchange="E1"))
+        dataset.add_record(record("http://multisite-example.com/b", exchange="E2"))
+        outcome = outcome_with(["http://multisite-example.com/a", "http://multisite-example.com/b"])
+        feed = build_threat_feed(dataset, outcome)
+        assert feed.entries["multisite-example.com"].exchanges_seen == 2
+
+
+class TestFeedSerialization:
+    def test_text_round_trip(self):
+        dataset = CrawlDataset()
+        for path in ("a", "b"):
+            dataset.add_record(record("http://badsite-example.com/%s" % path))
+        outcome = outcome_with(["http://badsite-example.com/a", "http://badsite-example.com/b"])
+        feed = build_threat_feed(dataset, outcome)
+        restored = ThreatFeed.from_text(feed.to_text())
+        assert restored.domains == feed.domains
+        assert restored.entries["badsite-example.com"].malicious_urls == 2
+
+    def test_contains_url(self):
+        feed = ThreatFeed()
+        from repro.countermeasures.feed import FeedEntry
+
+        feed.entries["badsite-example.com"] = FeedEntry("badsite-example.com", 2, 2, 1)
+        assert feed.contains_url("http://www.badsite-example.com/x")
+        assert not feed.contains_url("http://good.example.com/")
+        assert not feed.contains_url("garbage")
+
+
+class TestFeedIntegration:
+    def test_study_feed_is_accurate(self, small_study, small_dataset, small_outcome):
+        feed = build_threat_feed(small_dataset, small_outcome)
+        assert len(feed) >= 5
+        registry = small_study.web.registry
+        # grade the feed against ground truth: listed domains are
+        # overwhelmingly truly-malicious sites
+        correct = wrong = 0
+        for domain in feed.domains:
+            sites = [s for s in registry.sites() if
+                     s.host == domain or s.host.endswith("." + domain)]
+            if not sites:
+                continue
+            if any(s.malicious for s in sites):
+                correct += 1
+            else:
+                wrong += 1
+        assert correct > 0
+        assert wrong <= max(1, correct // 10)
+
+    def test_feed_feeds_warning_extension(self, small_dataset, small_outcome):
+        feed = build_threat_feed(small_dataset, small_outcome)
+        extension = ExchangeWarningExtension(known_domains=feed.domains)
+        top = feed.top(1)[0]
+        assert extension.check_navigation("http://%s/" % top.domain) is not None
+
+    def test_top_ordering(self, small_dataset, small_outcome):
+        feed = build_threat_feed(small_dataset, small_outcome)
+        top = feed.top(10)
+        values = [e.malicious_urls for e in top]
+        assert values == sorted(values, reverse=True)
