@@ -33,6 +33,44 @@ def test_crawl_throughput(benchmark):
     print("\ncrawled %d URL instances" % records)
 
 
+def test_observer_overhead(benchmark):
+    """An attached RunObserver must stay within 10% of the bare crawl."""
+    import time
+
+    from repro.crawler import CrawlPipeline
+    from repro.obs import RunObserver
+
+    def crawl(observer=None):
+        study = MalwareSlumsStudy(StudyConfig(seed=99, scale=0.01))
+        study.generate_web()
+        pipeline = CrawlPipeline(study.web, seed=7, observer=observer)
+        pipeline.crawl()
+        return pipeline
+
+    def timed(thunk):
+        start = time.perf_counter()
+        result = thunk()
+        return time.perf_counter() - start, result
+
+    # warm both paths, then time interleaved bare/observed pairs and take
+    # the median per-pair ratio — noise within a pair is correlated, so
+    # ratios are far more stable than independent best-of timings
+    crawl(), crawl(RunObserver())
+    ratios = []
+    pipeline = None
+    for _ in range(7):
+        bare, _ = timed(crawl)
+        seconds, pipeline = timed(lambda: crawl(RunObserver()))
+        ratios.append(seconds / bare)
+    benchmark.pedantic(lambda: crawl(RunObserver()), rounds=1, iterations=1)
+    assert pipeline.observer.metrics.counter_total("http.requests") > 0
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
+    print("\nper-pair overhead: %s -> median %+.1f%%"
+          % (" ".join("%+.1f%%" % (100 * (r - 1)) for r in ratios), 100 * overhead))
+    assert overhead <= 0.10, "observer overhead %.1f%% exceeds 10%%" % (100 * overhead)
+
+
 def test_scan_throughput(benchmark):
     study = MalwareSlumsStudy(StudyConfig(seed=99, scale=0.01))
     study.generate_web()

@@ -83,6 +83,19 @@ def build_parser() -> argparse.ArgumentParser:
     feed.add_argument("--seed", type=int, default=2016)
     feed.add_argument("-o", "--output", required=True)
 
+    obs = sub.add_parser(
+        "obs-report",
+        help="run an observed crawl+scan and emit the run-telemetry report",
+    )
+    obs.add_argument("--scale", type=float, default=0.02)
+    obs.add_argument("--seed", type=int, default=2016)
+    obs.add_argument("-o", "--output",
+                     help="write the JSON report here (schema: repro.obs.report)")
+    obs.add_argument("--markdown", action="store_true",
+                     help="print the Markdown rendering instead of JSON")
+    obs.add_argument("--events", metavar="PATH",
+                     help="also write the structured event log as JSON-lines")
+
     return parser
 
 
@@ -182,6 +195,34 @@ def _cmd_export(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_obs_report(args: argparse.Namespace) -> int:
+    import json
+
+    from .crawler import CrawlPipeline
+    from .obs import RunObserver, build_run_report, render_run_report_markdown
+
+    study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
+    web = study.generate_web()
+    observer = RunObserver()
+    pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer)
+    outcome = pipeline.run()
+    report = build_run_report(pipeline, outcome)
+
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as handle:
+            json.dump(report, handle, indent=2, sort_keys=True)
+        print("wrote telemetry report to %s" % args.output)
+    if args.events:
+        with open(args.events, "w", encoding="utf-8") as handle:
+            handle.write(observer.events.to_jsonl())
+        print("wrote %d events to %s" % (len(observer.events), args.events))
+    if args.markdown:
+        print(render_run_report_markdown(report))
+    elif not args.output:
+        print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
 def _cmd_feed(args: argparse.Namespace) -> int:
     from .countermeasures import build_threat_feed
 
@@ -203,6 +244,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "compare": _cmd_compare,
         "export": _cmd_export,
         "feed": _cmd_feed,
+        "obs-report": _cmd_obs_report,
     }[args.command]
     return handler(args)
 

@@ -13,14 +13,18 @@ from ..malware.taxonomy import MalwareCategory
 from .reference import ComparisonReport, compare_to_paper
 from .results import StudyResults
 
-__all__ = ["render_markdown_report"]
+__all__ = ["markdown_table", "render_markdown_report"]
 
 
-def _table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+def markdown_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
+    """Render a GitHub-style table (shared by all Markdown reports)."""
     lines = ["| " + " | ".join(headers) + " |",
              "|" + "|".join("---" for _ in headers) + "|"]
     lines.extend("| " + " | ".join(str(c) for c in row) + " |" for row in rows)
     return "\n".join(lines)
+
+
+_table = markdown_table
 
 
 def render_markdown_report(results: StudyResults, title: str = "Study report",

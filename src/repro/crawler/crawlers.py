@@ -56,12 +56,15 @@ class ExchangeCrawler:
         browser: BrowserSession,
         rng: random.Random,
         account_id: str = "measurement-account",
+        observer: Optional[object] = None,
     ) -> None:
         self.exchange = exchange
         self.browser = browser
         self.rng = rng
         self.account_id = account_id
         self._session: Optional[SessionHandle] = None
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
+        self.observer = observer
 
     def login(self) -> SessionHandle:
         """Register the brand-new crawl account and open its session."""
@@ -91,6 +94,8 @@ class ExchangeCrawler:
         else:  # pragma: no cover - base class fallback
             iterator = (self.exchange.next_step(self._session) for _ in range(steps))
 
+        observer = self.observer
+        step_counters = {}  # per-kind handles: one registry lookup per kind
         for step in iterator:
             stats.steps += 1
             if step.kind == StepKind.SELF_REFERRAL:
@@ -101,10 +106,21 @@ class ExchangeCrawler:
                 stats.campaign_visits += 1
             else:
                 stats.member_visits += 1
+            if observer is not None:
+                counter = step_counters.get(step.kind)
+                if counter is None:
+                    counter = step_counters[step.kind] = observer.metrics.counter(
+                        "crawl.steps", exchange=self.exchange.name,
+                        kind=str(step.kind))
+                counter.value += 1.0
             self.browser.visit(
                 step.url,
                 kind=_STEP_TO_RECORD_KIND[step.kind],
                 step_index=step.index,
                 timestamp=step.timestamp,
             )
+        if observer is not None:
+            observer.event("crawl.exchange.done", exchange=self.exchange.name,
+                           steps=stats.steps, member_visits=stats.member_visits,
+                           campaign_visits=stats.campaign_visits)
         return stats

@@ -34,6 +34,7 @@ from ..detection import (
 from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
 from ..exchanges.roster import ExchangeProfile
 from ..httpsim import SimHttpClient, SimHttpServer
+from ..obs.observer import RunObserver
 from ..simweb import ContentCategory, GroundTruth, MalwareFamily, Page, Site
 from ..simweb.generator import ExchangePool, GeneratedWeb
 from ..simweb.url import Url
@@ -49,10 +50,22 @@ class ScanOutcome:
     """Everything the scan phase produced."""
 
     verdicts: Dict[str, UrlVerdict] = field(default_factory=dict)
+    #: how many :meth:`is_malicious` queries hit a URL the scan phase
+    #: never saw — in a healthy run this stays 0, and a nonzero value
+    #: means "missing verdict", which is *not* the same as "benign"
+    unscanned_queries: int = 0
+
+    def scanned(self, url: str) -> bool:
+        """True when the scan phase produced a verdict for ``url``."""
+        return url in self.verdicts
 
     def is_malicious(self, url: str) -> bool:
         verdict = self.verdicts.get(url)
-        return verdict.malicious if verdict is not None else False
+        if verdict is None:
+            # never-scanned is counted, not silently folded into benign
+            self.unscanned_queries += 1
+            return False
+        return verdict.malicious
 
     def verdict(self, url: str) -> Optional[UrlVerdict]:
         return self.verdicts.get(url)
@@ -62,11 +75,21 @@ class CrawlPipeline:
     """Runs the full measurement."""
 
     def __init__(self, web: GeneratedWeb, seed: int = 77,
-                 submit_files: bool = True) -> None:
+                 submit_files: bool = True,
+                 observer: Optional[RunObserver] = None) -> None:
         self.web = web
         self.rng = random.Random(seed)
-        self.server = SimHttpServer(web.registry)
-        self.client = SimHttpClient(self.server)
+        #: opt-in telemetry; with None every hook below is a skipped
+        #: attribute test and pipeline outputs are identical to seed
+        self.observer = observer
+        self.server = SimHttpServer(web.registry, observer=observer)
+        # the client's HAR capture shares the observer's clock so span
+        # and HAR timestamps never drift apart
+        self.client = SimHttpClient(
+            self.server,
+            clock=observer.clock if observer is not None else None,
+            observer=observer,
+        )
         self.dataset = CrawlDataset()
         self.exchanges: Dict[str, TrafficExchange] = {}
         self.crawl_stats: Dict[str, CrawlStats] = {}
@@ -312,6 +335,7 @@ class CrawlPipeline:
     def crawl(self, scale: Optional[float] = None) -> Dict[str, CrawlStats]:
         """Crawl every exchange at ``scale`` (defaults to web config)."""
         scale = scale if scale is not None else self.web.config.scale
+        observer = self.observer
         for name, exchange in self.exchanges.items():
             prof = self.web.pools[name].profile
             steps = prof.scaled_urls(scale)
@@ -321,12 +345,18 @@ class CrawlPipeline:
                 dataset=self.dataset,
                 exchange_name=name,
                 exchange_host=prof.host,
+                observer=observer,
             )
             crawler = ExchangeCrawler(
                 exchange, browser, random.Random(self.rng.randrange(2**32)),
                 account_id="measurement-%s" % name,
+                observer=observer,
             )
-            self.crawl_stats[name] = crawler.crawl(steps)
+            if observer is not None:
+                with observer.span("crawl.exchange", exchange=name, steps=steps):
+                    self.crawl_stats[name] = crawler.crawl(steps)
+            else:
+                self.crawl_stats[name] = crawler.crawl(steps)
         return self.crawl_stats
 
     # ------------------------------------------------------------------
@@ -353,10 +383,13 @@ class CrawlPipeline:
             ],
         )
         self.verdict_service = UrlVerdictService(
-            virustotal=VirusTotalSim(client=SimHttpClient(self.server)),
-            quttera=QutteraSim(client=SimHttpClient(self.server)),
+            virustotal=VirusTotalSim(client=SimHttpClient(self.server),
+                                     observer=self.observer),
+            quttera=QutteraSim(client=SimHttpClient(self.server),
+                               observer=self.observer),
             blacklists=self.blacklists,
             submit_files=self.submit_files,
+            observer=self.observer,
         )
         return self.verdict_service
 
@@ -364,6 +397,19 @@ class CrawlPipeline:
         """Scan every distinct crawled URL once."""
         service = self.build_detection()
         outcome = ScanOutcome()
+        observer = self.observer
+        if observer is not None:
+            with observer.span("scan", urls=len(self.dataset.distinct_urls())):
+                self._scan_all(service, outcome)
+            observer.event("scan.done", urls=len(outcome.verdicts),
+                           malicious=sum(1 for v in outcome.verdicts.values()
+                                         if v.malicious))
+        else:
+            self._scan_all(service, outcome)
+        return outcome
+
+    def _scan_all(self, service: UrlVerdictService, outcome: ScanOutcome) -> None:
+        observer = self.observer
         for url in self.dataset.distinct_urls():
             cached = self.dataset.content.get(url)
             if cached is None:
@@ -376,7 +422,10 @@ class CrawlPipeline:
                     final_url=cached.final_url,
                 )
             outcome.verdicts[url] = verdict
-        return outcome
+            if observer is not None:
+                observer.count("scan.urls")
+                observer.count("scan.verdict.malicious" if verdict.malicious
+                               else "scan.verdict.benign")
 
     # ------------------------------------------------------------------
     def run(self, scale: Optional[float] = None) -> ScanOutcome:

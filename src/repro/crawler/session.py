@@ -31,6 +31,7 @@ class BrowserSession:
         exchange_name: str,
         exchange_host: str,
         country: str = "US",
+        observer: Optional[object] = None,
     ) -> None:
         self.client = client
         self.registry = registry
@@ -38,6 +39,18 @@ class BrowserSession:
         self.exchange_name = exchange_name
         self.exchange_host = exchange_host
         self.country = country
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks);
+        #: the session is bound to one exchange, so its per-exchange
+        #: counters resolve once here rather than once per visit
+        self.observer = observer
+        if observer is not None:
+            metrics = observer.metrics
+            self._visits_counter = metrics.counter(
+                "crawl.visits", exchange=exchange_name)
+            self._redirected_counter = metrics.counter(
+                "crawl.redirected_visits", exchange=exchange_name)
+            self._subresource_counter = metrics.counter(
+                "crawl.subresource_fetches", exchange=exchange_name)
 
     @property
     def surf_referrer(self) -> str:
@@ -52,6 +65,10 @@ class BrowserSession:
         )
         self._log_chain(result, kind, step_index, timestamp)
         self.dataset.har_log(self.exchange_name).extend(result.entries)
+        if self.observer is not None:
+            self._visits_counter.value += 1.0
+            if result.hops:
+                self._redirected_counter.value += 1.0
 
         if kind == RecordKind.REGULAR and result.response.ok:
             self._fetch_subresources(result, kind, step_index, timestamp, page_ref)
@@ -100,3 +117,5 @@ class BrowserSession:
             )
             self._log_chain(sub_result, kind, step_index, timestamp)
             self.dataset.har_log(self.exchange_name).extend(sub_result.entries)
+            if self.observer is not None:
+                self._subresource_counter.value += 1.0

@@ -63,12 +63,22 @@ class CrawlDataset:
         self.har_logs: Dict[str, HarLog] = {}
 
     # -- writing -----------------------------------------------------------
+    # deliberately uninstrumented: these run once per logged URL instance,
+    # and everything telemetry wants (record counts, dedup hit rate) is
+    # derivable from the dataset itself at report time
     def add_record(self, record: UrlRecord) -> None:
         self.records.append(record)
 
-    def cache_content(self, url: str, cached: CachedContent) -> None:
-        # first capture wins: matches "download completed pages" semantics
-        self.content.setdefault(url, cached)
+    def cache_content(self, url: str, cached: CachedContent) -> bool:
+        """Cache the first capture of ``url``; True when it was new.
+
+        First capture wins: matches "download completed pages" semantics.
+        The new/duplicate split is the crawl's dedup hit rate.
+        """
+        is_new = url not in self.content
+        if is_new:
+            self.content[url] = cached
+        return is_new
 
     def har_log(self, exchange: str) -> HarLog:
         log = self.har_logs.get(exchange)

@@ -51,6 +51,7 @@ class UrlVerdictService:
         blacklists: BlacklistSet,
         min_blacklist_hits: int = 2,
         submit_files: bool = True,
+        observer: Optional[object] = None,
     ) -> None:
         self.virustotal = virustotal
         self.quttera = quttera
@@ -59,6 +60,8 @@ class UrlVerdictService:
         #: the footnote-1 mitigation: submit downloaded page files rather
         #: than bare URLs (set False for the cloaking ablation)
         self.submit_files = submit_files
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
+        self.observer = observer
 
     def verdict(
         self,
@@ -76,7 +79,8 @@ class UrlVerdictService:
             # and thresholds, not via duplicated sandbox runs
             from .heuristics import analyze_content
 
-            analysis = analyze_content(content, content_type, url)
+            analysis = analyze_content(content, content_type, url,
+                                       observer=self.observer)
             vt = self.virustotal.scan_prepared(submission, analysis)
             quttera = self.quttera.scan_prepared(submission, analysis)
         else:
@@ -86,6 +90,19 @@ class UrlVerdictService:
         parsed = Url.try_parse(url)
         hits = self.blacklists.hits(parsed) if parsed is not None else []
         blacklisted = len(hits) >= self.min_blacklist_hits
+
+        observer = self.observer
+        if observer is not None:
+            for result in vt.engines:
+                if result.detected:
+                    observer.count("scan.engine.detected", engine=result.engine)
+            if hits:
+                observer.count("scan.blacklist.hits", len(hits))
+            for tool, flagged in (("virustotal", vt.malicious),
+                                  ("quttera", quttera.malicious),
+                                  ("blacklists", blacklisted)):
+                if flagged:
+                    observer.count("scan.tool.malicious", tool=tool)
 
         labels = vt.merged_labels() + [
             label for label in quttera.labels if label not in vt.labels

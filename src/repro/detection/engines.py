@@ -41,15 +41,22 @@ class SimulatedEngine:
     detector: Detector
     miss_rate: float = 0.03
     fp_rate: float = 0.001
+    #: optional :class:`repro.obs.RunObserver` counting signature-gap
+    #: misses and spurious heuristic fires per engine (None = no-op)
+    observer: Optional[object] = None
 
     def scan(self, analysis: ContentAnalysis, artifact_key: str) -> EngineResult:
         label = self.detector(analysis, artifact_key)
         roll = stable_unit(self.name, artifact_key)
         if label is not None:
             if roll < self.miss_rate:
+                if self.observer is not None:
+                    self.observer.count("scan.engine.signature_miss", engine=self.name)
                 return EngineResult(engine=self.name, detected=False)
             return EngineResult(engine=self.name, detected=True, label=label)
         if roll > 1.0 - self.fp_rate:
+            if self.observer is not None:
+                self.observer.count("scan.engine.heuristic_fp", engine=self.name)
             return EngineResult(engine=self.name, detected=True, label="Heur.Suspicious.Generic")
         return EngineResult(engine=self.name, detected=False)
 
@@ -195,9 +202,9 @@ def _generalist_combined(analysis: ContentAnalysis, key: str) -> Optional[str]:
     return None
 
 
-def default_engine_pool() -> List[SimulatedEngine]:
+def default_engine_pool(observer: Optional[object] = None) -> List[SimulatedEngine]:
     """The standard pool of simulated engines (names are fictional)."""
-    return [
+    pool = [
         SimulatedEngine("AegisAV", _iframe_signature, miss_rate=0.03, fp_rate=0.001),
         SimulatedEngine("BitSentry", _iframe_whitelist_aware, miss_rate=0.03),
         SimulatedEngine("NanoDef", _iframe_strict, miss_rate=0.04),
@@ -214,3 +221,6 @@ def default_engine_pool() -> List[SimulatedEngine]:
         SimulatedEngine("KoboldSec", _generalist_behaviour, miss_rate=0.04),
         SimulatedEngine("LumenAV", _generalist_combined, miss_rate=0.04),
     ]
+    for engine in pool:
+        engine.observer = observer
+    return pool

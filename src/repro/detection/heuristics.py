@@ -137,28 +137,35 @@ class ContentAnalysis:
 
 
 def analyze_content(content: bytes, content_type: str = "text/html",
-                    url: str = "http://unknown.invalid/") -> ContentAnalysis:
-    """Dispatch on artifact type and analyze."""
+                    url: str = "http://unknown.invalid/",
+                    observer: Optional[object] = None) -> ContentAnalysis:
+    """Dispatch on artifact type and analyze.
+
+    ``observer`` (a :class:`repro.obs.RunObserver`, optional) is threaded
+    into the JS sandbox so eval-depth/op-count gauges cover every script
+    the scanners execute.
+    """
     if content_type.startswith("application/x-shockwave-flash") or SwfFile.sniff(content):
         return analyze_swf(content)
     if content_type.startswith("application/pdf") or content[:5] == b"%PDF-":
-        return analyze_pdf(content)
+        return analyze_pdf(content, observer=observer)
     if content_type.startswith(("application/x-msdownload", "application/octet-stream")) and content[:2] == b"MZ":
         analysis = ContentAnalysis(kind="executable")
         analysis.executable_signature_hit = is_malicious_executable(content)
         return analysis
     text = content.decode("utf-8", errors="replace")
     if content_type.startswith(("application/javascript", "text/javascript")):
-        return _analyze_standalone_js(text, url)
-    return analyze_html(text, url)
+        return _analyze_standalone_js(text, url, observer=observer)
+    return analyze_html(text, url, observer=observer)
 
 
-def analyze_html(html: str, url: str = "http://unknown.invalid/") -> ContentAnalysis:
+def analyze_html(html: str, url: str = "http://unknown.invalid/",
+                 observer: Optional[object] = None) -> ContentAnalysis:
     """Full static + dynamic analysis of an HTML page."""
     analysis = ContentAnalysis(kind="html")
 
     # ---- dynamic pass: execute scripts, observe behaviour, mutate DOM ----
-    host = run_script_in_page(html, url=url, step_budget=200_000)
+    host = run_script_in_page(html, url=url, step_budget=200_000, observer=observer)
     document = host.document_tree
     analysis.navigations = list(host.log.navigations)
     analysis.popups = list(host.log.popups)
@@ -232,7 +239,7 @@ def analyze_swf(content: bytes) -> ContentAnalysis:
     return analysis
 
 
-def analyze_pdf(content: bytes) -> ContentAnalysis:
+def analyze_pdf(content: bytes, observer: Optional[object] = None) -> ContentAnalysis:
     """Inspect a PDF: malformed structure and embedded JavaScript.
 
     Quttera-style heuristics (Section III-B lists "malformed PDFs"):
@@ -268,7 +275,7 @@ def analyze_pdf(content: bytes) -> ContentAnalysis:
         _merge_script_analysis(analysis, source)
         # run the auto-executed script in the sandbox
         page = "<html><body><script>%s</script></body></html>" % source
-        host = run_script_in_page(page, step_budget=100_000)
+        host = run_script_in_page(page, step_budget=100_000, observer=observer)
         analysis.navigations.extend(host.log.navigations)
         analysis.download_triggers.extend(host.log.download_triggers)
         analysis.popups.extend(host.log.popups)
@@ -276,10 +283,11 @@ def analyze_pdf(content: bytes) -> ContentAnalysis:
     return analysis
 
 
-def _analyze_standalone_js(source: str, url: str) -> ContentAnalysis:
+def _analyze_standalone_js(source: str, url: str,
+                           observer: Optional[object] = None) -> ContentAnalysis:
     """Analyze a bare ``.js`` file by wrapping it in a page."""
     page = "<html><body><script>%s</script></body></html>" % source
-    analysis = analyze_html(page, url=url)
+    analysis = analyze_html(page, url=url, observer=observer)
     analysis.kind = "javascript"
     return analysis
 

@@ -43,8 +43,11 @@ class QutteraSim:
 
     name = "Quttera"
 
-    def __init__(self, client: Optional[SimHttpClient] = None) -> None:
+    def __init__(self, client: Optional[SimHttpClient] = None,
+                 observer: Optional[object] = None) -> None:
         self.client = client
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
+        self.observer = observer
 
     # ------------------------------------------------------------------
     def scan(self, submission: Submission) -> ScanReport:
@@ -59,12 +62,16 @@ class QutteraSim:
                 final_url=result.final_url,
             )
         analysis = analyze_content(
-            submission.content or b"", submission.content_type, submission.url
+            submission.content or b"", submission.content_type, submission.url,
+            observer=self.observer,
         )
         return self._report_from_analysis(submission, analysis)
 
     def _report_from_analysis(self, submission: Submission, analysis: ContentAnalysis) -> ScanReport:
         threats = self._threats(analysis)
+        if self.observer is not None:
+            for threat in threats:
+                self.observer.count("scan.quttera.threats", severity=threat.severity)
         malicious = any(t.severity == _MALICIOUS for t in threats)
         suspicious_count = sum(1 for t in threats if t.severity == _SUSPICIOUS)
         report = ScanReport(

@@ -47,10 +47,14 @@ class VirusTotalSim:
         client: Optional[SimHttpClient] = None,
         engines: Optional[List[SimulatedEngine]] = None,
         positives_threshold: int = 2,
+        observer: Optional[object] = None,
     ) -> None:
         self.client = client
-        self.engines = engines if engines is not None else default_engine_pool()
+        self.engines = engines if engines is not None else default_engine_pool(observer)
         self.positives_threshold = positives_threshold
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks);
+        #: threaded into the JS sandbox for eval-depth/op-count gauges
+        self.observer = observer
         self._url_cache: Dict[str, ScanReport] = {}
 
     # ------------------------------------------------------------------
@@ -59,7 +63,8 @@ class VirusTotalSim:
         if submission.is_file_scan:
             return self._scan_analysis(
                 submission,
-                analyze_content(submission.content or b"", submission.content_type, submission.url),
+                analyze_content(submission.content or b"", submission.content_type,
+                                submission.url, observer=self.observer),
             )
         return self.scan_url(submission.url)
 
@@ -77,7 +82,8 @@ class VirusTotalSim:
             content_type=result.response.content_type,
             final_url=result.final_url,
         )
-        analysis = analyze_content(submission.content or b"", submission.content_type, url)
+        analysis = analyze_content(submission.content or b"", submission.content_type,
+                                   url, observer=self.observer)
         report = self._scan_analysis(submission, analysis)
         if result.redirected:
             report.details["final_url"] = result.final_url

@@ -13,6 +13,7 @@ import re
 from dataclasses import dataclass, field
 from typing import List, Optional, Tuple
 
+from ..obs.clock import Clock, SimClock
 from ..simweb.url import Url
 from .cookies import CookieJar
 from .har import HarEntry
@@ -55,16 +56,44 @@ class FetchResult:
 class SimHttpClient:
     """Fetches through a :class:`SimHttpServer`, following redirects."""
 
+    #: simulated cost of one request/response round trip (seconds)
+    REQUEST_SECONDS = 0.05
+
     def __init__(self, server: SimHttpServer, max_redirects: int = 10,
                  follow_js_redirects: bool = True,
-                 cookie_jar: Optional["CookieJar"] = None) -> None:
+                 cookie_jar: Optional["CookieJar"] = None,
+                 clock: Optional[Clock] = None,
+                 observer: Optional[object] = None) -> None:
         self.server = server
         self.max_redirects = max_redirects
         self.follow_js_redirects = follow_js_redirects
         #: optional cookie jar: sends Cookie headers, stores Set-Cookie
         self.cookie_jar = cookie_jar
-        #: monotonically advancing capture clock (seconds)
-        self.clock = 0.0
+        #: capture clock (seconds); HAR entries and the tracer share it,
+        #: so cross-layer timestamps never drift
+        self.clock: Clock = clock if clock is not None else SimClock()
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
+        self.observer = observer
+        # metric handles resolved once — fetch() is the pipeline's hottest
+        # loop and must not pay a registry lookup per request
+        if observer is not None:
+            metrics = observer.metrics
+            self._requests_counter = metrics.counter("http.requests")
+            self._status_counters = {
+                status_class: metrics.counter(
+                    "http.responses", status_class="%dxx" % status_class)
+                for status_class in (2, 3, 4, 5)
+            }
+            self._fetch_seconds = metrics.histogram("http.fetch.seconds")
+            self._redirect_hops = metrics.counter("http.redirect.hops")
+
+    def _status_counter(self, status: int):
+        status_class = status // 100
+        counter = self._status_counters.get(status_class)
+        if counter is None:
+            counter = self._status_counters[status_class] = self.observer.metrics.counter(
+                "http.responses", status_class="%dxx" % status_class)
+        return counter
 
     def fetch(
         self,
@@ -80,6 +109,8 @@ class SimHttpClient:
         mechanisms: List[str] = []
         entries: List[HarEntry] = []
         response: Optional[HttpResponse] = None
+        observer = self.observer
+        fetch_started = self.clock.now()
 
         for _ in range(self.max_redirects + 1):
             parsed = Url.try_parse(current)
@@ -94,14 +125,26 @@ class SimHttpClient:
             response = self.server.handle(request)
             if self.cookie_jar is not None and "Set-Cookie" in response.headers:
                 self.cookie_jar.store(parsed, response.headers["Set-Cookie"])
-            self.clock += 0.05
+            if isinstance(self.clock, SimClock):
+                self.clock.advance(self.REQUEST_SECONDS)
             if self.cookie_jar is not None:
-                self.cookie_jar.advance(0.05)
+                self.cookie_jar.advance(self.REQUEST_SECONDS)
             entries.append(
                 HarEntry.from_transaction(
-                    request, response, started=self.clock, duration_ms=50.0, page_ref=page_ref
+                    request, response,
+                    started=self.clock.now(),
+                    duration_ms=self.REQUEST_SECONDS * 1000.0,
+                    page_ref=page_ref,
                 )
             )
+            if observer is not None:
+                # hot loop: bump the counter slots directly rather than
+                # paying two method calls per request
+                self._requests_counter.value += 1.0
+                try:
+                    self._status_counters[response.status // 100].value += 1.0
+                except KeyError:
+                    self._status_counter(response.status).inc()
             next_url = self._next_hop(parsed, response)
             if next_url is None:
                 break
@@ -110,6 +153,10 @@ class SimHttpClient:
             current_referrer = current
             current = next_url
         assert response is not None
+        if observer is not None:
+            self._fetch_seconds.observe(self.clock.now() - fetch_started)
+            if hops:
+                self._redirect_hops.inc(len(hops))
         return FetchResult(
             request_url=url,
             final_url=current,

@@ -30,7 +30,10 @@ class HarEntry:
     redirect_location: str = ""
     referrer: str = ""
     body_size: int = 0
-    started: float = 0.0  # seconds since crawl epoch
+    #: seconds on the capture clock — the *same* injectable clock
+    #: (:class:`repro.obs.clock.Clock`) the tracer and event log use, so
+    #: HAR timings line up with spans without wall-clock drift
+    started: float = 0.0
     duration_ms: float = 0.0
     #: page identifier tying sub-resources to their page visit
     page_ref: str = ""
@@ -116,6 +119,18 @@ class HarLog:
 
     def entries_for_page(self, page_ref: str) -> List[HarEntry]:
         return [e for e in self.entries if e.page_ref == page_ref]
+
+    def time_span(self) -> float:
+        """Capture duration in seconds (first request start to last end).
+
+        Well-defined because every entry's ``started`` comes from one
+        shared clock; feeds the per-exchange request-rate telemetry.
+        """
+        if not self.entries:
+            return 0.0
+        first = min(e.started for e in self.entries)
+        last = max(e.started + e.duration_ms / 1000.0 for e in self.entries)
+        return last - first
 
     def redirect_chain(self, start_url: str) -> List[HarEntry]:
         """Follow redirect records from ``start_url`` through the log."""

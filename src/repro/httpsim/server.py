@@ -32,24 +32,40 @@ _META_REFRESH_TEMPLATE = (
 class SimHttpServer:
     """Resolves simulated requests against the registry."""
 
-    def __init__(self, registry: WebRegistry) -> None:
+    def __init__(self, registry: WebRegistry,
+                 observer: Optional[object] = None) -> None:
         self.registry = registry
         #: per-(host, path) round-robin counters for rotating redirectors
         self._rotation_counters: Dict[str, int] = {}
         #: request counter, handy for tests and stats
         self.requests_served = 0
+        #: optional :class:`repro.obs.RunObserver` (None = no-op hooks);
+        #: counter handles resolved once — handle() runs per request.
+        #: No per-request counter here: ``requests_served`` above already
+        #: counts every request, so only the rare outcomes get metrics
+        self.observer = observer
+        if observer is not None:
+            metrics = observer.metrics
+            self._shortener_counter = metrics.counter("http.server.shortener_resolutions")
+            self._not_found_counter = metrics.counter("http.server.not_found")
+            self._cloaked_counter = metrics.counter("http.server.cloaked_decoys")
 
     # ------------------------------------------------------------------
     def handle(self, request: HttpRequest) -> HttpResponse:
         """Serve one request."""
         self.requests_served += 1
         url = request.url
+        observer = self.observer
 
         if self.registry.shorteners.is_short_host(url.host):
+            if observer is not None:
+                self._shortener_counter.inc()
             return self._handle_shortener(request)
 
         site = self.registry.site(url.host)
         if site is None:
+            if observer is not None:
+                self._not_found_counter.inc()
             return HttpResponse.not_found(url=url)
 
         behavior = site.behavior
@@ -68,6 +84,8 @@ class SimHttpServer:
 
         cloak = behavior.cloaked_paths.get(path)
         if cloak is not None and self._looks_like_scanner(request):
+            if observer is not None:
+                self._cloaked_counter.inc()
             return HttpResponse.html(cloak, url=url)
 
         page, resource = site.lookup(path)

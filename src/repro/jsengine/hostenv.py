@@ -438,6 +438,7 @@ class BrowserHost:
         rng: Optional[random.Random] = None,
         step_budget: int = 500_000,
         now_ms: float = 1_420_070_400_000.0,  # fixed clock: 2015-01-01
+        observer: Optional[Any] = None,
     ) -> None:
         self.document_tree = document if document is not None else Document()
         self.log = BehaviorLog()
@@ -450,7 +451,8 @@ class BrowserHost:
         self._wrappers: Dict[int, DomElement] = {}
         self.location = LocationObject(self, url)
         self.interpreter = Interpreter(
-            host_globals={}, step_budget=step_budget, rng=rng or random.Random(0)
+            host_globals={}, step_budget=step_budget, rng=rng or random.Random(0),
+            observer=observer,
         )
         self._install_globals()
 
@@ -600,7 +602,8 @@ class _WindowObject:
 
 def run_script_in_page(html: str, url: str = "http://localhost/", referrer: str = "",
                        step_budget: int = 500_000, simulate_events: bool = True,
-                       rng: Optional[random.Random] = None) -> BrowserHost:
+                       rng: Optional[random.Random] = None,
+                       observer: Optional[Any] = None) -> BrowserHost:
     """Parse ``html``, execute its inline scripts, optionally fire events.
 
     Returns the :class:`BrowserHost`, whose ``log`` and mutated
@@ -611,7 +614,7 @@ def run_script_in_page(html: str, url: str = "http://localhost/", referrer: str 
 
     document = parse(html)
     host = BrowserHost(document=document, url=url, referrer=referrer,
-                       step_budget=step_budget, rng=rng)
+                       step_budget=step_budget, rng=rng, observer=observer)
     for script in document.find_all("script"):
         if script.get("src"):
             host.on_script_src(script.get("src"))

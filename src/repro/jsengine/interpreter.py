@@ -126,10 +126,18 @@ class Interpreter:
         host_globals: Optional[Dict[str, Any]] = None,
         step_budget: int = 500_000,
         rng: Optional[random.Random] = None,
+        observer: Optional[Any] = None,
     ) -> None:
         self.rng = rng or random.Random(0)
         self.step_budget = step_budget
         self.steps = 0
+        #: optional :class:`repro.obs.RunObserver`: op-count and
+        #: eval-nesting gauges for sandbox telemetry (None = no-op)
+        self.observer = observer
+        #: current and deepest observed eval() nesting (layered
+        #: obfuscators eval inside eval; depth is the layer count)
+        self.eval_depth = 0
+        self.max_eval_depth = 0
         self.global_env = Environment()
         for name, value in make_global_builtins(self).items():
             self.global_env.declare(name, value)
@@ -150,9 +158,18 @@ class Interpreter:
     def run_program(self, program: N.Program) -> Any:
         self._hoist(program.body, self.global_env)
         result: Any = UNDEFINED
-        for statement in program.body:
-            result = self._exec(statement, self.global_env)
+        try:
+            for statement in program.body:
+                result = self._exec(statement, self.global_env)
+        finally:
+            self._report_gauges()
         return result
+
+    def _report_gauges(self) -> None:
+        if self.observer is not None:
+            self.observer.gauge_max("js.op_count", self.steps)
+            self.observer.gauge_max("js.eval_depth", self.max_eval_depth)
+            self.observer.count("js.scripts_executed")
 
     def call_function(self, fn: Any, args: List[Any], this: Any = UNDEFINED) -> Any:
         """Invoke a JS or native function from host code."""
@@ -194,8 +211,14 @@ class Interpreter:
         program = parse(source)
         self._hoist(program.body, self.global_env)
         result: Any = UNDEFINED
-        for statement in program.body:
-            result = self._exec(statement, self.global_env)
+        self.eval_depth += 1
+        if self.eval_depth > self.max_eval_depth:
+            self.max_eval_depth = self.eval_depth
+        try:
+            for statement in program.body:
+                result = self._exec(statement, self.global_env)
+        finally:
+            self.eval_depth -= 1
         return result
 
     def _hoist(self, body: List[N.Node], env: Environment) -> None:

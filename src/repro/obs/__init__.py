@@ -1,0 +1,45 @@
+"""Observability: metrics, tracing, and structured run telemetry.
+
+The crawl-and-scan pipeline is instrumented end to end — HTTP client,
+crawlers, detection engines, JS sandbox — behind one opt-in hook::
+
+    from repro.obs import RunObserver
+    from repro.crawler import CrawlPipeline
+
+    observer = RunObserver()
+    pipeline = CrawlPipeline(web, observer=observer)
+    outcome = pipeline.run()
+
+    from repro.obs import build_run_report, render_run_report_markdown
+    report = build_run_report(pipeline, outcome)       # JSON-ready dict
+    print(render_run_report_markdown(report))          # human summary
+
+With no observer attached every hook is a single ``is not None`` test:
+pipeline outputs are byte-identical to an unobserved run.
+"""
+
+from .clock import Clock, MonotonicClock, SimClock
+from .events import EventLog
+from .metrics import Counter, Gauge, Histogram, MetricsRegistry, default_latency_buckets
+from .observer import NULL_OBSERVER, NullObserver, RunObserver
+from .report import build_run_report, render_run_report_markdown
+from .tracing import Span, Tracer
+
+__all__ = [
+    "Clock",
+    "Counter",
+    "EventLog",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "MonotonicClock",
+    "NULL_OBSERVER",
+    "NullObserver",
+    "RunObserver",
+    "SimClock",
+    "Span",
+    "Tracer",
+    "build_run_report",
+    "default_latency_buckets",
+    "render_run_report_markdown",
+]

@@ -1,0 +1,58 @@
+"""Injectable clocks — the single time source for all telemetry.
+
+The paper's measurement correlates timestamps across layers (crawl
+steps, HAR entries, scan latencies); a reproduction must do the same
+*deterministically*.  Every obs component (tracer, event log) and the
+HTTP client's HAR capture take a :class:`Clock` so one simulated clock
+can drive them all: no ``time.time()`` drift between layers, and seeded
+runs produce byte-identical traces.
+
+:class:`SimClock` is the deterministic default — it only moves when the
+simulation says so (the HTTP client charges 50 ms per request, exactly
+the constant it always used).  :class:`MonotonicClock` is the wall-time
+option for profiling real hardware.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SimClock", "MonotonicClock"]
+
+
+class Clock:
+    """Minimal clock interface: ``now()`` in (fractional) seconds."""
+
+    def now(self) -> float:  # pragma: no cover - interface
+        raise NotImplementedError
+
+
+class SimClock(Clock):
+    """A manually-advanced clock; deterministic under seeded runs."""
+
+    __slots__ = ("_now",)
+
+    def __init__(self, start: float = 0.0) -> None:
+        self._now = float(start)
+
+    def now(self) -> float:
+        return self._now
+
+    def advance(self, seconds: float) -> float:
+        """Move time forward; returns the new time."""
+        if seconds < 0:
+            raise ValueError("clocks only move forward (got %r)" % seconds)
+        self._now += seconds
+        return self._now
+
+
+class MonotonicClock(Clock):
+    """Wall clock (``time.monotonic``), zeroed at construction."""
+
+    __slots__ = ("_epoch",)
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now(self) -> float:
+        return time.monotonic() - self._epoch

@@ -1,0 +1,91 @@
+"""The run observer: one object the pipeline threads everywhere.
+
+Bundles a :class:`~repro.obs.metrics.MetricsRegistry`, a
+:class:`~repro.obs.tracing.Tracer`, and an
+:class:`~repro.obs.events.EventLog` on one shared clock, behind thin
+convenience methods so instrumentation sites stay one-liners::
+
+    if self.observer is not None:
+        self.observer.count("crawl.steps", exchange=name)
+
+``None`` is the disabled state: every hook in the pipeline guards with
+a plain attribute test, so an unobserved run does no obs work at all.
+:data:`NULL_OBSERVER` exists for code that prefers unconditional calls
+(every method is a no-op and the object is falsy).
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, Optional
+
+from .clock import Clock, SimClock
+from .events import EventLog
+from .metrics import MetricsRegistry
+from .tracing import Span, Tracer
+
+__all__ = ["RunObserver", "NullObserver", "NULL_OBSERVER"]
+
+
+class RunObserver:
+    """Metrics + tracing + events on a single clock."""
+
+    def __init__(self, clock: Optional[Clock] = None, max_spans: int = 10_000,
+                 event_capacity: int = 2048) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.metrics = MetricsRegistry()
+        self.tracer = Tracer(clock=self.clock, max_spans=max_spans)
+        self.events = EventLog(capacity=event_capacity, clock=self.clock)
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- metrics conveniences ------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        self.metrics.counter(name, **labels).inc(amount)
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.gauge(name, **labels).set(value)
+
+    def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.gauge(name, **labels).set_max(value)
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.metrics.histogram(name, **labels).observe(value)
+
+    # -- tracing / events ----------------------------------------------------
+    def span(self, name: str, **attrs: object):
+        return self.tracer.span(name, **attrs)
+
+    def event(self, kind: str, **fields: object) -> None:
+        self.events.emit(kind, **fields)
+
+
+class NullObserver:
+    """API-compatible no-op; falsy so ``if observer:`` disables hooks."""
+
+    def __bool__(self) -> bool:
+        return False
+
+    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        pass
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Optional[Span]]:
+        yield None
+
+    def event(self, kind: str, **fields: object) -> None:
+        pass
+
+
+#: shared no-op instance for unconditional call sites
+NULL_OBSERVER = NullObserver()

@@ -1,0 +1,258 @@
+"""Run-telemetry report: JSON + Markdown.
+
+Turns an observed pipeline run into the accounting a measurement
+operator reads after (or during) a campaign: where the URLs went
+per exchange, what each detection engine fired on, how deep the
+redirect chains ran, and where the time was spent.  The JSON form is
+the machine artifact (schema below); the Markdown form renders through
+the same table helper as the study report.
+
+JSON schema (top-level keys)::
+
+    {
+      "exchanges":  {name: {steps, member_visits, self_referrals,
+                            popular_referrals, campaign_visits, records,
+                            distinct_urls, har_entries, crawl_seconds,
+                            urls_per_second}},
+      "http":       {requests, status_classes: {"2xx": n, ...},
+                     redirect_hops, latency: histogram-summary},
+      "redirects":  {depth_counts: {"0": n, "1": n, ...}, max_depth},
+      "scan":       {urls_scanned, malicious, benign, unscanned_queries,
+                     engines: {name: detections}, engine_misses: {...},
+                     heuristic_fps: {...}, quttera_threats: {severity: n},
+                     blacklist_hits: n},
+      "dedup":      {records, new_urls, duplicate_urls, hit_rate},
+      "js":         {gauge-name: value},
+      "spans":      {name: {count, total, p50, p95, p99}},
+      "events":     {emitted, dropped, tail: [...]},
+      "metrics":    full registry snapshot
+    }
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List, Optional
+
+from .observer import RunObserver
+
+__all__ = ["build_run_report", "render_run_report_markdown"]
+
+
+def _labeled_counts(observer: RunObserver, name: str, label: str) -> Dict[str, float]:
+    out: Dict[str, float] = {}
+    for counter in observer.metrics.counters_named(name):
+        labels = dict(counter.labels)
+        out[labels.get(label, "")] = counter.value
+    return out
+
+
+def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
+    """Assemble the telemetry report for an observed pipeline run.
+
+    ``pipeline`` is a :class:`~repro.crawler.pipeline.CrawlPipeline`
+    whose ``observer`` is set; ``outcome`` the
+    :class:`~repro.crawler.pipeline.ScanOutcome` if the scan phase ran.
+    (Duck-typed to keep this module import-light.)
+    """
+    observer: Optional[RunObserver] = getattr(pipeline, "observer", None)
+    if observer is None:
+        raise ValueError("pipeline has no observer attached; "
+                         "construct it with CrawlPipeline(web, observer=RunObserver())")
+    metrics = observer.metrics
+    dataset = pipeline.dataset
+
+    # -- per-exchange crawl accounting --------------------------------------
+    exchanges: Dict[str, Dict[str, Any]] = {}
+    for name, stats in sorted(pipeline.crawl_stats.items()):
+        records = dataset.records_for(name)
+        har = dataset.har_logs.get(name)
+        crawl_seconds = har.time_span() if har is not None else 0.0
+        entry_count = len(har) if har is not None else 0
+        exchanges[name] = {
+            "steps": stats.steps,
+            "member_visits": stats.member_visits,
+            "self_referrals": stats.self_referrals,
+            "popular_referrals": stats.popular_referrals,
+            "campaign_visits": stats.campaign_visits,
+            "records": len(records),
+            "distinct_urls": len({r.url for r in records}),
+            "har_entries": entry_count,
+            "crawl_seconds": crawl_seconds,
+            "urls_per_second": (len(records) / crawl_seconds) if crawl_seconds else 0.0,
+        }
+
+    # -- HTTP layer ----------------------------------------------------------
+    status_classes = _labeled_counts(observer, "http.responses", "status_class")
+    latency = metrics.histogram("http.fetch.seconds").summary()
+    http = {
+        "requests": metrics.counter_total("http.requests"),
+        "status_classes": status_classes,
+        "redirect_hops": metrics.counter_total("http.redirect.hops"),
+        "latency": latency,
+    }
+
+    # -- redirect-chain depth distribution ----------------------------------
+    depth_counts: Dict[str, int] = {}
+    max_depth = 0
+    for record in dataset.records:
+        if record.role != "page":
+            continue
+        depth_counts[str(record.redirect_count)] = (
+            depth_counts.get(str(record.redirect_count), 0) + 1
+        )
+        max_depth = max(max_depth, record.redirect_count)
+    redirects = {"depth_counts": dict(sorted(depth_counts.items(), key=lambda kv: int(kv[0]))),
+                 "max_depth": max_depth}
+
+    # -- scan phase ----------------------------------------------------------
+    scan: Dict[str, Any] = {
+        "urls_scanned": int(metrics.counter_total("scan.urls")),
+        "malicious": int(metrics.counter_total("scan.verdict.malicious")),
+        "benign": int(metrics.counter_total("scan.verdict.benign")),
+        "unscanned_queries": getattr(outcome, "unscanned_queries", 0) if outcome is not None else 0,
+        "engines": _labeled_counts(observer, "scan.engine.detected", "engine"),
+        "engine_misses": _labeled_counts(observer, "scan.engine.signature_miss", "engine"),
+        "heuristic_fps": _labeled_counts(observer, "scan.engine.heuristic_fp", "engine"),
+        "quttera_threats": _labeled_counts(observer, "scan.quttera.threats", "severity"),
+        "blacklist_hits": int(metrics.counter_total("scan.blacklist.hits")),
+    }
+
+    # -- dedup (from the dataset itself: one capture attempt per record) ----
+    record_count = len(dataset.records)
+    new_urls = len(dataset.content)
+    dup_urls = max(0, record_count - new_urls)
+    dedup = {
+        "records": record_count,
+        "new_urls": new_urls,
+        "duplicate_urls": dup_urls,
+        "hit_rate": (dup_urls / record_count) if record_count else 0.0,
+    }
+
+    # -- JS sandbox gauges ---------------------------------------------------
+    js = {
+        key: value
+        for key, value in observer.metrics.snapshot()["gauges"].items()
+        if key.startswith("js.")
+    }
+
+    events = {
+        "emitted": observer.events.total_emitted,
+        "dropped": observer.events.dropped,
+        "tail": observer.events.tail(10),
+    }
+
+    return {
+        "exchanges": exchanges,
+        "http": http,
+        "redirects": redirects,
+        "scan": scan,
+        "dedup": dedup,
+        "js": js,
+        "spans": observer.tracer.summary(),
+        "events": events,
+        "metrics": metrics.snapshot(),
+    }
+
+
+def render_run_report_markdown(report: Dict[str, Any],
+                               title: str = "Run telemetry") -> str:
+    """Render :func:`build_run_report` output as Markdown."""
+    # imported here, not at module level: core.markdown pulls in the
+    # analysis package, which imports httpsim, which imports obs.clock
+    from ..core.markdown import markdown_table
+
+    sections: List[str] = ["# %s" % title, ""]
+
+    sections.append("## Per-exchange crawl\n")
+    sections.append(markdown_table(
+        ("Exchange", "Steps", "Member", "Self", "Popular", "Campaign",
+         "Records", "Distinct", "URLs/s"),
+        [
+            (name, e["steps"], e["member_visits"], e["self_referrals"],
+             e["popular_referrals"], e["campaign_visits"], e["records"],
+             e["distinct_urls"], "%.1f" % e["urls_per_second"])
+            for name, e in report["exchanges"].items()
+        ],
+    ))
+
+    http = report["http"]
+    sections.append("\n## HTTP layer\n")
+    rows = [("requests", int(http["requests"])),
+            ("redirect hops", int(http["redirect_hops"]))]
+    rows.extend((("status %s" % cls), int(count))
+                for cls, count in sorted(http["status_classes"].items()))
+    sections.append(markdown_table(("Metric", "Count"), rows))
+    latency = http["latency"]
+    if latency["count"]:
+        sections.append("\nRequest latency (s): p50 %.3f · p95 %.3f · p99 %.3f "
+                        "· mean %.3f over %d requests"
+                        % (latency["p50"], latency["p95"], latency["p99"],
+                           latency["mean"], latency["count"]))
+
+    redirects = report["redirects"]
+    if redirects["depth_counts"]:
+        sections.append("\n## Redirect-chain depth\n")
+        sections.append(markdown_table(
+            ("Hops", "Pages"),
+            [(hops, count) for hops, count in redirects["depth_counts"].items()],
+        ))
+
+    scan = report["scan"]
+    sections.append("\n## Scan phase\n")
+    sections.append(markdown_table(
+        ("Metric", "Count"),
+        [("URLs scanned", scan["urls_scanned"]),
+         ("malicious", scan["malicious"]),
+         ("benign", scan["benign"]),
+         ("unscanned queries", scan["unscanned_queries"]),
+         ("blacklist hits", scan["blacklist_hits"])],
+    ))
+    if scan["engines"]:
+        sections.append("\n### Per-engine detections\n")
+        sections.append(markdown_table(
+            ("Engine", "Detections", "Signature misses", "Heuristic FPs"),
+            [
+                (engine, int(count),
+                 int(scan["engine_misses"].get(engine, 0)),
+                 int(scan["heuristic_fps"].get(engine, 0)))
+                for engine, count in sorted(scan["engines"].items(),
+                                            key=lambda kv: -kv[1])
+            ],
+        ))
+    if scan["quttera_threats"]:
+        sections.append("\n### Quttera threats\n")
+        sections.append(markdown_table(
+            ("Severity", "Count"),
+            [(sev, int(count)) for sev, count in sorted(scan["quttera_threats"].items())],
+        ))
+
+    dedup = report["dedup"]
+    sections.append("\n## Dedup\n")
+    sections.append("%d records; %d new URLs, %d duplicates (hit rate %.1f%%)"
+                    % (dedup["records"], dedup["new_urls"],
+                       dedup["duplicate_urls"], 100 * dedup["hit_rate"]))
+
+    if report["js"]:
+        sections.append("\n## JS sandbox\n")
+        sections.append(markdown_table(
+            ("Gauge", "Value"),
+            [(name, int(value)) for name, value in sorted(report["js"].items())],
+        ))
+
+    if report["spans"]:
+        sections.append("\n## Spans\n")
+        sections.append(markdown_table(
+            ("Span", "Count", "Total s", "p50", "p95", "p99"),
+            [
+                (name, int(s["count"]), "%.2f" % s["total"], "%.3f" % s["p50"],
+                 "%.3f" % s["p95"], "%.3f" % s["p99"])
+                for name, s in report["spans"].items()
+            ],
+        ))
+
+    events = report["events"]
+    sections.append("\n## Events\n")
+    sections.append("%d emitted, %d dropped by the ring bound"
+                    % (events["emitted"], events["dropped"]))
+    sections.append("")
+    return "\n".join(sections)

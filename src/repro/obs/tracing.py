@@ -1,0 +1,120 @@
+"""Span-based tracing with an injectable monotonic clock.
+
+Usage::
+
+    tracer = Tracer(clock=SimClock())
+    with tracer.span("scan.virustotal", url=url):
+        ...
+
+Spans nest (the tracer keeps a stack), record start/end on the shared
+clock, and land in a bounded ``finished`` list.  With a
+:class:`~repro.obs.clock.SimClock` the trace of a seeded run is
+byte-identical across machines — durations measure *simulated* work
+(e.g. 50 ms per HTTP request), which is exactly what the redirect-chain
+and throughput analyses want to attribute.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+from .clock import Clock, SimClock
+
+__all__ = ["Span", "Tracer"]
+
+
+@dataclass
+class Span:
+    """One timed operation."""
+
+    name: str
+    start: float
+    end: float = 0.0
+    depth: int = 0
+    parent: Optional[str] = None
+    attrs: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "start": self.start,
+            "end": self.end,
+            "duration": self.duration,
+            "depth": self.depth,
+            "parent": self.parent,
+            "attrs": dict(self.attrs),
+        }
+
+
+class Tracer:
+    """Records nested spans on one shared clock."""
+
+    def __init__(self, clock: Optional[Clock] = None, max_spans: int = 10_000) -> None:
+        self.clock = clock if clock is not None else SimClock()
+        self.max_spans = max_spans
+        self.finished: List[Span] = []
+        self.dropped = 0
+        self._stack: List[Span] = []
+
+    @property
+    def depth(self) -> int:
+        return len(self._stack)
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[Span]:
+        parent = self._stack[-1].name if self._stack else None
+        span = Span(
+            name=name,
+            start=self.clock.now(),
+            depth=len(self._stack),
+            parent=parent,
+            attrs={key: str(value) for key, value in attrs.items()},
+        )
+        self._stack.append(span)
+        try:
+            yield span
+        finally:
+            span.end = self.clock.now()
+            self._stack.pop()
+            if len(self.finished) < self.max_spans:
+                self.finished.append(span)
+            else:
+                self.dropped += 1
+
+    # -- reading -------------------------------------------------------------
+    def spans_named(self, name: str) -> List[Span]:
+        return [span for span in self.finished if span.name == name]
+
+    def durations(self, name: str) -> List[float]:
+        return [span.duration for span in self.spans_named(name)]
+
+    def summary(self) -> Dict[str, Dict[str, float]]:
+        """Per-name {count, total, p50, p95, p99} over finished spans."""
+        grouped: Dict[str, List[float]] = {}
+        for span in self.finished:
+            grouped.setdefault(span.name, []).append(span.duration)
+        out: Dict[str, Dict[str, float]] = {}
+        for name, values in sorted(grouped.items()):
+            values.sort()
+            out[name] = {
+                "count": len(values),
+                "total": sum(values),
+                "p50": _sorted_percentile(values, 0.50),
+                "p95": _sorted_percentile(values, 0.95),
+                "p99": _sorted_percentile(values, 0.99),
+            }
+        return out
+
+
+def _sorted_percentile(values: List[float], q: float) -> float:
+    """Nearest-rank percentile of an already-sorted list."""
+    if not values:
+        return 0.0
+    rank = max(0, min(len(values) - 1, int(round(q * (len(values) - 1)))))
+    return values[rank]
