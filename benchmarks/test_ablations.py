@@ -5,13 +5,10 @@
 * referral filtering (with vs without excluding self/popular referrals).
 """
 
-import random
 
-import pytest
 
 from repro.analysis import compute_exchange_stats, overall_malicious_fraction
-from repro.crawler.storage import RecordKind
-from repro.detection import QutteraSim, Submission, VirusTotalSim
+from repro.detection import VirusTotalSim
 from repro.httpsim import SimHttpClient
 from repro.simweb.url import Url
 

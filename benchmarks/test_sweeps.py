@@ -8,12 +8,7 @@
 
 import random
 
-from repro.detection import (
-    Submission,
-    VirusTotalSim,
-    build_blacklists,
-    build_gold_standard,
-)
+from repro.detection import Submission, VirusTotalSim, build_gold_standard
 from repro.malware import google_analytics_snippet, google_oauth_relay_iframe
 
 SHELL = "<html><head><title>t</title></head><body><p>words</p>%s</body></html>"

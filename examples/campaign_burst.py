@@ -11,7 +11,7 @@ delivery profile.
 import random
 from collections import Counter
 
-from repro.exchanges import HumanSolver, ManualSurfExchange, PricingPlan, StepKind
+from repro.exchanges import HumanSolver, ManualSurfExchange, PricingPlan
 from repro.exchanges.accounts import sample_country
 
 

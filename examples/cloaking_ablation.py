@@ -12,7 +12,6 @@ benign decoy to referrer-less scanner fetches) and compares detection:
 * file submission — the crawler's browser-fetched copy is uploaded.
 """
 
-import random
 
 from repro.crawler import CrawlPipeline
 from repro.detection import VirusTotalSim

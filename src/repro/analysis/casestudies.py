@@ -17,11 +17,11 @@ malicious — and to expose false positives:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import List, Optional
 
 from ..crawler.pipeline import ScanOutcome
 from ..crawler.storage import CrawlDataset
-from ..detection.heuristics import ContentAnalysis, analyze_content
+from ..detection.heuristics import analyze_content
 from ..flashsim import DecompiledSwf, SwfFile, decompile_bytes
 from ..jsengine import run_script_in_page
 

@@ -15,10 +15,10 @@ Section IV-A's rules, applied to every malicious URL instance:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Optional
+from typing import Dict, Iterable, List
 
 from ..crawler.pipeline import ScanOutcome
-from ..crawler.storage import CrawlDataset, RecordKind, UrlRecord
+from ..crawler.storage import CrawlDataset, RecordKind
 from ..detection.blacklists import BlacklistSet
 from ..malware.taxonomy import MalwareCategory
 from ..simweb.shortener import SHORTENER_HOSTS

@@ -96,6 +96,19 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--events", metavar="PATH",
                      help="also write the structured event log as JSON-lines")
 
+    static = sub.add_parser(
+        "static-scan",
+        help="statically analyze a script or page without executing it",
+    )
+    static.add_argument("target",
+                        help="a .js/.html file path, or a URL into the seeded simweb")
+    static.add_argument("--scale", type=float, default=0.01,
+                        help="simweb scale when target is a URL (default 0.01)")
+    static.add_argument("--seed", type=int, default=2016,
+                        help="simweb seed when target is a URL (default 2016)")
+    static.add_argument("--markdown", action="store_true",
+                        help="print Markdown instead of JSON")
+
     return parser
 
 
@@ -223,6 +236,72 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _static_scan_sources(args: argparse.Namespace) -> List[str]:
+    """Script sources for the static-scan target (file path or URL)."""
+    import os
+
+    from .htmlparse import parse as parse_html
+    from .htmlparse import select
+
+    def scripts_from_html(html: str) -> List[str]:
+        sources = []
+        for script in select(parse_html(html), "script"):
+            if not script.get("src") and script.text_content().strip():
+                sources.append(script.text_content())
+        return sources
+
+    target = args.target
+    if os.path.exists(target):
+        with open(target, "r", encoding="utf-8", errors="replace") as handle:
+            text = handle.read()
+        if target.endswith((".htm", ".html")) or text.lstrip().startswith("<"):
+            return scripts_from_html(text)
+        return [text]
+
+    if "://" in target:
+        from .httpsim import SimHttpClient, SimHttpServer
+
+        study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
+        web = study.generate_web()
+        result = SimHttpClient(SimHttpServer(web.registry)).fetch(target)
+        body = result.response.body.decode("utf-8", errors="replace")
+        if result.response.content_type.startswith(
+                ("application/javascript", "text/javascript")):
+            return [body]
+        return scripts_from_html(body)
+
+    raise FileNotFoundError(target)
+
+
+def _cmd_static_scan(args: argparse.Namespace) -> int:
+    import json
+
+    from .staticjs import analyze_script, render_report_markdown
+
+    try:
+        sources = _static_scan_sources(args)
+    except FileNotFoundError:
+        print("target %r is neither a file nor a URL" % args.target, file=sys.stderr)
+        return 2
+
+    if not sources:
+        print("no inline scripts found in %s" % args.target, file=sys.stderr)
+        return 1
+
+    reports = [analyze_script(source) for source in sources]
+    if args.markdown:
+        for index, report in enumerate(reports):
+            title = "Static scan: %s (script %d/%d)" % (
+                args.target, index + 1, len(reports))
+            print(render_report_markdown(report, title=title))
+    else:
+        print(json.dumps({
+            "target": args.target,
+            "scripts": [report.to_dict() for report in reports],
+        }, indent=2, sort_keys=True))
+    return 1 if any(r.max_severity == "high" for r in reports) else 0
+
+
 def _cmd_feed(args: argparse.Namespace) -> int:
     from .countermeasures import build_threat_feed
 
@@ -245,6 +324,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "feed": _cmd_feed,
         "obs-report": _cmd_obs_report,
+        "static-scan": _cmd_static_scan,
     }[args.command]
     return handler(args)
 

@@ -10,7 +10,7 @@ wrappers over the same functions.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, List, Optional, Tuple
+from typing import Any, Callable, Dict, Optional, Tuple
 
 from ..analysis import (
     categorize_dataset,

@@ -8,7 +8,7 @@ from __future__ import annotations
 
 import csv
 import os
-from typing import Dict, List
+from typing import List
 
 from .results import StudyResults
 

@@ -7,7 +7,7 @@ generator behind paper-vs-measured writeups.
 
 from __future__ import annotations
 
-from typing import List, Optional, Sequence
+from typing import List, Sequence
 
 from ..malware.taxonomy import MalwareCategory
 from .reference import ComparisonReport, compare_to_paper

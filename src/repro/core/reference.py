@@ -9,7 +9,7 @@ of EXPERIMENTS.md.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional
 
 from ..malware.taxonomy import MalwareCategory
 from .results import StudyResults

@@ -7,7 +7,7 @@ table and figure.  Deterministic per :class:`StudyConfig` seed.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..analysis import (
     compute_content_categories,

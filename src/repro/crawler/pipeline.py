@@ -21,7 +21,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from ..detection import (
     BlacklistSet,
@@ -76,9 +76,14 @@ class CrawlPipeline:
 
     def __init__(self, web: GeneratedWeb, seed: int = 77,
                  submit_files: bool = True,
-                 observer: Optional[RunObserver] = None) -> None:
+                 observer: Optional[RunObserver] = None,
+                 static_prefilter: bool = True) -> None:
         self.web = web
         self.rng = random.Random(seed)
+        #: run the repro.staticjs pass before sandboxing and skip dynamic
+        #: execution for pages whose every inline script is provably
+        #: side-effect-free; set False to force dynamic-only scanning
+        self.static_prefilter = static_prefilter
         #: opt-in telemetry; with None every hook below is a skipped
         #: attribute test and pipeline outputs are identical to seed
         self.observer = observer
@@ -384,12 +389,15 @@ class CrawlPipeline:
         )
         self.verdict_service = UrlVerdictService(
             virustotal=VirusTotalSim(client=SimHttpClient(self.server),
-                                     observer=self.observer),
+                                     observer=self.observer,
+                                     static_prefilter=self.static_prefilter),
             quttera=QutteraSim(client=SimHttpClient(self.server),
-                               observer=self.observer),
+                               observer=self.observer,
+                               static_prefilter=self.static_prefilter),
             blacklists=self.blacklists,
             submit_files=self.submit_files,
             observer=self.observer,
+            static_prefilter=self.static_prefilter,
         )
         return self.verdict_service
 

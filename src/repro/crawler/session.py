@@ -10,7 +10,7 @@ the scanners (the cloaking mitigation).
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import Optional
 
 from ..httpsim import FetchResult, SimHttpClient
 from ..simweb.registry import WebRegistry

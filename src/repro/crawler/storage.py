@@ -11,8 +11,8 @@ logs the redirect analysis reads.
 from __future__ import annotations
 
 import json
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+from dataclasses import asdict, dataclass
+from typing import Dict, Iterator, List, Optional, Set
 
 from ..httpsim import HarLog
 from ..simweb.url import Url

@@ -52,6 +52,7 @@ class UrlVerdictService:
         min_blacklist_hits: int = 2,
         submit_files: bool = True,
         observer: Optional[object] = None,
+        static_prefilter: bool = True,
     ) -> None:
         self.virustotal = virustotal
         self.quttera = quttera
@@ -62,6 +63,8 @@ class UrlVerdictService:
         self.submit_files = submit_files
         #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
         self.observer = observer
+        #: gate for the repro.staticjs sandbox pre-filter on shared scans
+        self.static_prefilter = static_prefilter
 
     def verdict(
         self,
@@ -80,7 +83,8 @@ class UrlVerdictService:
             from .heuristics import analyze_content
 
             analysis = analyze_content(content, content_type, url,
-                                       observer=self.observer)
+                                       observer=self.observer,
+                                       static_prefilter=self.static_prefilter)
             vt = self.virustotal.scan_prepared(submission, analysis)
             quttera = self.quttera.scan_prepared(submission, analysis)
         else:

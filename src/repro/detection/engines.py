@@ -183,6 +183,40 @@ def _popup_clicker(analysis: ContentAnalysis, key: str) -> Optional[str]:
     return None
 
 
+def _static_cloaking(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    """AST-analysis engine: cloaked branches and tainted sink flows.
+
+    Fires purely on :mod:`repro.staticjs` findings — the signals a
+    dynamic run structurally *cannot* see (a constant-false guard keeps
+    the payload from ever executing in a honeyclient).
+    """
+    for finding in analysis.static_findings:
+        if finding.rule == "cloaked-payload":
+            return "Trojan.JS.Agent.Cloaked"
+        if finding.rule == "taint-flow":
+            return "Trojan.JS.Redirector.Taint"
+    return None
+
+
+def _static_payload(analysis: ContentAnalysis, key: str) -> Optional[str]:
+    """AST-analysis engine: statically resolved malicious payloads.
+
+    Detects what constant folding recovered from obfuscated strings
+    (shellcode sleds, dropper URLs) without executing the script; the
+    same artifacts also light up the dynamic engines, so this engine
+    adds corroboration rather than new positives.
+    """
+    high = [f for f in analysis.static_findings if f.severity == "high"]
+    for finding in high:
+        if finding.rule == "shellcode-string":
+            return "Exploit.JS.ShellCode.Static"
+        if finding.rule == "resolved-url-exe":
+            return "Trojan-Downloader.JS.Static"
+        if finding.rule == "hidden-iframe-write":
+            return "HTML/IframeRef.Static"
+    return None
+
+
 def _generalist_behaviour(analysis: ContentAnalysis, key: str) -> Optional[str]:
     if analysis.behavior_score >= 0.75:
         return "Malware.Generic"
@@ -220,6 +254,12 @@ def default_engine_pool(observer: Optional[object] = None) -> List[SimulatedEngi
         SimulatedEngine("JadeWall", _popup_clicker, miss_rate=0.10, fp_rate=0.002),
         SimulatedEngine("KoboldSec", _generalist_behaviour, miss_rate=0.04),
         SimulatedEngine("LumenAV", _generalist_combined, miss_rate=0.04),
+        # static-analysis engines: consume repro.staticjs findings only.
+        # fp_rate=0 keeps them strictly additive — they corroborate
+        # dynamic detections (or catch cloaked payloads the sandbox
+        # can't) without ever flipping a clean page's verdict
+        SimulatedEngine("MorphoStat", _static_cloaking, miss_rate=0.0, fp_rate=0.0),
+        SimulatedEngine("QuartzAST", _static_payload, miss_rate=0.02, fp_rate=0.0),
     ]
     for engine in pool:
         engine.observer = observer

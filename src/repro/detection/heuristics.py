@@ -11,15 +11,15 @@ decompiled with :mod:`repro.flashsim`, executables are signature-checked
 
 from __future__ import annotations
 
-import random
 from dataclasses import dataclass, field
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from ..flashsim import SwfError, SwfFile, decompile
 from ..htmlparse import Element, parse, select
 from ..jsengine import deobfuscate, extract_features, looks_obfuscated, run_script_in_page
 from ..malware.payloads import is_malicious_executable
 from ..simweb.url import Url
+from ..staticjs import VERDICT_BENIGN, ScriptReport, StaticFinding, analyze_script
 
 __all__ = ["IframeFinding", "ContentAnalysis", "analyze_content", "analyze_html", "analyze_swf"]
 
@@ -81,6 +81,8 @@ class ContentAnalysis:
     script_count: int = 0
     remote_scripts: List[str] = field(default_factory=list)
     analysis_errors: List[str] = field(default_factory=list)
+    static_findings: List[StaticFinding] = field(default_factory=list)
+    sandbox_skipped: bool = False
 
     # -- scoring helpers engines build verdicts from ------------------------
     @property
@@ -138,12 +140,16 @@ class ContentAnalysis:
 
 def analyze_content(content: bytes, content_type: str = "text/html",
                     url: str = "http://unknown.invalid/",
-                    observer: Optional[object] = None) -> ContentAnalysis:
+                    observer: Optional[object] = None,
+                    static_prefilter: bool = True) -> ContentAnalysis:
     """Dispatch on artifact type and analyze.
 
     ``observer`` (a :class:`repro.obs.RunObserver`, optional) is threaded
     into the JS sandbox so eval-depth/op-count gauges cover every script
-    the scanners execute.
+    the scanners execute.  ``static_prefilter`` enables the
+    :mod:`repro.staticjs` pass: scripts get static findings before any
+    sandbox run, and pages whose every inline script is provably
+    side-effect-free skip dynamic execution entirely.
     """
     if content_type.startswith("application/x-shockwave-flash") or SwfFile.sniff(content):
         return analyze_swf(content)
@@ -155,29 +161,89 @@ def analyze_content(content: bytes, content_type: str = "text/html",
         return analysis
     text = content.decode("utf-8", errors="replace")
     if content_type.startswith(("application/javascript", "text/javascript")):
-        return _analyze_standalone_js(text, url, observer=observer)
-    return analyze_html(text, url, observer=observer)
+        return _analyze_standalone_js(text, url, observer=observer,
+                                      static_prefilter=static_prefilter)
+    return analyze_html(text, url, observer=observer, static_prefilter=static_prefilter)
+
+
+def _observe(observer: Optional[object], name: str, amount: float = 1.0,
+             **labels: str) -> None:
+    count = getattr(observer, "count", None)
+    if count is not None:
+        count(name, amount, **labels)
 
 
 def analyze_html(html: str, url: str = "http://unknown.invalid/",
-                 observer: Optional[object] = None) -> ContentAnalysis:
-    """Full static + dynamic analysis of an HTML page."""
-    analysis = ContentAnalysis(kind="html")
+                 observer: Optional[object] = None,
+                 static_prefilter: bool = True) -> ContentAnalysis:
+    """Full static + dynamic analysis of an HTML page.
 
-    # ---- dynamic pass: execute scripts, observe behaviour, mutate DOM ----
-    host = run_script_in_page(html, url=url, step_budget=200_000, observer=observer)
-    document = host.document_tree
-    analysis.navigations = list(host.log.navigations)
-    analysis.popups = list(host.log.popups)
-    analysis.download_triggers = list(host.log.download_triggers)
-    analysis.beacons = list(host.log.beacons)
-    analysis.fingerprinting_listeners = len(host.log.fingerprinting_events)
-    analysis.document_writes = len(host.log.document_writes)
-    analysis.analysis_errors = list(host.log.errors)
-    analysis.remote_scripts = list(host.requested_scripts)
+    With ``static_prefilter`` on, every inline script is first analyzed
+    by :func:`repro.staticjs.analyze_script`.  The sandbox runs unless
+    *all* inline scripts receive the ``benign`` verdict — which the
+    static analyzer only issues when a script provably cannot produce
+    any signal the dynamic heuristics consume — so skipping is
+    behaviour-preserving: the resulting :class:`ContentAnalysis` is
+    identical to what the dynamic pass would have produced.
+    """
+    analysis = ContentAnalysis(kind="html")
+    static_doc = parse(html)
+    static_scripts = select(static_doc, "script")
+
+    # ---- static pre-filter: analyze inline scripts without executing ----
+    skip_sandbox = False
+    if static_prefilter:
+        reports: List[ScriptReport] = []
+        for script in static_scripts:
+            if script.get("src"):
+                continue
+            source = script.text_content()
+            if not source.strip():
+                continue
+            report = analyze_script(source)
+            reports.append(report)
+            analysis.static_findings.extend(report.findings)
+            _observe(observer, "staticjs.scripts")
+            _observe(observer, "staticjs.verdict", verdict=report.verdict)
+        skip_sandbox = all(r.verdict == VERDICT_BENIGN for r in reports)
+        if skip_sandbox and reports:
+            _observe(observer, "staticjs.sandbox.skipped_scripts",
+                     amount=float(len(reports)))
+
+    if skip_sandbox:
+        # every script is provably side-effect-free (or there are no
+        # inline scripts at all): the post-execution state equals the
+        # static state, so synthesize the dynamic fields directly
+        analysis.sandbox_skipped = True
+        document = static_doc
+        analysis.remote_scripts = [
+            script.get("src") for script in static_scripts if script.get("src")
+        ]
+        _observe(observer, "staticjs.sandbox.skipped_pages")
+    else:
+        # ---- dynamic pass: execute scripts, observe behaviour, mutate DOM
+        host = run_script_in_page(html, url=url, step_budget=200_000, observer=observer)
+        document = host.document_tree
+        analysis.navigations = list(host.log.navigations)
+        analysis.popups = list(host.log.popups)
+        analysis.download_triggers = list(host.log.download_triggers)
+        analysis.beacons = list(host.log.beacons)
+        analysis.fingerprinting_listeners = len(host.log.fingerprinting_events)
+        analysis.document_writes = len(host.log.document_writes)
+        analysis.analysis_errors = list(host.log.errors)
+        analysis.remote_scripts = list(host.requested_scripts)
+        if static_prefilter:
+            _observe(observer, "staticjs.sandbox.executed_pages")
+            statically_suspicious = any(
+                f.severity in ("medium", "high") for f in analysis.static_findings)
+            dynamically_active = bool(
+                analysis.navigations or analysis.popups or analysis.beacons
+                or analysis.document_writes or analysis.fingerprinting_listeners)
+            _observe(observer, "staticjs.agreement",
+                     agree="true" if statically_suspicious == dynamically_active
+                     else "false")
 
     # which iframes exist only because a script injected them?
-    static_doc = parse(html)
     static_frame_srcs = {frame.get("src") for frame in select(static_doc, "iframe")}
 
     # ---- iframe heuristics over the post-execution DOM ----
@@ -284,10 +350,12 @@ def analyze_pdf(content: bytes, observer: Optional[object] = None) -> ContentAna
 
 
 def _analyze_standalone_js(source: str, url: str,
-                           observer: Optional[object] = None) -> ContentAnalysis:
+                           observer: Optional[object] = None,
+                           static_prefilter: bool = True) -> ContentAnalysis:
     """Analyze a bare ``.js`` file by wrapping it in a page."""
     page = "<html><body><script>%s</script></body></html>" % source
-    analysis = analyze_html(page, url=url, observer=observer)
+    analysis = analyze_html(page, url=url, observer=observer,
+                            static_prefilter=static_prefilter)
     analysis.kind = "javascript"
     return analysis
 

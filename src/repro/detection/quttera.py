@@ -15,7 +15,7 @@ organic false positives of Section V-E.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import List, Optional
 
 from ..httpsim import SimHttpClient
@@ -44,10 +44,13 @@ class QutteraSim:
     name = "Quttera"
 
     def __init__(self, client: Optional[SimHttpClient] = None,
-                 observer: Optional[object] = None) -> None:
+                 observer: Optional[object] = None,
+                 static_prefilter: bool = True) -> None:
         self.client = client
         #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
         self.observer = observer
+        #: run the repro.staticjs pass before any sandbox execution
+        self.static_prefilter = static_prefilter
 
     # ------------------------------------------------------------------
     def scan(self, submission: Submission) -> ScanReport:
@@ -63,7 +66,7 @@ class QutteraSim:
             )
         analysis = analyze_content(
             submission.content or b"", submission.content_type, submission.url,
-            observer=self.observer,
+            observer=self.observer, static_prefilter=self.static_prefilter,
         )
         return self._report_from_analysis(submission, analysis)
 

@@ -18,7 +18,7 @@ from typing import Dict, List, Optional
 
 from ..httpsim import SimHttpClient
 from ..simweb.categories import CATEGORY_TOPICS
-from .base import ScanReport, Scanner, Submission
+from .base import ScanReport, Submission
 from .engines import SimulatedEngine, default_engine_pool
 from .heuristics import ContentAnalysis, analyze_content
 
@@ -48,6 +48,7 @@ class VirusTotalSim:
         engines: Optional[List[SimulatedEngine]] = None,
         positives_threshold: int = 2,
         observer: Optional[object] = None,
+        static_prefilter: bool = True,
     ) -> None:
         self.client = client
         self.engines = engines if engines is not None else default_engine_pool(observer)
@@ -55,6 +56,9 @@ class VirusTotalSim:
         #: optional :class:`repro.obs.RunObserver` (None = no-op hooks);
         #: threaded into the JS sandbox for eval-depth/op-count gauges
         self.observer = observer
+        #: run the repro.staticjs pass and skip the sandbox for pages
+        #: whose scripts are provably side-effect-free
+        self.static_prefilter = static_prefilter
         self._url_cache: Dict[str, ScanReport] = {}
 
     # ------------------------------------------------------------------
@@ -64,7 +68,8 @@ class VirusTotalSim:
             return self._scan_analysis(
                 submission,
                 analyze_content(submission.content or b"", submission.content_type,
-                                submission.url, observer=self.observer),
+                                submission.url, observer=self.observer,
+                                static_prefilter=self.static_prefilter),
             )
         return self.scan_url(submission.url)
 
@@ -83,7 +88,8 @@ class VirusTotalSim:
             final_url=result.final_url,
         )
         analysis = analyze_content(submission.content or b"", submission.content_type,
-                                   url, observer=self.observer)
+                                   url, observer=self.observer,
+                                   static_prefilter=self.static_prefilter)
         report = self._scan_analysis(submission, analysis)
         if result.redirected:
             report.details["final_url"] = result.final_url

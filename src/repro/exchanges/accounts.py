@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Set
 
 __all__ = ["Member", "SessionHandle", "AccountPolicy", "MEMBER_COUNTRY_WEIGHTS", "sample_country"]
 

@@ -11,8 +11,8 @@ that override the rotation, and credit accounting.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
-from typing import List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
 
 from .accounts import AccountPolicy, SessionHandle, sample_country
 from .campaigns import Campaign, CampaignSchedule

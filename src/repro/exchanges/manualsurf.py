@@ -9,7 +9,6 @@ services' hundreds of thousands (Table I).
 
 from __future__ import annotations
 
-import random
 from typing import Iterator, Optional
 
 from .accounts import SessionHandle

@@ -12,7 +12,7 @@ from dataclasses import dataclass, field
 from typing import List, Tuple
 
 from .actions import ActionProgram, Op, OpCode
-from .swf import SwfError, SwfFile
+from .swf import SwfFile
 
 __all__ = ["DecompiledSwf", "decompile", "decompile_bytes"]
 

@@ -13,7 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
-from .actions import ActionProgram, Op, OpCode
+from .actions import Op, OpCode
 from .swf import SwfFile
 
 __all__ = ["StageState", "PlaybackLog", "FlashPlayer"]

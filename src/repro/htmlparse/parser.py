@@ -11,10 +11,10 @@ would execute.
 
 from __future__ import annotations
 
-from typing import List, Optional
+from typing import List
 
 from .dom import Comment, Document, Element, Text
-from .tokenizer import Token, TokenKind, tokenize
+from .tokenizer import TokenKind, tokenize
 
 __all__ = ["parse", "parse_fragment", "VOID_ELEMENTS"]
 

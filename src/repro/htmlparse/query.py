@@ -13,7 +13,7 @@ Supports the selector forms the detection code uses:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Tuple
+from typing import List, Optional
 
 from .dom import Element
 

@@ -9,7 +9,7 @@ longest-path-first ``Cookie`` header assembly, and expiry.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from ..simweb.url import Url

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional
 
 from ..simweb.registry import WebRegistry
-from ..simweb.site import Page, RedirectHop, Resource, Site
+from ..simweb.site import RedirectHop
 from ..simweb.url import Url
 from .message import HttpRequest, HttpResponse
 

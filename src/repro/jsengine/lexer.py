@@ -11,7 +11,7 @@ a ``/`` is always division here).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import List
 
 __all__ = ["Token", "LexError", "tokenize", "KEYWORDS"]
 

@@ -8,7 +8,7 @@ them for syntax-tree features.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, List, Optional, Tuple
+from typing import List, Optional, Tuple
 
 __all__ = [
     "Node", "Program", "VarDecl", "FunctionDecl", "Block", "If", "While",
@@ -41,10 +41,17 @@ class Node:
         return out
 
     def walk(self):
-        """Yield this node and all descendants, depth-first."""
-        yield self
-        for child in self.children():
-            yield from child.walk()
+        """Yield this node and all descendants, depth-first pre-order.
+
+        Iterative on an explicit stack: deeply nested obfuscated
+        scripts (kilobyte-deep expression chains) must not hit
+        Python's recursion limit during static analysis.
+        """
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
 
 
 # ---------------------------------------------------------------------------

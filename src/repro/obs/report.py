@@ -21,6 +21,10 @@ JSON schema (top-level keys)::
                      engines: {name: detections}, engine_misses: {...},
                      heuristic_fps: {...}, quttera_threats: {severity: n},
                      blacklist_hits: n},
+      "staticjs":   {scripts_analyzed, verdicts: {verdict: n},
+                     sandbox_skipped_pages, sandbox_executed_pages,
+                     sandbox_skip_rate, skipped_scripts,
+                     dynamic_agreement_rate},
       "dedup":      {records, new_urls, duplicate_urls, hit_rate},
       "js":         {gauge-name: value},
       "spans":      {name: {count, total, p50, p95, p99}},
@@ -117,6 +121,25 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "blacklist_hits": int(metrics.counter_total("scan.blacklist.hits")),
     }
 
+    # -- static pre-filter (repro.staticjs) ---------------------------------
+    skipped_pages = metrics.counter_total("staticjs.sandbox.skipped_pages")
+    executed_pages = metrics.counter_total("staticjs.sandbox.executed_pages")
+    agreement = _labeled_counts(observer, "staticjs.agreement", "agree")
+    agreed = agreement.get("true", 0.0)
+    disagreed = agreement.get("false", 0.0)
+    staticjs = {
+        "scripts_analyzed": int(metrics.counter_total("staticjs.scripts")),
+        "verdicts": {k: int(v) for k, v in
+                     _labeled_counts(observer, "staticjs.verdict", "verdict").items()},
+        "sandbox_skipped_pages": int(skipped_pages),
+        "sandbox_executed_pages": int(executed_pages),
+        "sandbox_skip_rate": (skipped_pages / (skipped_pages + executed_pages)
+                              if (skipped_pages + executed_pages) else 0.0),
+        "skipped_scripts": int(metrics.counter_total("staticjs.sandbox.skipped_scripts")),
+        "dynamic_agreement_rate": (agreed / (agreed + disagreed)
+                                   if (agreed + disagreed) else 0.0),
+    }
+
     # -- dedup (from the dataset itself: one capture attempt per record) ----
     record_count = len(dataset.records)
     new_urls = len(dataset.content)
@@ -146,6 +169,7 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "http": http,
         "redirects": redirects,
         "scan": scan,
+        "staticjs": staticjs,
         "dedup": dedup,
         "js": js,
         "spans": observer.tracer.summary(),
@@ -225,6 +249,20 @@ def render_run_report_markdown(report: Dict[str, Any],
             ("Severity", "Count"),
             [(sev, int(count)) for sev, count in sorted(scan["quttera_threats"].items())],
         ))
+
+    staticjs = report.get("staticjs", {})
+    if staticjs.get("scripts_analyzed"):
+        sections.append("\n## Static pre-filter\n")
+        rows = [("scripts analyzed", staticjs["scripts_analyzed"]),
+                ("sandbox-skipped pages", staticjs["sandbox_skipped_pages"]),
+                ("sandbox-executed pages", staticjs["sandbox_executed_pages"]),
+                ("skipped scripts", staticjs["skipped_scripts"])]
+        rows.extend((("verdict %s" % verdict), count)
+                    for verdict, count in sorted(staticjs["verdicts"].items()))
+        sections.append(markdown_table(("Metric", "Count"), rows))
+        sections.append("\nSandbox skip rate %.1f%% · static/dynamic agreement %.1f%%"
+                        % (100 * staticjs["sandbox_skip_rate"],
+                           100 * staticjs["dynamic_agreement_rate"]))
 
     dedup = report["dedup"]
     sections.append("\n## Dedup\n")

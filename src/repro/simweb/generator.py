@@ -47,7 +47,7 @@ from .categories import (
 )
 from .naming import NameForge
 from .registry import WebRegistry
-from .site import GroundTruth, MalwareFamily, Page, RedirectHop, Resource, Site
+from .site import GroundTruth, MalwareFamily, Page, Resource, Site
 from .tlds import BENIGN_TLD_WEIGHTS, MALICIOUS_TLD_WEIGHTS, WeightedChoice
 
 __all__ = ["WebGenerationConfig", "ExchangePool", "GeneratedWeb", "WebGenerator"]

@@ -8,7 +8,7 @@ analysis layer queries it for ground truth when evaluating detectors.
 from __future__ import annotations
 
 import random
-from typing import Dict, Iterable, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional
 
 from .shortener import ShortenerDirectory
 from .site import Site

@@ -17,7 +17,7 @@ study; exotic inputs raise :class:`UrlError` rather than guessing.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict, List, Optional, Tuple
 
 __all__ = ["Url", "UrlError", "parse_query", "encode_query"]

@@ -1,0 +1,45 @@
+"""AST-level static analysis of crawled scripts (the sandbox pre-filter).
+
+Four cooperating layers over the :mod:`repro.jsengine` AST:
+
+* :mod:`~repro.staticjs.cfg` — intraprocedural CFG with constant-aware
+  reachability (cloaking detection),
+* :mod:`~repro.staticjs.dataflow` — constant folding and string
+  propagation (payload recovery),
+* :mod:`~repro.staticjs.taint` — source→sink taint tracking,
+* :mod:`~repro.staticjs.rules` / :mod:`~repro.staticjs.report` — the
+  rule engine producing :class:`StaticFinding`\\ s and a per-script
+  verdict.
+
+The headline API is :func:`analyze_script`; the detection layer uses
+its verdict to decide whether a page may skip dynamic execution.
+"""
+
+from .cfg import BasicBlock, Cfg, build_cfg
+from .dataflow import UNKNOWN, Resolution, ResolvedString, fold, propagate
+from .report import (
+    SEVERITY_HIGH,
+    SEVERITY_INFO,
+    SEVERITY_LOW,
+    SEVERITY_MEDIUM,
+    VERDICT_BENIGN,
+    VERDICT_MALICIOUS,
+    VERDICT_NEEDS_DYNAMIC,
+    VERDICT_SUSPICIOUS,
+    ScriptReport,
+    StaticFinding,
+    render_report_markdown,
+)
+from .rules import analyze_script
+from .taint import TaintFlow, find_taint_flows
+
+__all__ = [
+    "BasicBlock", "Cfg", "build_cfg",
+    "UNKNOWN", "Resolution", "ResolvedString", "fold", "propagate",
+    "SEVERITY_HIGH", "SEVERITY_INFO", "SEVERITY_LOW", "SEVERITY_MEDIUM",
+    "VERDICT_BENIGN", "VERDICT_MALICIOUS", "VERDICT_NEEDS_DYNAMIC",
+    "VERDICT_SUSPICIOUS",
+    "ScriptReport", "StaticFinding", "render_report_markdown",
+    "analyze_script",
+    "TaintFlow", "find_taint_flows",
+]

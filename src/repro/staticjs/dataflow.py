@@ -1,0 +1,549 @@
+"""Constant folding and string propagation over the jsengine AST.
+
+The de-obfuscation layer in :mod:`repro.jsengine.deobfuscate` peels
+literal-level packing with regexes; this module does the same job
+*semantically*, on the parsed AST, which lets it resolve idioms the
+regex peeler misses: single-assignment variables flowing into sinks,
+``String.fromCharCode`` with folded arithmetic arguments, array
+``join``/``reverse`` chains, and IIFE parameter binding (the Google
+Analytics bootstrap pattern ``(function(a,b){...})('literal', ...)``).
+
+The public entry point is :func:`propagate`, which returns a
+:class:`Resolution`: the constant environment plus every statically
+resolved string that reaches an ``eval``-like sink, a
+``document.write`` sink, or a URL-bearing assignment (``.src``,
+``.href``, ``location``).
+"""
+
+from __future__ import annotations
+
+import base64
+import binascii
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from ..jsengine import nodes as N
+from ..jsengine.builtins import js_unescape
+
+__all__ = ["UNKNOWN", "Resolution", "ResolvedString", "fold", "propagate", "callee_path"]
+
+
+class _Unknown:
+    """Sentinel: the expression does not fold to a compile-time constant."""
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return "UNKNOWN"
+
+    def __bool__(self) -> bool:
+        return False
+
+
+UNKNOWN = _Unknown()
+
+#: folding is bounded so adversarial inputs cannot blow up memory
+_MAX_FOLDED_STRING = 1 << 20
+_MAX_FOLD_DEPTH = 200
+
+
+@dataclass
+class ResolvedString:
+    """One statically recovered string reaching an interesting site."""
+
+    value: str
+    sink: str  # "eval" | "write" | "url" | "timer"
+    detail: str = ""  # e.g. the member path assigned, or callee name
+
+
+@dataclass
+class Resolution:
+    """Everything constant propagation recovered from one script."""
+
+    constants: Dict[str, Any] = field(default_factory=dict)
+    eval_payloads: List[ResolvedString] = field(default_factory=list)
+    write_payloads: List[ResolvedString] = field(default_factory=list)
+    url_strings: List[ResolvedString] = field(default_factory=list)
+
+    @property
+    def resolved(self) -> List[ResolvedString]:
+        return self.eval_payloads + self.write_payloads + self.url_strings
+
+
+def callee_path(node: N.Node) -> str:
+    """Dotted path of a callee/member chain (``''`` when not static)."""
+    if isinstance(node, N.Identifier):
+        return node.name
+    if isinstance(node, N.Member) and isinstance(node.prop, N.StringLiteral):
+        base = callee_path(node.obj)
+        return (base + "." if base else "") + node.prop.value
+    if isinstance(node, N.ThisExpr):
+        return "this"
+    return ""
+
+
+def _truthy(value: Any) -> bool:
+    if isinstance(value, str):
+        return bool(value)
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, float):
+        return value != 0.0 and value == value  # NaN is falsy
+    if value is None:
+        return False
+    return bool(value)
+
+
+def _to_str(value: Any) -> str:
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, float):
+        if value != value:
+            return "NaN"
+        if value == int(value) and abs(value) < 1e21:
+            return str(int(value))
+        return repr(value)
+    if value is None:
+        return "null"
+    if isinstance(value, list):
+        return ",".join(_to_str(v) for v in value)
+    return str(value)
+
+
+def _to_num(value: Any) -> float:
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, float):
+        return value
+    if isinstance(value, str):
+        try:
+            return float(value.strip() or "0")
+        except ValueError:
+            return float("nan")
+    if value is None:
+        return 0.0
+    return float("nan")
+
+
+def fold(node: Optional[N.Node], env: Optional[Dict[str, Any]] = None,
+         _depth: int = 0) -> Any:
+    """Fold ``node`` to a Python constant, or :data:`UNKNOWN`.
+
+    Strings fold to ``str``, numbers to ``float``, booleans to ``bool``,
+    ``null`` to ``None``, and all-constant array literals to ``list``.
+    """
+    if env is None:
+        env = {}
+    if node is None or _depth > _MAX_FOLD_DEPTH:
+        return UNKNOWN
+    if isinstance(node, N.StringLiteral):
+        return node.value
+    if isinstance(node, N.NumberLiteral):
+        return float(node.value)
+    if isinstance(node, N.BooleanLiteral):
+        return node.value
+    if isinstance(node, N.NullLiteral):
+        return None
+    if isinstance(node, N.Identifier):
+        return env.get(node.name, UNKNOWN)
+    if isinstance(node, N.ArrayLiteral):
+        items = [fold(el, env, _depth + 1) for el in node.elements]
+        if any(item is UNKNOWN for item in items):
+            return UNKNOWN
+        return items
+    if isinstance(node, N.Binary):
+        return _fold_binary(node, env, _depth)
+    if isinstance(node, N.Logical):
+        left = fold(node.left, env, _depth + 1)
+        if left is UNKNOWN:
+            return UNKNOWN
+        if node.operator == "&&":
+            return fold(node.right, env, _depth + 1) if _truthy(left) else left
+        return left if _truthy(left) else fold(node.right, env, _depth + 1)
+    if isinstance(node, N.Unary):
+        return _fold_unary(node, env, _depth)
+    if isinstance(node, N.Conditional):
+        test = fold(node.test, env, _depth + 1)
+        if test is UNKNOWN:
+            return UNKNOWN
+        branch = node.consequent if _truthy(test) else node.alternate
+        return fold(branch, env, _depth + 1)
+    if isinstance(node, N.Sequence):
+        return fold(node.expressions[-1], env, _depth + 1) if node.expressions else UNKNOWN
+    if isinstance(node, N.Member):
+        return _fold_member(node, env, _depth)
+    if isinstance(node, N.Call):
+        return _fold_call(node, env, _depth)
+    return UNKNOWN
+
+
+def _fold_binary(node: N.Binary, env: Dict[str, Any], depth: int) -> Any:
+    # '+' chains parse left-deep; collect the spine iteratively so a
+    # thousand-piece concatenation cannot exhaust the Python stack
+    if node.operator == "+":
+        operands: List[N.Node] = []
+        stack: List[N.Node] = [node]
+        while stack:
+            current = stack.pop()
+            if isinstance(current, N.Binary) and current.operator == "+":
+                stack.append(current.right)
+                stack.append(current.left)
+            else:
+                operands.append(current)
+        values = [fold(op, env, depth + 1) for op in operands]
+        if any(v is UNKNOWN for v in values):
+            return UNKNOWN
+        if any(isinstance(v, (str, list)) for v in values):
+            out = "".join(_to_str(v) for v in values)
+            return out if len(out) <= _MAX_FOLDED_STRING else UNKNOWN
+        return float(sum(_to_num(v) for v in values))
+    left = fold(node.left, env, depth + 1)
+    right = fold(node.right, env, depth + 1)
+    if left is UNKNOWN or right is UNKNOWN:
+        return UNKNOWN
+    op = node.operator
+    if op in ("==", "==="):
+        return left == right
+    if op in ("!=", "!=="):
+        return left != right
+    if op in ("<", ">", "<=", ">="):
+        try:
+            if isinstance(left, str) and isinstance(right, str):
+                pair: Tuple[Any, Any] = (left, right)
+            else:
+                pair = (_to_num(left), _to_num(right))
+            return {"<": pair[0] < pair[1], ">": pair[0] > pair[1],
+                    "<=": pair[0] <= pair[1], ">=": pair[0] >= pair[1]}[op]
+        except TypeError:
+            return UNKNOWN
+    a, b = _to_num(left), _to_num(right)
+    if op == "-":
+        return a - b
+    if op == "*":
+        return a * b
+    if op == "/":
+        return a / b if b else float("nan")
+    if op == "%":
+        return a % b if b else float("nan")
+    if op in ("&", "|", "^", "<<", ">>", ">>>"):
+        try:
+            ia, ib = int(a), int(b)
+        except (ValueError, OverflowError):
+            return UNKNOWN
+        if op == "&":
+            return float(ia & ib)
+        if op == "|":
+            return float(ia | ib)
+        if op == "^":
+            return float(ia ^ ib)
+        if op == "<<":
+            return float((ia << (ib & 31)) & 0xFFFFFFFF)
+        return float((ia & 0xFFFFFFFF) >> (ib & 31))
+    return UNKNOWN
+
+
+def _fold_unary(node: N.Unary, env: Dict[str, Any], depth: int) -> Any:
+    value = fold(node.argument, env, depth + 1)
+    if value is UNKNOWN:
+        return UNKNOWN
+    if node.operator == "!":
+        return not _truthy(value)
+    if node.operator == "-":
+        return -_to_num(value)
+    if node.operator == "+":
+        return _to_num(value)
+    if node.operator == "~":
+        try:
+            return float(~int(_to_num(value)))
+        except (ValueError, OverflowError):
+            return UNKNOWN
+    if node.operator == "typeof":
+        if isinstance(value, str):
+            return "string"
+        if isinstance(value, bool):
+            return "boolean"
+        if isinstance(value, float):
+            return "number"
+        return "object"
+    return UNKNOWN
+
+
+def _fold_member(node: N.Member, env: Dict[str, Any], depth: int) -> Any:
+    obj = fold(node.obj, env, depth + 1)
+    if obj is UNKNOWN:
+        return UNKNOWN
+    prop = fold(node.prop, env, depth + 1) if node.computed else (
+        node.prop.value if isinstance(node.prop, N.StringLiteral) else UNKNOWN
+    )
+    if prop is UNKNOWN:
+        return UNKNOWN
+    if prop == "length" and isinstance(obj, (str, list)):
+        return float(len(obj))
+    if isinstance(obj, (str, list)) and isinstance(prop, float):
+        index = int(prop)
+        if 0 <= index < len(obj):
+            return obj[index]
+    return UNKNOWN
+
+
+#: string/array methods the folder evaluates on constant receivers
+def _fold_call(node: N.Call, env: Dict[str, Any], depth: int) -> Any:
+    path = callee_path(node.callee)
+    args = [fold(a, env, depth + 1) for a in node.arguments]
+
+    if path == "String.fromCharCode":
+        if any(a is UNKNOWN for a in args):
+            return UNKNOWN
+        try:
+            return "".join(chr(int(_to_num(a)) & 0xFFFF) for a in args)
+        except (ValueError, OverflowError):
+            return UNKNOWN
+    if path in ("unescape", "window.unescape", "decodeURIComponent", "decodeURI"):
+        if len(args) == 1 and isinstance(args[0], str):
+            return js_unescape(args[0])
+        return UNKNOWN
+    if path in ("atob", "window.atob"):
+        if len(args) == 1 and isinstance(args[0], str):
+            raw = args[0]
+            try:
+                return base64.b64decode(raw + "=" * (-len(raw) % 4)).decode("latin-1")
+            except (binascii.Error, ValueError):
+                return UNKNOWN
+        return UNKNOWN
+    if path == "parseInt" and args and isinstance(args[0], (str, float)):
+        base_val = int(_to_num(args[1])) if len(args) > 1 and args[1] is not UNKNOWN else 10
+        try:
+            return float(int(_to_str(args[0]).strip(), base_val or 10))
+        except (ValueError, OverflowError):
+            return UNKNOWN
+    if path == "String" and len(args) == 1 and args[0] is not UNKNOWN:
+        return _to_str(args[0])
+    if path == "Number" and len(args) == 1 and args[0] is not UNKNOWN:
+        return _to_num(args[0])
+
+    # method call on a foldable receiver: 'abc'.split('') etc.
+    if isinstance(node.callee, N.Member) and isinstance(node.callee.prop, N.StringLiteral):
+        receiver = fold(node.callee.obj, env, depth + 1)
+        if receiver is not UNKNOWN:
+            return _fold_method(receiver, node.callee.prop.value, args)
+    return UNKNOWN
+
+
+def _fold_method(receiver: Any, method: str, args: List[Any]) -> Any:
+    if any(a is UNKNOWN for a in args):
+        return UNKNOWN
+    if isinstance(receiver, str):
+        if method == "split":
+            sep = _to_str(args[0]) if args else UNKNOWN
+            if sep is UNKNOWN:
+                return UNKNOWN
+            return list(receiver) if sep == "" else receiver.split(sep)
+        if method in ("charAt",):
+            index = int(_to_num(args[0])) if args else 0
+            return receiver[index] if 0 <= index < len(receiver) else ""
+        if method == "charCodeAt":
+            index = int(_to_num(args[0])) if args else 0
+            return float(ord(receiver[index])) if 0 <= index < len(receiver) else float("nan")
+        if method in ("substring", "slice", "substr"):
+            start = int(_to_num(args[0])) if args else 0
+            if method == "substr":
+                length = int(_to_num(args[1])) if len(args) > 1 else len(receiver)
+                start = max(0, start if start >= 0 else len(receiver) + start)
+                return receiver[start:start + max(0, length)]
+            end = int(_to_num(args[1])) if len(args) > 1 else len(receiver)
+            if method == "slice":
+                return receiver[slice(start, end)] if start >= 0 or end >= 0 else receiver[start:end]
+            start, end = max(0, min(start, end)), max(0, max(start, end))
+            return receiver[start:end]
+        if method == "toLowerCase":
+            return receiver.lower()
+        if method == "toUpperCase":
+            return receiver.upper()
+        if method == "trim":
+            return receiver.strip()
+        if method == "concat":
+            return receiver + "".join(_to_str(a) for a in args)
+        if method == "indexOf":
+            return float(receiver.find(_to_str(args[0]))) if args else -1.0
+        if method == "replace" and len(args) >= 2 and isinstance(args[0], str):
+            return receiver.replace(args[0], _to_str(args[1]), 1)
+        if method == "toString":
+            return receiver
+    if isinstance(receiver, list):
+        if method == "join":
+            sep = _to_str(args[0]) if args else ","
+            out = sep.join(_to_str(v) for v in receiver)
+            return out if len(out) <= _MAX_FOLDED_STRING else UNKNOWN
+        if method == "reverse":
+            return list(reversed(receiver))
+        if method == "slice":
+            start = int(_to_num(args[0])) if args else 0
+            end = int(_to_num(args[1])) if len(args) > 1 else len(receiver)
+            return receiver[start:end]
+        if method == "concat":
+            out = list(receiver)
+            for a in args:
+                out.extend(a if isinstance(a, list) else [a])
+            return out
+    if isinstance(receiver, float):
+        if method == "toString":
+            base_val = int(_to_num(args[0])) if args else 10
+            if base_val == 10:
+                return _to_str(receiver)
+            try:
+                value = int(receiver)
+            except (ValueError, OverflowError):
+                return UNKNOWN
+            digits = "0123456789abcdefghijklmnopqrstuvwxyz"
+            if not 2 <= base_val <= 36:
+                return UNKNOWN
+            if value == 0:
+                return "0"
+            sign, value = ("-", -value) if value < 0 else ("", value)
+            out: List[str] = []
+            while value:
+                value, rem = divmod(value, base_val)
+                out.append(digits[rem])
+            return sign + "".join(reversed(out))
+    return UNKNOWN
+
+
+# ---------------------------------------------------------------------------
+# Whole-script propagation
+# ---------------------------------------------------------------------------
+
+def _count_writes(program: N.Node) -> Dict[str, int]:
+    """How many times each name is written anywhere in the script."""
+    writes: Dict[str, int] = {}
+
+    def bump(name: str, by: int = 1) -> None:
+        writes[name] = writes.get(name, 0) + by
+
+    for node in program.walk():
+        if isinstance(node, N.VarDecl):
+            for name, _init in node.declarations:
+                bump(name)
+        elif isinstance(node, N.Assignment) and isinstance(node.target, N.Identifier):
+            bump(node.target.name)
+        elif isinstance(node, N.Update) and isinstance(node.argument, N.Identifier):
+            bump(node.argument.name, 2)  # mutation: never a constant
+        elif isinstance(node, N.ForIn):
+            bump(node.target, 2)
+        elif isinstance(node, N.FunctionDecl):
+            bump(node.name, 2)  # function values are not folded
+            for param in node.params:
+                bump(param, 2)
+        elif isinstance(node, N.FunctionExpr):
+            for param in node.params:
+                bump(param)  # may become a constant via IIFE binding
+        elif isinstance(node, N.Try) and node.catch_param:
+            bump(node.catch_param, 2)
+    return writes
+
+
+def _initializers(program: N.Node) -> List[Tuple[str, N.Node]]:
+    """(name, rhs) pairs from declarations, assignments, IIFE bindings."""
+    out: List[Tuple[str, N.Node]] = []
+    for node in program.walk():
+        if isinstance(node, N.VarDecl):
+            for name, init in node.declarations:
+                if init is not None:
+                    out.append((name, init))
+        elif isinstance(node, N.Assignment) and node.operator == "=" and isinstance(
+            node.target, N.Identifier
+        ):
+            out.append((node.target.name, node.value))
+        elif isinstance(node, N.Call) and isinstance(node.callee, N.FunctionExpr):
+            # IIFE: bind parameters to their (possibly constant) arguments
+            for param, arg in zip(node.callee.params, node.arguments):
+                out.append((param, arg))
+    return out
+
+
+def propagate(program: N.Node) -> Resolution:
+    """Run constant propagation and collect resolved sink strings."""
+    resolution = Resolution()
+    writes = _count_writes(program)
+    initializers = _initializers(program)
+
+    env: Dict[str, Any] = {}
+    # iterate to a fixed point: chains like a = 'x'; b = a + 'y' need
+    # one extra round per dependency level (bounded — each round must
+    # resolve at least one new name)
+    for _ in range(len(initializers) + 1):
+        progress = False
+        for name, rhs in initializers:
+            if name in env or writes.get(name, 0) != 1:
+                continue
+            value = fold(rhs, env)
+            if value is not UNKNOWN:
+                env[name] = value
+                progress = True
+        if not progress:
+            break
+    resolution.constants = env
+
+    for node in program.walk():
+        if isinstance(node, N.Call):
+            _collect_call(node, env, resolution)
+        elif isinstance(node, N.Assignment):
+            _collect_assignment(node, env, resolution)
+        elif isinstance(node, N.New):
+            path = callee_path(node.callee)
+            if path == "Function" and node.arguments:
+                value = fold(node.arguments[-1], env)
+                if isinstance(value, str):
+                    resolution.eval_payloads.append(
+                        ResolvedString(value, "eval", detail="new Function"))
+    return resolution
+
+
+_EVAL_CALLEES = ("eval", "window.eval", "execScript", "Function")
+_WRITE_CALLEES = ("document.write", "document.writeln", "write", "writeln")
+_TIMER_CALLEES = ("setTimeout", "setInterval", "window.setTimeout", "window.setInterval")
+_URL_MEMBER_PROPS = ("src", "href", "location", "action", "data")
+
+
+def _collect_call(node: N.Call, env: Dict[str, Any], resolution: Resolution) -> None:
+    path = callee_path(node.callee)
+    if not path or not node.arguments:
+        return
+    if path in _EVAL_CALLEES or path.endswith(".eval"):
+        value = fold(node.arguments[0], env)
+        if isinstance(value, str):
+            resolution.eval_payloads.append(ResolvedString(value, "eval", detail=path))
+    elif path in _WRITE_CALLEES or path.endswith(".write") or path.endswith(".writeln"):
+        parts = [fold(a, env) for a in node.arguments]
+        if all(isinstance(p, str) for p in parts):
+            resolution.write_payloads.append(
+                ResolvedString("".join(parts), "write", detail=path))
+    elif path in _TIMER_CALLEES:
+        value = fold(node.arguments[0], env)
+        if isinstance(value, str):
+            resolution.eval_payloads.append(ResolvedString(value, "timer", detail=path))
+    elif path.endswith(".setAttribute") and len(node.arguments) >= 2:
+        attr = fold(node.arguments[0], env)
+        value = fold(node.arguments[1], env)
+        if attr in _URL_MEMBER_PROPS and isinstance(value, str):
+            resolution.url_strings.append(ResolvedString(value, "url", detail=str(attr)))
+    elif (path.endswith("location.replace") or path.endswith("location.assign")
+          or path == "open" or path.endswith("window.open")):
+        value = fold(node.arguments[0], env)
+        if isinstance(value, str):
+            resolution.url_strings.append(ResolvedString(value, "url", detail=path))
+
+
+def _collect_assignment(node: N.Assignment, env: Dict[str, Any],
+                        resolution: Resolution) -> None:
+    target = node.target
+    if not isinstance(target, N.Member):
+        return
+    prop = target.prop.value if isinstance(target.prop, N.StringLiteral) else None
+    if prop is None or (prop not in _URL_MEMBER_PROPS and prop != "innerHTML"):
+        return
+    value = fold(node.value, env)
+    if not isinstance(value, str):
+        return
+    if prop == "innerHTML":
+        resolution.write_payloads.append(ResolvedString(value, "write", detail="innerHTML"))
+    else:
+        resolution.url_strings.append(
+            ResolvedString(value, "url", detail=callee_path(target) or prop))

@@ -1,0 +1,126 @@
+"""Typed findings and per-script verdicts for the static analyzer.
+
+The rule engine (:mod:`repro.staticjs.rules`) emits
+:class:`StaticFinding`s; this module defines that type, the severity
+scale, the four-way :data:`verdict <VERDICTS>` a script can receive,
+and the :class:`ScriptReport` container with JSON/Markdown renderers
+used by the ``repro static-scan`` CLI.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List
+
+__all__ = [
+    "SEVERITY_INFO", "SEVERITY_LOW", "SEVERITY_MEDIUM", "SEVERITY_HIGH",
+    "VERDICT_BENIGN", "VERDICT_SUSPICIOUS", "VERDICT_MALICIOUS",
+    "VERDICT_NEEDS_DYNAMIC", "VERDICTS",
+    "StaticFinding", "ScriptReport", "render_report_markdown",
+]
+
+SEVERITY_INFO = "info"
+SEVERITY_LOW = "low"
+SEVERITY_MEDIUM = "medium"
+SEVERITY_HIGH = "high"
+
+_SEVERITY_ORDER = (SEVERITY_INFO, SEVERITY_LOW, SEVERITY_MEDIUM, SEVERITY_HIGH)
+
+VERDICT_BENIGN = "benign"
+VERDICT_SUSPICIOUS = "suspicious"
+VERDICT_MALICIOUS = "malicious"
+VERDICT_NEEDS_DYNAMIC = "needs-dynamic"
+
+VERDICTS = (VERDICT_BENIGN, VERDICT_SUSPICIOUS, VERDICT_MALICIOUS,
+            VERDICT_NEEDS_DYNAMIC)
+
+
+@dataclass
+class StaticFinding:
+    """One rule hit on one script."""
+
+    rule: str  # stable rule identifier, e.g. "cloaked-payload"
+    severity: str  # one of the SEVERITY_* constants
+    message: str  # human-readable one-liner
+    evidence: str = ""  # recovered payload / flow description, truncated
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "message": self.message,
+            "evidence": self.evidence,
+        }
+
+    @property
+    def severity_rank(self) -> int:
+        try:
+            return _SEVERITY_ORDER.index(self.severity)
+        except ValueError:
+            return 0
+
+
+@dataclass
+class ScriptReport:
+    """The static analyzer's complete output for one script."""
+
+    verdict: str = VERDICT_NEEDS_DYNAMIC
+    findings: List[StaticFinding] = field(default_factory=list)
+    #: why the script cannot be proven side-effect-free (empty when it can)
+    capabilities: List[str] = field(default_factory=list)
+    #: statically recovered payload strings (eval bodies, iframe srcs)
+    resolved_payloads: List[str] = field(default_factory=list)
+    parse_failed: bool = False
+
+    @property
+    def max_severity(self) -> str:
+        if not self.findings:
+            return SEVERITY_INFO
+        return max(self.findings, key=lambda f: f.severity_rank).severity
+
+    def findings_at_least(self, severity: str) -> List[StaticFinding]:
+        floor = _SEVERITY_ORDER.index(severity)
+        return [f for f in self.findings if f.severity_rank >= floor]
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "verdict": self.verdict,
+            "max_severity": self.max_severity,
+            "parse_failed": self.parse_failed,
+            "capabilities": list(self.capabilities),
+            "resolved_payloads": list(self.resolved_payloads),
+            "findings": [f.to_dict() for f in self.findings],
+        }
+
+
+def render_report_markdown(report: ScriptReport, title: str = "Static scan") -> str:
+    """Markdown rendering for the ``static-scan --markdown`` CLI path."""
+    lines: List[str] = ["# %s" % title, ""]
+    lines.append("**Verdict:** %s (max severity: %s)" % (report.verdict,
+                                                         report.max_severity))
+    if report.parse_failed:
+        lines.append("\nScript failed to parse; dynamic analysis required.")
+    if report.capabilities:
+        lines.append("\n**Dynamic capabilities:** %s"
+                     % ", ".join(sorted(set(report.capabilities))))
+    if report.findings:
+        lines.append("\n## Findings\n")
+        lines.append("| Rule | Severity | Message |")
+        lines.append("| --- | --- | --- |")
+        for finding in sorted(report.findings,
+                              key=lambda f: -f.severity_rank):
+            lines.append("| %s | %s | %s |" % (
+                finding.rule, finding.severity,
+                finding.message.replace("|", "\\|")))
+        for finding in report.findings:
+            if finding.evidence:
+                lines.append("\n### %s evidence\n" % finding.rule)
+                lines.append("```\n%s\n```" % finding.evidence)
+    else:
+        lines.append("\nNo findings.")
+    if report.resolved_payloads:
+        lines.append("\n## Resolved payloads\n")
+        for payload in report.resolved_payloads:
+            lines.append("```\n%s\n```" % payload)
+    lines.append("")
+    return "\n".join(lines)

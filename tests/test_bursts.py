@@ -2,10 +2,9 @@
 
 import random
 
-import pytest
 from hypothesis import given, settings, strategies as st
 
-from repro.analysis import Burst, detect_bursts
+from repro.analysis import detect_bursts
 from repro.analysis.timeseries import MaliciousTimeseries
 
 

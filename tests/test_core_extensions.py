@@ -1,6 +1,5 @@
 """Tests for core persistence and the experiment registry."""
 
-import math
 
 import pytest
 

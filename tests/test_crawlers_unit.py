@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.crawler.crawlers import CrawlStats, ExchangeCrawler
+from repro.crawler.crawlers import ExchangeCrawler
 from repro.crawler.session import BrowserSession
 from repro.crawler.storage import CrawlDataset, RecordKind
 from repro.exchanges import AutoSurfExchange, ManualSurfExchange

@@ -4,17 +4,7 @@ import random
 
 import pytest
 
-from repro.detection import (
-    BlacklistSet,
-    QutteraSim,
-    Submission,
-    VirusTotalSim,
-    analyze_content,
-    analyze_html,
-    build_blacklists,
-    default_engine_pool,
-    stable_unit,
-)
+from repro.detection import QutteraSim, VirusTotalSim, analyze_content, analyze_html, build_blacklists, default_engine_pool, stable_unit
 from repro.malware import (
     build_flash_ad_kit,
     deceptive_download_bar,

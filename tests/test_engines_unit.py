@@ -1,6 +1,5 @@
 """Direct unit tests for the simulated AV engine detectors."""
 
-import pytest
 
 from repro.detection.engines import (
     SimulatedEngine,

@@ -1,16 +1,10 @@
 """Tests for repro.simweb.generator (the synthetic web builder)."""
 
-import random
 
 import pytest
 
 from repro.simweb import MalwareFamily, Url
-from repro.simweb.generator import (
-    DEFAULT_FAMILY_WEIGHTS,
-    GeneratedWeb,
-    WebGenerationConfig,
-    WebGenerator,
-)
+from repro.simweb.generator import GeneratedWeb, WebGenerationConfig, WebGenerator
 
 
 @pytest.fixture(scope="module")

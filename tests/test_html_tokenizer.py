@@ -1,6 +1,6 @@
 """Tests for repro.htmlparse.tokenizer."""
 
-from repro.htmlparse.tokenizer import Token, TokenKind, tokenize
+from repro.htmlparse.tokenizer import TokenKind, tokenize
 
 
 def kinds(html):

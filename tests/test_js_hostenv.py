@@ -1,7 +1,7 @@
 """Tests for repro.jsengine.hostenv — the browser sandbox."""
 
 from repro.htmlparse import select
-from repro.jsengine.hostenv import BrowserHost, run_script_in_page
+from repro.jsengine.hostenv import run_script_in_page
 
 
 def page(body_script, **kwargs):

@@ -7,7 +7,7 @@ import pytest
 from hypothesis import given, strategies as st
 
 from repro.jsengine.interpreter import BudgetExceeded, Interpreter
-from repro.jsengine.values import JSException, UNDEFINED
+from repro.jsengine.values import JSException
 
 
 def run(source):

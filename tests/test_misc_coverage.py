@@ -3,7 +3,6 @@ edge cases, rejected-tool capabilities, roster scaling, naming titles."""
 
 import random
 
-import pytest
 
 from repro.detection.heuristics import analyze_content
 from repro.detection.others import _broad, _js_only, _reputation_only

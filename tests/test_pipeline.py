@@ -1,6 +1,5 @@
 """Integration tests for the crawl-and-scan pipeline (small scale)."""
 
-import pytest
 
 from repro.crawler.storage import RecordKind
 from repro.simweb.url import Url

@@ -1,6 +1,5 @@
 """Edge-case tests for the text renderers."""
 
-from collections import Counter
 
 from repro.analysis import (
     CategorizationResult,

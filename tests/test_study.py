@@ -1,6 +1,5 @@
 """End-to-end study tests: table/figure shapes at small scale."""
 
-import pytest
 
 from repro import MalwareSlumsStudy, StudyConfig
 from repro.core.reporting import (

@@ -1,13 +1,7 @@
 """Tests for the measurement-derived threat feed."""
 
-import pytest
 
-from repro.countermeasures import (
-    AdFraudDetector,
-    ExchangeWarningExtension,
-    ThreatFeed,
-    build_threat_feed,
-)
+from repro.countermeasures import ExchangeWarningExtension, ThreatFeed, build_threat_feed
 from repro.crawler.pipeline import ScanOutcome
 from repro.crawler.storage import CrawlDataset, RecordKind, UrlRecord
 from repro.detection import UrlVerdict
