@@ -8,7 +8,7 @@
 
 
 from repro.analysis import compute_exchange_stats, overall_malicious_fraction
-from repro.detection import VirusTotalSim
+from repro.detection import Submission, VirusTotalSim
 from repro.httpsim import SimHttpClient
 from repro.simweb.url import Url
 
@@ -42,12 +42,15 @@ def test_ablation_cloaking_mitigation(benchmark, study, dataset, outcome):
     def run_ablation():
         url_hits = file_hits = 0
         for url in cloaked:
-            if vt_url.scan_url(url).malicious:
+            if vt_url.scan(Submission(url=url)).malicious:
                 url_hits += 1
             # the crawler's saved copy (fetched with an exchange referrer)
             browser_view = client.fetch(url, referrer="http://exchange.example/surf")
-            report = vt_file.scan_file(url, browser_view.response.body,
-                                       browser_view.response.content_type)
+            report = vt_file.scan(Submission(
+                url=url,
+                content=browser_view.response.body,
+                content_type=browser_view.response.content_type,
+            ))
             if report.malicious:
                 file_hits += 1
         return url_hits, file_hits

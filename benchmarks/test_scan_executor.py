@@ -1,0 +1,49 @@
+"""Scan-executor benchmark: the ISSUE acceptance gate.
+
+On the standard generated web (session ``study`` fixture, scale 0.05)
+the parallel executor at ``workers=4`` must show a >= 2x simulated
+scan-phase speedup over the serial reference, with a verdict map that
+is bit-identical to the serial one (values *and* iteration order) and
+to the study's own scan outcome.
+
+File submissions are pure functions of their bytes, so the benchmark
+runs the sharded file workload through client-free ``shard_clone``
+services — re-running URL submissions would advance the stateful
+simulated server other session benchmarks share.
+"""
+
+from __future__ import annotations
+
+from repro.scanexec import ParallelScanExecutor, SerialScanExecutor, build_scan_tasks
+
+
+def test_scan_executor_speedup(benchmark, study, dataset, outcome):
+    tasks = [task for task in build_scan_tasks(dataset) if task.is_file_scan]
+    assert len(tasks) > 100  # the workload must be big enough to matter
+    base = study.pipeline.build_detection()
+
+    serial = SerialScanExecutor().execute(tasks, base.shard_clone())
+
+    def run_parallel():
+        return ParallelScanExecutor(workers=4).execute(tasks, base.shard_clone())
+
+    execution = benchmark.pedantic(run_parallel, rounds=1, iterations=1)
+
+    print("\nscan executor: %d file tasks over %d shards | serial %.1fs -> "
+          "parallel %.1fs (simulated) | %.2fx speedup at %.0f%% utilisation"
+          % (execution.file_tasks, len(execution.shard_stats),
+             execution.serial_seconds, execution.parallel_seconds,
+             execution.speedup, 100 * execution.utilisation))
+
+    # -- acceptance: >= 2x at workers=4 ---------------------------------
+    assert execution.workers == 4
+    assert execution.speedup >= 2.0
+
+    # -- determinism: parallel == serial, bit for bit -------------------
+    assert list(execution.verdicts) == list(serial.verdicts)
+    assert execution.verdicts == serial.verdicts
+
+    # -- and both match what the real pipeline's scan phase recorded ----
+    for url, verdict in execution.verdicts.items():
+        assert verdict.malicious == outcome.verdicts[url].malicious
+        assert verdict.labels == outcome.verdicts[url].labels

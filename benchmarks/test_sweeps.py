@@ -71,7 +71,8 @@ def test_sweep_vt_positives_threshold(benchmark):
             )
             false_pos = sum(
                 1 for index, page in enumerate(benign_pages)
-                if vt.scan_file("http://benign%d.example/" % index, page).malicious
+                if vt.scan(Submission(url="http://benign%d.example/" % index,
+                                      content=page)).malicious
             )
             rows.append((threshold, detected / len(malware), false_pos))
         return rows

@@ -14,7 +14,7 @@ benign decoy to referrer-less scanner fetches) and compares detection:
 
 
 from repro.crawler import CrawlPipeline
-from repro.detection import VirusTotalSim
+from repro.detection import Submission, VirusTotalSim
 from repro.httpsim import SimHttpClient
 from repro.simweb.generator import WebGenerationConfig, WebGenerator
 
@@ -42,12 +42,15 @@ def main() -> None:
 
     url_detections = file_detections = 0
     for url in cloaked_urls:
-        if vt_by_url.scan_url(url).malicious:
+        if vt_by_url.scan(Submission(url=url)).malicious:
             url_detections += 1
         # the crawler arrives from an exchange, so it sees the real page
         browser_view = scanner_client.fetch(url, referrer="http://www.10khits.com/surf")
-        report = vt_by_file.scan_file(url, browser_view.response.body,
-                                      browser_view.response.content_type)
+        report = vt_by_file.scan(Submission(
+            url=url,
+            content=browser_view.response.body,
+            content_type=browser_view.response.content_type,
+        ))
         if report.malicious:
             file_detections += 1
 

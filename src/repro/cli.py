@@ -51,6 +51,10 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print only this figure")
     run.add_argument("--no-file-submission", action="store_true",
                      help="disable the cloaking mitigation (URL-only scanning)")
+    run.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="scan-phase worker count (repro.scanexec; default 1 "
+                          "or $REPRO_SCAN_WORKERS; results are identical at "
+                          "any width)")
     run.add_argument("--markdown", action="store_true",
                      help="emit the report as Markdown")
 
@@ -89,6 +93,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     obs.add_argument("--scale", type=float, default=0.02)
     obs.add_argument("--seed", type=int, default=2016)
+    obs.add_argument("--workers", type=int, default=None, metavar="N",
+                     help="scan-phase worker count (adds the scan-executor "
+                          "report section when > 1)")
     obs.add_argument("-o", "--output",
                      help="write the JSON report here (schema: repro.obs.report)")
     obs.add_argument("--markdown", action="store_true",
@@ -116,6 +123,7 @@ def _cmd_run(args: argparse.Namespace) -> int:
     study = MalwareSlumsStudy(StudyConfig(
         seed=args.seed, scale=args.scale,
         submit_files=not args.no_file_submission,
+        workers=args.workers,
     ))
     results = study.run()
     if args.table == 1:
@@ -217,7 +225,8 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
     web = study.generate_web()
     observer = RunObserver()
-    pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer)
+    pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer,
+                             workers=args.workers)
     outcome = pipeline.run()
     report = build_run_report(pipeline, outcome)
 

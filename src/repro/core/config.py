@@ -26,6 +26,10 @@ class StudyConfig:
     #: submit downloaded page files to the scanners (the paper's cloaking
     #: mitigation, footnote 1); False reproduces the naive URL-only setup
     submit_files: bool = True
+    #: scan-phase worker count (repro.scanexec); None resolves to the
+    #: REPRO_SCAN_WORKERS environment override or the serial default of 1.
+    #: Results are bit-identical at any width for a fixed seed
+    workers: Optional[int] = None
     profiles: Sequence[ExchangeProfile] = field(default_factory=lambda: EXCHANGE_PROFILES)
     #: optional overrides for web generation (seed/scale are synced in)
     web: Optional[WebGenerationConfig] = None

@@ -54,7 +54,9 @@ class MalwareSlumsStudy:
         if self.outcome is None:
             web = self.generate_web()
             self.pipeline = CrawlPipeline(
-                web, seed=self.config.seed + 61, submit_files=self.config.submit_files
+                web, seed=self.config.seed + 61,
+                submit_files=self.config.submit_files,
+                workers=self.config.workers,
             )
             self.outcome = self.pipeline.run()
         return self.outcome

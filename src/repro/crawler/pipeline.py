@@ -19,8 +19,9 @@ evaluation utilities.
 
 from __future__ import annotations
 
+import os
 import random
-from dataclasses import dataclass, field
+import threading
 from typing import Dict, Optional, Tuple
 
 from ..detection import (
@@ -35,6 +36,7 @@ from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
 from ..exchanges.roster import ExchangeProfile
 from ..httpsim import SimHttpClient, SimHttpServer
 from ..obs.observer import RunObserver
+from ..scanexec import ParallelScanExecutor, ScanExecution, build_scan_tasks
 from ..simweb import ContentCategory, GroundTruth, MalwareFamily, Page, Site
 from ..simweb.generator import ExchangePool, GeneratedWeb
 from ..simweb.url import Url
@@ -44,16 +46,39 @@ from .storage import CrawlDataset
 
 __all__ = ["ScanOutcome", "CrawlPipeline"]
 
+#: environment override for the default scan worker count — lets CI run
+#: the whole suite through the parallel executor without code changes
+WORKERS_ENV_VAR = "REPRO_SCAN_WORKERS"
 
-@dataclass
+
 class ScanOutcome:
-    """Everything the scan phase produced."""
+    """Everything the scan phase produced.
 
-    verdicts: Dict[str, UrlVerdict] = field(default_factory=dict)
-    #: how many :meth:`is_malicious` queries hit a URL the scan phase
-    #: never saw — in a healthy run this stays 0, and a nonzero value
-    #: means "missing verdict", which is *not* the same as "benign"
-    unscanned_queries: int = 0
+    Safe to share across threads: the unscanned-query counter sits
+    behind a lock, so parallel consumers (report builders, analysis
+    passes fanned out over an executor) can query verdicts concurrently
+    without losing counts.
+    """
+
+    def __init__(self, verdicts: Optional[Dict[str, UrlVerdict]] = None,
+                 unscanned_queries: int = 0) -> None:
+        self.verdicts: Dict[str, UrlVerdict] = dict(verdicts) if verdicts else {}
+        self._unscanned_queries = unscanned_queries
+        self._lock = threading.Lock()
+
+    @property
+    def unscanned_queries(self) -> int:
+        """How many queries hit a URL the scan phase never saw.
+
+        In a healthy run this stays 0, and a nonzero value means
+        "missing verdict", which is *not* the same as "benign".
+        """
+        return self._unscanned_queries
+
+    def record_unscanned_query(self, url: str) -> None:
+        """Explicitly account one query for a never-scanned URL."""
+        with self._lock:
+            self._unscanned_queries += 1
 
     def scanned(self, url: str) -> bool:
         """True when the scan phase produced a verdict for ``url``."""
@@ -63,7 +88,7 @@ class ScanOutcome:
         verdict = self.verdicts.get(url)
         if verdict is None:
             # never-scanned is counted, not silently folded into benign
-            self.unscanned_queries += 1
+            self.record_unscanned_query(url)
             return False
         return verdict.malicious
 
@@ -77,13 +102,29 @@ class CrawlPipeline:
     def __init__(self, web: GeneratedWeb, seed: int = 77,
                  submit_files: bool = True,
                  observer: Optional[RunObserver] = None,
-                 static_prefilter: bool = True) -> None:
+                 static_prefilter: bool = True,
+                 workers: Optional[int] = None,
+                 scan_executor: Optional[ParallelScanExecutor] = None) -> None:
         self.web = web
         self.rng = random.Random(seed)
         #: run the repro.staticjs pass before sandboxing and skip dynamic
         #: execution for pages whose every inline script is provably
         #: side-effect-free; set False to force dynamic-only scanning
         self.static_prefilter = static_prefilter
+        if workers is None:
+            workers = int(os.environ.get(WORKERS_ENV_VAR) or 1)
+        #: scan-phase worker count; 1 keeps the serial reference loop
+        self.workers = max(1, workers)
+        #: the scan-phase executor — injectable for tests (e.g. a
+        #: ParallelScanExecutor with an InlineExecutor pool); defaults to
+        #: a ThreadPoolExecutor-backed executor when ``workers > 1`` and
+        #: to the serial loop at ``workers=1``
+        self.scan_executor = scan_executor
+        if self.scan_executor is None and self.workers > 1:
+            self.scan_executor = ParallelScanExecutor(workers=self.workers)
+        #: accounting from the last executor-backed scan (None after a
+        #: serial scan) — shard stats, simulated makespan, speedup
+        self.last_scan_execution: Optional[ScanExecution] = None
         #: opt-in telemetry; with None every hook below is a skipped
         #: attribute test and pipeline outputs are identical to seed
         self.observer = observer
@@ -417,6 +458,9 @@ class CrawlPipeline:
         return outcome
 
     def _scan_all(self, service: UrlVerdictService, outcome: ScanOutcome) -> None:
+        if self.scan_executor is not None:
+            self._scan_executor(service, outcome)
+            return
         observer = self.observer
         for url in self.dataset.distinct_urls():
             cached = self.dataset.content.get(url)
@@ -429,6 +473,25 @@ class CrawlPipeline:
                     content_type=cached.content_type,
                     final_url=cached.final_url,
                 )
+            outcome.verdicts[url] = verdict
+            if observer is not None:
+                observer.count("scan.urls")
+                observer.count("scan.verdict.malicious" if verdict.malicious
+                               else "scan.verdict.benign")
+
+    def _scan_executor(self, service: UrlVerdictService, outcome: ScanOutcome) -> None:
+        """Fan the workload out through the configured scan executor.
+
+        The executor's merge is deterministic (original workload order,
+        shard telemetry replayed in index order), so the outcome — and
+        every ``scan.*`` counter — is bit-identical to the serial loop.
+        """
+        observer = self.observer
+        execution = self.scan_executor.execute(
+            build_scan_tasks(self.dataset), service, observer=observer,
+        )
+        self.last_scan_execution = execution
+        for url, verdict in execution.verdicts.items():
             outcome.verdicts[url] = verdict
             if observer is not None:
                 observer.count("scan.urls")

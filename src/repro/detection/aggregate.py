@@ -66,6 +66,28 @@ class UrlVerdictService:
         #: gate for the repro.staticjs sandbox pre-filter on shared scans
         self.static_prefilter = static_prefilter
 
+    def shard_clone(self, observer: Optional[object] = None) -> "UrlVerdictService":
+        """A clone safe to run on one executor shard's worker thread.
+
+        The blacklists are shared (read-only lookups); the VT/Quttera
+        stacks are rebuilt *without* HTTP clients, so a shard can only
+        process file submissions — URL submissions fetch through the
+        stateful simulated server and must stay on the ordered serial
+        lane (see :mod:`repro.scanexec`).  ``observer`` is typically a
+        per-shard buffer replayed deterministically after the join.
+        """
+        return UrlVerdictService(
+            virustotal=VirusTotalSim(observer=observer,
+                                     static_prefilter=self.static_prefilter),
+            quttera=QutteraSim(observer=observer,
+                               static_prefilter=self.static_prefilter),
+            blacklists=self.blacklists,
+            min_blacklist_hits=self.min_blacklist_hits,
+            submit_files=self.submit_files,
+            observer=observer,
+            static_prefilter=self.static_prefilter,
+        )
+
     def verdict(
         self,
         url: str,
@@ -75,9 +97,6 @@ class UrlVerdictService:
     ) -> UrlVerdict:
         """Combined verdict; ``content`` is the crawler's saved copy."""
         if content is not None and self.submit_files:
-            submission = Submission(
-                url=url, content=content, content_type=content_type, final_url=final_url
-            )
             # one shared analysis: the tools disagree via their engines
             # and thresholds, not via duplicated sandbox runs
             from .heuristics import analyze_content
@@ -85,10 +104,14 @@ class UrlVerdictService:
             analysis = analyze_content(content, content_type, url,
                                        observer=self.observer,
                                        static_prefilter=self.static_prefilter)
-            vt = self.virustotal.scan_prepared(submission, analysis)
-            quttera = self.quttera.scan_prepared(submission, analysis)
+            submission = Submission(
+                url=url, content=content, content_type=content_type,
+                final_url=final_url, analysis=analysis,
+            )
+            vt = self.virustotal.scan(submission)
+            quttera = self.quttera.scan(submission)
         else:
-            vt = self.virustotal.scan_url(url)
+            vt = self.virustotal.scan(Submission(url=url))
             quttera = self.quttera.scan(Submission(url=url))
 
         parsed = Url.try_parse(url)

@@ -7,18 +7,32 @@ footnote 1):
 * **files** — pages the crawler downloaded locally and uploaded, which
   defeats cloaking.
 
-:class:`Submission` models both; every scanner implements
-:class:`Scanner` and returns a :class:`ScanReport` carrying per-engine
-labels for drill-down analysis.
+:class:`Submission` models both — plus an optional pre-computed
+:class:`~repro.detection.heuristics.ContentAnalysis` so several tools
+can share one sandbox run.  Every scanner implements the single
+:class:`Scanner` entry point, ``scan(Submission) -> ScanReport``; the
+historical ``scan_url`` / ``scan_file`` / ``scan_prepared`` spellings
+live on as deprecated shims in :class:`DeprecatedScanShims`.
 """
 
 from __future__ import annotations
 
 import hashlib
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Protocol
+import warnings
+from dataclasses import dataclass, field, replace
+from typing import TYPE_CHECKING, Dict, List, Optional, Protocol
 
-__all__ = ["Submission", "EngineResult", "ScanReport", "Scanner", "stable_unit"]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard (heuristics imports base)
+    from .heuristics import ContentAnalysis
+
+__all__ = [
+    "Submission",
+    "EngineResult",
+    "ScanReport",
+    "Scanner",
+    "DeprecatedScanShims",
+    "stable_unit",
+]
 
 
 @dataclass
@@ -32,6 +46,11 @@ class Submission:
     #: where the crawl was redirected to, if anywhere (tools like VT show
     #: final URLs; the categorizer uses this for the redirect rule)
     final_url: Optional[str] = None
+    #: pre-computed :class:`ContentAnalysis` shared across tools — the
+    #: aggregate service runs the sandbox once and attaches the result so
+    #: each scanner disagrees via its engines/thresholds, never via
+    #: duplicated sandbox runs
+    analysis: Optional["ContentAnalysis"] = None
 
     @property
     def is_file_scan(self) -> bool:
@@ -87,12 +106,59 @@ class ScanReport:
 
 
 class Scanner(Protocol):
-    """Anything that can scan a submission."""
+    """Anything that can scan a submission.
+
+    The one entry point: URL submissions carry just ``url``, file
+    submissions carry ``content``, and batch callers that already ran
+    the shared sandbox attach ``analysis``.
+    """
 
     name: str
 
     def scan(self, submission: Submission) -> ScanReport:  # pragma: no cover - protocol
         ...
+
+
+class DeprecatedScanShims:
+    """Back-compat shims for the pre-unification scanner entry points.
+
+    ``scan_url`` / ``scan_file`` / ``scan_prepared`` were three
+    inconsistent spellings of :meth:`Scanner.scan`; they now warn and
+    delegate.  New code (and everything in-repo — enforced by the
+    TID251 ruff ban) must call ``scan(Submission(...))`` directly.
+    Removal timeline: the shims survive two release cycles from the
+    unification and then disappear (see DESIGN.md §6).
+    """
+
+    def scan(self, submission: Submission) -> ScanReport:  # pragma: no cover - abstract
+        raise NotImplementedError
+
+    def scan_url(self, url: str) -> ScanReport:
+        warnings.warn(
+            "%s.scan_url(url) is deprecated; call scan(Submission(url=url))"
+            % type(self).__name__,
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.scan(Submission(url=url))
+
+    def scan_file(self, url: str, content: bytes,
+                  content_type: str = "text/html") -> ScanReport:
+        warnings.warn(
+            "%s.scan_file(url, content) is deprecated; call "
+            "scan(Submission(url=url, content=content))" % type(self).__name__,
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.scan(Submission(url=url, content=content, content_type=content_type))
+
+    def scan_prepared(self, submission: Submission,
+                      analysis: "ContentAnalysis") -> ScanReport:
+        warnings.warn(
+            "%s.scan_prepared(submission, analysis) is deprecated; attach the "
+            "analysis to the submission: scan(replace(submission, "
+            "analysis=analysis))" % type(self).__name__,
+            DeprecationWarning, stacklevel=2,
+        )
+        return self.scan(replace(submission, analysis=analysis))
 
 
 def stable_unit(*parts: str) -> float:

@@ -18,7 +18,7 @@ from dataclasses import dataclass
 from typing import Callable, Optional
 
 from ..httpsim import SimHttpClient
-from .base import ScanReport, Submission, stable_unit
+from .base import DeprecatedScanShims, ScanReport, Submission, stable_unit
 from .heuristics import ContentAnalysis, analyze_content
 
 __all__ = [
@@ -34,7 +34,7 @@ __all__ = [
 
 
 @dataclass
-class LimitedScanner:
+class LimitedScanner(DeprecatedScanShims):
     """A scanner with partial capability.
 
     ``capability`` maps an analysis to True/False (would detect if its
@@ -57,9 +57,11 @@ class LimitedScanner:
                 content_type=result.response.content_type,
                 final_url=result.final_url,
             )
-        analysis = analyze_content(
-            submission.content or b"", submission.content_type, submission.url
-        )
+        analysis = submission.analysis
+        if analysis is None:
+            analysis = analyze_content(
+                submission.content or b"", submission.content_type, submission.url
+            )
         capable = self.capability(analysis)
         detected = capable and stable_unit(self.name, submission.sha256) < self.hit_rate
         return ScanReport(
@@ -68,9 +70,6 @@ class LimitedScanner:
             malicious=detected,
             labels=["%s.Detection" % self.name] if detected else [],
         )
-
-    def scan_file(self, url: str, content: bytes, content_type: str = "text/html") -> ScanReport:
-        return self.scan(Submission(url=url, content=content, content_type=content_type))
 
 
 def _broad(analysis: ContentAnalysis) -> bool:

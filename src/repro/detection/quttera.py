@@ -19,7 +19,7 @@ from dataclasses import dataclass
 from typing import List, Optional
 
 from ..httpsim import SimHttpClient
-from .base import ScanReport, Submission
+from .base import DeprecatedScanShims, ScanReport, Submission
 from .heuristics import ContentAnalysis, analyze_content
 
 __all__ = ["QutteraThreat", "QutteraSim"]
@@ -38,7 +38,7 @@ class QutteraThreat:
     evidence: str = ""
 
 
-class QutteraSim:
+class QutteraSim(DeprecatedScanShims):
     """Heuristic scanner producing detailed threat reports."""
 
     name = "Quttera"
@@ -54,6 +54,9 @@ class QutteraSim:
 
     # ------------------------------------------------------------------
     def scan(self, submission: Submission) -> ScanReport:
+        """Scan a URL, an uploaded file, or a pre-analyzed submission."""
+        if submission.analysis is not None:
+            return self._report_from_analysis(submission, submission.analysis)
         if not submission.is_file_scan:
             if self.client is None:
                 raise RuntimeError("QutteraSim needs a client for URL submissions")
@@ -91,13 +94,6 @@ class QutteraSim:
             "%s[%s]" % (t.name, t.severity) for t in threats
         )
         return report
-
-    def scan_file(self, url: str, content: bytes, content_type: str = "text/html") -> ScanReport:
-        return self.scan(Submission(url=url, content=content, content_type=content_type))
-
-    def scan_prepared(self, submission: Submission, analysis: ContentAnalysis) -> ScanReport:
-        """Scan with a pre-computed analysis (shared across tools)."""
-        return self._report_from_analysis(submission, analysis)
 
     # ------------------------------------------------------------------
     def _threats(self, analysis: ContentAnalysis) -> List[QutteraThreat]:

@@ -18,14 +18,14 @@ from typing import Dict, List, Optional
 
 from ..httpsim import SimHttpClient
 from ..simweb.categories import CATEGORY_TOPICS
-from .base import ScanReport, Submission
+from .base import DeprecatedScanShims, ScanReport, Submission
 from .engines import SimulatedEngine, default_engine_pool
 from .heuristics import ContentAnalysis, analyze_content
 
 __all__ = ["VirusTotalSim"]
 
 
-class VirusTotalSim:
+class VirusTotalSim(DeprecatedScanShims):
     """The VirusTotal-like aggregator.
 
     Parameters
@@ -63,7 +63,9 @@ class VirusTotalSim:
 
     # ------------------------------------------------------------------
     def scan(self, submission: Submission) -> ScanReport:
-        """Scan a URL or an uploaded file."""
+        """Scan a URL, an uploaded file, or a pre-analyzed submission."""
+        if submission.analysis is not None:
+            return self._scan_analysis(submission, submission.analysis)
         if submission.is_file_scan:
             return self._scan_analysis(
                 submission,
@@ -71,9 +73,9 @@ class VirusTotalSim:
                                 submission.url, observer=self.observer,
                                 static_prefilter=self.static_prefilter),
             )
-        return self.scan_url(submission.url)
+        return self._scan_fetched(submission.url)
 
-    def scan_url(self, url: str) -> ScanReport:
+    def _scan_fetched(self, url: str) -> ScanReport:
         """URL submission: the service fetches the URL itself."""
         cached = self._url_cache.get(url)
         if cached is not None:
@@ -96,14 +98,6 @@ class VirusTotalSim:
             report.details["redirects"] = str(result.redirect_count)
         self._url_cache[url] = report
         return report
-
-    def scan_file(self, url: str, content: bytes, content_type: str = "text/html") -> ScanReport:
-        """File upload: analyze exactly the bytes the crawler saved."""
-        return self.scan(Submission(url=url, content=content, content_type=content_type))
-
-    def scan_prepared(self, submission: Submission, analysis: ContentAnalysis) -> ScanReport:
-        """Scan with a pre-computed analysis (shared across tools)."""
-        return self._scan_analysis(submission, analysis)
 
     # ------------------------------------------------------------------
     def _scan_analysis(self, submission: Submission, analysis: ContentAnalysis) -> ScanReport:

@@ -25,6 +25,10 @@ JSON schema (top-level keys)::
                      sandbox_skipped_pages, sandbox_executed_pages,
                      sandbox_skip_rate, skipped_scripts,
                      dynamic_agreement_rate},
+      "scanexec":   {workers, shards, file_tasks, url_tasks,
+                     queue_depth_peak, worker_utilisation,
+                     serial_seconds_est, parallel_seconds_est,
+                     speedup_est, shard_busy: histogram-summary},
       "dedup":      {records, new_urls, duplicate_urls, hit_rate},
       "js":         {gauge-name: value},
       "spans":      {name: {count, total, p50, p95, p99}},
@@ -140,6 +144,20 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
                                    if (agreed + disagreed) else 0.0),
     }
 
+    # -- scan executor (repro.scanexec; zeros when the run was serial) ------
+    scanexec = {
+        "workers": int(metrics.gauge("scanexec.workers").value),
+        "shards": int(metrics.counter_total("scanexec.shards")),
+        "file_tasks": int(metrics.counter_total("scanexec.tasks.file")),
+        "url_tasks": int(metrics.counter_total("scanexec.tasks.url")),
+        "queue_depth_peak": int(metrics.gauge("scanexec.queue.depth").value),
+        "worker_utilisation": metrics.gauge("scanexec.worker.utilisation").value,
+        "serial_seconds_est": metrics.gauge("scanexec.serial_seconds").value,
+        "parallel_seconds_est": metrics.gauge("scanexec.parallel_seconds").value,
+        "speedup_est": metrics.gauge("scanexec.speedup").value,
+        "shard_busy": metrics.histogram("scanexec.shard.busy_seconds").summary(),
+    }
+
     # -- dedup (from the dataset itself: one capture attempt per record) ----
     record_count = len(dataset.records)
     new_urls = len(dataset.content)
@@ -170,6 +188,7 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "redirects": redirects,
         "scan": scan,
         "staticjs": staticjs,
+        "scanexec": scanexec,
         "dedup": dedup,
         "js": js,
         "spans": observer.tracer.summary(),
@@ -263,6 +282,30 @@ def render_run_report_markdown(report: Dict[str, Any],
         sections.append("\nSandbox skip rate %.1f%% · static/dynamic agreement %.1f%%"
                         % (100 * staticjs["sandbox_skip_rate"],
                            100 * staticjs["dynamic_agreement_rate"]))
+
+    scanexec = report.get("scanexec", {})
+    if scanexec.get("workers"):
+        sections.append("\n## Scan executor\n")
+        sections.append(markdown_table(
+            ("Metric", "Value"),
+            [("workers", scanexec["workers"]),
+             ("shards", scanexec["shards"]),
+             ("file tasks (sharded)", scanexec["file_tasks"]),
+             ("URL tasks (serial lane)", scanexec["url_tasks"]),
+             ("queue depth peak", scanexec["queue_depth_peak"])],
+        ))
+        shard_busy = scanexec["shard_busy"]
+        if shard_busy["count"]:
+            sections.append("\nShard busy time (s): p50 %.1f · p95 %.1f · max %.1f "
+                            "over %d shards"
+                            % (shard_busy["p50"], shard_busy["p95"],
+                               shard_busy["max"], int(shard_busy["count"])))
+        sections.append("\nSimulated scan makespan %.0fs parallel vs %.0fs serial "
+                        "— %.1fx speedup at %.0f%% worker utilisation"
+                        % (scanexec["parallel_seconds_est"],
+                           scanexec["serial_seconds_est"],
+                           scanexec["speedup_est"],
+                           100 * scanexec["worker_utilisation"]))
 
     dedup = report["dedup"]
     sections.append("\n## Dedup\n")

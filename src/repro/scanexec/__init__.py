@@ -1,0 +1,34 @@
+"""repro.scanexec — the parallel sharded scan executor.
+
+Turns the scan phase (every distinct crawled URL through VirusTotal +
+Quttera + blacklists) from a single-threaded loop into a domain-sharded
+fan-out over a configurable worker pool, with a deterministic merge
+that keeps parallel output bit-identical to the serial path.  See
+:mod:`repro.scanexec.executor` for the phase-by-phase design.
+"""
+
+from .executor import (
+    InlineExecutor,
+    ParallelScanExecutor,
+    ScanExecution,
+    ScanLatencyModel,
+    SerialScanExecutor,
+    ShardStats,
+)
+from .recording import RecordingObserver
+from .sharding import ScanShard, ScanTask, build_scan_tasks, shard_tasks, task_domain
+
+__all__ = [
+    "InlineExecutor",
+    "ParallelScanExecutor",
+    "RecordingObserver",
+    "ScanExecution",
+    "ScanLatencyModel",
+    "ScanShard",
+    "ScanTask",
+    "SerialScanExecutor",
+    "ShardStats",
+    "build_scan_tasks",
+    "shard_tasks",
+    "task_domain",
+]

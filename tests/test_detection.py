@@ -4,7 +4,7 @@ import random
 
 import pytest
 
-from repro.detection import QutteraSim, VirusTotalSim, analyze_content, analyze_html, build_blacklists, default_engine_pool, stable_unit
+from repro.detection import QutteraSim, Submission, VirusTotalSim, analyze_content, analyze_html, build_blacklists, default_engine_pool, stable_unit
 from repro.malware import (
     build_flash_ad_kit,
     deceptive_download_bar,
@@ -115,20 +115,25 @@ class TestStableUnit:
 class TestVirusTotal:
     def test_detects_malware_page(self, rng):
         vt = VirusTotalSim()
-        report = vt.scan_file("http://m.example/", (SHELL % tiny_iframe(rng, "http://bad.example/").html).encode())
+        report = vt.scan(Submission(
+            url="http://m.example/",
+            content=(SHELL % tiny_iframe(rng, "http://bad.example/").html).encode(),
+        ))
         assert report.malicious
         assert report.positives >= 2
         assert report.total_engines == len(default_engine_pool())
 
     def test_clean_page_not_flagged(self, rng):
         vt = VirusTotalSim()
-        report = vt.scan_file("http://c.example/", (SHELL % "<p>more text</p>").encode())
+        report = vt.scan(Submission(
+            url="http://c.example/", content=(SHELL % "<p>more text</p>").encode()))
         assert not report.malicious
 
     def test_labels_from_alias_vocabulary(self, rng):
         vt = VirusTotalSim()
         snip = js_injected_iframe(rng, "http://bad.example/", obfuscation_depth=2)
-        report = vt.scan_file("http://m.example/", (SHELL % snip.html).encode())
+        report = vt.scan(Submission(
+            url="http://m.example/", content=(SHELL % snip.html).encode()))
         assert any("IframeRef" in l or "ScrInject" in l or "iacgm" in l or "iframe" in l.lower()
                    for l in report.labels)
 
@@ -139,45 +144,47 @@ class TestVirusTotal:
 
     def test_deterministic_reports(self, rng):
         content = (SHELL % tiny_iframe(rng, "http://bad.example/").html).encode()
-        a = VirusTotalSim().scan_file("http://m.example/", content)
-        b = VirusTotalSim().scan_file("http://m.example/", content)
+        a = VirusTotalSim().scan(Submission(url="http://m.example/", content=content))
+        b = VirusTotalSim().scan(Submission(url="http://m.example/", content=content))
         assert a.positives == b.positives
 
     def test_url_scan_requires_client(self):
         with pytest.raises(RuntimeError):
-            VirusTotalSim().scan_url("http://x.example/")
+            VirusTotalSim().scan(Submission(url="http://x.example/"))
 
 
 class TestQuttera:
     def test_threat_report_detail(self, rng):
         quttera = QutteraSim()
         snip = js_injected_iframe(rng, "http://bad.example/", obfuscation_depth=2)
-        report = quttera.scan_file("http://m.example/", (SHELL % snip.html).encode())
+        report = quttera.scan(Submission(
+            url="http://m.example/", content=(SHELL % snip.html).encode()))
         assert report.malicious
         assert "js-injected-iframe" in report.labels
         assert "obfuscated-javascript" in report.labels
 
     def test_flags_redirect(self):
         quttera = QutteraSim()
-        report = quttera.scan_file(
-            "http://r.example/",
-            b"<html><body><script>window.location.href = 'http://n.example/';</script></body></html>",
-        )
+        report = quttera.scan(Submission(
+            url="http://r.example/",
+            content=b"<html><body><script>window.location.href = 'http://n.example/';</script></body></html>",
+        ))
         assert report.malicious
         assert "malicious-redirect" in report.labels
 
     def test_oauth_fp_is_suspicious_only(self, rng):
         quttera = QutteraSim()
-        report = quttera.scan_file(
-            "http://fp.example/",
-            (SHELL % google_oauth_relay_iframe(rng, "http://fp.example/")).encode(),
-        )
+        report = quttera.scan(Submission(
+            url="http://fp.example/",
+            content=(SHELL % google_oauth_relay_iframe(rng, "http://fp.example/")).encode(),
+        ))
         # a single trusted-host hidden frame alone does not flag the page
         assert "hidden-iframe" in report.labels
         assert not report.malicious
 
     def test_clean_page(self):
-        report = QutteraSim().scan_file("http://c.example/", (SHELL % "").encode())
+        report = QutteraSim().scan(Submission(
+            url="http://c.example/", content=(SHELL % "").encode()))
         assert not report.malicious
         assert report.details["verdict"] == "clean"
 
@@ -216,3 +223,39 @@ class TestBlacklists:
         if hits:
             assert blacklists.is_blacklisted("b.example", min_hits=hits)
             assert not blacklists.is_blacklisted("b.example", min_hits=hits + 1)
+
+
+class TestDeprecatedShims:
+    """The pre-unification entry points still work but warn (DESIGN.md §6)."""
+
+    def _payload(self, rng):
+        return (SHELL % tiny_iframe(rng, "http://bad.example/").html).encode()
+
+    def test_scan_file_warns_and_delegates(self, rng):
+        content = self._payload(rng)
+        direct = VirusTotalSim().scan(Submission(url="http://m.example/", content=content))
+        with pytest.warns(DeprecationWarning, match="scan_file"):
+            legacy = VirusTotalSim().scan_file("http://m.example/", content)
+        assert legacy.positives == direct.positives
+        assert legacy.labels == direct.labels
+
+    def test_scan_url_warns_and_delegates(self):
+        with pytest.warns(DeprecationWarning, match="scan_url"):
+            with pytest.raises(RuntimeError):
+                VirusTotalSim().scan_url("http://x.example/")
+
+    def test_scan_prepared_warns_and_delegates(self, rng):
+        content = self._payload(rng)
+        analysis = analyze_content(content, "text/html")
+        direct = QutteraSim().scan(Submission(
+            url="http://m.example/", content=content, analysis=analysis))
+        with pytest.warns(DeprecationWarning, match="scan_prepared"):
+            legacy = QutteraSim().scan_prepared(
+                Submission(url="http://m.example/", content=content), analysis)
+        assert legacy.malicious == direct.malicious
+        assert legacy.labels == direct.labels
+
+    def test_quttera_scan_file_warns(self, rng):
+        with pytest.warns(DeprecationWarning, match="scan_file"):
+            report = QutteraSim().scan_file("http://m.example/", self._payload(rng))
+        assert report.malicious

@@ -129,5 +129,5 @@ class TestScannerGarbage:
     def test_scan_huge_flat_page(self, scanners):
         vt, _quttera = scanners
         page = ("<p>word </p>" * 20000).encode()
-        report = vt.scan_file("http://big.example/", page)
+        report = vt.scan(Submission(url="http://big.example/", content=page))
         assert not report.malicious
