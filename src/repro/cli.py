@@ -7,6 +7,8 @@ Usage (after install)::
     python -m repro vet --per-family 20                   # tool vetting
     python -m repro har --exchange 10KHits -o out.har     # export a HAR log
     python -m repro records -o records.json               # export URL records
+    python -m repro explain http://...                    # verdict provenance
+    python -m repro obs-diff base.json cand.json          # regression gate
 """
 
 from __future__ import annotations
@@ -102,6 +104,45 @@ def build_parser() -> argparse.ArgumentParser:
                      help="print the Markdown rendering instead of JSON")
     obs.add_argument("--events", metavar="PATH",
                      help="also write the structured event log as JSON-lines")
+    obs.add_argument("--trace-out", metavar="PATH",
+                     help="also write spans as Chrome-trace-format JSON "
+                          "(load in chrome://tracing or ui.perfetto.dev)")
+    obs.add_argument("--provenance", metavar="PATH",
+                     help="also write per-URL verdict provenance as JSON-lines")
+
+    explain = sub.add_parser(
+        "explain",
+        help="print the full verdict decision chain for one URL",
+    )
+    explain.add_argument("url", help="the URL to explain")
+    explain.add_argument("--scale", type=float, default=0.02)
+    explain.add_argument("--seed", type=int, default=2016)
+    explain.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="scan-phase worker count (the chain is identical "
+                              "at any width)")
+    explain.add_argument("--from", dest="from_file", metavar="PATH",
+                         help="read a stored provenance JSON-lines file "
+                              "instead of running a crawl")
+    explain.add_argument("--json", action="store_true",
+                         help="print the raw provenance record as JSON")
+    explain.add_argument("--all-engines", action="store_true",
+                         help="list clean engines individually instead of "
+                              "folding them into a summary line")
+
+    diff = sub.add_parser(
+        "obs-diff",
+        help="structurally diff two run-report JSONs; exit 1 on regression",
+    )
+    diff.add_argument("baseline", help="baseline run-report JSON path")
+    diff.add_argument("candidate", help="candidate run-report JSON path")
+    diff.add_argument("--rel-tol", type=float, default=0.0, metavar="FRAC",
+                      help="relative tolerance for numeric drift "
+                           "(e.g. 0.05 = 5%%; default 0: exact)")
+    diff.add_argument("--abs-tol", type=float, default=1e-9, metavar="EPS",
+                      help="absolute tolerance floor for near-zero values")
+    diff.add_argument("--ignore", action="append", default=None, metavar="PATH",
+                      help="dotted path prefix to skip (repeatable; default "
+                           "ignores events.tail and the raw metrics snapshot)")
 
     static = sub.add_parser(
         "static-scan",
@@ -226,7 +267,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     web = study.generate_web()
     observer = RunObserver()
     pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer,
-                             workers=args.workers)
+                             workers=args.workers, record_provenance=True)
     outcome = pipeline.run()
     report = build_run_report(pipeline, outcome)
 
@@ -238,11 +279,73 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         with open(args.events, "w", encoding="utf-8") as handle:
             handle.write(observer.events.to_jsonl())
         print("wrote %d events to %s" % (len(observer.events), args.events))
+    if args.trace_out:
+        from .obs import write_chrome_trace
+
+        count = write_chrome_trace(args.trace_out, observer,
+                                   execution=pipeline.last_scan_execution)
+        print("wrote %d trace events to %s" % (count, args.trace_out))
+    if args.provenance and outcome.provenance is not None:
+        with open(args.provenance, "w", encoding="utf-8") as handle:
+            handle.write(outcome.provenance.to_jsonl())
+        print("wrote %d provenance records to %s"
+              % (len(outcome.provenance), args.provenance))
     if args.markdown:
         print(render_run_report_markdown(report))
     elif not args.output:
         print(json.dumps(report, indent=2, sort_keys=True))
     return 0
+
+
+def _cmd_explain(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import ProvenanceStore, render_provenance
+
+    if args.from_file:
+        with open(args.from_file, "r", encoding="utf-8") as handle:
+            store = ProvenanceStore.from_jsonl(handle.read())
+    else:
+        from .crawler import CrawlPipeline
+
+        study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
+        pipeline = CrawlPipeline(study.generate_web(), seed=args.seed + 61,
+                                 workers=args.workers, record_provenance=True)
+        outcome = pipeline.run()
+        store = outcome.provenance
+        assert store is not None
+
+    record = store.get(args.url)
+    if record is None:
+        print("no verdict recorded for %r" % args.url, file=sys.stderr)
+        sample = list(store.urls())[:5]
+        if sample:
+            print("known URLs include:\n  %s" % "\n  ".join(sample),
+                  file=sys.stderr)
+        return 2
+    if args.json:
+        print(record.to_json())
+    else:
+        print(render_provenance(record, include_clean_engines=args.all_engines))
+    return 0
+
+
+def _cmd_obs_diff(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import DiffConfig, diff_reports
+
+    with open(args.baseline, "r", encoding="utf-8") as handle:
+        baseline = json.load(handle)
+    with open(args.candidate, "r", encoding="utf-8") as handle:
+        candidate = json.load(handle)
+    config = (DiffConfig(rel_tol=args.rel_tol, abs_tol=args.abs_tol)
+              if args.ignore is None else
+              DiffConfig(rel_tol=args.rel_tol, abs_tol=args.abs_tol,
+                         ignore=tuple(args.ignore)))
+    result = diff_reports(baseline, candidate, config)
+    print(result.render_text())
+    return 0 if result.ok else 1
 
 
 def _static_scan_sources(args: argparse.Namespace) -> List[str]:
@@ -333,6 +436,8 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "feed": _cmd_feed,
         "obs-report": _cmd_obs_report,
+        "explain": _cmd_explain,
+        "obs-diff": _cmd_obs_diff,
         "static-scan": _cmd_static_scan,
     }[args.command]
     return handler(args)

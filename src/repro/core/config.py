@@ -30,6 +30,10 @@ class StudyConfig:
     #: REPRO_SCAN_WORKERS environment override or the serial default of 1.
     #: Results are bit-identical at any width for a fixed seed
     workers: Optional[int] = None
+    #: record a per-URL VerdictProvenance chain during the scan phase
+    #: (the flight recorder behind ``repro explain``); off by default —
+    #: measurement outputs are identical either way
+    record_provenance: bool = False
     profiles: Sequence[ExchangeProfile] = field(default_factory=lambda: EXCHANGE_PROFILES)
     #: optional overrides for web generation (seed/scale are synced in)
     web: Optional[WebGenerationConfig] = None

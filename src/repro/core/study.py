@@ -57,6 +57,7 @@ class MalwareSlumsStudy:
                 web, seed=self.config.seed + 61,
                 submit_files=self.config.submit_files,
                 workers=self.config.workers,
+                record_provenance=self.config.record_provenance,
             )
             self.outcome = self.pipeline.run()
         return self.outcome

@@ -36,6 +36,12 @@ from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
 from ..exchanges.roster import ExchangeProfile
 from ..httpsim import SimHttpClient, SimHttpServer
 from ..obs.observer import RunObserver
+from ..obs.provenance import (
+    STAGE_CRAWL,
+    STAGE_REDIRECT,
+    ProvenanceStore,
+    StageRecord,
+)
 from ..scanexec import ParallelScanExecutor, ScanExecution, build_scan_tasks
 from ..simweb import ContentCategory, GroundTruth, MalwareFamily, Page, Site
 from ..simweb.generator import ExchangePool, GeneratedWeb
@@ -65,6 +71,9 @@ class ScanOutcome:
         self.verdicts: Dict[str, UrlVerdict] = dict(verdicts) if verdicts else {}
         self._unscanned_queries = unscanned_queries
         self._lock = threading.Lock()
+        #: the per-URL flight recorder, populated by the pipeline when it
+        #: runs with ``record_provenance=True`` (None otherwise)
+        self.provenance: Optional[ProvenanceStore] = None
 
     @property
     def unscanned_queries(self) -> int:
@@ -104,9 +113,16 @@ class CrawlPipeline:
                  observer: Optional[RunObserver] = None,
                  static_prefilter: bool = True,
                  workers: Optional[int] = None,
-                 scan_executor: Optional[ParallelScanExecutor] = None) -> None:
+                 scan_executor: Optional[ParallelScanExecutor] = None,
+                 record_provenance: bool = False) -> None:
         self.web = web
         self.rng = random.Random(seed)
+        #: record a per-URL VerdictProvenance decision chain during the
+        #: scan phase (the flight recorder behind `repro explain`); the
+        #: resulting store is deterministic and bit-identical across
+        #: worker counts for a fixed seed
+        self.record_provenance = record_provenance
+        self.provenance_store: Optional[ProvenanceStore] = None
         #: run the repro.staticjs pass before sandboxing and skip dynamic
         #: execution for pages whose every inline script is provably
         #: side-effect-free; set False to force dynamic-only scanning
@@ -439,6 +455,7 @@ class CrawlPipeline:
             submit_files=self.submit_files,
             observer=self.observer,
             static_prefilter=self.static_prefilter,
+            record_provenance=self.record_provenance,
         )
         return self.verdict_service
 
@@ -455,7 +472,58 @@ class CrawlPipeline:
                                          if v.malicious))
         else:
             self._scan_all(service, outcome)
+        if self.record_provenance:
+            self.provenance_store = self._assemble_provenance(outcome)
+            outcome.provenance = self.provenance_store
         return outcome
+
+    def _assemble_provenance(self, outcome: ScanOutcome) -> ProvenanceStore:
+        """Collect per-verdict decision chains into one store.
+
+        The scanners recorded the scan-side stages; here the crawl-side
+        stages (fetch + redirect chain) are prepended from the dataset,
+        which both the serial loop and the executor share.  Iteration
+        follows ``outcome.verdicts`` — workload order on either path —
+        so the store serializes identically at any worker count.
+        """
+        first_record: Dict[str, object] = {}
+        for record in self.dataset.records:
+            if record.url not in first_record:
+                first_record[record.url] = record
+        store = ProvenanceStore()
+        for url, verdict in outcome.verdicts.items():
+            provenance = verdict.provenance
+            if provenance is None:
+                continue
+            record = first_record.get(url)
+            if record is not None:
+                crawl_stages = [StageRecord(
+                    name=STAGE_CRAWL,
+                    outcome=record.role,
+                    # the simulated client charges 50 ms per request
+                    duration=0.05,
+                    evidence={
+                        "exchange": record.exchange,
+                        "kind": record.kind,
+                        "role": record.role,
+                        "step_index": record.step_index,
+                        "timestamp": record.timestamp,
+                    },
+                )]
+                if record.redirect_count or (record.final_url
+                                             and record.final_url != url):
+                    crawl_stages.append(StageRecord(
+                        name=STAGE_REDIRECT,
+                        outcome="followed" if record.redirect_count else "none",
+                        duration=0.05 * record.redirect_count,
+                        evidence={
+                            "hops": record.redirect_count,
+                            "final_url": record.final_url,
+                        },
+                    ))
+                provenance.stages[:0] = crawl_stages
+            store.add(provenance)
+        return store
 
     def _scan_all(self, service: UrlVerdictService, outcome: ScanOutcome) -> None:
         if self.scan_executor is not None:

@@ -13,8 +13,18 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import List, Optional
 
+from ..obs.provenance import (
+    STAGE_AGGREGATE,
+    STAGE_BLACKLISTS,
+    STAGE_ENGINE_PREFIX,
+    STAGE_SANDBOX,
+    STAGE_STATICJS,
+    STAGE_TOOL_PREFIX,
+    StageRecord,
+    VerdictProvenance,
+)
 from ..simweb.url import Url
-from .base import ScanReport, Submission
+from .base import ScanReport, Submission, stable_unit
 from .blacklists import BlacklistSet
 from .quttera import QutteraSim
 from .virustotal import VirusTotalSim
@@ -35,10 +45,33 @@ class UrlVerdict:
     content_category: str = ""
     #: the multi-list threshold the issuing service applied
     min_blacklist_hits: int = 2
+    #: the flight-recorder decision chain, when the issuing service ran
+    #: with ``record_provenance=True`` (scan-side stages only; the
+    #: pipeline prepends crawl/redirect stages from its dataset)
+    provenance: Optional[VerdictProvenance] = None
 
     @property
     def blacklisted(self) -> bool:
         return len(self.blacklist_hits) >= self.min_blacklist_hits
+
+
+#: deterministic simulated base cost per provenance stage kind (seconds);
+#: jittered ±25% keyed on (stage, url) so shard timelines stay varied
+#: without a live clock — parallel runs reproduce these bit for bit
+_STAGE_BASE_SECONDS = {
+    STAGE_STATICJS: 0.005,
+    STAGE_SANDBOX: 0.06,
+    "sandbox_skipped": 0.002,
+    "engine": 0.002,
+    "tool": 0.05,
+    STAGE_BLACKLISTS: 0.001,
+    STAGE_AGGREGATE: 0.0005,
+}
+
+
+def _stage_seconds(stage: str, url: str, base_key: Optional[str] = None) -> float:
+    base = _STAGE_BASE_SECONDS[base_key if base_key is not None else stage]
+    return base * (0.75 + 0.5 * stable_unit("provenance", stage, url))
 
 
 class UrlVerdictService:
@@ -53,6 +86,7 @@ class UrlVerdictService:
         submit_files: bool = True,
         observer: Optional[object] = None,
         static_prefilter: bool = True,
+        record_provenance: bool = False,
     ) -> None:
         self.virustotal = virustotal
         self.quttera = quttera
@@ -65,6 +99,10 @@ class UrlVerdictService:
         self.observer = observer
         #: gate for the repro.staticjs sandbox pre-filter on shared scans
         self.static_prefilter = static_prefilter
+        #: attach a :class:`VerdictProvenance` decision chain to every
+        #: verdict (the per-URL flight recorder; ~free, but off by
+        #: default so unobserved runs build no records at all)
+        self.record_provenance = record_provenance
 
     def shard_clone(self, observer: Optional[object] = None) -> "UrlVerdictService":
         """A clone safe to run on one executor shard's worker thread.
@@ -86,6 +124,7 @@ class UrlVerdictService:
             submit_files=self.submit_files,
             observer=observer,
             static_prefilter=self.static_prefilter,
+            record_provenance=self.record_provenance,
         )
 
     def verdict(
@@ -111,6 +150,7 @@ class UrlVerdictService:
             vt = self.virustotal.scan(submission)
             quttera = self.quttera.scan(submission)
         else:
+            analysis = None
             vt = self.virustotal.scan(Submission(url=url))
             quttera = self.quttera.scan(Submission(url=url))
 
@@ -136,13 +176,86 @@ class UrlVerdictService:
         ]
         if blacklisted:
             labels.append("Blacklist.MultiList")
+        malicious = vt.malicious or quttera.malicious or blacklisted
+        provenance: Optional[VerdictProvenance] = None
+        if self.record_provenance:
+            provenance = self._build_provenance(
+                url, malicious, analysis, vt, quttera, hits, blacklisted)
+            if observer is not None:
+                observer.count("provenance.records")
         return UrlVerdict(
             url=url,
-            malicious=vt.malicious or quttera.malicious or blacklisted,
+            malicious=malicious,
             vt_report=vt,
             quttera_report=quttera,
             blacklist_hits=hits,
             labels=labels,
             content_category=vt.details.get("category", ""),
             min_blacklist_hits=self.min_blacklist_hits,
+            provenance=provenance,
         )
+
+    # ------------------------------------------------------------------
+    def _build_provenance(self, url: str, malicious: bool,
+                          analysis: Optional[object],
+                          vt: ScanReport, quttera: ScanReport,
+                          hits: List[str], blacklisted: bool) -> VerdictProvenance:
+        """Assemble the scan-side decision chain for one URL.
+
+        Stage durations are deterministic functions of (stage, url) —
+        simulated service costs, never wall-clock — so the provenance of
+        a sharded parallel run is bit-identical to the serial run's.
+        """
+        stages: List[StageRecord] = []
+
+        if analysis is not None:
+            static = analysis.static_evidence()
+            stages.append(StageRecord(
+                name=STAGE_STATICJS,
+                outcome=("benign-skip" if static["sandbox_skipped"]
+                         else ("findings" if static["findings"] else "clean")),
+                duration=_stage_seconds(STAGE_STATICJS, url),
+                evidence=static,
+            ))
+            sandbox = analysis.sandbox_evidence()
+            stages.append(StageRecord(
+                name=STAGE_SANDBOX,
+                outcome="skipped" if sandbox["skipped"] else "executed",
+                duration=_stage_seconds(
+                    STAGE_SANDBOX, url,
+                    base_key="sandbox_skipped" if sandbox["skipped"] else None),
+                evidence=sandbox,
+            ))
+
+        for result in vt.engines:
+            stages.append(StageRecord(
+                name=STAGE_ENGINE_PREFIX + result.engine,
+                outcome="detected" if result.detected else "clean",
+                duration=_stage_seconds(
+                    STAGE_ENGINE_PREFIX + result.engine, url, base_key="engine"),
+                evidence={"label": result.label} if result.label else {},
+            ))
+        for tool, report in (("virustotal", vt), ("quttera", quttera)):
+            stages.append(StageRecord(
+                name=STAGE_TOOL_PREFIX + tool,
+                outcome="malicious" if report.malicious else "clean",
+                duration=_stage_seconds(STAGE_TOOL_PREFIX + tool, url,
+                                        base_key="tool"),
+                evidence=report.provenance_evidence(),
+            ))
+        stages.append(StageRecord(
+            name=STAGE_BLACKLISTS,
+            outcome="blacklisted" if blacklisted else ("hits" if hits else "clean"),
+            duration=_stage_seconds(STAGE_BLACKLISTS, url),
+            evidence={"hits": list(hits), "threshold": self.min_blacklist_hits},
+        ))
+        flagged_by = [tool for tool, flag in (
+            ("virustotal", vt.malicious), ("quttera", quttera.malicious),
+            ("blacklists", blacklisted)) if flag]
+        stages.append(StageRecord(
+            name=STAGE_AGGREGATE,
+            outcome="malicious" if malicious else "benign",
+            duration=_stage_seconds(STAGE_AGGREGATE, url),
+            evidence={"flagged_by": flagged_by},
+        ))
+        return VerdictProvenance(url=url, malicious=malicious, stages=stages)

@@ -104,6 +104,18 @@ class ScanReport:
                 unique.append(label)
         return unique
 
+    def provenance_evidence(self) -> Dict[str, object]:
+        """JSON-safe facts for this tool's provenance stage record."""
+        evidence: Dict[str, object] = {"labels": self.merged_labels()}
+        if self.engines:
+            evidence["positives"] = self.positives
+            evidence["total_engines"] = self.total_engines
+        for key in ("verdict", "threats", "kind", "category", "final_url"):
+            value = self.details.get(key)
+            if value:
+                evidence[key] = value
+        return evidence
+
 
 class Scanner(Protocol):
     """Anything that can scan a submission.

@@ -137,6 +137,40 @@ class ContentAnalysis:
             score += 0.2
         return min(score, 1.0)
 
+    # -- provenance ----------------------------------------------------------
+    def static_evidence(self) -> dict:
+        """JSON-safe facts the staticjs stage contributed."""
+        return {
+            "findings": len(self.static_findings),
+            "rules": sorted({f.rule for f in self.static_findings}),
+            "max_severity": max(
+                (f.severity for f in self.static_findings),
+                key=lambda s: ("info", "low", "medium", "high").index(s)
+                if s in ("info", "low", "medium", "high") else -1,
+                default="none",
+            ),
+            "sandbox_skipped": self.sandbox_skipped,
+        }
+
+    def sandbox_evidence(self) -> dict:
+        """JSON-safe facts the dynamic-sandbox stage contributed."""
+        return {
+            "kind": self.kind,
+            "skipped": self.sandbox_skipped,
+            "hidden_iframes": len(self.hidden_iframes),
+            "navigations": len(self.navigations),
+            "popups": len(self.popups),
+            "download_triggers": len(self.download_triggers),
+            "beacons": len(self.beacons),
+            "fingerprinting_listeners": self.fingerprinting_listeners,
+            "document_writes": self.document_writes,
+            "obfuscation_layers": self.obfuscation_layers,
+            "eval_count": self.eval_count,
+            "redirect_stub": self.redirect_stub,
+            "behavior_score": round(self.behavior_score, 4),
+            "iframe_score": round(self.malicious_iframe_score, 4),
+        }
+
 
 def analyze_content(content: bytes, content_type: str = "text/html",
                     url: str = "http://unknown.invalid/",

@@ -16,18 +16,38 @@ crawlers, detection engines, JS sandbox — behind one opt-in hook::
 
 With no observer attached every hook is a single ``is not None`` test:
 pipeline outputs are byte-identical to an unobserved run.
+
+Three companion layers sit on top of the observer:
+
+- :mod:`repro.obs.provenance` — the per-URL verdict flight recorder
+  (``CrawlPipeline(record_provenance=True)``, rendered by
+  ``repro explain <url>``);
+- :mod:`repro.obs.export` — Chrome-trace-format span export with
+  per-shard scanexec tracks (``repro obs-report --trace-out``);
+- :mod:`repro.obs.diff` — structural run-report diffing for regression
+  gates (``repro obs-diff baseline.json candidate.json``).
 """
 
 from .clock import Clock, MonotonicClock, SimClock
+from .diff import DiffConfig, DiffEntry, RunDiff, diff_reports
 from .events import EventLog
+from .export import build_chrome_trace, critical_path_summary, write_chrome_trace
 from .metrics import Counter, Gauge, Histogram, MetricsRegistry, default_latency_buckets
 from .observer import NULL_OBSERVER, NullObserver, RunObserver
+from .provenance import (
+    ProvenanceStore,
+    StageRecord,
+    VerdictProvenance,
+    render_provenance,
+)
 from .report import build_run_report, render_run_report_markdown
 from .tracing import Span, Tracer
 
 __all__ = [
     "Clock",
     "Counter",
+    "DiffConfig",
+    "DiffEntry",
     "EventLog",
     "Gauge",
     "Histogram",
@@ -35,11 +55,20 @@ __all__ = [
     "MonotonicClock",
     "NULL_OBSERVER",
     "NullObserver",
+    "ProvenanceStore",
+    "RunDiff",
     "RunObserver",
     "SimClock",
     "Span",
+    "StageRecord",
     "Tracer",
+    "VerdictProvenance",
+    "build_chrome_trace",
     "build_run_report",
+    "critical_path_summary",
     "default_latency_buckets",
+    "diff_reports",
+    "render_provenance",
     "render_run_report_markdown",
+    "write_chrome_trace",
 ]

@@ -1,0 +1,176 @@
+"""Structural diff of two run-telemetry reports.
+
+``repro obs-report`` emits a JSON report (see :mod:`repro.obs.report`);
+this module compares two of them — a committed baseline and a fresh
+run — and decides whether the candidate *regressed*: counters moved
+beyond tolerance, verdict totals drifted, sections or keys appeared or
+vanished, histograms reshaped.  The comparison is structural (the whole
+nested dict, path by path), so a new metric or a dropped section is a
+finding too, not just changed numbers.
+
+A seeded run is deterministic, so the default tolerance is exact; the
+relative tolerance exists for cross-scale or cross-seed comparisons
+where shapes, not bytes, are the invariant.  CI wires this against
+``benchmarks/baseline_report.json`` and fails on any drift.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["DiffConfig", "DiffEntry", "RunDiff", "diff_reports"]
+
+#: report paths that are volatile by construction and excluded by
+#: default: the event tail is a ring-buffer sample, and the raw metrics
+#: snapshot duplicates every counter already diffed via its section
+DEFAULT_IGNORED_PATHS: Tuple[str, ...] = ("events.tail", "metrics")
+
+
+@dataclass
+class DiffConfig:
+    """Tolerance policy for :func:`diff_reports`."""
+
+    #: maximum allowed relative change for numeric leaves (0.0 = exact)
+    rel_tol: float = 0.0
+    #: absolute slack under which numeric drift never counts (float dust)
+    abs_tol: float = 1e-9
+    #: dotted path prefixes to skip entirely
+    ignore: Sequence[str] = DEFAULT_IGNORED_PATHS
+
+    def ignored(self, path: str) -> bool:
+        return any(path == prefix or path.startswith(prefix + ".")
+                   for prefix in self.ignore)
+
+
+@dataclass
+class DiffEntry:
+    """One divergence between baseline and candidate."""
+
+    path: str
+    kind: str  # "changed" | "added" | "removed" | "type"
+    baseline: object = None
+    candidate: object = None
+    #: signed (b-a) / max(|a|, |b|) for numeric changes; 0.0 otherwise
+    rel_change: float = 0.0
+
+    def render(self) -> str:
+        if self.kind == "added":
+            return "+ %-40s added: %r" % (self.path, _short(self.candidate))
+        if self.kind == "removed":
+            return "- %-40s removed (was %r)" % (self.path, _short(self.baseline))
+        if self.kind == "type":
+            return "! %-40s type %s -> %s" % (
+                self.path, type(self.baseline).__name__, type(self.candidate).__name__)
+        if isinstance(self.baseline, (int, float)) and isinstance(self.candidate, (int, float)):
+            return "~ %-40s %s -> %s (%+.2f%%)" % (
+                self.path, _short(self.baseline), _short(self.candidate),
+                100.0 * self.rel_change)
+        return "~ %-40s %r -> %r" % (self.path, _short(self.baseline), _short(self.candidate))
+
+
+def _short(value: object, limit: int = 60) -> object:
+    text = repr(value) if isinstance(value, str) else value
+    if isinstance(value, str) and len(value) > limit:
+        return value[: limit - 1] + "…"
+    return text
+
+
+@dataclass
+class RunDiff:
+    """Everything :func:`diff_reports` found."""
+
+    regressions: List[DiffEntry] = field(default_factory=list)
+    #: numeric drift inside tolerance — reported, never failing
+    tolerated: List[DiffEntry] = field(default_factory=list)
+    paths_compared: int = 0
+
+    @property
+    def ok(self) -> bool:
+        return not self.regressions
+
+    def render_text(self, baseline_name: str = "baseline",
+                    candidate_name: str = "candidate") -> str:
+        lines = [
+            "obs-diff: %s vs %s — %d paths compared, %d regression(s), "
+            "%d within tolerance"
+            % (baseline_name, candidate_name, self.paths_compared,
+               len(self.regressions), len(self.tolerated)),
+        ]
+        for entry in self.regressions:
+            lines.append("  " + entry.render())
+        if self.tolerated:
+            lines.append("  tolerated drift:")
+            for entry in self.tolerated:
+                lines.append("    " + entry.render())
+        if self.ok:
+            lines.append("  OK: no regression")
+        return "\n".join(lines)
+
+
+def _rel_change(a: float, b: float) -> float:
+    denominator = max(abs(a), abs(b))
+    return (b - a) / denominator if denominator else 0.0
+
+
+def diff_reports(baseline: Dict[str, Any], candidate: Dict[str, Any],
+                 config: Optional[DiffConfig] = None) -> RunDiff:
+    """Structurally compare two run-report dicts."""
+    config = config if config is not None else DiffConfig()
+    diff = RunDiff()
+    _walk(baseline, candidate, "", config, diff)
+    return diff
+
+
+def _walk(a: Any, b: Any, path: str, config: DiffConfig, diff: RunDiff) -> None:
+    if path and config.ignored(path):
+        return
+    diff.paths_compared += 1
+
+    # bool is an int subclass; compare it as an exact value, not a number
+    a_num = isinstance(a, (int, float)) and not isinstance(a, bool)
+    b_num = isinstance(b, (int, float)) and not isinstance(b, bool)
+    if a_num and b_num:
+        delta = abs(float(b) - float(a))
+        if delta <= config.abs_tol:
+            return
+        rel = _rel_change(float(a), float(b))
+        entry = DiffEntry(path=path, kind="changed", baseline=a, candidate=b,
+                          rel_change=rel)
+        (diff.tolerated if abs(rel) <= config.rel_tol else diff.regressions).append(entry)
+        return
+
+    if isinstance(a, dict) and isinstance(b, dict):
+        for key in a:
+            child = "%s.%s" % (path, key) if path else str(key)
+            if key in b:
+                _walk(a[key], b[key], child, config, diff)
+            elif not config.ignored(child):
+                diff.regressions.append(DiffEntry(path=child, kind="removed",
+                                                  baseline=a[key]))
+        for key in b:
+            child = "%s.%s" % (path, key) if path else str(key)
+            if key not in a and not config.ignored(child):
+                diff.regressions.append(DiffEntry(path=child, kind="added",
+                                                  candidate=b[key]))
+        return
+
+    if isinstance(a, (list, tuple)) and isinstance(b, (list, tuple)):
+        if len(a) != len(b):
+            diff.regressions.append(DiffEntry(
+                path=path + ".length", kind="changed",
+                baseline=len(a), candidate=len(b),
+                rel_change=_rel_change(len(a), len(b))))
+            return
+        for index, (item_a, item_b) in enumerate(zip(a, b)):
+            _walk(item_a, item_b, "%s[%d]" % (path, index), config, diff)
+        return
+
+    if type(a) is not type(b):
+        diff.regressions.append(DiffEntry(path=path, kind="type",
+                                          baseline=a, candidate=b))
+        return
+
+    if a != b:
+        diff.regressions.append(DiffEntry(path=path, kind="changed",
+                                          baseline=a, candidate=b))

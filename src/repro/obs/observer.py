@@ -16,6 +16,7 @@ a plain attribute test, so an unobserved run does no obs work at all.
 
 from __future__ import annotations
 
+import threading
 from contextlib import contextmanager
 from typing import Iterator, Optional
 
@@ -28,36 +29,73 @@ __all__ = ["RunObserver", "NullObserver", "NULL_OBSERVER"]
 
 
 class RunObserver:
-    """Metrics + tracing + events on a single clock."""
+    """Metrics + tracing + events on a single clock.
+
+    The registries are deliberately lock-free (a crawl-loop increment is
+    one dict lookup plus a float add), which makes the observer
+    **single-threaded by contract**: on the parallel scanexec path,
+    worker threads write to a per-shard
+    :class:`~repro.scanexec.recording.RecordingObserver` and the
+    executor replays the buffers on the main thread.  ``thread_guard``
+    (on by default) enforces the contract — the observer binds to the
+    first thread that mutates it and raises on any other thread instead
+    of silently corrupting counters.
+    """
 
     def __init__(self, clock: Optional[Clock] = None, max_spans: int = 10_000,
-                 event_capacity: int = 2048) -> None:
+                 event_capacity: int = 2048, thread_guard: bool = True) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=self.clock, max_spans=max_spans)
         self.events = EventLog(capacity=event_capacity, clock=self.clock)
+        self.thread_guard = thread_guard
+        #: the owning thread id, bound lazily on first mutation (not at
+        #: construction, so building the observer on a setup thread and
+        #: running the pipeline elsewhere stays legal)
+        self._owner_thread: Optional[int] = None
 
     def __bool__(self) -> bool:
         return True
 
+    def _check_thread(self) -> None:
+        if not self.thread_guard:
+            return
+        ident = threading.get_ident()
+        owner = self._owner_thread
+        if owner is None:
+            self._owner_thread = ident
+        elif owner != ident:
+            raise RuntimeError(
+                "RunObserver is single-threaded (lock-free registries): it is "
+                "owned by thread %d but was mutated from thread %d. On worker "
+                "threads, buffer telemetry in a repro.scanexec.RecordingObserver "
+                "and replay it after the join; or pass thread_guard=False to "
+                "accept lost updates." % (owner, ident))
+
     # -- metrics conveniences ------------------------------------------------
     def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        self._check_thread()
         self.metrics.counter(name, **labels).inc(amount)
 
     def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        self._check_thread()
         self.metrics.gauge(name, **labels).set(value)
 
     def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        self._check_thread()
         self.metrics.gauge(name, **labels).set_max(value)
 
     def observe(self, name: str, value: float, **labels: object) -> None:
+        self._check_thread()
         self.metrics.histogram(name, **labels).observe(value)
 
     # -- tracing / events ----------------------------------------------------
     def span(self, name: str, **attrs: object):
+        self._check_thread()
         return self.tracer.span(name, **attrs)
 
     def event(self, kind: str, **fields: object) -> None:
+        self._check_thread()
         self.events.emit(kind, **fields)
 
 

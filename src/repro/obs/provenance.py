@@ -1,0 +1,240 @@
+"""Per-URL verdict provenance: the pipeline's flight recorder.
+
+The headline number (≈26% of regular URLs malicious) is the end of a
+chain of decisions — crawl fetch, redirect following, the staticjs
+pre-filter, the dynamic sandbox, each simulated engine, and the final
+aggregation.  End-state counters say *how many* URLs were flagged; a
+:class:`VerdictProvenance` record says *why one specific URL* was,
+stage by stage, with the evidence each stage contributed and a
+deterministic simulated duration per stage.
+
+Records are built on the scan path (see
+:meth:`repro.detection.aggregate.UrlVerdictService.verdict`) and the
+crawl-side stages are prepended by the pipeline from its dataset, so a
+record reads front to back as the URL's whole life: crawl → redirect →
+staticjs → sandbox → engine:* → tool:* → blacklists → aggregate.
+
+Everything here is a pure function of the artifact and the seed: stage
+durations come from content-keyed hashing, never a live clock, so the
+provenance store of a ``workers=4`` run is **bit-identical** to the
+serial run's — the property the scanexec merge tests pin.
+
+Storage is JSON-lines (one record per line, append-friendly), the same
+container the event log uses, and `repro explain <url>` renders one
+record as a human-readable decision chain.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Optional
+
+__all__ = [
+    "STAGE_CRAWL",
+    "STAGE_REDIRECT",
+    "STAGE_STATICJS",
+    "STAGE_SANDBOX",
+    "STAGE_ENGINE_PREFIX",
+    "STAGE_TOOL_PREFIX",
+    "STAGE_BLACKLISTS",
+    "STAGE_AGGREGATE",
+    "StageRecord",
+    "VerdictProvenance",
+    "ProvenanceStore",
+    "render_provenance",
+]
+
+#: canonical stage names, in pipeline order
+STAGE_CRAWL = "crawl"
+STAGE_REDIRECT = "redirect"
+STAGE_STATICJS = "staticjs"
+STAGE_SANDBOX = "sandbox"
+STAGE_ENGINE_PREFIX = "engine:"
+STAGE_TOOL_PREFIX = "tool:"
+STAGE_BLACKLISTS = "blacklists"
+STAGE_AGGREGATE = "aggregate"
+
+
+@dataclass
+class StageRecord:
+    """One stage's contribution to a verdict.
+
+    ``outcome`` is the stage's one-word result (e.g. ``"detected"``,
+    ``"clean"``, ``"skipped"``); ``evidence`` holds whatever structured
+    facts the stage decided on — JSON-safe values only, so the record
+    round-trips through the JSON-lines store losslessly.
+    """
+
+    name: str
+    outcome: str
+    #: simulated seconds this stage cost — deterministic (content-keyed),
+    #: never wall-clock, so parallel and serial runs agree bit for bit
+    duration: float = 0.0
+    evidence: Dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "name": self.name,
+            "outcome": self.outcome,
+            "duration": self.duration,
+            "evidence": dict(self.evidence),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "StageRecord":
+        return cls(
+            name=str(data["name"]),
+            outcome=str(data["outcome"]),
+            duration=float(data.get("duration", 0.0)),  # type: ignore[arg-type]
+            evidence=dict(data.get("evidence", {})),  # type: ignore[arg-type]
+        )
+
+
+@dataclass
+class VerdictProvenance:
+    """The full decision chain behind one URL's verdict."""
+
+    url: str
+    malicious: bool
+    stages: List[StageRecord] = field(default_factory=list)
+
+    # -- reading -------------------------------------------------------------
+    @property
+    def total_duration(self) -> float:
+        return sum(stage.duration for stage in self.stages)
+
+    def stage_names(self) -> List[str]:
+        return [stage.name for stage in self.stages]
+
+    def stage(self, name: str) -> Optional[StageRecord]:
+        """First stage named ``name`` (engine stages repeat; use stages)."""
+        for record in self.stages:
+            if record.name == name:
+                return record
+        return None
+
+    def engine_stages(self) -> List[StageRecord]:
+        return [s for s in self.stages if s.name.startswith(STAGE_ENGINE_PREFIX)]
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "url": self.url,
+            "malicious": self.malicious,
+            "stages": [stage.to_dict() for stage in self.stages],
+        }
+
+    def to_json(self) -> str:
+        return json.dumps(self.to_dict(), sort_keys=True)
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "VerdictProvenance":
+        return cls(
+            url=str(data["url"]),
+            malicious=bool(data["malicious"]),
+            stages=[StageRecord.from_dict(s) for s in data.get("stages", [])],  # type: ignore[union-attr]
+        )
+
+
+class ProvenanceStore:
+    """Ordered per-URL store of :class:`VerdictProvenance` records.
+
+    Insertion order is the scan workload order; both the serial loop and
+    the executor merge insert in that order, which is what makes
+    :meth:`to_jsonl` comparable byte for byte across worker counts.
+    """
+
+    def __init__(self) -> None:
+        self.records: Dict[str, VerdictProvenance] = {}
+
+    # -- writing -------------------------------------------------------------
+    def add(self, record: VerdictProvenance) -> None:
+        self.records[record.url] = record
+
+    # -- reading -------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def __contains__(self, url: str) -> bool:
+        return url in self.records
+
+    def __iter__(self) -> Iterator[VerdictProvenance]:
+        return iter(self.records.values())
+
+    def get(self, url: str) -> Optional[VerdictProvenance]:
+        return self.records.get(url)
+
+    def urls(self) -> List[str]:
+        return list(self.records)
+
+    def stage_mix(self) -> Dict[str, int]:
+        """How many records traversed each stage (engine:*/tool:* kept)."""
+        mix: Dict[str, int] = {}
+        for record in self.records.values():
+            for stage in record.stages:
+                mix[stage.name] = mix.get(stage.name, 0) + 1
+        return dict(sorted(mix.items()))
+
+    def mean_stages(self) -> float:
+        if not self.records:
+            return 0.0
+        return sum(len(r.stages) for r in self.records.values()) / len(self.records)
+
+    # -- (de)serialization ---------------------------------------------------
+    def to_jsonl(self) -> str:
+        return "\n".join(record.to_json() for record in self.records.values())
+
+    @classmethod
+    def from_jsonl(cls, text: str) -> "ProvenanceStore":
+        store = cls()
+        for line in text.splitlines():
+            line = line.strip()
+            if line:
+                store.add(VerdictProvenance.from_dict(json.loads(line)))
+        return store
+
+
+def _format_evidence(evidence: Dict[str, object]) -> str:
+    parts = []
+    for key in sorted(evidence):
+        value = evidence[key]
+        if isinstance(value, float):
+            parts.append("%s=%.3g" % (key, value))
+        elif isinstance(value, (list, tuple)):
+            parts.append("%s=%s" % (key, ",".join(str(v) for v in value) or "-"))
+        else:
+            parts.append("%s=%s" % (key, value))
+    return " ".join(parts)
+
+
+def render_provenance(record: VerdictProvenance,
+                      include_clean_engines: bool = False) -> str:
+    """Human-readable decision chain for one URL (the `repro explain` view).
+
+    Engine stages that did not detect are folded into one summary line
+    unless ``include_clean_engines`` is set — a pool of a dozen clean
+    engines is noise when the question is "why was this flagged?".
+    """
+    lines = [
+        "Verdict provenance: %s" % record.url,
+        "  final verdict: %s  (simulated cost %.3fs over %d stages)"
+        % ("MALICIOUS" if record.malicious else "benign",
+           record.total_duration, len(record.stages)),
+        "",
+    ]
+    clean_engines: List[str] = []
+    for stage in record.stages:
+        if (stage.name.startswith(STAGE_ENGINE_PREFIX)
+                and stage.outcome == "clean" and not include_clean_engines):
+            clean_engines.append(stage.name[len(STAGE_ENGINE_PREFIX):])
+            continue
+        evidence = _format_evidence(stage.evidence)
+        lines.append("  %-22s %-10s %8.3fs%s"
+                     % (stage.name, stage.outcome, stage.duration,
+                        ("  " + evidence) if evidence else ""))
+    if clean_engines:
+        lines.append("  %-22s %-10s %9s  %d engines saw nothing: %s"
+                     % ("engine:(clean)", "clean", "", len(clean_engines),
+                        ", ".join(clean_engines)))
+    return "\n".join(lines)

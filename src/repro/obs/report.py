@@ -29,6 +29,8 @@ JSON schema (top-level keys)::
                      queue_depth_peak, worker_utilisation,
                      serial_seconds_est, parallel_seconds_est,
                      speedup_est, shard_busy: histogram-summary},
+      "provenance": {records, stage_mix: {stage: n}, mean_stages,
+                     recorded_counter},
       "dedup":      {records, new_urls, duplicate_urls, hit_rate},
       "js":         {gauge-name: value},
       "spans":      {name: {count, total, p50, p95, p99}},
@@ -158,6 +160,15 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "shard_busy": metrics.histogram("scanexec.shard.busy_seconds").summary(),
     }
 
+    # -- verdict provenance (repro.obs.provenance; zeros when disabled) -----
+    store = getattr(pipeline, "provenance_store", None)
+    provenance = {
+        "records": len(store) if store is not None else 0,
+        "stage_mix": store.stage_mix() if store is not None else {},
+        "mean_stages": store.mean_stages() if store is not None else 0.0,
+        "recorded_counter": int(metrics.counter_total("provenance.records")),
+    }
+
     # -- dedup (from the dataset itself: one capture attempt per record) ----
     record_count = len(dataset.records)
     new_urls = len(dataset.content)
@@ -189,6 +200,7 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "scan": scan,
         "staticjs": staticjs,
         "scanexec": scanexec,
+        "provenance": provenance,
         "dedup": dedup,
         "js": js,
         "spans": observer.tracer.summary(),
@@ -306,6 +318,18 @@ def render_run_report_markdown(report: Dict[str, Any],
                            scanexec["serial_seconds_est"],
                            scanexec["speedup_est"],
                            100 * scanexec["worker_utilisation"]))
+
+    provenance = report.get("provenance", {})
+    if provenance.get("records"):
+        sections.append("\n## Verdict provenance\n")
+        sections.append(markdown_table(
+            ("Stage", "Records"),
+            [(stage, int(count))
+             for stage, count in provenance["stage_mix"].items()],
+        ))
+        sections.append("\n%d records, %.1f stages each on average "
+                        "(`repro explain <url>` renders one chain)"
+                        % (provenance["records"], provenance["mean_stages"]))
 
     dedup = report["dedup"]
     sections.append("\n## Dedup\n")

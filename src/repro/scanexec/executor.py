@@ -91,6 +91,14 @@ class ShardStats:
     domains: int
     #: simulated service-seconds this shard kept one worker busy
     busy_seconds: float
+    #: the shard's single most expensive task — the first suspect when a
+    #: shard dominates the critical path (obs.export reads these)
+    slowest_url: str = ""
+    slowest_seconds: float = 0.0
+    #: worker slot and start offset under deterministic list scheduling,
+    #: filled in by the executor; they define the per-shard trace tracks
+    worker: int = 0
+    start_seconds: float = 0.0
 
 
 @dataclass
@@ -217,13 +225,16 @@ class ParallelScanExecutor:
         shard_results = self._run_shards(shards, service, observer)
 
         stats: List[ShardStats] = []
-        for shard, (results, buffer, busy) in zip(shards, shard_results):
+        for shard, (results, buffer, busy, slowest) in zip(shards, shard_results):
             for url, verdict in results:
                 verdicts_by_url[url] = verdict
             if buffer is not None:
                 buffer.replay(observer)
+            slowest_url, slowest_seconds = slowest
             stats.append(ShardStats(index=shard.index, urls=len(shard),
-                                    domains=len(shard.domains), busy_seconds=busy))
+                                    domains=len(shard.domains), busy_seconds=busy,
+                                    slowest_url=slowest_url,
+                                    slowest_seconds=slowest_seconds))
 
         execution = ScanExecution(
             # merge in original workload order: the verdict dict is then
@@ -243,7 +254,8 @@ class ParallelScanExecutor:
     def _run_shards(
         self, shards: List[ScanShard], service: UrlVerdictService,
         observer: Optional[object],
-    ) -> List[Tuple[List[Tuple[str, UrlVerdict]], Optional[RecordingObserver], float]]:
+    ) -> List[Tuple[List[Tuple[str, UrlVerdict]], Optional[RecordingObserver],
+                    float, Tuple[str, float]]]:
         if not shards:
             return []
         factory = self.pool_factory or (lambda n: ThreadPoolExecutor(max_workers=n))
@@ -259,19 +271,24 @@ class ParallelScanExecutor:
             ]
             out = []
             for future, buffer in futures:
-                results, busy = future.result()
-                out.append((results, buffer, busy))
+                results, busy, slowest = future.result()
+                out.append((results, buffer, busy, slowest))
             return out
 
-    def _run_shard(self, shard: ScanShard,
-                   service: UrlVerdictService) -> Tuple[List[Tuple[str, UrlVerdict]], float]:
+    def _run_shard(
+        self, shard: ScanShard, service: UrlVerdictService,
+    ) -> Tuple[List[Tuple[str, UrlVerdict]], float, Tuple[str, float]]:
         """One worker invocation: scan a shard's batch back-to-back."""
         results: List[Tuple[str, UrlVerdict]] = []
         busy = 0.0
+        slowest_url, slowest_seconds = "", 0.0
         for task in shard.tasks:
             results.append((task.url, self._scan_task(service, task)))
-            busy += self.latency.latency(task)
-        return results, busy
+            seconds = self.latency.latency(task)
+            busy += seconds
+            if seconds > slowest_seconds:
+                slowest_url, slowest_seconds = task.url, seconds
+        return results, busy, (slowest_url, slowest_seconds)
 
     @staticmethod
     def _scan_task(service: UrlVerdictService, task: ScanTask) -> UrlVerdict:
@@ -286,11 +303,15 @@ class ParallelScanExecutor:
 
         Shards are dispatched in index order to the earliest-free
         worker — exactly what a thread pool does, computed on the
-        simulated clock so the figure is deterministic.
+        simulated clock so the figure is deterministic.  As a side
+        effect each shard learns its worker slot and start offset; the
+        Chrome-trace exporter draws the per-worker tracks from these.
         """
         free = [0.0] * self.workers
         for shard in stats:
             slot = min(range(self.workers), key=lambda i: (free[i], i))
+            shard.worker = slot
+            shard.start_seconds = free[slot]
             free[slot] += shard.busy_seconds
         return max(free) if stats else 0.0
 

@@ -255,3 +255,48 @@ def test_run_report_requires_observer():
     pipeline = _small_pipeline()
     with pytest.raises(ValueError):
         build_run_report(pipeline)
+
+
+def test_run_report_on_empty_run():
+    """Zero URLs, zero events: every section renders, nothing divides by 0."""
+    pipeline = _small_pipeline(RunObserver())
+    report = build_run_report(pipeline)  # no crawl, no scan, no outcome
+    assert report["exchanges"] == {}
+    assert report["http"]["requests"] == 0
+    assert report["scan"]["urls_scanned"] == 0
+    assert report["scan"]["unscanned_queries"] == 0
+    assert report["staticjs"]["sandbox_skip_rate"] == 0.0
+    assert report["provenance"] == {"records": 0, "stage_mix": {},
+                                    "mean_stages": 0.0, "recorded_counter": 0}
+    assert report["dedup"]["hit_rate"] == 0.0
+    assert report["events"]["emitted"] == 0
+    json.dumps(report)
+    markdown = render_run_report_markdown(report)
+    assert "Run telemetry" in markdown
+    assert "## Dedup" in markdown
+
+
+def test_run_report_parallel_matches_serial():
+    """A workers=4 report agrees with the serial one section by section."""
+    from repro.obs import DiffConfig, diff_reports
+
+    def build(workers):
+        study = MalwareSlumsStudy(StudyConfig(seed=5, scale=0.005))
+        web = study.generate_web()
+        observer = RunObserver()
+        pipeline = CrawlPipeline(web, seed=66, observer=observer,
+                                 workers=workers, record_provenance=True)
+        outcome = pipeline.run()
+        return json.loads(json.dumps(build_run_report(pipeline, outcome)))
+
+    serial = build(1)
+    parallel = build(4)
+    # the scanexec section legitimately differs (zeros on the serial
+    # path); every measurement-bearing section must agree exactly
+    for section in ("exchanges", "http", "redirects", "scan", "staticjs",
+                    "provenance", "dedup", "js"):
+        assert parallel[section] == serial[section], section
+    result = diff_reports(serial, parallel,
+                          DiffConfig(ignore=("events.tail", "metrics",
+                                             "scanexec", "spans", "events")))
+    assert result.ok, result.render_text()
