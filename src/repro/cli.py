@@ -9,6 +9,7 @@ Usage (after install)::
     python -m repro records -o records.json               # export URL records
     python -m repro explain http://...                    # verdict provenance
     python -m repro obs-diff base.json cand.json          # regression gate
+    python -m repro profile --budget benchmarks/perf_budget.json
 """
 
 from __future__ import annotations
@@ -109,6 +110,37 @@ def build_parser() -> argparse.ArgumentParser:
                           "(load in chrome://tracing or ui.perfetto.dev)")
     obs.add_argument("--provenance", metavar="PATH",
                      help="also write per-URL verdict provenance as JSON-lines")
+
+    profile = sub.add_parser(
+        "profile",
+        help="run a profiled crawl+scan: work ledger, memory ledger, "
+             "flamegraph exports, and the perf-budget gate",
+    )
+    profile.add_argument("--scale", type=float, default=0.02)
+    profile.add_argument("--seed", type=int, default=2016)
+    profile.add_argument("--workers", type=int, default=None, metavar="N",
+                         help="scan-phase worker count (the work ledger is "
+                              "bit-identical at any width)")
+    profile.add_argument("--top", type=int, default=10, metavar="N",
+                         help="hot paths to print (default 10)")
+    profile.add_argument("--budget", metavar="PATH",
+                         help="check totals against this perf-budget JSON; "
+                              "exit 1 when any kind regresses past tolerance")
+    profile.add_argument("--write-budget", metavar="PATH",
+                         help="write a fresh budget JSON from this run's "
+                              "totals (the budget-update procedure)")
+    profile.add_argument("--collapsed-out", metavar="PATH",
+                         help="write collapsed-stack lines (flamegraph.pl "
+                              "or inferno input)")
+    profile.add_argument("--speedscope-out", metavar="PATH",
+                         help="write a speedscope JSON profile "
+                              "(open at speedscope.app)")
+    profile.add_argument("--bench-out", metavar="PATH",
+                         help="write a BENCH JSON artifact (work totals + "
+                              "memory ledger + run parameters)")
+    profile.add_argument("--json", action="store_true",
+                         help="print the full ledger + memory JSON instead "
+                              "of the hot-path table")
 
     explain = sub.add_parser(
         "explain",
@@ -297,6 +329,87 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_profile(args: argparse.Namespace) -> int:
+    import json
+
+    from .crawler import CrawlPipeline
+    from .obs import (
+        MemoryLedger,
+        RunObserver,
+        build_budget,
+        check_budget,
+        render_budget_table,
+        render_work_table,
+    )
+
+    study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
+    web = study.generate_web()
+    observer = RunObserver(profile=True)
+    memory = MemoryLedger()
+    with memory:
+        pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer,
+                                 workers=args.workers, memory_ledger=memory)
+        pipeline.run()
+    assert observer.profiler is not None
+    ledger = observer.profiler.ledger
+    totals = ledger.totals_by_kind()
+    meta = {"seed": args.seed, "scale": args.scale,
+            "workers": pipeline.workers}
+
+    if args.json:
+        print(json.dumps({
+            "meta": meta,
+            "work": {"totals": totals, "cells": ledger.to_dict()},
+            "memory": memory.to_dict(),
+        }, indent=2, sort_keys=True))
+    else:
+        print(render_work_table(ledger, top=args.top))
+        print()
+        print("Memory ledger")
+        for name, phase in sorted(memory.phases.items()):
+            print("  %-10s allocated %8.2f MiB   peak %8.2f MiB"
+                  % (name, phase.allocated_bytes / 2**20,
+                     phase.peak_bytes / 2**20))
+        for name, count in sorted(memory.objects.items()):
+            print("  %-30s %10d objects" % (name, count))
+
+    if args.collapsed_out:
+        with open(args.collapsed_out, "w", encoding="utf-8") as handle:
+            handle.write(ledger.to_collapsed() + "\n")
+        print("wrote collapsed stacks to %s" % args.collapsed_out)
+    if args.speedscope_out:
+        with open(args.speedscope_out, "w", encoding="utf-8") as handle:
+            json.dump(ledger.to_speedscope(), handle, indent=2, sort_keys=True)
+        print("wrote speedscope profile to %s" % args.speedscope_out)
+    if args.bench_out:
+        with open(args.bench_out, "w", encoding="utf-8") as handle:
+            json.dump({
+                "meta": meta,
+                "work_totals": totals,
+                "hot_paths": [
+                    {"path": ";".join(stack), "kind": kind, "units": units}
+                    for stack, kind, units in ledger.hot_paths(args.top)
+                ],
+                "memory": memory.to_dict(),
+            }, handle, indent=2, sort_keys=True)
+        print("wrote bench artifact to %s" % args.bench_out)
+    if args.write_budget:
+        with open(args.write_budget, "w", encoding="utf-8") as handle:
+            json.dump(build_budget(totals, meta=meta), handle,
+                      indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote perf budget to %s" % args.write_budget)
+
+    if args.budget:
+        with open(args.budget, "r", encoding="utf-8") as handle:
+            budget = json.load(handle)
+        result = check_budget(totals, budget)
+        print()
+        print(render_budget_table(result))
+        return 0 if result.ok else 1
+    return 0
+
+
 def _cmd_explain(args: argparse.Namespace) -> int:
     import json
 
@@ -436,6 +549,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "feed": _cmd_feed,
         "obs-report": _cmd_obs_report,
+        "profile": _cmd_profile,
         "explain": _cmd_explain,
         "obs-diff": _cmd_obs_diff,
         "static-scan": _cmd_static_scan,

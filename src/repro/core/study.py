@@ -53,11 +53,21 @@ class MalwareSlumsStudy:
         """Steps 2-3: crawl the exchanges, scan every distinct URL."""
         if self.outcome is None:
             web = self.generate_web()
+            observer = None
+            memory_ledger = None
+            if self.config.profile:
+                from ..obs.observer import RunObserver
+                from ..obs.profile import MemoryLedger
+
+                observer = RunObserver(profile=True)
+                memory_ledger = MemoryLedger()
             self.pipeline = CrawlPipeline(
                 web, seed=self.config.seed + 61,
                 submit_files=self.config.submit_files,
                 workers=self.config.workers,
                 record_provenance=self.config.record_provenance,
+                observer=observer,
+                memory_ledger=memory_ledger,
             )
             self.outcome = self.pipeline.run()
         return self.outcome

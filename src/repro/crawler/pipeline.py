@@ -22,6 +22,7 @@ from __future__ import annotations
 import os
 import random
 import threading
+from contextlib import nullcontext
 from typing import Dict, Optional, Tuple
 
 from ..detection import (
@@ -36,6 +37,7 @@ from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
 from ..exchanges.roster import ExchangeProfile
 from ..httpsim import SimHttpClient, SimHttpServer
 from ..obs.observer import RunObserver
+from ..obs.profile import MemoryLedger
 from ..obs.provenance import (
     STAGE_CRAWL,
     STAGE_REDIRECT,
@@ -114,7 +116,9 @@ class CrawlPipeline:
                  static_prefilter: bool = True,
                  workers: Optional[int] = None,
                  scan_executor: Optional[ParallelScanExecutor] = None,
-                 record_provenance: bool = False) -> None:
+                 record_provenance: bool = False,
+                 provenance_path: Optional[str] = None,
+                 memory_ledger: Optional[MemoryLedger] = None) -> None:
         self.web = web
         self.rng = random.Random(seed)
         #: record a per-URL VerdictProvenance decision chain during the
@@ -122,7 +126,18 @@ class CrawlPipeline:
         #: resulting store is deterministic and bit-identical across
         #: worker counts for a fixed seed
         self.record_provenance = record_provenance
+        #: optional JSON-lines sink for the flight recorder: records are
+        #: written through (and flushed) as verdicts land, so a crash
+        #: mid-scan still leaves every completed chain on disk
+        self.provenance_path = provenance_path
+        if provenance_path is not None:
+            self.record_provenance = True
         self.provenance_store: Optional[ProvenanceStore] = None
+        #: optional per-phase tracemalloc accounting (see repro.obs.profile)
+        self.memory_ledger = memory_ledger
+        #: first crawl record per URL, built at scan start so provenance
+        #: chains can be completed (crawl stages prepended) incrementally
+        self._first_record: Dict[str, object] = {}
         #: run the repro.staticjs pass before sandboxing and skip dynamic
         #: execution for pages whose every inline script is provably
         #: side-effect-free; set False to force dynamic-only scanning
@@ -398,27 +413,40 @@ class CrawlPipeline:
         """Crawl every exchange at ``scale`` (defaults to web config)."""
         scale = scale if scale is not None else self.web.config.scale
         observer = self.observer
-        for name, exchange in self.exchanges.items():
-            prof = self.web.pools[name].profile
-            steps = prof.scaled_urls(scale)
-            browser = BrowserSession(
-                client=self.client,
-                registry=self.web.registry,
-                dataset=self.dataset,
-                exchange_name=name,
-                exchange_host=prof.host,
-                observer=observer,
-            )
-            crawler = ExchangeCrawler(
-                exchange, browser, random.Random(self.rng.randrange(2**32)),
-                account_id="measurement-%s" % name,
-                observer=observer,
-            )
-            if observer is not None:
-                with observer.span("crawl.exchange", exchange=name, steps=steps):
-                    self.crawl_stats[name] = crawler.crawl(steps)
-            else:
-                self.crawl_stats[name] = crawler.crawl(steps)
+        memory = self.memory_ledger
+        with (memory.phase("crawl") if memory is not None else nullcontext()):
+            with (observer.frame("crawl") if observer is not None
+                  else nullcontext()):
+                for name, exchange in self.exchanges.items():
+                    prof = self.web.pools[name].profile
+                    steps = prof.scaled_urls(scale)
+                    browser = BrowserSession(
+                        client=self.client,
+                        registry=self.web.registry,
+                        dataset=self.dataset,
+                        exchange_name=name,
+                        exchange_host=prof.host,
+                        observer=observer,
+                    )
+                    crawler = ExchangeCrawler(
+                        exchange, browser, random.Random(self.rng.randrange(2**32)),
+                        account_id="measurement-%s" % name,
+                        observer=observer,
+                    )
+                    if observer is not None:
+                        with observer.span("crawl.exchange", exchange=name,
+                                           steps=steps):
+                            with observer.frame("exchange:%s" % name):
+                                self.crawl_stats[name] = crawler.crawl(steps)
+                    else:
+                        self.crawl_stats[name] = crawler.crawl(steps)
+        if memory is not None:
+            memory.count_objects("crawl.records", len(self.dataset.records))
+            memory.count_objects("crawl.cached_urls", len(self.dataset.content))
+            memory.count_objects("simweb.sites", len(self.web.registry))
+            memory.count_objects(
+                "simweb.pages",
+                sum(len(site.pages) for site in self.web.registry))
         return self.crawl_stats
 
     # ------------------------------------------------------------------
@@ -464,66 +492,80 @@ class CrawlPipeline:
         service = self.build_detection()
         outcome = ScanOutcome()
         observer = self.observer
-        if observer is not None:
-            with observer.span("scan", urls=len(self.dataset.distinct_urls())):
-                self._scan_all(service, outcome)
-            observer.event("scan.done", urls=len(outcome.verdicts),
-                           malicious=sum(1 for v in outcome.verdicts.values()
-                                         if v.malicious))
-        else:
-            self._scan_all(service, outcome)
+        memory = self.memory_ledger
         if self.record_provenance:
-            self.provenance_store = self._assemble_provenance(outcome)
+            # open the store (and its optional JSON-lines sink) *before*
+            # scanning: verdicts write through as they land, so a raise
+            # mid-scan still leaves every completed chain flushed
+            self._first_record = {}
+            for record in self.dataset.records:
+                if record.url not in self._first_record:
+                    self._first_record[record.url] = record
+            self.provenance_store = ProvenanceStore(path=self.provenance_path)
             outcome.provenance = self.provenance_store
+        try:
+            with (memory.phase("scan") if memory is not None else nullcontext()):
+                if observer is not None:
+                    with observer.span("scan",
+                                       urls=len(self.dataset.distinct_urls())):
+                        with observer.frame("scan"):
+                            self._scan_all(service, outcome)
+                    observer.event("scan.done", urls=len(outcome.verdicts),
+                                   malicious=sum(1 for v in outcome.verdicts.values()
+                                                 if v.malicious))
+                else:
+                    self._scan_all(service, outcome)
+        finally:
+            if self.provenance_store is not None:
+                self.provenance_store.close()
+        if memory is not None:
+            memory.count_objects("scan.verdicts", len(outcome.verdicts))
+            if self.provenance_store is not None:
+                memory.count_objects("provenance.records",
+                                     len(self.provenance_store))
         return outcome
 
-    def _assemble_provenance(self, outcome: ScanOutcome) -> ProvenanceStore:
-        """Collect per-verdict decision chains into one store.
+    def _record_verdict_provenance(self, url: str, verdict: UrlVerdict) -> None:
+        """Complete one verdict's chain and write it through the store.
 
-        The scanners recorded the scan-side stages; here the crawl-side
+        The scanners recorded the scan-side stages; the crawl-side
         stages (fetch + redirect chain) are prepended from the dataset,
-        which both the serial loop and the executor share.  Iteration
-        follows ``outcome.verdicts`` — workload order on either path —
-        so the store serializes identically at any worker count.
+        which both the serial loop and the executor share.  Both paths
+        call this in workload order, so the store serializes identically
+        at any worker count.
         """
-        first_record: Dict[str, object] = {}
-        for record in self.dataset.records:
-            if record.url not in first_record:
-                first_record[record.url] = record
-        store = ProvenanceStore()
-        for url, verdict in outcome.verdicts.items():
-            provenance = verdict.provenance
-            if provenance is None:
-                continue
-            record = first_record.get(url)
-            if record is not None:
-                crawl_stages = [StageRecord(
-                    name=STAGE_CRAWL,
-                    outcome=record.role,
-                    # the simulated client charges 50 ms per request
-                    duration=0.05,
+        store = self.provenance_store
+        provenance = verdict.provenance
+        if store is None or provenance is None:
+            return
+        record = self._first_record.get(url)
+        if record is not None:
+            crawl_stages = [StageRecord(
+                name=STAGE_CRAWL,
+                outcome=record.role,
+                # the simulated client charges 50 ms per request
+                duration=0.05,
+                evidence={
+                    "exchange": record.exchange,
+                    "kind": record.kind,
+                    "role": record.role,
+                    "step_index": record.step_index,
+                    "timestamp": record.timestamp,
+                },
+            )]
+            if record.redirect_count or (record.final_url
+                                         and record.final_url != url):
+                crawl_stages.append(StageRecord(
+                    name=STAGE_REDIRECT,
+                    outcome="followed" if record.redirect_count else "none",
+                    duration=0.05 * record.redirect_count,
                     evidence={
-                        "exchange": record.exchange,
-                        "kind": record.kind,
-                        "role": record.role,
-                        "step_index": record.step_index,
-                        "timestamp": record.timestamp,
+                        "hops": record.redirect_count,
+                        "final_url": record.final_url,
                     },
-                )]
-                if record.redirect_count or (record.final_url
-                                             and record.final_url != url):
-                    crawl_stages.append(StageRecord(
-                        name=STAGE_REDIRECT,
-                        outcome="followed" if record.redirect_count else "none",
-                        duration=0.05 * record.redirect_count,
-                        evidence={
-                            "hops": record.redirect_count,
-                            "final_url": record.final_url,
-                        },
-                    ))
-                provenance.stages[:0] = crawl_stages
-            store.add(provenance)
-        return store
+                ))
+            provenance.stages[:0] = crawl_stages
+        store.add(provenance)
 
     def _scan_all(self, service: UrlVerdictService, outcome: ScanOutcome) -> None:
         if self.scan_executor is not None:
@@ -542,6 +584,7 @@ class CrawlPipeline:
                     final_url=cached.final_url,
                 )
             outcome.verdicts[url] = verdict
+            self._record_verdict_provenance(url, verdict)
             if observer is not None:
                 observer.count("scan.urls")
                 observer.count("scan.verdict.malicious" if verdict.malicious
@@ -561,6 +604,7 @@ class CrawlPipeline:
         self.last_scan_execution = execution
         for url, verdict in execution.verdicts.items():
             outcome.verdicts[url] = verdict
+            self._record_verdict_provenance(url, verdict)
             if observer is not None:
                 observer.count("scan.urls")
                 observer.count("scan.verdict.malicious" if verdict.malicious

@@ -135,41 +135,47 @@ class UrlVerdictService:
         final_url: Optional[str] = None,
     ) -> UrlVerdict:
         """Combined verdict; ``content`` is the crawler's saved copy."""
-        if content is not None and self.submit_files:
-            # one shared analysis: the tools disagree via their engines
-            # and thresholds, not via duplicated sandbox runs
-            from .heuristics import analyze_content
+        from .heuristics import _frame
 
-            analysis = analyze_content(content, content_type, url,
-                                       observer=self.observer,
-                                       static_prefilter=self.static_prefilter)
-            submission = Submission(
-                url=url, content=content, content_type=content_type,
-                final_url=final_url, analysis=analysis,
-            )
-            vt = self.virustotal.scan(submission)
-            quttera = self.quttera.scan(submission)
-        else:
-            analysis = None
-            vt = self.virustotal.scan(Submission(url=url))
-            quttera = self.quttera.scan(Submission(url=url))
+        with _frame(self.observer, "verdict"):
+            if content is not None and self.submit_files:
+                # one shared analysis: the tools disagree via their engines
+                # and thresholds, not via duplicated sandbox runs
+                from .heuristics import analyze_content
 
-        parsed = Url.try_parse(url)
-        hits = self.blacklists.hits(parsed) if parsed is not None else []
-        blacklisted = len(hits) >= self.min_blacklist_hits
+                analysis = analyze_content(content, content_type, url,
+                                           observer=self.observer,
+                                           static_prefilter=self.static_prefilter)
+                submission = Submission(
+                    url=url, content=content, content_type=content_type,
+                    final_url=final_url, analysis=analysis,
+                )
+                vt = self.virustotal.scan(submission)
+                quttera = self.quttera.scan(submission)
+            else:
+                analysis = None
+                vt = self.virustotal.scan(Submission(url=url))
+                quttera = self.quttera.scan(Submission(url=url))
 
-        observer = self.observer
-        if observer is not None:
-            for result in vt.engines:
-                if result.detected:
-                    observer.count("scan.engine.detected", engine=result.engine)
-            if hits:
-                observer.count("scan.blacklist.hits", len(hits))
-            for tool, flagged in (("virustotal", vt.malicious),
-                                  ("quttera", quttera.malicious),
-                                  ("blacklists", blacklisted)):
-                if flagged:
-                    observer.count("scan.tool.malicious", tool=tool)
+            parsed = Url.try_parse(url)
+            hits = self.blacklists.hits(parsed) if parsed is not None else []
+            blacklisted = len(hits) >= self.min_blacklist_hits
+
+            observer = self.observer
+            if observer is not None:
+                # one scan unit per engine verdict plus the three
+                # aggregating tools (VT, Quttera, blacklists)
+                observer.work("detect.scan_units", len(vt.engines) + 3)
+                for result in vt.engines:
+                    if result.detected:
+                        observer.count("scan.engine.detected", engine=result.engine)
+                if hits:
+                    observer.count("scan.blacklist.hits", len(hits))
+                for tool, flagged in (("virustotal", vt.malicious),
+                                      ("quttera", quttera.malicious),
+                                      ("blacklists", blacklisted)):
+                    if flagged:
+                        observer.count("scan.tool.malicious", tool=tool)
 
         labels = vt.merged_labels() + [
             label for label in quttera.labels if label not in vt.labels

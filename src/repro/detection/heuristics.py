@@ -11,8 +11,9 @@ decompiled with :mod:`repro.flashsim`, executables are signature-checked
 
 from __future__ import annotations
 
+from contextlib import nullcontext
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import ContextManager, List, Optional
 
 from ..flashsim import SwfError, SwfFile, decompile
 from ..htmlparse import Element, parse, select
@@ -207,6 +208,15 @@ def _observe(observer: Optional[object], name: str, amount: float = 1.0,
         count(name, amount, **labels)
 
 
+_NULL_FRAME: ContextManager[None] = nullcontext()
+
+
+def _frame(observer: Optional[object], name: str) -> ContextManager[None]:
+    """Profiler frame when the observer supports one, else a shared no-op."""
+    frame = getattr(observer, "frame", None)
+    return frame(name) if frame is not None else _NULL_FRAME
+
+
 def analyze_html(html: str, url: str = "http://unknown.invalid/",
                  observer: Optional[object] = None,
                  static_prefilter: bool = True) -> ContentAnalysis:
@@ -221,24 +231,25 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
     identical to what the dynamic pass would have produced.
     """
     analysis = ContentAnalysis(kind="html")
-    static_doc = parse(html)
+    static_doc = parse(html, observer=observer)
     static_scripts = select(static_doc, "script")
 
     # ---- static pre-filter: analyze inline scripts without executing ----
     skip_sandbox = False
     if static_prefilter:
         reports: List[ScriptReport] = []
-        for script in static_scripts:
-            if script.get("src"):
-                continue
-            source = script.text_content()
-            if not source.strip():
-                continue
-            report = analyze_script(source)
-            reports.append(report)
-            analysis.static_findings.extend(report.findings)
-            _observe(observer, "staticjs.scripts")
-            _observe(observer, "staticjs.verdict", verdict=report.verdict)
+        with _frame(observer, "staticjs"):
+            for script in static_scripts:
+                if script.get("src"):
+                    continue
+                source = script.text_content()
+                if not source.strip():
+                    continue
+                report = analyze_script(source, observer=observer)
+                reports.append(report)
+                analysis.static_findings.extend(report.findings)
+                _observe(observer, "staticjs.scripts")
+                _observe(observer, "staticjs.verdict", verdict=report.verdict)
         skip_sandbox = all(r.verdict == VERDICT_BENIGN for r in reports)
         if skip_sandbox and reports:
             _observe(observer, "staticjs.sandbox.skipped_scripts",
@@ -256,7 +267,9 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
         _observe(observer, "staticjs.sandbox.skipped_pages")
     else:
         # ---- dynamic pass: execute scripts, observe behaviour, mutate DOM
-        host = run_script_in_page(html, url=url, step_budget=200_000, observer=observer)
+        with _frame(observer, "sandbox"):
+            host = run_script_in_page(html, url=url, step_budget=200_000,
+                                      observer=observer)
         document = host.document_tree
         analysis.navigations = list(host.log.navigations)
         analysis.popups = list(host.log.popups)
@@ -375,7 +388,9 @@ def analyze_pdf(content: bytes, observer: Optional[object] = None) -> ContentAna
         _merge_script_analysis(analysis, source)
         # run the auto-executed script in the sandbox
         page = "<html><body><script>%s</script></body></html>" % source
-        host = run_script_in_page(page, step_budget=100_000, observer=observer)
+        with _frame(observer, "sandbox"):
+            host = run_script_in_page(page, step_budget=100_000,
+                                      observer=observer)
         analysis.navigations.extend(host.log.navigations)
         analysis.download_triggers.extend(host.log.download_triggers)
         analysis.popups.extend(host.log.popups)

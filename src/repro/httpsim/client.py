@@ -111,6 +111,7 @@ class SimHttpClient:
         response: Optional[HttpResponse] = None
         observer = self.observer
         fetch_started = self.clock.now()
+        body_bytes = 0
 
         for _ in range(self.max_redirects + 1):
             parsed = Url.try_parse(current)
@@ -145,6 +146,7 @@ class SimHttpClient:
                     self._status_counters[response.status // 100].value += 1.0
                 except KeyError:
                     self._status_counter(response.status).inc()
+                body_bytes += len(response.body)
             next_url = self._next_hop(parsed, response)
             if next_url is None:
                 break
@@ -157,6 +159,10 @@ class SimHttpClient:
             self._fetch_seconds.observe(self.clock.now() - fetch_started)
             if hops:
                 self._redirect_hops.inc(len(hops))
+            # batched per fetch: request/byte work for the profiler
+            # (a single is-None test each when profiling is off)
+            observer.work("http.requests", len(entries))
+            observer.work("http.bytes", body_bytes)
         return FetchResult(
             request_url=url,
             final_url=current,

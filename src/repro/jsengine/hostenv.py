@@ -171,7 +171,7 @@ class DomElement:
         host = self._host
         if name == "innerHTML":
             el.children = []
-            fragment = parse_fragment(to_string(value))
+            fragment = parse_fragment(to_string(value), observer=host.observer)
             for child in list(fragment.children):
                 el.append(child)
             host.log.document_writes.append(to_string(value))
@@ -374,7 +374,7 @@ class DocumentObject:
         self._host.log.document_writes.append(markup)
         body = self._document.body
         target = body if body is not None else self._document
-        fragment = parse_fragment(markup)
+        fragment = parse_fragment(markup, observer=self._host.observer)
         for child in list(fragment.children):
             target.append(child)
             if isinstance(child, Element):
@@ -441,6 +441,9 @@ class BrowserHost:
         observer: Optional[Any] = None,
     ) -> None:
         self.document_tree = document if document is not None else Document()
+        #: threaded into fragment parses (document.write / innerHTML) so
+        #: injected-markup work lands in the ledger too
+        self.observer = observer
         self.log = BehaviorLog()
         self.referrer = referrer
         self.handlers: Dict[int, Dict[str, Any]] = {}
@@ -612,7 +615,7 @@ def run_script_in_page(html: str, url: str = "http://localhost/", referrer: str 
     """
     from ..htmlparse import parse
 
-    document = parse(html)
+    document = parse(html, observer=observer)
     host = BrowserHost(document=document, url=url, referrer=referrer,
                        step_budget=step_budget, rng=rng, observer=observer)
     for script in document.find_all("script"):

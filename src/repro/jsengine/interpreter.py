@@ -131,6 +131,10 @@ class Interpreter:
         self.rng = rng or random.Random(0)
         self.step_budget = step_budget
         self.steps = 0
+        #: steps already attributed to earlier run_program calls — one
+        #: Interpreter runs every script on a page, so per-script
+        #: accounting must report deltas, not the cumulative total
+        self._steps_reported = 0
         #: optional :class:`repro.obs.RunObserver`: op-count and
         #: eval-nesting gauges for sandbox telemetry (None = no-op)
         self.observer = observer
@@ -152,7 +156,7 @@ class Interpreter:
     # ------------------------------------------------------------------
     def run(self, source: str) -> Any:
         """Parse and execute ``source`` in the global scope."""
-        program = parse(source)
+        program = parse(source, observer=self.observer)
         return self.run_program(program)
 
     def run_program(self, program: N.Program) -> Any:
@@ -167,9 +171,15 @@ class Interpreter:
 
     def _report_gauges(self) -> None:
         if self.observer is not None:
+            script_steps = self.steps - self._steps_reported
+            self._steps_reported = self.steps
             self.observer.gauge_max("js.op_count", self.steps)
             self.observer.gauge_max("js.eval_depth", self.max_eval_depth)
             self.observer.count("js.scripts_executed")
+            # the per-script step *distribution* (the gauge above only
+            # keeps the max), and the same delta as profiler work units
+            self.observer.observe("js.op_count", script_steps)
+            self.observer.work("js.interp.steps", script_steps)
 
     def call_function(self, fn: Any, args: List[Any], this: Any = UNDEFINED) -> Any:
         """Invoke a JS or native function from host code."""
@@ -208,7 +218,7 @@ class Interpreter:
         if not isinstance(source, str):
             return source
         self.eval_log.append(source)
-        program = parse(source)
+        program = parse(source, observer=self.observer)
         self._hoist(program.body, self.global_env)
         result: Any = UNDEFINED
         self.eval_depth += 1

@@ -7,7 +7,7 @@ in the malware corpus this library generates and analyzes.
 
 from __future__ import annotations
 
-from typing import List, Optional, Tuple
+from typing import Any, List, Optional, Tuple
 
 from . import nodes as N
 from .lexer import Token, tokenize
@@ -23,9 +23,17 @@ class ParseError(SyntaxError):
         self.token = token
 
 
-def parse(source: str) -> N.Program:
-    """Parse ``source`` into a :class:`~repro.jsengine.nodes.Program`."""
-    return _Parser(tokenize(source)).parse_program()
+def parse(source: str, observer: Optional[Any] = None) -> N.Program:
+    """Parse ``source`` into a :class:`~repro.jsengine.nodes.Program`.
+
+    When an observer is supplied, the lexed token count is charged to
+    the work profiler as one batched ``js.tokens`` amount (the lexer
+    itself stays uninstrumented — per-token hooks would dominate it).
+    """
+    tokens = tokenize(source)
+    if observer is not None:
+        observer.work("js.tokens", len(tokens))
+    return _Parser(tokens).parse_program()
 
 
 _ASSIGN_OPS = {"=", "+=", "-=", "*=", "/=", "%=", "&=", "|=", "^=", "<<=", ">>=", ">>>="}

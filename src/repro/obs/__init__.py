@@ -32,8 +32,27 @@ from .clock import Clock, MonotonicClock, SimClock
 from .diff import DiffConfig, DiffEntry, RunDiff, diff_reports
 from .events import EventLog
 from .export import build_chrome_trace, critical_path_summary, write_chrome_trace
-from .metrics import Counter, Gauge, Histogram, MetricsRegistry, default_latency_buckets
+from .metrics import (
+    Counter,
+    Gauge,
+    Histogram,
+    MetricsRegistry,
+    default_count_buckets,
+    default_latency_buckets,
+)
 from .observer import NULL_OBSERVER, NullObserver, RunObserver
+from .profile import (
+    BudgetEntry,
+    BudgetResult,
+    MemoryLedger,
+    PhaseMemory,
+    WorkLedger,
+    WorkProfiler,
+    build_budget,
+    check_budget,
+    render_budget_table,
+    render_work_table,
+)
 from .provenance import (
     ProvenanceStore,
     StageRecord,
@@ -44,6 +63,8 @@ from .report import build_run_report, render_run_report_markdown
 from .tracing import Span, Tracer
 
 __all__ = [
+    "BudgetEntry",
+    "BudgetResult",
     "Clock",
     "Counter",
     "DiffConfig",
@@ -51,10 +72,12 @@ __all__ = [
     "EventLog",
     "Gauge",
     "Histogram",
+    "MemoryLedger",
     "MetricsRegistry",
     "MonotonicClock",
     "NULL_OBSERVER",
     "NullObserver",
+    "PhaseMemory",
     "ProvenanceStore",
     "RunDiff",
     "RunObserver",
@@ -63,12 +86,19 @@ __all__ = [
     "StageRecord",
     "Tracer",
     "VerdictProvenance",
+    "WorkLedger",
+    "WorkProfiler",
+    "build_budget",
     "build_chrome_trace",
     "build_run_report",
+    "check_budget",
     "critical_path_summary",
+    "default_count_buckets",
     "default_latency_buckets",
     "diff_reports",
+    "render_budget_table",
     "render_provenance",
     "render_run_report_markdown",
+    "render_work_table",
     "write_chrome_trace",
 ]

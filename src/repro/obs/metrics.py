@@ -14,7 +14,8 @@ import math
 from bisect import bisect_left
 from typing import Dict, Iterable, List, Optional, Tuple
 
-__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry", "default_latency_buckets"]
+__all__ = ["Counter", "Gauge", "Histogram", "MetricsRegistry",
+           "default_latency_buckets", "default_count_buckets"]
 
 LabelKey = Tuple[Tuple[str, str], ...]
 
@@ -78,6 +79,16 @@ class Gauge:
 def default_latency_buckets() -> List[float]:
     """Log-scale bounds from 1 ms to ~67 s (doubling): 18 buckets."""
     return [0.001 * (2.0 ** i) for i in range(17)]
+
+
+def default_count_buckets() -> List[float]:
+    """Log-scale bounds from 1 to ~1M (doubling): 21 buckets.
+
+    The right scale for unit-count observations (interpreter steps per
+    script, URLs per shard) — latency buckets top out at ~67, pushing
+    every real count into the overflow slot and collapsing percentiles.
+    """
+    return [float(2 ** i) for i in range(21)]
 
 
 class Histogram:
@@ -186,6 +197,11 @@ class MetricsRegistry:
         key = (name, _label_key(labels))
         metric = self._histograms.get(key)
         if metric is None:
+            if bounds is None:
+                # repo-wide naming convention: *.seconds histograms hold
+                # latencies, everything else holds unit counts
+                bounds = (default_latency_buckets() if name.endswith("seconds")
+                          else default_count_buckets())
             metric = self._histograms[key] = Histogram(name, bounds, key[1])
         return metric
 

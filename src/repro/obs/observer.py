@@ -17,15 +17,20 @@ a plain attribute test, so an unobserved run does no obs work at all.
 from __future__ import annotations
 
 import threading
-from contextlib import contextmanager
-from typing import Iterator, Optional
+from contextlib import contextmanager, nullcontext
+from typing import ContextManager, Iterator, Optional
 
 from .clock import Clock, SimClock
 from .events import EventLog
 from .metrics import MetricsRegistry
+from .profile import WorkProfiler
 from .tracing import Span, Tracer
 
 __all__ = ["RunObserver", "NullObserver", "NULL_OBSERVER"]
+
+#: shared reusable no-op context for the profiler-disabled ``frame`` path —
+#: allocating nothing keeps the disabled profiler at one ``is None`` test
+_NULL_FRAME: ContextManager[None] = nullcontext()
 
 
 class RunObserver:
@@ -43,12 +48,16 @@ class RunObserver:
     """
 
     def __init__(self, clock: Optional[Clock] = None, max_spans: int = 10_000,
-                 event_capacity: int = 2048, thread_guard: bool = True) -> None:
+                 event_capacity: int = 2048, thread_guard: bool = True,
+                 profile: bool = False) -> None:
         self.clock = clock if clock is not None else SimClock()
         self.metrics = MetricsRegistry()
         self.tracer = Tracer(clock=self.clock, max_spans=max_spans)
         self.events = EventLog(capacity=event_capacity, clock=self.clock)
         self.thread_guard = thread_guard
+        #: work-accounting profiler; ``None`` unless ``profile=True``, and
+        #: every hook below degrades to a single ``is None`` test when off
+        self.profiler: Optional[WorkProfiler] = WorkProfiler() if profile else None
         #: the owning thread id, bound lazily on first mutation (not at
         #: construction, so building the observer on a setup thread and
         #: running the pipeline elsewhere stays legal)
@@ -98,9 +107,36 @@ class RunObserver:
         self._check_thread()
         self.events.emit(kind, **fields)
 
+    # -- work profiling ------------------------------------------------------
+    def work(self, kind: str, amount: float = 1.0) -> None:
+        """Attribute ``amount`` work units of ``kind`` to the current frame."""
+        if self.profiler is not None:
+            self._check_thread()
+            self.profiler.add(kind, amount)
+
+    def frame(self, name: str) -> ContextManager[None]:
+        """Push a profiler frame for the duration of the ``with`` body."""
+        if self.profiler is None:
+            return _NULL_FRAME
+        self._check_thread()
+        return self.profiler.frame(name)
+
+    def frame_push(self, name: str) -> None:
+        if self.profiler is not None:
+            self._check_thread()
+            self.profiler.push(name)
+
+    def frame_pop(self) -> None:
+        if self.profiler is not None:
+            self._check_thread()
+            self.profiler.pop()
+
 
 class NullObserver:
     """API-compatible no-op; falsy so ``if observer:`` disables hooks."""
+
+    #: mirrors :attr:`RunObserver.profiler` in its disabled state
+    profiler: Optional[WorkProfiler] = None
 
     def __bool__(self) -> bool:
         return False
@@ -122,6 +158,18 @@ class NullObserver:
         yield None
 
     def event(self, kind: str, **fields: object) -> None:
+        pass
+
+    def work(self, kind: str, amount: float = 1.0) -> None:
+        pass
+
+    def frame(self, name: str) -> ContextManager[None]:
+        return _NULL_FRAME
+
+    def frame_push(self, name: str) -> None:
+        pass
+
+    def frame_pop(self) -> None:
         pass
 
 

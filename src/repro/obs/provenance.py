@@ -28,7 +28,7 @@ from __future__ import annotations
 
 import json
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional
+from typing import Dict, Iterator, List, Optional, TextIO
 
 __all__ = [
     "STAGE_CRAWL",
@@ -143,14 +143,42 @@ class ProvenanceStore:
     Insertion order is the scan workload order; both the serial loop and
     the executor merge insert in that order, which is what makes
     :meth:`to_jsonl` comparable byte for byte across worker counts.
+
+    With ``path`` set, the store doubles as a **crash-safe flight
+    recorder**: every :meth:`add` writes the record through to the
+    JSON-lines file and flushes, so a pipeline that raises mid-run still
+    leaves every completed verdict's chain on disk.  Use it as a context
+    manager (or call :meth:`close`, which is idempotent) to release the
+    file handle; the in-memory dict keeps working after close.
     """
 
-    def __init__(self) -> None:
+    def __init__(self, path: Optional[str] = None) -> None:
         self.records: Dict[str, VerdictProvenance] = {}
+        self.path = path
+        self._sink: Optional[TextIO] = None
+        if path is not None:
+            self._sink = open(path, "w", encoding="utf-8")
 
     # -- writing -------------------------------------------------------------
     def add(self, record: VerdictProvenance) -> None:
         self.records[record.url] = record
+        if self._sink is not None:
+            self._sink.write(record.to_json())
+            self._sink.write("\n")
+            # flushed per record: crash-safety is the point of the sink
+            self._sink.flush()
+
+    def close(self) -> None:
+        """Flush and release the JSON-lines sink (idempotent)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "ProvenanceStore":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
 
     # -- reading -------------------------------------------------------------
     def __len__(self) -> int:

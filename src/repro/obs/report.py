@@ -32,11 +32,21 @@ JSON schema (top-level keys)::
       "provenance": {records, stage_mix: {stage: n}, mean_stages,
                      recorded_counter},
       "dedup":      {records, new_urls, duplicate_urls, hit_rate},
-      "js":         {gauge-name: value},
+      "js":         {gauges: {gauge-name: value},
+                     op_count_distribution: histogram-summary},
+      "work":       {totals: {kind: units},          # only when the run
+                     hot_paths: [{path, kind, units}],  # was profiled
+                     cells: n},
+      "memory":     {phases, objects, peak_bytes},   # only when a
+                                                     # MemoryLedger ran
       "spans":      {name: {count, total, p50, p95, p99}},
       "events":     {emitted, dropped, tail: [...]},
       "metrics":    full registry snapshot
     }
+
+The ``work`` and ``memory`` sections come from the deterministic
+profiler (:mod:`repro.obs.profile`) and appear only when profiling was
+enabled, so unprofiled baselines are unaffected.
 """
 
 from __future__ import annotations
@@ -180,11 +190,14 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "hit_rate": (dup_urls / record_count) if record_count else 0.0,
     }
 
-    # -- JS sandbox gauges ---------------------------------------------------
+    # -- JS sandbox: run-level gauges + per-script step distribution --------
     js = {
-        key: value
-        for key, value in observer.metrics.snapshot()["gauges"].items()
-        if key.startswith("js.")
+        "gauges": {
+            key: value
+            for key, value in observer.metrics.snapshot()["gauges"].items()
+            if key.startswith("js.")
+        },
+        "op_count_distribution": metrics.histogram("js.op_count").summary(),
     }
 
     events = {
@@ -193,7 +206,7 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "tail": observer.events.tail(10),
     }
 
-    return {
+    report = {
         "exchanges": exchanges,
         "http": http,
         "redirects": redirects,
@@ -207,6 +220,24 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "events": events,
         "metrics": metrics.snapshot(),
     }
+
+    # -- deterministic work profile (only when the run was profiled) --------
+    profiler = getattr(observer, "profiler", None)
+    if profiler is not None:
+        ledger = profiler.ledger
+        report["work"] = {
+            "totals": ledger.totals_by_kind(),
+            "hot_paths": [
+                {"path": ";".join(stack), "kind": kind, "units": units}
+                for stack, kind, units in ledger.hot_paths(10)
+            ],
+            "cells": len(ledger),
+        }
+    memory_ledger = getattr(pipeline, "memory_ledger", None)
+    if memory_ledger is not None:
+        report["memory"] = memory_ledger.to_dict()
+
+    return report
 
 
 def render_run_report_markdown(report: Dict[str, Any],
@@ -337,12 +368,49 @@ def render_run_report_markdown(report: Dict[str, Any],
                     % (dedup["records"], dedup["new_urls"],
                        dedup["duplicate_urls"], 100 * dedup["hit_rate"]))
 
-    if report["js"]:
+    js = report["js"]
+    if js["gauges"]:
         sections.append("\n## JS sandbox\n")
         sections.append(markdown_table(
             ("Gauge", "Value"),
-            [(name, int(value)) for name, value in sorted(report["js"].items())],
+            [(name, int(value)) for name, value in sorted(js["gauges"].items())],
         ))
+        op_dist = js.get("op_count_distribution", {})
+        if op_dist.get("count"):
+            sections.append("\nInterpreter steps per script: p50 %.0f · p95 %.0f "
+                            "· max %.0f over %d scripts"
+                            % (op_dist["p50"], op_dist["p95"], op_dist["max"],
+                               int(op_dist["count"])))
+
+    work = report.get("work")
+    if work and work["totals"]:
+        sections.append("\n## Work profile\n")
+        sections.append(markdown_table(
+            ("Path", "Kind", "Units"),
+            [(hp["path"] or "(root)", hp["kind"], int(hp["units"]))
+             for hp in work["hot_paths"]],
+        ))
+        sections.append("\n### Totals by kind\n")
+        sections.append(markdown_table(
+            ("Kind", "Units"),
+            [(kind, int(units)) for kind, units in work["totals"].items()],
+        ))
+
+    memory = report.get("memory")
+    if memory and memory["phases"]:
+        sections.append("\n## Memory ledger\n")
+        sections.append(markdown_table(
+            ("Phase", "Allocated MiB", "Peak MiB"),
+            [(name, "%.1f" % (p["allocated_bytes"] / 2**20),
+              "%.1f" % (p["peak_bytes"] / 2**20))
+             for name, p in memory["phases"].items()],
+        ))
+        if memory["objects"]:
+            sections.append("\n### Object populations\n")
+            sections.append(markdown_table(
+                ("Population", "Objects"),
+                [(name, count) for name, count in memory["objects"].items()],
+            ))
 
     if report["spans"]:
         sections.append("\n## Spans\n")

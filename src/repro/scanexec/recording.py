@@ -58,6 +58,30 @@ class RecordingObserver:
     def span(self, name: str, **attrs: object) -> Iterator[None]:
         yield None
 
+    # -- work profiling ------------------------------------------------------
+    # Buffered unconditionally (the worker cannot know whether the real
+    # observer profiles); :meth:`RunObserver.work` is a no-op when it does
+    # not, so replay stays free on unprofiled runs.  Because replay happens
+    # in shard-index order on the main thread *inside* the executor's open
+    # pipeline frames, the reconstructed frame stacks — and therefore the
+    # WorkLedger — are bit-identical to a serial run.
+    def work(self, kind: str, amount: float = 1.0) -> None:
+        self.ops.append(("work", kind, amount, ()))
+
+    @contextmanager
+    def frame(self, name: str) -> Iterator[None]:
+        self.frame_push(name)
+        try:
+            yield
+        finally:
+            self.frame_pop()
+
+    def frame_push(self, name: str) -> None:
+        self.ops.append(("frame_push", name, 0.0, ()))
+
+    def frame_pop(self) -> None:
+        self.ops.append(("frame_pop", "", 0.0, ()))
+
     # -- merge ---------------------------------------------------------------
     def replay(self, observer: Optional[object]) -> None:
         """Apply every buffered call to ``observer`` (main thread only)."""
@@ -75,3 +99,9 @@ class RecordingObserver:
                 observer.observe(name, value, **kwargs)
             elif method == "event":
                 observer.event(name, **kwargs)
+            elif method == "work":
+                observer.work(name, value)
+            elif method == "frame_push":
+                observer.frame_push(name)
+            elif method == "frame_pop":
+                observer.frame_pop()

@@ -71,6 +71,10 @@ class ScriptReport:
     #: statically recovered payload strings (eval bodies, iframe srcs)
     resolved_payloads: List[str] = field(default_factory=list)
     parse_failed: bool = False
+    #: AST size of the analyzed program (0 when parsing failed); computed
+    #: once at parse time so cached reports can recharge the profiler's
+    #: ``staticjs.ast_nodes`` work deterministically on every call
+    node_count: int = 0
 
     @property
     def max_severity(self) -> str:
@@ -87,6 +91,7 @@ class ScriptReport:
             "verdict": self.verdict,
             "max_severity": self.max_severity,
             "parse_failed": self.parse_failed,
+            "node_count": self.node_count,
             "capabilities": list(self.capabilities),
             "resolved_payloads": list(self.resolved_payloads),
             "findings": [f.to_dict() for f in self.findings],

@@ -33,7 +33,7 @@ from __future__ import annotations
 
 import re
 from functools import lru_cache
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..jsengine import nodes as N
 from ..jsengine.parser import parse
@@ -380,17 +380,27 @@ def _dedupe(findings: List[StaticFinding]) -> List[StaticFinding]:
     return out
 
 
-def analyze_script(source: str, _depth: int = 0) -> ScriptReport:
+def analyze_script(source: str, _depth: int = 0,
+                   observer: Optional[Any] = None) -> ScriptReport:
     """Statically analyze one script; never raises.
 
     Results are memoised per source text (crawled pages repeat a small
     set of templated scripts, and the analysis is a pure function of
     the source), so callers must treat the returned report as
     immutable.
+
+    Work accounting happens here at the API boundary, *outside* the
+    memo cache: ``node_count`` is stored on the report at parse time,
+    so every call — hit or miss, on any thread's shard — charges the
+    same deterministic ``staticjs.ast_nodes`` amount to the profiler.
     """
     if _depth == 0:
-        return _analyze_script_cached(source)
-    return _analyze_script_uncached(source, _depth)
+        report = _analyze_script_cached(source)
+    else:
+        report = _analyze_script_uncached(source, _depth)
+    if observer is not None:
+        observer.work("staticjs.ast_nodes", report.node_count)
+    return report
 
 
 @lru_cache(maxsize=2048)
@@ -408,6 +418,7 @@ def _analyze_script_uncached(source: str, _depth: int) -> ScriptReport:
         report.verdict = VERDICT_NEEDS_DYNAMIC
         report.capabilities.append("parse-failure")
         return report
+    report.node_count = sum(1 for _node in program.walk())
     try:
         return _analyze_program(program, report, _depth)
     except (RecursionError, MemoryError):

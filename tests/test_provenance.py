@@ -359,3 +359,68 @@ def test_run_observer_thread_guard_opt_out():
     thread.start()
     thread.join()
     assert not errors
+
+
+# ----------------------------------------------------------------------
+# crash-safe JSON-lines sink (ProvenanceStore close semantics)
+# ----------------------------------------------------------------------
+def test_store_sink_writes_through_and_close_is_idempotent(tmp_path):
+    path = tmp_path / "provenance.jsonl"
+    with ProvenanceStore(path=str(path)) as store:
+        store.add(_sample_record("http://a.example/"))
+        # flushed per record: visible on disk before close
+        lines = path.read_text(encoding="utf-8").strip().splitlines()
+        assert len(lines) == 1
+        assert json.loads(lines[0])["url"] == "http://a.example/"
+        store.add(_sample_record("http://b.example/", malicious=False))
+    store.close()  # second close is a no-op
+    on_disk = ProvenanceStore.from_jsonl(path.read_text(encoding="utf-8"))
+    assert on_disk.to_jsonl() == store.to_jsonl()
+    # the in-memory store keeps working after close
+    store.add(_sample_record("http://c.example/"))
+    assert len(store) == 3
+
+
+def test_pipeline_flushes_completed_records_when_scan_raises(tmp_path):
+    """A crash mid-scan must leave every completed chain on disk."""
+    path = tmp_path / "provenance.jsonl"
+    study = MalwareSlumsStudy(StudyConfig(seed=5, scale=0.005))
+    # workers=1 pins the serial loop so the patched service method below
+    # is the one the scan actually calls
+    pipeline = CrawlPipeline(study.generate_web(), seed=66, workers=1,
+                             provenance_path=str(path))
+    assert pipeline.record_provenance  # implied by the sink path
+    pipeline.crawl()
+    service = pipeline.build_detection()
+    budget = {"left": 25}
+    original = service.verdict
+
+    def failing_verdict(url, **kwargs):
+        if budget["left"] <= 0:
+            raise RuntimeError("scanner died mid-run")
+        budget["left"] -= 1
+        return original(url, **kwargs)
+
+    service.verdict = failing_verdict
+    with pytest.raises(RuntimeError, match="scanner died"):
+        pipeline.scan()
+    # the sink was closed by the pipeline's finally and holds exactly
+    # the verdicts that completed before the crash
+    assert pipeline.provenance_store._sink is None
+    lines = path.read_text(encoding="utf-8").strip().splitlines()
+    assert len(lines) == 25
+    for line in lines:
+        record = VerdictProvenance.from_dict(json.loads(line))
+        assert record.stage_names()[0] == STAGE_CRAWL
+
+
+def test_pipeline_sink_matches_in_memory_store(tmp_path):
+    path = tmp_path / "provenance.jsonl"
+    study = MalwareSlumsStudy(StudyConfig(seed=5, scale=0.005))
+    pipeline = CrawlPipeline(study.generate_web(), seed=66,
+                             provenance_path=str(path))
+    outcome = pipeline.run()
+    store = outcome.provenance
+    assert store is not None and len(store) == len(outcome.verdicts)
+    assert (path.read_text(encoding="utf-8").strip()
+            == store.to_jsonl().strip())
