@@ -15,6 +15,7 @@ Usage (after install)::
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import random
 import sys
 from typing import List, Optional
@@ -188,6 +189,12 @@ def build_parser() -> argparse.ArgumentParser:
                         help="simweb seed when target is a URL (default 2016)")
     static.add_argument("--markdown", action="store_true",
                         help="print Markdown instead of JSON")
+    static.add_argument("--absint", action="store_true",
+                        help="include each script's abstract-interpretation "
+                             "effect summary in the output")
+    static.add_argument("--explain-skips", action="store_true",
+                        help="print the page-level sandbox-skip decision and "
+                             "every blocking reason")
 
     return parser
 
@@ -514,16 +521,48 @@ def _cmd_static_scan(args: argparse.Namespace) -> int:
         return 1
 
     reports = [analyze_script(source) for source in sources]
+    page_decision = None
+    if args.explain_skips:
+        from .detection.heuristics import _page_skip_decision
+        from .staticjs import VERDICT_BENIGN
+
+        all_benign = all(r.verdict == VERDICT_BENIGN for r in reports)
+        absint_skip, blockers = _page_skip_decision(reports)
+        page_decision = {
+            "all_benign": all_benign,
+            "absint_skip": absint_skip,
+            "sandbox_skip": all_benign or absint_skip,
+            "blockers": blockers,
+        }
     if args.markdown:
         for index, report in enumerate(reports):
             title = "Static scan: %s (script %d/%d)" % (
                 args.target, index + 1, len(reports))
+            if not args.absint:
+                report = dataclasses.replace(report, effects=None)
             print(render_report_markdown(report, title=title))
+        if page_decision is not None:
+            print("## Sandbox skip decision\n")
+            if page_decision["sandbox_skip"]:
+                how = ("all scripts benign" if page_decision["all_benign"]
+                       else "complete abstract effect summaries")
+                print("Page may **skip** dynamic execution (%s)." % how)
+            else:
+                print("Page must **execute**; blocking conditions:\n")
+                for blocker in page_decision["blockers"]:
+                    print("- `%s`" % blocker)
+            print()
     else:
-        print(json.dumps({
-            "target": args.target,
-            "scripts": [report.to_dict() for report in reports],
-        }, indent=2, sort_keys=True))
+        scripts = []
+        for report in reports:
+            entry = report.to_dict()
+            if not args.absint:
+                entry.pop("effects", None)
+            scripts.append(entry)
+        payload = {"target": args.target, "scripts": scripts}
+        if page_decision is not None:
+            payload["page"] = page_decision
+        print(json.dumps(payload, indent=2, sort_keys=True))
     return 1 if any(r.max_severity == "high" for r in reports) else 0
 
 

@@ -166,6 +166,11 @@ class UrlVerdictService:
                 # one scan unit per engine verdict plus the three
                 # aggregating tools (VT, Quttera, blacklists)
                 observer.work("detect.scan_units", len(vt.engines) + 3)
+                if analysis is not None and analysis.static_redirect_targets:
+                    # provenance-only signal: statically resolved
+                    # navigation/iframe targets never touch the verdict
+                    observer.count("scan.static.redirect_targets",
+                                   len(analysis.static_redirect_targets))
                 for result in vt.engines:
                     if result.detected:
                         observer.count("scan.engine.detected", engine=result.engine)

@@ -16,11 +16,25 @@ from dataclasses import dataclass, field
 from typing import ContextManager, List, Optional
 
 from ..flashsim import SwfError, SwfFile, decompile
-from ..htmlparse import Element, parse, select
-from ..jsengine import deobfuscate, extract_features, looks_obfuscated, run_script_in_page
+from ..htmlparse import Element, parse, parse_fragment, select
+from ..jsengine import (
+    BehaviorLog,
+    deobfuscate,
+    extract_features,
+    looks_obfuscated,
+    run_script_in_page,
+)
 from ..malware.payloads import is_malicious_executable
 from ..simweb.url import Url
-from ..staticjs import VERDICT_BENIGN, ScriptReport, StaticFinding, analyze_script
+from ..staticjs import (
+    EVENT_PHASES,
+    PAGE_STEP_BUDGET,
+    VERDICT_BENIGN,
+    AbstractEffects,
+    ScriptReport,
+    StaticFinding,
+    analyze_script,
+)
 
 __all__ = ["IframeFinding", "ContentAnalysis", "analyze_content", "analyze_html", "analyze_swf"]
 
@@ -83,6 +97,7 @@ class ContentAnalysis:
     remote_scripts: List[str] = field(default_factory=list)
     analysis_errors: List[str] = field(default_factory=list)
     static_findings: List[StaticFinding] = field(default_factory=list)
+    static_redirect_targets: List[str] = field(default_factory=list)
     sandbox_skipped: bool = False
 
     # -- scoring helpers engines build verdicts from ------------------------
@@ -151,6 +166,7 @@ class ContentAnalysis:
                 default="none",
             ),
             "sandbox_skipped": self.sandbox_skipped,
+            "redirect_targets": list(self.static_redirect_targets),
         }
 
     def sandbox_evidence(self) -> dict:
@@ -236,8 +252,9 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
 
     # ---- static pre-filter: analyze inline scripts without executing ----
     skip_sandbox = False
+    absint_skip = False
+    reports: List[ScriptReport] = []
     if static_prefilter:
-        reports: List[ScriptReport] = []
         with _frame(observer, "staticjs"):
             for script in static_scripts:
                 if script.get("src"):
@@ -248,12 +265,28 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
                 report = analyze_script(source, observer=observer)
                 reports.append(report)
                 analysis.static_findings.extend(report.findings)
+                for target in report.redirect_targets:
+                    if target not in analysis.static_redirect_targets:
+                        analysis.static_redirect_targets.append(target)
                 _observe(observer, "staticjs.scripts")
                 _observe(observer, "staticjs.verdict", verdict=report.verdict)
         skip_sandbox = all(r.verdict == VERDICT_BENIGN for r in reports)
         if skip_sandbox and reports:
             _observe(observer, "staticjs.sandbox.skipped_scripts",
                      amount=float(len(reports)))
+        elif not skip_sandbox:
+            # not all benign — the abstract interpreter may still prove
+            # the page's complete dynamic effects, making execution
+            # redundant (the effects are replayed instead)
+            absint_skip, blockers = _page_skip_decision(reports)
+            if absint_skip:
+                _observe(observer, "staticjs.absint.skipped_pages")
+                _observe(observer, "staticjs.sandbox.skipped_scripts",
+                         amount=float(len(reports)))
+            else:
+                reason = blockers[0].partition(":")[0] if blockers else "unknown"
+                _observe(observer, "staticjs.absint.blocked_pages",
+                         reason=reason)
 
     if skip_sandbox:
         # every script is provably side-effect-free (or there are no
@@ -264,6 +297,15 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
         analysis.remote_scripts = [
             script.get("src") for script in static_scripts if script.get("src")
         ]
+        _observe(observer, "staticjs.sandbox.skipped_pages")
+    elif absint_skip:
+        # every script's effect summary is complete and the summaries
+        # compose (no cross-script interference): replay the recorded
+        # effects instead of executing
+        analysis.sandbox_skipped = True
+        with _frame(observer, "staticjs.synthesize"):
+            document = _synthesize_dynamic(analysis, html, static_scripts,
+                                           reports, observer)
         _observe(observer, "staticjs.sandbox.skipped_pages")
     else:
         # ---- dynamic pass: execute scripts, observe behaviour, mutate DOM
@@ -334,6 +376,193 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
         analysis.deceptive_download_bar = analysis.deceptive_download_bar or "install" in lowered
 
     return analysis
+
+
+def _page_skip_decision(reports: List[ScriptReport]) -> "tuple[bool, List[str]]":
+    """Decide whether abstract effect summaries justify skipping the sandbox.
+
+    The per-script summaries were each computed against a *fresh* page, so
+    replaying them in sequence is only faithful when no script can observe
+    another script's side effects.  Every failed condition appends a
+    ``category[:detail]`` blocker (surfaced by ``static-scan
+    --explain-skips``); the page may skip only when no condition fails.
+    """
+    blockers: List[str] = []
+    effs: List[AbstractEffects] = []
+    for report in reports:
+        effects = report.effects
+        if effects is None:
+            blockers.append("no-effects")
+        elif not effects.complete:
+            blockers.append("incomplete:%s" % (effects.abort_reason or "unknown"))
+        else:
+            effs.append(effects)
+    if blockers:
+        return False, blockers
+
+    # the real page shares one step budget across all scripts and events;
+    # staying under a stricter page-wide bound proves no BudgetExceeded
+    if sum(e.steps for e in effs) > PAGE_STEP_BUDGET:
+        return False, ["step-budget"]
+
+    # cross-script global interference: script j reading a name script i
+    # writes would observe i's value, but its summary saw a fresh global
+    for i, left in enumerate(effs):
+        writes = set(left.global_writes)
+        if not writes:
+            continue
+        for j, right in enumerate(effs):
+            if i == j:
+                continue
+            clash = writes.intersection(right.global_reads)
+            if clash:
+                blockers.append("global-interference:%s" % sorted(clash)[0])
+
+    # document.cookie is one shared string: a read in one script after a
+    # write in another sees state the summary never modelled
+    writers = [i for i, e in enumerate(effs) if e.cookie_written]
+    readers = [i for i, e in enumerate(effs) if e.cookie_read]
+    if any(i != j for i in writers for j in readers):
+        blockers.append("cookie-interference")
+
+    # handler slots (document.onX, element.onX) are host-global state;
+    # the simulated load/click/mousemove phases fired each script's
+    # handlers in isolation, so firing order and slot overwrites must be
+    # provably the same on the composed page
+    events: set = set()
+    for e in effs:
+        events.update(e.doc_handler_events)
+        events.update(e.doc_handler_reads)
+        events.update(e.element_handler_events)
+        events.update(e.element_handler_reads)
+        events.update(e.opaque_element_handler_events)
+    for event in sorted(events):
+        doc_owners = [i for i, e in enumerate(effs)
+                      if event in e.doc_handler_events]
+        doc_readers = [i for i, e in enumerate(effs)
+                       if event in e.doc_handler_reads]
+        elem_owners = [i for i, e in enumerate(effs)
+                       if event in e.element_handler_events]
+        elem_readers = [i for i, e in enumerate(effs)
+                        if event in e.element_handler_reads]
+        opaque_owners = [i for i, e in enumerate(effs)
+                         if event in e.opaque_element_handler_events]
+        # reading document.onX sees whichever script wrote the slot last
+        if any(any(i != j for i in doc_owners) for j in doc_readers):
+            blockers.append("doc-handler-read:%s" % event)
+        # an opaque wrapper may alias an element another script reads from
+        if any(any(i != j for i in opaque_owners) for j in elem_readers):
+            blockers.append("opaque-alias-read:%s" % event)
+        if event not in EVENT_PHASES:
+            continue
+        # two document-level handlers: the later write wins on the real
+        # page, but both summaries fired their own
+        if len(doc_owners) > 1:
+            blockers.append("doc-handler-conflict:%s" % event)
+        # the real host fires the document handler before every element
+        # handler; script-ordered replay only matches when the document
+        # owner precedes all element owners
+        if doc_owners and elem_owners and min(elem_owners) < doc_owners[0]:
+            blockers.append("doc-handler-order:%s" % event)
+        # handlers placed through opaque page-node wrappers may share an
+        # element with (and silently overwrite) another script's handler
+        if opaque_owners and (
+            len(opaque_owners) > 1
+            or (set(elem_owners) | set(elem_readers)) - {opaque_owners[0]}
+        ):
+            blockers.append("opaque-handler-conflict:%s" % event)
+        # replay concatenates per-script effect buckets in script order,
+        # which equals real registration order only when every handler
+        # was registered during the script phase (a load handler adding a
+        # click handler would fire out of bucket order)
+        owners = set(doc_owners) | set(elem_owners)
+        if len(owners) > 1 and any(
+            phase.name != "script"
+            and any(listener_event == event for _t, listener_event in phase.listeners)
+            for e in effs for phase in e.phases
+        ):
+            blockers.append("late-registration:%s" % event)
+
+    return (not blockers, blockers)
+
+
+def _synthesize_dynamic(analysis: ContentAnalysis, html: str,
+                        static_scripts: List[Element],
+                        reports: List[ScriptReport],
+                        observer: Optional[object]) -> Element:
+    """Replay complete abstract effect summaries in page order.
+
+    Reconstructs exactly what :func:`run_script_in_page` would have
+    produced — the behaviour log fields and the post-execution document
+    the iframe scan walks — from the per-script
+    :class:`~repro.staticjs.absint.AbstractEffects`.  Only callable when
+    :func:`_page_skip_decision` approved the page.
+    """
+    log = BehaviorLog()
+    document = parse(html, observer=observer)
+    body = document.body
+    write_target = body if body is not None else document
+
+    # phase replay order mirrors the sandbox: each script's script phase
+    # in document order, then each simulated event across all scripts
+    phase_order = []
+    for report in reports:
+        entry = report.effects.phase("script")
+        if entry is not None:
+            phase_order.append(entry)
+    for event in EVENT_PHASES:
+        for report in reports:
+            entry = report.effects.phase(event)
+            if entry is not None:
+                phase_order.append(entry)
+
+    for entry in phase_order:
+        log.navigations.extend(entry.navigations)
+        log.popups.extend(entry.popups)
+        log.beacons.extend(entry.beacons)
+        log.listeners.extend(entry.listeners)
+        log.cookies_set.extend(entry.cookies_set)
+        log.created_elements.extend(entry.created_elements)
+        log.appended_elements.extend(entry.appended_elements)
+        log.errors.extend(entry.errors)
+        log.timeouts_scheduled += entry.timeouts_scheduled
+        for markup, attached in entry.document_writes:
+            log.document_writes.append(markup)
+            if attached:
+                # document.write appends the parsed fragment to <body>
+                fragment = parse_fragment(markup, observer=observer)
+                for child in list(fragment.children):
+                    write_target.append(child)
+
+    # remote script requests interleave src tags with each inline
+    # script's own requests during the page-load loop, then append
+    # event-phase requests in firing order
+    remote: List[str] = []
+    inline_reports = iter(reports)
+    for script in static_scripts:
+        if script.get("src"):
+            remote.append(script.get("src"))
+            continue
+        if not script.text_content().strip():
+            continue
+        entry = next(inline_reports).effects.phase("script")
+        if entry is not None:
+            remote.extend(entry.requested_scripts)
+    for event in EVENT_PHASES:
+        for report in reports:
+            entry = report.effects.phase(event)
+            if entry is not None:
+                remote.extend(entry.requested_scripts)
+
+    analysis.navigations = list(log.navigations)
+    analysis.popups = list(log.popups)
+    analysis.download_triggers = list(log.download_triggers)
+    analysis.beacons = list(log.beacons)
+    analysis.fingerprinting_listeners = len(log.fingerprinting_events)
+    analysis.document_writes = len(log.document_writes)
+    analysis.analysis_errors = list(log.errors)
+    analysis.remote_scripts = remote
+    return document
 
 
 def analyze_swf(content: bytes) -> ContentAnalysis:

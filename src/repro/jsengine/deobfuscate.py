@@ -23,11 +23,41 @@ import base64
 import binascii
 import re
 from dataclasses import dataclass
-from typing import List, Tuple
+from typing import Callable, Dict, List, Optional, Tuple
 
 from .builtins import js_unescape
 
-__all__ = ["DeobfuscationResult", "deobfuscate", "decode_literals", "looks_obfuscated"]
+__all__ = [
+    "DeobfuscationResult", "PURE_DECODERS", "DECODER_NAMES", "deobfuscate",
+    "decode_literals", "looks_obfuscated",
+]
+
+
+def _decode_base64(text: str) -> Optional[str]:
+    """``atob`` semantics over latin-1, tolerant of missing padding."""
+    try:
+        return base64.b64decode(text + "=" * (-len(text) % 4)).decode("latin-1")
+    except (binascii.Error, ValueError):
+        return None
+
+
+#: pure single-string decoders shared by every static layer: the regex
+#: peeler below, the AST constant folder
+#: (:func:`repro.staticjs.dataflow.fold`) and the abstract machine
+#: (:mod:`repro.staticjs.absint`) must decode identically, or their
+#: recovered payloads would disagree with the sandbox.  A decoder
+#: returns ``None`` when the input is not decodable (the call site
+#: keeps the original expression).
+PURE_DECODERS: Dict[str, Callable[[str], Optional[str]]] = {
+    "unescape": js_unescape,
+    "decodeURIComponent": js_unescape,
+    "decodeURI": js_unescape,
+    "atob": _decode_base64,
+}
+
+#: decoder vocabulary for work accounting / reporting; includes the
+#: multi-argument decoder the table above cannot express
+DECODER_NAMES = frozenset(PURE_DECODERS) | {"String.fromCharCode"}
 
 _UNESCAPE_CALL = re.compile(
     r"""(?:window\.)?(unescape|decodeURIComponent|decodeURI)\(\s*(['"])((?:[^'"\\]|\\.)*)\2\s*\)"""
@@ -67,7 +97,9 @@ def _quote(text: str) -> str:
 
 def _pass_unescape(source: str, decoded: List[str]) -> str:
     def repl(match: "re.Match[str]") -> str:
-        payload = js_unescape(match.group(3))
+        payload = PURE_DECODERS[match.group(1)](match.group(3))
+        if payload is None:
+            return match.group(0)
         decoded.append(payload)
         return _quote(payload)
 
@@ -86,11 +118,8 @@ def _pass_fromcharcode(source: str, decoded: List[str]) -> str:
 
 def _pass_atob(source: str, decoded: List[str]) -> str:
     def repl(match: "re.Match[str]") -> str:
-        try:
-            payload = base64.b64decode(match.group(2) + "=" * (-len(match.group(2)) % 4)).decode(
-                "latin-1"
-            )
-        except (binascii.Error, ValueError):
+        payload = PURE_DECODERS["atob"](match.group(2))
+        if payload is None:
             return match.group(0)
         decoded.append(payload)
         return _quote(payload)

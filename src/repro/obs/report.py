@@ -154,6 +154,18 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "skipped_scripts": int(metrics.counter_total("staticjs.sandbox.skipped_scripts")),
         "dynamic_agreement_rate": (agreed / (agreed + disagreed)
                                    if (agreed + disagreed) else 0.0),
+        # abstract-interpretation sub-stage: pages whose complete effect
+        # summaries replaced execution, and why the rest still executed
+        "absint": {
+            "skipped_pages": int(
+                metrics.counter_total("staticjs.absint.skipped_pages")),
+            "blocked_pages": {
+                k: int(v) for k, v in
+                _labeled_counts(observer, "staticjs.absint.blocked_pages",
+                                "reason").items()},
+            "redirect_targets": int(
+                metrics.counter_total("scan.static.redirect_targets")),
+        },
     }
 
     # -- scan executor (repro.scanexec; zeros when the run was serial) ------
@@ -325,6 +337,16 @@ def render_run_report_markdown(report: Dict[str, Any],
         sections.append("\nSandbox skip rate %.1f%% · static/dynamic agreement %.1f%%"
                         % (100 * staticjs["sandbox_skip_rate"],
                            100 * staticjs["dynamic_agreement_rate"]))
+        absint = staticjs.get("absint", {})
+        if absint.get("skipped_pages") or absint.get("blocked_pages"):
+            sections.append("\n### Abstract interpretation\n")
+            rows = [("effect-replay skipped pages",
+                     absint.get("skipped_pages", 0)),
+                    ("static redirect targets",
+                     absint.get("redirect_targets", 0))]
+            rows.extend((("blocked: %s" % reason), count) for reason, count
+                        in sorted(absint.get("blocked_pages", {}).items()))
+            sections.append(markdown_table(("Metric", "Count"), rows))
 
     scanexec = report.get("scanexec", {})
     if scanexec.get("workers"):

@@ -19,7 +19,7 @@ cloaked this way.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List, Optional, Sequence, Set
+from typing import Any, Dict, List, Optional, Sequence, Set, Union
 
 from ..jsengine import nodes as N
 from .dataflow import UNKNOWN, fold
@@ -52,6 +52,12 @@ class Cfg:
     exit: int = 0
     #: True when at least one branch edge was pruned by constant folding
     constant_pruned: bool = False
+    #: block indices that head a loop (back-edge targets) — the widening
+    #: anchors for the abstract interpreter (repro.staticjs.absint)
+    loop_heads: List[int] = field(default_factory=list)
+    #: id(loop AST node) -> head block index, so a tree-walking analysis
+    #: can find the CFG anchor for the loop it is about to enter
+    loop_head_of: Dict[int, int] = field(default_factory=dict)
 
     def block(self, index: int) -> BasicBlock:
         return self.blocks[index]
@@ -184,8 +190,14 @@ class _Builder:
             self.cfg.constant_pruned = True
         return join
 
-    def lower_while(self, node, current: BasicBlock) -> Optional[BasicBlock]:
+    def mark_loop_head(self, node: N.Node, head: BasicBlock) -> None:
+        self.cfg.loop_heads.append(head.index)
+        self.cfg.loop_head_of[id(node)] = head.index
+
+    def lower_while(self, node: "Union[N.While, N.DoWhile]",
+                    current: BasicBlock) -> Optional[BasicBlock]:
         head = self.new_block()
+        self.mark_loop_head(node, head)
         current.link(head)
         head.statements.append(node.test)
         decided = self.fold_test(node.test)
@@ -211,6 +223,7 @@ class _Builder:
         if node.init is not None:
             current.statements.append(node.init)
         head = self.new_block()
+        self.mark_loop_head(node, head)
         current.link(head)
         if node.test is not None:
             head.statements.append(node.test)
@@ -239,6 +252,7 @@ class _Builder:
 
     def lower_forin(self, node: N.ForIn, current: BasicBlock) -> Optional[BasicBlock]:
         head = self.new_block()
+        self.mark_loop_head(node, head)
         current.statements.append(node.obj)
         current.link(head)
         after = self.new_block()

@@ -17,13 +17,12 @@ resolved string that reaches an ``eval``-like sink, a
 
 from __future__ import annotations
 
-import base64
-import binascii
+import math
 from dataclasses import dataclass, field
 from typing import Any, Dict, List, Optional, Tuple
 
 from ..jsengine import nodes as N
-from ..jsengine.builtins import js_unescape
+from ..jsengine.deobfuscate import PURE_DECODERS
 
 __all__ = ["UNKNOWN", "Resolution", "ResolvedString", "fold", "propagate", "callee_path"]
 
@@ -98,6 +97,8 @@ def _to_str(value: Any) -> str:
     if isinstance(value, float):
         if value != value:
             return "NaN"
+        if math.isinf(value):
+            return "Infinity" if value > 0 else "-Infinity"
         if value == int(value) and abs(value) < 1e21:
             return str(int(value))
         return repr(value)
@@ -114,8 +115,14 @@ def _to_num(value: Any) -> float:
     if isinstance(value, float):
         return value
     if isinstance(value, str):
+        # mirrors values.to_number: hex literals parse, junk is NaN
+        text = value.strip()
+        if not text:
+            return 0.0
         try:
-            return float(value.strip() or "0")
+            if text.lower().startswith(("0x", "-0x", "+0x")):
+                return float(int(text, 16))
+            return float(text)
         except ValueError:
             return float("nan")
     if value is None:
@@ -220,9 +227,17 @@ def _fold_binary(node: N.Binary, env: Dict[str, Any], depth: int) -> Any:
     if op == "*":
         return a * b
     if op == "/":
-        return a / b if b else float("nan")
+        # mirrors Interpreter: x/0 is signed Infinity, 0/0 and NaN/0 NaN
+        if b == 0:
+            if a == 0 or math.isnan(a):
+                return float("nan")
+            return math.copysign(float("inf"), a)
+        return a / b
     if op == "%":
-        return a % b if b else float("nan")
+        # mirrors Interpreter: fmod (JS remainder keeps the dividend sign)
+        if b == 0 or math.isnan(a) or math.isinf(a):
+            return float("nan")
+        return math.fmod(a, b)
     if op in ("&", "|", "^", "<<", ">>", ">>>"):
         try:
             ia, ib = int(a), int(b)
@@ -296,17 +311,11 @@ def _fold_call(node: N.Call, env: Dict[str, Any], depth: int) -> Any:
             return "".join(chr(int(_to_num(a)) & 0xFFFF) for a in args)
         except (ValueError, OverflowError):
             return UNKNOWN
-    if path in ("unescape", "window.unescape", "decodeURIComponent", "decodeURI"):
+    if path in ("unescape", "window.unescape", "decodeURIComponent", "decodeURI",
+                "atob", "window.atob"):
         if len(args) == 1 and isinstance(args[0], str):
-            return js_unescape(args[0])
-        return UNKNOWN
-    if path in ("atob", "window.atob"):
-        if len(args) == 1 and isinstance(args[0], str):
-            raw = args[0]
-            try:
-                return base64.b64decode(raw + "=" * (-len(raw) % 4)).decode("latin-1")
-            except (binascii.Error, ValueError):
-                return UNKNOWN
+            decoded = PURE_DECODERS[path.rpartition(".")[2]](args[0])
+            return decoded if decoded is not None else UNKNOWN
         return UNKNOWN
     if path == "parseInt" and args and isinstance(args[0], (str, float)):
         base_val = int(_to_num(args[1])) if len(args) > 1 and args[1] is not UNKNOWN else 10

@@ -1,0 +1,242 @@
+"""Abstract value domain for the staticjs abstract interpreter.
+
+The lattice is deliberately *flat at the bottom*: concrete JS values
+(Python ``str``/``float``/``bool``/host objects, exactly as
+:mod:`repro.jsengine.values` represents them) are their own abstract
+elements, so the interpreter in :mod:`repro.staticjs.absint` computes
+bit-identical results to the sandbox whenever a script stays concrete.
+Above the concrete layer sit four abstract summaries:
+
+* ``NUMBER`` — an unknown number constrained to an :class:`Interval`,
+* ``STRING`` — an unknown string with a length upper bound (needed to
+  prove the sandbox's 2 MB allocation guard cannot fire),
+* ``BOOLEAN`` — an unknown boolean,
+* ``TOP`` — a value of unknown type.
+
+Joins and widenings only ever move *up* this lattice; an abstract value
+reaching an observable effect makes the script's effect summary
+incomplete (see :class:`repro.staticjs.absint.AbstractEffects`).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Optional, Set
+
+from ..jsengine.values import JSArray, JSFunction, JSObject
+
+__all__ = [
+    "Interval", "AbstractValue", "TOP", "BOOL_TOP", "STR_TOP", "NUM_TOP",
+    "number", "string", "is_abstract", "contains_abstract", "join_values",
+    "widen_values",
+]
+
+_INF = float("inf")
+
+KIND_TOP = "top"
+KIND_NUMBER = "number"
+KIND_STRING = "string"
+KIND_BOOLEAN = "boolean"
+
+
+class Interval:
+    """A closed numeric interval ``[lo, hi]`` (NaN always admitted).
+
+    JS numbers are doubles and every abstract number may be NaN (e.g.
+    ``Number(Math.random() + 'x')``), so the interval constrains the
+    value only *when it is a number*; consumers must not use it to
+    prove NaN-freedom.
+    """
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: float = -_INF, hi: float = _INF) -> None:
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def top(cls) -> "Interval":
+        return cls(-_INF, _INF)
+
+    @classmethod
+    def const(cls, value: float) -> "Interval":
+        if math.isnan(value):
+            return cls.top()
+        return cls(value, value)
+
+    def join(self, other: "Interval") -> "Interval":
+        return Interval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def widen(self, other: "Interval") -> "Interval":
+        """Standard interval widening: unstable bounds jump to ±inf."""
+        lo = self.lo if other.lo >= self.lo else -_INF
+        hi = self.hi if other.hi <= self.hi else _INF
+        return Interval(lo, hi)
+
+    def add(self, other: "Interval") -> "Interval":
+        return Interval(self.lo + other.lo, self.hi + other.hi)
+
+    def sub(self, other: "Interval") -> "Interval":
+        return Interval(self.lo - other.hi, self.hi - other.lo)
+
+    def mul(self, other: "Interval") -> "Interval":
+        corners = [self.lo * other.lo, self.lo * other.hi,
+                   self.hi * other.lo, self.hi * other.hi]
+        finite = [c for c in corners if not math.isnan(c)]
+        if not finite:
+            return Interval.top()
+        return Interval(min(finite), max(finite))
+
+    def neg(self) -> "Interval":
+        return Interval(-self.hi, -self.lo)
+
+    def contains(self, value: float) -> bool:
+        if math.isnan(value):
+            return True
+        return self.lo <= value <= self.hi
+
+    def is_top(self) -> bool:
+        return self.lo == -_INF and self.hi == _INF
+
+    def __eq__(self, other: object) -> bool:
+        return (isinstance(other, Interval)
+                and other.lo == self.lo and other.hi == self.hi)
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return "[%g, %g]" % (self.lo, self.hi)
+
+
+class AbstractValue:
+    """A non-concrete value: unknown number/string/boolean or TOP."""
+
+    __slots__ = ("kind", "interval", "max_len")
+
+    def __init__(self, kind: str, interval: Optional[Interval] = None,
+                 max_len: float = _INF) -> None:
+        self.kind = kind
+        #: numeric constraint when ``kind == "number"``
+        self.interval = interval if interval is not None else Interval.top()
+        #: string length upper bound when ``kind == "string"`` — lets the
+        #: interpreter prove concatenations stay under the sandbox's
+        #: MAX_STRING_LENGTH allocation guard
+        self.max_len = max_len
+
+    def __repr__(self) -> str:
+        if self.kind == KIND_NUMBER and not self.interval.is_top():
+            return "<number %r>" % self.interval
+        if self.kind == KIND_STRING and self.max_len != _INF:
+            return "<string len<=%g>" % self.max_len
+        return "<%s>" % self.kind
+
+
+TOP = AbstractValue(KIND_TOP)
+BOOL_TOP = AbstractValue(KIND_BOOLEAN)
+STR_TOP = AbstractValue(KIND_STRING)
+NUM_TOP = AbstractValue(KIND_NUMBER)
+
+
+def number(interval: Optional[Interval] = None) -> AbstractValue:
+    """An unknown number constrained to ``interval``."""
+    if interval is None or interval.is_top():
+        return NUM_TOP
+    return AbstractValue(KIND_NUMBER, interval)
+
+
+def string(max_len: float = _INF) -> AbstractValue:
+    """An unknown string of at most ``max_len`` characters."""
+    if max_len == _INF:
+        return STR_TOP
+    return AbstractValue(KIND_STRING, max_len=max_len)
+
+
+def is_abstract(value: Any) -> bool:
+    return isinstance(value, AbstractValue)
+
+
+def contains_abstract(value: Any, _seen: Optional[Set[int]] = None) -> bool:
+    """Deep scan: does ``value`` contain any abstract component?
+
+    Recurses through JS arrays and objects (cycle-safe) so host effects
+    and pure builtins can refuse to operate on partially unknown data.
+    """
+    if isinstance(value, AbstractValue):
+        return True
+    if isinstance(value, (JSArray, JSObject)):
+        seen = _seen if _seen is not None else set()
+        key = id(value)
+        if key in seen:
+            return False
+        seen.add(key)
+        children: Iterable[Any]
+        if isinstance(value, JSArray):
+            children = value.elements
+        else:
+            children = list(value.properties.values())
+        return any(contains_abstract(child, seen) for child in children)
+    if isinstance(value, JSFunction):
+        return False
+    return False
+
+
+def _lift(value: Any) -> Optional[AbstractValue]:
+    """The smallest abstract summary of a value, or None when the value
+    cannot be summarised (objects/functions join straight to TOP)."""
+    if isinstance(value, AbstractValue):
+        return value
+    if isinstance(value, bool):
+        return BOOL_TOP
+    if isinstance(value, (int, float)):
+        return number(Interval.const(float(value)))
+    if isinstance(value, str):
+        return string(float(len(value)))
+    return None
+
+
+def join_values(a: Any, b: Any) -> Any:
+    """Least upper bound of two (possibly concrete) values."""
+    if a is b:
+        return a
+    if not isinstance(a, AbstractValue) and not isinstance(b, AbstractValue):
+        if type(a) is type(b) and isinstance(a, (str, float, bool, int)) and a == b:
+            return a
+    lifted_a, lifted_b = _lift(a), _lift(b)
+    if lifted_a is None or lifted_b is None:
+        return TOP
+    if lifted_a.kind != lifted_b.kind:
+        return TOP
+    if lifted_a.kind == KIND_NUMBER:
+        return number(lifted_a.interval.join(lifted_b.interval))
+    if lifted_a.kind == KIND_STRING:
+        return string(max(lifted_a.max_len, lifted_b.max_len))
+    if lifted_a.kind == KIND_BOOLEAN:
+        return BOOL_TOP
+    return TOP
+
+
+def widen_values(previous: Any, current: Any) -> Any:
+    """Widening: like join, but unstable numeric bounds jump to ±inf.
+
+    Used at CFG loop heads once concrete unrolling exceeds its budget;
+    guarantees the abstract loop analysis terminates.
+    """
+    if previous is current:
+        return previous
+    joined = join_values(previous, current)
+    if not isinstance(joined, AbstractValue):
+        return joined
+    if joined.kind != KIND_NUMBER:
+        if joined.kind == KIND_STRING:
+            prev = _lift(previous)
+            cur = _lift(current)
+            if (prev is not None and cur is not None
+                    and prev.kind == KIND_STRING and cur.kind == KIND_STRING
+                    and cur.max_len > prev.max_len):
+                return STR_TOP  # growing string: drop the length bound
+        return joined
+    prev_lifted = _lift(previous)
+    if prev_lifted is None or prev_lifted.kind != KIND_NUMBER:
+        return joined
+    return number(prev_lifted.interval.widen(joined.interval))

@@ -10,7 +10,7 @@ used by the ``repro static-scan`` CLI.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Optional
 
 __all__ = [
     "SEVERITY_INFO", "SEVERITY_LOW", "SEVERITY_MEDIUM", "SEVERITY_HIGH",
@@ -75,6 +75,12 @@ class ScriptReport:
     #: once at parse time so cached reports can recharge the profiler's
     #: ``staticjs.ast_nodes`` work deterministically on every call
     node_count: int = 0
+    #: abstract-interpretation effect summary
+    #: (:class:`repro.staticjs.absint.AbstractEffects`) — present only
+    #: for depth-0 analyses; ``None`` when the machine was not run
+    effects: Optional[Any] = None
+    #: statically resolved navigation/iframe targets, in discovery order
+    redirect_targets: List[str] = field(default_factory=list)
 
     @property
     def max_severity(self) -> str:
@@ -95,6 +101,9 @@ class ScriptReport:
             "capabilities": list(self.capabilities),
             "resolved_payloads": list(self.resolved_payloads),
             "findings": [f.to_dict() for f in self.findings],
+            "redirect_targets": list(self.redirect_targets),
+            "effects": self.effects.to_dict() if self.effects is not None
+                       else None,
         }
 
 
@@ -127,5 +136,26 @@ def render_report_markdown(report: ScriptReport, title: str = "Static scan") -> 
         lines.append("\n## Resolved payloads\n")
         for payload in report.resolved_payloads:
             lines.append("```\n%s\n```" % payload)
+    if report.redirect_targets:
+        lines.append("\n## Static redirect targets\n")
+        for target in report.redirect_targets:
+            lines.append("- `%s`" % target.replace("`", ""))
+    if report.effects is not None:
+        effects = report.effects
+        lines.append("\n## Abstract interpretation\n")
+        if effects.complete:
+            lines.append("Effect summary is **complete** "
+                         "(%d machine steps)." % effects.steps)
+        else:
+            lines.append("Effect summary is **incomplete**: %s."
+                         % ", ".join(effects.reasons))
+        if effects.eval_sources:
+            lines.append("\n**Recovered eval payloads** (depth <= %d):\n"
+                         % effects.max_eval_depth)
+            for source in effects.eval_sources:
+                lines.append("```\n%s\n```" % source)
+        if effects.decoders_used:
+            lines.append("\n**Decoders executed:** %s"
+                         % ", ".join(effects.decoders_used))
     lines.append("")
     return "\n".join(lines)

@@ -37,6 +37,7 @@ from typing import Any, Dict, List, Optional, Sequence, Set, Tuple
 
 from ..jsengine import nodes as N
 from ..jsengine.parser import parse
+from .absint import AbstractEffects, interpret_script
 from .cfg import build_cfg
 from .dataflow import UNKNOWN, Resolution, callee_path, fold, propagate
 from .report import (
@@ -53,7 +54,13 @@ from .report import (
 )
 from .taint import find_taint_flows
 
-__all__ = ["analyze_script", "analyze_payload_html"]
+__all__ = ["RULESET_VERSION", "analyze_script", "analyze_payload_html"]
+
+#: bumped whenever the rule table, the verdict ladder, or any analysis
+#: feeding them changes shape; part of the memo-cache key so a stale
+#: cached report can never cross a ruleset boundary (e.g. when a
+#: long-lived process reloads this module's constants)
+RULESET_VERSION = 2
 
 _MAX_PAYLOAD_DEPTH = 3
 _EVIDENCE_LIMIT = 160
@@ -369,6 +376,41 @@ def _payload_findings(payload: str, sink: str, depth: int) -> List[StaticFinding
     return findings
 
 
+_IFRAME_SRC_RE = re.compile(
+    r"<iframe[^>]*?\bsrc\s*=\s*[\"']?([^\"'\s>]+)", re.IGNORECASE)
+
+
+def _redirect_targets(effects: Optional[AbstractEffects],
+                      resolution: Resolution) -> List[str]:
+    """Statically resolved navigation / injected-iframe targets.
+
+    Merges (in discovery order, deduplicated) the abstract machine's
+    redirect log — ``window.location`` sinks and ``document.write``
+    iframes it actually reached — with constant-propagation results
+    that cover code the machine aborted on.
+    """
+    targets: List[str] = []
+    seen: Set[str] = set()
+
+    def add(url: str) -> None:
+        url = url.strip()
+        if url and url not in seen:
+            seen.add(url)
+            targets.append(url)
+
+    if effects is not None:
+        for url in effects.redirect_targets:
+            add(url)
+    for resolved in resolution.url_strings:
+        detail = resolved.detail
+        if "location" in detail or detail.endswith("open"):
+            add(resolved.value)
+    for resolved in resolution.write_payloads:
+        for match in _IFRAME_SRC_RE.finditer(resolved.value):
+            add(match.group(1))
+    return targets
+
+
 def _dedupe(findings: List[StaticFinding]) -> List[StaticFinding]:
     seen: Set[Tuple[str, str, str]] = set()
     out: List[StaticFinding] = []
@@ -395,21 +437,31 @@ def analyze_script(source: str, _depth: int = 0,
     same deterministic ``staticjs.ast_nodes`` amount to the profiler.
     """
     if _depth == 0:
-        report = _analyze_script_cached(source)
+        report = _analyze_script_cached(source, RULESET_VERSION)
     else:
         report = _analyze_script_uncached(source, _depth)
     if observer is not None:
         observer.work("staticjs.ast_nodes", report.node_count)
+        if report.effects is not None:
+            observer.work("staticjs.absint.steps", report.effects.steps)
     return report
 
 
 @lru_cache(maxsize=2048)
-def _analyze_script_cached(source: str) -> ScriptReport:
+def _analyze_script_cached(source: str, ruleset_version: int) -> ScriptReport:
     return _analyze_script_uncached(source, 0)
 
 
 def _analyze_script_uncached(source: str, _depth: int) -> ScriptReport:
     report = ScriptReport()
+    if _depth == 0:
+        # the abstract machine survives any input by design; the guard
+        # is against machine bugs, which must degrade to "no summary"
+        # rather than break the scan
+        try:
+            report.effects = interpret_script(source)
+        except Exception:  # noqa: BLE001
+            report.effects = None
     try:
         program = parse(source)
     except Exception:  # noqa: BLE001 - lexer/parser errors, RecursionError:
@@ -417,6 +469,8 @@ def _analyze_script_uncached(source: str, _depth: int) -> ScriptReport:
         report.parse_failed = True
         report.verdict = VERDICT_NEEDS_DYNAMIC
         report.capabilities.append("parse-failure")
+        if report.effects is not None:
+            report.redirect_targets = list(report.effects.redirect_targets)
         return report
     report.node_count = sum(1 for _node in program.walk())
     try:
@@ -465,6 +519,18 @@ def _analyze_program(program: N.Program, report: ScriptReport,
     for resolved in resolution.resolved:
         report.resolved_payloads.append(resolved.value)
         findings.extend(_payload_findings(resolved.value, resolved.sink, depth))
+
+    # -- abstract interpretation: deobfuscated payloads and redirects ------
+    effects = report.effects
+    if effects is not None:
+        known_eval = {r.value for r in resolution.eval_payloads}
+        for recovered in effects.eval_sources:
+            if recovered in known_eval:
+                continue  # constant propagation already analyzed it
+            known_eval.add(recovered)
+            report.resolved_payloads.append(recovered)
+            findings.extend(_payload_findings(recovered, "eval", depth))
+    report.redirect_targets = _redirect_targets(effects, resolution)
 
     # -- obfuscation-indicative combinations -------------------------------
     decoder_calls = 0

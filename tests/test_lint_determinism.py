@@ -1,0 +1,80 @@
+"""Tests for tools/lint_determinism.py (the CI determinism lint)."""
+
+import importlib.util
+from pathlib import Path
+
+_SPEC = importlib.util.spec_from_file_location(
+    "lint_determinism",
+    Path(__file__).resolve().parent.parent / "tools" / "lint_determinism.py",
+)
+lint_determinism = importlib.util.module_from_spec(_SPEC)
+_SPEC.loader.exec_module(lint_determinism)
+
+lint_source = lint_determinism.lint_source
+
+
+def _messages(source, path="src/repro/example.py"):
+    return [message for _line, message in lint_source(source, path)]
+
+
+class TestRandomRule:
+    def test_module_level_random_is_flagged(self):
+        assert _messages("import random\nx = random.random()\n")
+        assert _messages("import random\nrandom.shuffle(items)\n")
+
+    def test_seeded_instance_is_allowed(self):
+        assert _messages(
+            "import random\nrng = random.Random(7)\nx = rng.random()\n"
+        ) == []
+
+
+class TestClockRule:
+    def test_wall_clock_flagged_outside_obs(self):
+        assert _messages("import time\nt = time.time()\n")
+        assert _messages(
+            "from datetime import datetime\nn = datetime.now()\n")
+
+    def test_obs_package_may_read_clock(self):
+        assert _messages("import time\nt = time.time()\n",
+                         path="src/repro/obs/clock.py") == []
+
+
+class TestSetIterationRule:
+    def test_for_over_set_call_is_flagged(self):
+        assert _messages("for x in set(items):\n    out.append(x)\n")
+
+    def test_join_over_set_literal_is_flagged(self):
+        assert _messages("s = ','.join({'b', 'a'})\n")
+
+    def test_list_over_set_union_is_flagged(self):
+        assert _messages("order = list(set(a) | set(b))\n")
+
+    def test_sorted_set_is_allowed(self):
+        assert _messages("for x in sorted(set(items)):\n    use(x)\n") == []
+
+    def test_membership_test_is_allowed(self):
+        assert _messages("if host in set(hosts):\n    pass\n") == []
+
+    def test_dict_iteration_is_allowed(self):
+        assert _messages("for k, v in {'a': 1}.items():\n    use(k)\n") == []
+
+
+class TestListdirRule:
+    def test_bare_listdir_is_flagged(self):
+        assert _messages("import os\nnames = os.listdir(path)\n")
+
+    def test_sorted_listdir_is_allowed(self):
+        assert _messages(
+            "import os\nnames = sorted(os.listdir(path))\n") == []
+
+
+class TestWaiver:
+    def test_waiver_comment_suppresses(self):
+        source = "import time\nt = time.time()  # determinism: allow\n"
+        assert _messages(source) == []
+
+
+class TestRepoIsClean:
+    def test_src_repro_has_no_hazards(self):
+        root = Path(__file__).resolve().parent.parent / "src" / "repro"
+        assert lint_determinism.lint_paths([str(root)]) == []

@@ -104,6 +104,79 @@ class TestDataflow:
         assert [p.value for p in resolution.write_payloads] == ["<b>evil.org</b>"]
 
 
+class TestFoldEdgeCases:
+    """fold must mirror the sandbox interpreter's number semantics."""
+
+    def _fold(self, source):
+        return fold(parse(source).body[0].expression)
+
+    def test_division_by_zero_is_signed_infinity(self):
+        assert self._fold("1 / 0;") == float("inf")
+        assert self._fold("-1 / 0;") == float("-inf")
+
+    def test_zero_over_zero_is_nan(self):
+        result = self._fold("0 / 0;")
+        assert result != result  # NaN
+
+    def test_modulo_zero_is_nan(self):
+        result = self._fold("5 % 0;")
+        assert result != result
+
+    def test_modulo_keeps_dividend_sign(self):
+        # JS remainder: -5 % 3 === -2 (Python's % would give 1)
+        assert self._fold("-5 % 3;") == -2.0
+
+    def test_infinity_stringifies_like_js(self):
+        assert self._fold("'' + (1/0);") == "Infinity"
+        assert self._fold("'' + (-1/0);") == "-Infinity"
+        assert self._fold("'' + (0/0);") == "NaN"
+
+    def test_hex_string_to_number(self):
+        assert self._fold("+'0x10';") == 16.0
+        assert self._fold("'0x10' * 1;") == 16.0
+
+    def test_junk_string_to_number_is_nan(self):
+        result = self._fold("+'3px';")
+        assert result != result
+        assert self._fold("+'';") == 0.0
+
+    def test_string_method_on_number_receiver(self):
+        # toString folds through number formatting...
+        assert self._fold("(12).toString();") == "12"
+        # ...but string-only methods on a non-string receiver stay UNKNOWN
+        assert self._fold("(5).toUpperCase();") is UNKNOWN
+        assert self._fold("(123).charAt(0);") is UNKNOWN
+        assert self._fold("(5).split('');") is UNKNOWN
+
+
+class TestCfgLoweringEdgeCases:
+    def test_dead_branch_switch_statements_are_pruned(self):
+        program = parse(
+            "if (false) { switch (x) { case 1: dead(); } } live();")
+        cfg = build_cfg(program.body)
+        assert len(cfg.unreachable_statements()) >= 1
+
+    def test_reachable_switch_cases_are_not_pruned(self):
+        program = parse(
+            "switch (1) { case 1: a(); break; case 2: b(); break; }")
+        cfg = build_cfg(program.body)
+        assert cfg.unreachable_statements() == []
+
+    def test_dead_code_inside_try_is_pruned(self):
+        program = parse(
+            "try { if (false) { dead(); } live(); }"
+            " catch (e) { handler(); }")
+        cfg = build_cfg(program.body)
+        pruned = cfg.unreachable_statements()
+        assert len(pruned) == 1
+
+    def test_loop_heads_recorded_for_widening(self):
+        program = parse("while (x) { x = step(x); }")
+        cfg = build_cfg(program.body)
+        assert cfg.loop_heads
+        assert cfg.loop_head_of
+
+
 class TestTaint:
     def test_direct_source_to_eval(self):
         flows = find_taint_flows(parse("eval(location.search);"))
@@ -203,8 +276,20 @@ class TestAnalyzeHtmlIntegration:
         assert analysis.sandbox_skipped
         assert analysis.static_findings == []
 
-    def test_active_page_still_runs(self):
+    def test_active_page_replays_effects(self):
+        # a non-benign script no longer forces execution: the abstract
+        # interpreter proves its complete effects and replays them
         analysis = analyze_html(self.ACTIVE)
+        assert analysis.sandbox_skipped
+        assert analysis.document_writes >= 1
+
+    def test_active_page_with_interference_still_runs(self):
+        html = (
+            "<html><body><script>var shared = 1;</script>"
+            "<script>if (window.shared) { document.write('<div>ad</div>'); }"
+            "</script></body></html>"
+        )
+        analysis = analyze_html(html)
         assert not analysis.sandbox_skipped
         assert analysis.document_writes >= 1
 

@@ -1,0 +1,198 @@
+#!/usr/bin/env python3
+"""AST lint banning nondeterminism hazards in the repro package.
+
+Every measurement in this repo must be bit-reproducible from its seed:
+baselines are committed, run reports are diffed in CI, and sharded scans
+must equal serial scans.  The classic ways Python code silently breaks
+that are:
+
+* ``random.<fn>()`` — module-level random calls share unseeded global
+  state (seeded ``random.Random(seed)`` instances are fine),
+* wall-clock reads (``time.time``, ``datetime.now``, …) anywhere except
+  :mod:`repro.obs`, which owns the simulated-clock abstraction,
+* iterating a ``set`` into ordered output (``for``, ``join``, ``list``,
+  ``tuple``, ``enumerate`` over a set expression) — set order varies
+  across interpreters and hash seeds; wrap in ``sorted()``,
+* ``os.listdir`` without an enclosing ``sorted()`` — directory order is
+  filesystem-dependent.
+
+A line may opt out with a ``# determinism: allow`` comment.  Exits 1
+with ``path:line: message`` findings, 0 when clean.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import sys
+from pathlib import Path
+from typing import List, Tuple
+
+WAIVER = "# determinism: allow"
+
+#: module-level random functions with process-global, unseeded state
+RANDOM_FUNCS = {
+    "random", "randint", "choice", "choices", "shuffle", "sample",
+    "uniform", "randrange", "getrandbits", "seed", "gauss", "betavariate",
+    "expovariate", "normalvariate", "triangular", "vonmisesvariate",
+}
+
+#: wall-clock attribute reads: (object name, attribute)
+CLOCK_ATTRS = {
+    ("time", "time"), ("time", "monotonic"), ("time", "perf_counter"),
+    ("time", "time_ns"), ("time", "monotonic_ns"),
+    ("datetime", "now"), ("datetime", "utcnow"), ("date", "today"),
+}
+
+#: directories (relative to the scan root) allowed to read the clock
+CLOCK_ALLOWED_PARTS = ("obs",)
+
+
+def _is_set_expr(node: ast.AST) -> bool:
+    """Expression whose value is certainly a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+            and node.func.id in ("set", "frozenset")):
+        return True
+    if isinstance(node, ast.BinOp) and isinstance(
+            node.op, (ast.BitOr, ast.BitAnd, ast.Sub, ast.BitXor)):
+        # set algebra: a union/intersection of sets is a set
+        return _is_set_expr(node.left) or _is_set_expr(node.right)
+    return False
+
+
+class _Visitor(ast.NodeVisitor):
+    def __init__(self, rel_path: str, clock_allowed: bool) -> None:
+        self.rel_path = rel_path
+        self.clock_allowed = clock_allowed
+        self.findings: List[Tuple[int, str]] = []
+
+    def _flag(self, node: ast.AST, message: str) -> None:
+        self.findings.append((node.lineno, message))
+
+    # -- unseeded global random / wall clock -----------------------------
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if isinstance(node.value, ast.Name):
+            base, attr = node.value.id, node.attr
+            if base == "random" and attr in RANDOM_FUNCS:
+                self._flag(node, "unseeded random.%s (use a seeded "
+                                 "random.Random instance)" % attr)
+            elif (base, attr) in CLOCK_ATTRS and not self.clock_allowed:
+                self._flag(node, "wall-clock read %s.%s (only repro.obs "
+                                 "may touch the clock)" % (base, attr))
+        self.generic_visit(node)
+
+    # -- set iteration feeding ordered output ----------------------------
+    def visit_For(self, node: ast.For) -> None:
+        if _is_set_expr(node.iter):
+            self._flag(node, "iteration over a set expression has "
+                             "unstable order (wrap in sorted())")
+        self.generic_visit(node)
+
+    def visit_comprehension_generators(self, generators) -> None:
+        for comp in generators:
+            if _is_set_expr(comp.iter):
+                self._flag(comp.iter, "comprehension over a set "
+                                      "expression has unstable order "
+                                      "(wrap in sorted())")
+
+    def visit_ListComp(self, node: ast.ListComp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_GeneratorExp(self, node: ast.GeneratorExp) -> None:
+        self.visit_comprehension_generators(node.generators)
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        # list(set(...)), tuple(...), enumerate(...), "".join(set(...))
+        func = node.func
+        name = ""
+        if isinstance(func, ast.Name):
+            name = func.id
+        elif isinstance(func, ast.Attribute):
+            name = func.attr
+        if name in ("list", "tuple", "enumerate", "join", "reversed"):
+            if any(_is_set_expr(arg) for arg in node.args):
+                self._flag(node, "%s() over a set expression has unstable "
+                                 "order (wrap in sorted())" % name)
+        if (isinstance(func, ast.Attribute)
+                and isinstance(func.value, ast.Name)
+                and func.value.id == "os" and func.attr == "listdir"):
+            self._flag(node, "os.listdir without sorted() — directory "
+                             "order is filesystem-dependent")
+        self.generic_visit(node)
+
+
+def _sorted_listdir_lines(tree: ast.AST) -> set:
+    """Line numbers of ``sorted(os.listdir(...))`` calls (allowed)."""
+    lines = set()
+    for node in ast.walk(tree):
+        if (isinstance(node, ast.Call) and isinstance(node.func, ast.Name)
+                and node.func.id == "sorted" and node.args):
+            inner = node.args[0]
+            if (isinstance(inner, ast.Call)
+                    and isinstance(inner.func, ast.Attribute)
+                    and isinstance(inner.func.value, ast.Name)
+                    and inner.func.value.id == "os"
+                    and inner.func.attr == "listdir"):
+                lines.add(inner.lineno)
+    return lines
+
+
+def lint_source(source: str, rel_path: str) -> List[Tuple[int, str]]:
+    """Lint one module's source; returns (line, message) findings."""
+    try:
+        tree = ast.parse(source)
+    except SyntaxError as exc:
+        return [(exc.lineno or 0, "syntax error: %s" % exc.msg)]
+    parts = Path(rel_path).parts
+    clock_allowed = any(part in CLOCK_ALLOWED_PARTS for part in parts)
+    visitor = _Visitor(rel_path, clock_allowed)
+    visitor.visit(tree)
+    allowed_listdir = _sorted_listdir_lines(tree)
+    source_lines = source.splitlines()
+
+    findings = []
+    for line, message in visitor.findings:
+        if "os.listdir" in message and line in allowed_listdir:
+            continue
+        if 0 < line <= len(source_lines) and WAIVER in source_lines[line - 1]:
+            continue
+        findings.append((line, message))
+    return sorted(findings)
+
+
+def lint_paths(paths: List[str]) -> List[str]:
+    """Lint every ``.py`` under ``paths``; returns rendered findings."""
+    rendered = []
+    for root in paths:
+        root_path = Path(root)
+        files = ([root_path] if root_path.is_file()
+                 else sorted(root_path.rglob("*.py")))
+        for file_path in files:
+            source = file_path.read_text(encoding="utf-8")
+            for line, message in lint_source(source, str(file_path)):
+                rendered.append("%s:%d: %s" % (file_path, line, message))
+    return rendered
+
+
+def main(argv: List[str] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("paths", nargs="*", default=["src/repro"],
+                        help="files or directories to lint "
+                             "(default: src/repro)")
+    args = parser.parse_args(argv)
+    findings = lint_paths(args.paths or ["src/repro"])
+    for finding in findings:
+        print(finding)
+    if findings:
+        print("%d determinism hazard(s) found" % len(findings),
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
