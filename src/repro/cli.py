@@ -56,9 +56,10 @@ def build_parser() -> argparse.ArgumentParser:
     run.add_argument("--no-file-submission", action="store_true",
                      help="disable the cloaking mitigation (URL-only scanning)")
     run.add_argument("--workers", type=int, default=None, metavar="N",
-                     help="scan-phase worker count (repro.scanexec; default 1 "
-                          "or $REPRO_SCAN_WORKERS; results are identical at "
-                          "any width)")
+                     help="worker count for the crawl and scan phases "
+                          "(repro.crawlexec + repro.scanexec; default 1 or "
+                          "$REPRO_WORKERS; results are identical at any "
+                          "width)")
     run.add_argument("--markdown", action="store_true",
                      help="emit the report as Markdown")
 
@@ -98,8 +99,8 @@ def build_parser() -> argparse.ArgumentParser:
     obs.add_argument("--scale", type=float, default=0.02)
     obs.add_argument("--seed", type=int, default=2016)
     obs.add_argument("--workers", type=int, default=None, metavar="N",
-                     help="scan-phase worker count (adds the scan-executor "
-                          "report section when > 1)")
+                     help="crawl+scan worker count (adds the executor "
+                          "report sections when > 1)")
     obs.add_argument("-o", "--output",
                      help="write the JSON report here (schema: repro.obs.report)")
     obs.add_argument("--markdown", action="store_true",
@@ -120,7 +121,7 @@ def build_parser() -> argparse.ArgumentParser:
     profile.add_argument("--scale", type=float, default=0.02)
     profile.add_argument("--seed", type=int, default=2016)
     profile.add_argument("--workers", type=int, default=None, metavar="N",
-                         help="scan-phase worker count (the work ledger is "
+                         help="crawl+scan worker count (the work ledger is "
                               "bit-identical at any width)")
     profile.add_argument("--top", type=int, default=10, metavar="N",
                          help="hot paths to print (default 10)")
@@ -151,7 +152,7 @@ def build_parser() -> argparse.ArgumentParser:
     explain.add_argument("--scale", type=float, default=0.02)
     explain.add_argument("--seed", type=int, default=2016)
     explain.add_argument("--workers", type=int, default=None, metavar="N",
-                         help="scan-phase worker count (the chain is identical "
+                         help="crawl+scan worker count (the chain is identical "
                               "at any width)")
     explain.add_argument("--from", dest="from_file", metavar="PATH",
                          help="read a stored provenance JSON-lines file "
@@ -299,14 +300,15 @@ def _cmd_export(args: argparse.Namespace) -> int:
 def _cmd_obs_report(args: argparse.Namespace) -> int:
     import json
 
-    from .crawler import CrawlPipeline
+    from .crawler import CrawlPipeline, PipelineOptions
     from .obs import RunObserver, build_run_report, render_run_report_markdown
 
     study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
     web = study.generate_web()
     observer = RunObserver()
-    pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer,
-                             workers=args.workers, record_provenance=True)
+    pipeline = CrawlPipeline(web, PipelineOptions(
+        seed=args.seed + 61, observer=observer,
+        workers=args.workers, record_provenance=True))
     outcome = pipeline.run()
     report = build_run_report(pipeline, outcome)
 
@@ -339,7 +341,7 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
 def _cmd_profile(args: argparse.Namespace) -> int:
     import json
 
-    from .crawler import CrawlPipeline
+    from .crawler import CrawlPipeline, PipelineOptions
     from .obs import (
         MemoryLedger,
         RunObserver,
@@ -354,8 +356,9 @@ def _cmd_profile(args: argparse.Namespace) -> int:
     observer = RunObserver(profile=True)
     memory = MemoryLedger()
     with memory:
-        pipeline = CrawlPipeline(web, seed=args.seed + 61, observer=observer,
-                                 workers=args.workers, memory_ledger=memory)
+        pipeline = CrawlPipeline(web, PipelineOptions(
+            seed=args.seed + 61, observer=observer,
+            workers=args.workers, memory_ledger=memory))
         pipeline.run()
     assert observer.profiler is not None
     ledger = observer.profiler.ledger
@@ -426,11 +429,12 @@ def _cmd_explain(args: argparse.Namespace) -> int:
         with open(args.from_file, "r", encoding="utf-8") as handle:
             store = ProvenanceStore.from_jsonl(handle.read())
     else:
-        from .crawler import CrawlPipeline
+        from .crawler import CrawlPipeline, PipelineOptions
 
         study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
-        pipeline = CrawlPipeline(study.generate_web(), seed=args.seed + 61,
-                                 workers=args.workers, record_provenance=True)
+        pipeline = CrawlPipeline(study.generate_web(), PipelineOptions(
+            seed=args.seed + 61,
+            workers=args.workers, record_provenance=True))
         outcome = pipeline.run()
         store = outcome.provenance
         assert store is not None

@@ -26,9 +26,11 @@ class StudyConfig:
     #: submit downloaded page files to the scanners (the paper's cloaking
     #: mitigation, footnote 1); False reproduces the naive URL-only setup
     submit_files: bool = True
-    #: scan-phase worker count (repro.scanexec); None resolves to the
-    #: REPRO_SCAN_WORKERS environment override or the serial default of 1.
-    #: Results are bit-identical at any width for a fixed seed
+    #: worker count for both sharded phases (repro.crawlexec and
+    #: repro.scanexec); None resolves to the REPRO_WORKERS environment
+    #: override (REPRO_SCAN_WORKERS is a deprecated alias) or the serial
+    #: default of 1.  Results are bit-identical at any width for a
+    #: fixed seed
     workers: Optional[int] = None
     #: record a per-URL VerdictProvenance chain during the scan phase
     #: (the flight recorder behind ``repro explain``); off by default —
@@ -48,3 +50,19 @@ class StudyConfig:
         config.seed = self.seed
         config.scale = self.scale
         return config
+
+    def pipeline_options(self, observer=None, memory_ledger=None):
+        """The :class:`~repro.crawler.options.PipelineOptions` this study
+        builds its pipeline with (``+61`` keeps the pipeline RNG stream
+        disjoint from web generation, as every pinned-value test assumes).
+        """
+        from ..crawler.options import PipelineOptions
+
+        return PipelineOptions(
+            seed=self.seed + 61,
+            submit_files=self.submit_files,
+            workers=self.workers,
+            record_provenance=self.record_provenance,
+            observer=observer,
+            memory_ledger=memory_ledger,
+        )

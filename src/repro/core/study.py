@@ -62,13 +62,8 @@ class MalwareSlumsStudy:
                 observer = RunObserver(profile=True)
                 memory_ledger = MemoryLedger()
             self.pipeline = CrawlPipeline(
-                web, seed=self.config.seed + 61,
-                submit_files=self.config.submit_files,
-                workers=self.config.workers,
-                record_provenance=self.config.record_provenance,
-                observer=observer,
-                memory_ledger=memory_ledger,
-            )
+                web, self.config.pipeline_options(
+                    observer=observer, memory_ledger=memory_ledger))
             self.outcome = self.pipeline.run()
         return self.outcome
 

@@ -6,6 +6,7 @@ then scan every distinct URL).
 """
 
 from .crawlers import CrawlStats, ExchangeCrawler
+from .options import PipelineOptions
 from .pipeline import CrawlPipeline, ScanOutcome
 from .session import BrowserSession
 from .storage import CachedContent, CrawlDataset, RecordKind, UrlRecord
@@ -17,6 +18,7 @@ __all__ = [
     "CrawlPipeline",
     "CrawlStats",
     "ExchangeCrawler",
+    "PipelineOptions",
     "RecordKind",
     "ScanOutcome",
     "UrlRecord",

@@ -1,0 +1,59 @@
+"""Pipeline configuration as one value object.
+
+``CrawlPipeline.__init__`` had grown eleven keyword arguments, each
+threaded separately through :class:`~repro.core.config.StudyConfig`,
+the CLI, and every test harness.  :class:`PipelineOptions` collapses
+them into a single dataclass that all of those share; the old kwargs
+keep working through a deprecation shim
+(:func:`repro.crawler.pipeline.legacy_pipeline_kwargs`) during the
+migration window.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+from typing import Optional
+
+from ..obs.observer import RunObserver
+from ..obs.profile import MemoryLedger
+
+__all__ = ["PipelineOptions"]
+
+
+@dataclass
+class PipelineOptions:
+    """Everything configurable about a :class:`CrawlPipeline` run.
+
+    One value object instead of a kwargs sprawl: build it once (or take
+    it from :meth:`StudyConfig.pipeline_options`), tweak fields, pass it
+    to ``CrawlPipeline(web, options)``.
+    """
+
+    #: pipeline RNG seed (exchange construction, listing weights, crawls)
+    seed: int = 77
+    #: submit the crawler's saved page files to the scanners (the
+    #: footnote-1 cloaking mitigation); False = the cloaking ablation
+    submit_files: bool = True
+    #: opt-in telemetry (metrics/traces/events/profiling); None keeps
+    #: every hook a skipped attribute test
+    observer: Optional[RunObserver] = None
+    #: run the repro.staticjs pass before sandboxing and skip provably
+    #: side-effect-free pages
+    static_prefilter: bool = True
+    #: worker count for BOTH phases (crawl shards by exchange, scan by
+    #: domain); None reads $REPRO_WORKERS, 1 keeps the serial loops
+    workers: Optional[int] = None
+    #: injectable scan-phase executor (defaults from ``workers``)
+    scan_executor: Optional[object] = None
+    #: injectable crawl-phase executor (defaults from ``workers``)
+    crawl_executor: Optional[object] = None
+    #: record a per-URL VerdictProvenance decision chain during the scan
+    record_provenance: bool = False
+    #: JSON-lines sink for the flight recorder (implies record_provenance)
+    provenance_path: Optional[str] = None
+    #: optional per-phase tracemalloc accounting
+    memory_ledger: Optional[MemoryLedger] = None
+
+    @classmethod
+    def field_names(cls) -> "tuple[str, ...]":
+        return tuple(f.name for f in fields(cls))

@@ -22,8 +22,9 @@ from __future__ import annotations
 import os
 import random
 import threading
+import warnings
 from contextlib import nullcontext
-from typing import Dict, Optional, Tuple
+from typing import Dict, List, Optional, Tuple
 
 from ..detection import (
     BlacklistSet,
@@ -36,8 +37,7 @@ from ..detection import (
 from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
 from ..exchanges.roster import ExchangeProfile
 from ..httpsim import SimHttpClient, SimHttpServer
-from ..obs.observer import RunObserver
-from ..obs.profile import MemoryLedger
+from ..jsengine import CompileCache
 from ..obs.provenance import (
     STAGE_CRAWL,
     STAGE_REDIRECT,
@@ -49,14 +49,68 @@ from ..simweb import ContentCategory, GroundTruth, MalwareFamily, Page, Site
 from ..simweb.generator import ExchangePool, GeneratedWeb
 from ..simweb.url import Url
 from .crawlers import CrawlStats, ExchangeCrawler
+from .options import PipelineOptions
 from .session import BrowserSession
 from .storage import CrawlDataset
 
-__all__ = ["ScanOutcome", "CrawlPipeline"]
+__all__ = [
+    "ScanOutcome",
+    "CrawlPipeline",
+    "PipelineOptions",
+    "legacy_pipeline_kwargs",
+    "workers_from_env",
+    "WORKERS_ENV",
+    "WORKERS_ENV_VAR",
+]
 
-#: environment override for the default scan worker count — lets CI run
-#: the whole suite through the parallel executor without code changes
+#: environment override for the default worker count of BOTH phases
+#: (crawl shards by exchange, scan shards by domain) — lets CI run the
+#: whole suite through the parallel executors without code changes
+WORKERS_ENV = "REPRO_WORKERS"
+
+#: deprecated scan-era name for :data:`WORKERS_ENV`; still honoured
+#: (with a DeprecationWarning) when the new variable is unset
 WORKERS_ENV_VAR = "REPRO_SCAN_WORKERS"
+
+
+def workers_from_env() -> int:
+    """Default worker count from ``$REPRO_WORKERS`` (1 when unset).
+
+    Falls back to the deprecated ``$REPRO_SCAN_WORKERS`` with a
+    :class:`DeprecationWarning` so existing CI matrices keep working
+    through the migration window.
+    """
+    value = os.environ.get(WORKERS_ENV)
+    if value is None:
+        legacy = os.environ.get(WORKERS_ENV_VAR)
+        if legacy is not None:
+            warnings.warn(
+                "the %s environment variable is deprecated; set %s, which "
+                "governs both the crawl and scan phases"
+                % (WORKERS_ENV_VAR, WORKERS_ENV),
+                DeprecationWarning, stacklevel=2)
+            value = legacy
+    return int(value or 1)
+
+
+def legacy_pipeline_kwargs(**kwargs: object) -> PipelineOptions:
+    """Adapt pre-:class:`PipelineOptions` keyword arguments (deprecated).
+
+    ``CrawlPipeline(web, seed=..., workers=...)`` still works through
+    this shim, but new code should build a :class:`PipelineOptions` and
+    pass it as ``options`` — in-repo use of the legacy spelling is
+    banned by ruff (TID251).
+    """
+    unknown = sorted(set(kwargs) - set(PipelineOptions.field_names()))
+    if unknown:
+        raise TypeError(
+            "unknown CrawlPipeline argument(s): %s" % ", ".join(unknown))
+    warnings.warn(
+        "passing CrawlPipeline configuration as individual keyword "
+        "arguments is deprecated; build a repro.crawler.PipelineOptions "
+        "and pass it as `options`",
+        DeprecationWarning, stacklevel=3)
+    return PipelineOptions(**kwargs)  # type: ignore[arg-type]
 
 
 class ScanOutcome:
@@ -72,6 +126,7 @@ class ScanOutcome:
                  unscanned_queries: int = 0) -> None:
         self.verdicts: Dict[str, UrlVerdict] = dict(verdicts) if verdicts else {}
         self._unscanned_queries = unscanned_queries
+        self._unscanned_by_url: Dict[str, int] = {}
         self._lock = threading.Lock()
         #: the per-URL flight recorder, populated by the pipeline when it
         #: runs with ``record_provenance=True`` (None otherwise)
@@ -90,6 +145,22 @@ class ScanOutcome:
         """Explicitly account one query for a never-scanned URL."""
         with self._lock:
             self._unscanned_queries += 1
+            self._unscanned_by_url[url] = self._unscanned_by_url.get(url, 0) + 1
+
+    def unscanned_by_url(self) -> Dict[str, int]:
+        """Per-URL counts of queries against never-scanned URLs (a copy)."""
+        with self._lock:
+            return dict(self._unscanned_by_url)
+
+    def unscanned_top(self, n: int = 5) -> List[Tuple[str, int]]:
+        """The ``n`` worst never-scanned offenders, most-queried first.
+
+        Ties break alphabetically so the report order is deterministic.
+        """
+        with self._lock:
+            items = sorted(self._unscanned_by_url.items(),
+                           key=lambda kv: (-kv[1], kv[0]))
+        return items[:n]
 
     def scanned(self, url: str) -> bool:
         """True when the scan phase produced a verdict for ``url``."""
@@ -110,55 +181,80 @@ class ScanOutcome:
 class CrawlPipeline:
     """Runs the full measurement."""
 
-    def __init__(self, web: GeneratedWeb, seed: int = 77,
-                 submit_files: bool = True,
-                 observer: Optional[RunObserver] = None,
-                 static_prefilter: bool = True,
-                 workers: Optional[int] = None,
-                 scan_executor: Optional[ParallelScanExecutor] = None,
-                 record_provenance: bool = False,
-                 provenance_path: Optional[str] = None,
-                 memory_ledger: Optional[MemoryLedger] = None) -> None:
+    def __init__(self, web: GeneratedWeb,
+                 options: Optional[PipelineOptions] = None,
+                 **legacy: object) -> None:
+        if legacy:
+            if options is not None:
+                raise TypeError(
+                    "pass either `options` or legacy keyword arguments, "
+                    "not both")
+            options = legacy_pipeline_kwargs(**legacy)
+        elif options is None:
+            options = PipelineOptions()
+        elif isinstance(options, int):
+            # the pre-options signature was (web, seed=77, ...); a bare
+            # int in the second slot is a positional legacy seed
+            options = legacy_pipeline_kwargs(seed=options)
+        #: the resolved configuration value object (never None)
+        self.options = options
         self.web = web
-        self.rng = random.Random(seed)
+        self.rng = random.Random(options.seed)
         #: record a per-URL VerdictProvenance decision chain during the
         #: scan phase (the flight recorder behind `repro explain`); the
         #: resulting store is deterministic and bit-identical across
         #: worker counts for a fixed seed
-        self.record_provenance = record_provenance
+        self.record_provenance = options.record_provenance
         #: optional JSON-lines sink for the flight recorder: records are
         #: written through (and flushed) as verdicts land, so a crash
         #: mid-scan still leaves every completed chain on disk
-        self.provenance_path = provenance_path
-        if provenance_path is not None:
+        self.provenance_path = options.provenance_path
+        if options.provenance_path is not None:
             self.record_provenance = True
         self.provenance_store: Optional[ProvenanceStore] = None
         #: optional per-phase tracemalloc accounting (see repro.obs.profile)
-        self.memory_ledger = memory_ledger
+        self.memory_ledger = options.memory_ledger
         #: first crawl record per URL, built at scan start so provenance
         #: chains can be completed (crawl stages prepended) incrementally
         self._first_record: Dict[str, object] = {}
         #: run the repro.staticjs pass before sandboxing and skip dynamic
         #: execution for pages whose every inline script is provably
         #: side-effect-free; set False to force dynamic-only scanning
-        self.static_prefilter = static_prefilter
+        self.static_prefilter = options.static_prefilter
+        workers = options.workers
         if workers is None:
-            workers = int(os.environ.get(WORKERS_ENV_VAR) or 1)
-        #: scan-phase worker count; 1 keeps the serial reference loop
+            workers = workers_from_env()
+        #: worker count for BOTH phases; 1 keeps the serial reference loops
         self.workers = max(1, workers)
         #: the scan-phase executor — injectable for tests (e.g. a
         #: ParallelScanExecutor with an InlineExecutor pool); defaults to
         #: a ThreadPoolExecutor-backed executor when ``workers > 1`` and
         #: to the serial loop at ``workers=1``
-        self.scan_executor = scan_executor
+        self.scan_executor = options.scan_executor
         if self.scan_executor is None and self.workers > 1:
             self.scan_executor = ParallelScanExecutor(workers=self.workers)
+        #: the crawl-phase executor — same contract as the scan one but
+        #: sharding by exchange (see repro.crawlexec); defaults parallel
+        #: when ``workers > 1`` and to the serial loop at ``workers=1``
+        self.crawl_executor = options.crawl_executor
+        if self.crawl_executor is None and self.workers > 1:
+            from ..crawlexec.executor import ParallelCrawlExecutor
+
+            self.crawl_executor = ParallelCrawlExecutor(workers=self.workers)
         #: accounting from the last executor-backed scan (None after a
         #: serial scan) — shard stats, simulated makespan, speedup
         self.last_scan_execution: Optional[ScanExecution] = None
+        #: accounting from the last executor-backed crawl (None after a
+        #: serial crawl) — see :class:`repro.crawlexec.CrawlExecution`
+        self.last_crawl_execution: Optional[object] = None
         #: opt-in telemetry; with None every hook below is a skipped
         #: attribute test and pipeline outputs are identical to seed
-        self.observer = observer
+        self.observer = options.observer
+        observer = options.observer
+        #: pipeline-scoped parsed-program cache shared by every sandbox
+        #: run (and every scan-shard clone): each distinct script source
+        #: is tokenized/parsed once, then re-run from the cached AST
+        self.compile_cache = CompileCache()
         self.server = SimHttpServer(web.registry, observer=observer)
         # the client's HAR capture shares the observer's clock so span
         # and HAR timestamps never drift apart
@@ -170,7 +266,7 @@ class CrawlPipeline:
         self.dataset = CrawlDataset()
         self.exchanges: Dict[str, TrafficExchange] = {}
         self.crawl_stats: Dict[str, CrawlStats] = {}
-        self.submit_files = submit_files
+        self.submit_files = options.submit_files
         self.blacklists: Optional[BlacklistSet] = None
         self.verdict_service: Optional[UrlVerdictService] = None
         self._build_exchange_sites()
@@ -410,36 +506,25 @@ class CrawlPipeline:
     # Crawl
     # ------------------------------------------------------------------
     def crawl(self, scale: Optional[float] = None) -> Dict[str, CrawlStats]:
-        """Crawl every exchange at ``scale`` (defaults to web config)."""
+        """Crawl every exchange at ``scale`` (defaults to web config).
+
+        At ``workers > 1`` the crawl fans out one shard per exchange
+        through :class:`repro.crawlexec.ParallelCrawlExecutor`; the
+        merge is deterministic, so stats, dataset, HAR logs, and
+        telemetry are bit-identical to the serial loop.
+        """
         scale = scale if scale is not None else self.web.config.scale
         observer = self.observer
         memory = self.memory_ledger
+        specs = self._build_crawl_specs(scale)
         with (memory.phase("crawl") if memory is not None else nullcontext()):
             with (observer.frame("crawl") if observer is not None
                   else nullcontext()):
-                for name, exchange in self.exchanges.items():
-                    prof = self.web.pools[name].profile
-                    steps = prof.scaled_urls(scale)
-                    browser = BrowserSession(
-                        client=self.client,
-                        registry=self.web.registry,
-                        dataset=self.dataset,
-                        exchange_name=name,
-                        exchange_host=prof.host,
-                        observer=observer,
-                    )
-                    crawler = ExchangeCrawler(
-                        exchange, browser, random.Random(self.rng.randrange(2**32)),
-                        account_id="measurement-%s" % name,
-                        observer=observer,
-                    )
-                    if observer is not None:
-                        with observer.span("crawl.exchange", exchange=name,
-                                           steps=steps):
-                            with observer.frame("exchange:%s" % name):
-                                self.crawl_stats[name] = crawler.crawl(steps)
-                    else:
-                        self.crawl_stats[name] = crawler.crawl(steps)
+                if self.crawl_executor is not None:
+                    self.last_crawl_execution = self.crawl_executor.execute(
+                        specs, self, observer=observer)
+                else:
+                    self._crawl_serial(specs)
         if memory is not None:
             memory.count_objects("crawl.records", len(self.dataset.records))
             memory.count_objects("crawl.cached_urls", len(self.dataset.content))
@@ -447,6 +532,57 @@ class CrawlPipeline:
             memory.count_objects(
                 "simweb.pages",
                 sum(len(site.pages) for site in self.web.registry))
+        return self.crawl_stats
+
+    def _build_crawl_specs(self, scale: float) -> List[object]:
+        """One :class:`~repro.crawlexec.CrawlSpec` per exchange.
+
+        Seeds are pre-drawn from the pipeline RNG in exchange order —
+        the exact draw sequence the serial loop used to make inline —
+        so serial and sharded crawls hand each exchange's crawler the
+        same :class:`random.Random` stream.
+        """
+        from ..crawlexec.executor import CrawlSpec
+
+        specs: List[object] = []
+        for index, (name, exchange) in enumerate(self.exchanges.items()):
+            prof = self.web.pools[name].profile
+            specs.append(CrawlSpec(
+                index=index,
+                name=name,
+                exchange=exchange,
+                host=prof.host,
+                steps=prof.scaled_urls(scale),
+                seed=self.rng.randrange(2**32),
+            ))
+        return specs
+
+    def _crawl_serial(self, specs: List[object]) -> Dict[str, CrawlStats]:
+        """The serial reference loop: one exchange after another on the
+        shared client/clock/dataset.  Also the executor's fallback path
+        when sharding cannot reproduce the serial interleaving."""
+        observer = self.observer
+        for spec in specs:
+            browser = BrowserSession(
+                client=self.client,
+                registry=self.web.registry,
+                dataset=self.dataset,
+                exchange_name=spec.name,
+                exchange_host=spec.host,
+                observer=observer,
+            )
+            crawler = ExchangeCrawler(
+                spec.exchange, browser, random.Random(spec.seed),
+                account_id="measurement-%s" % spec.name,
+                observer=observer,
+            )
+            if observer is not None:
+                with observer.span("crawl.exchange", exchange=spec.name,
+                                   steps=spec.steps):
+                    with observer.frame("exchange:%s" % spec.name):
+                        self.crawl_stats[spec.name] = crawler.crawl(spec.steps)
+            else:
+                self.crawl_stats[spec.name] = crawler.crawl(spec.steps)
         return self.crawl_stats
 
     # ------------------------------------------------------------------
@@ -475,15 +611,18 @@ class CrawlPipeline:
         self.verdict_service = UrlVerdictService(
             virustotal=VirusTotalSim(client=SimHttpClient(self.server),
                                      observer=self.observer,
-                                     static_prefilter=self.static_prefilter),
+                                     static_prefilter=self.static_prefilter,
+                                     compile_cache=self.compile_cache),
             quttera=QutteraSim(client=SimHttpClient(self.server),
                                observer=self.observer,
-                               static_prefilter=self.static_prefilter),
+                               static_prefilter=self.static_prefilter,
+                               compile_cache=self.compile_cache),
             blacklists=self.blacklists,
             submit_files=self.submit_files,
             observer=self.observer,
             static_prefilter=self.static_prefilter,
             record_provenance=self.record_provenance,
+            compile_cache=self.compile_cache,
         )
         return self.verdict_service
 

@@ -1,0 +1,367 @@
+"""Exchange-sharded crawl execution on the :class:`PhaseExecutor` template.
+
+See the package docstring for the sharding/merge contract.  The
+executor is deliberately conservative: anything that could make the
+parallel interleaving observable — a rotation key touched by two
+exchanges, a non-simulated clock — triggers a bit-exact serial re-run
+instead of an approximate merge.
+"""
+
+from __future__ import annotations
+
+import copy
+import random
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..crawler.crawlers import CrawlStats, ExchangeCrawler
+from ..crawler.session import BrowserSession
+from ..crawler.storage import CrawlDataset
+from ..httpsim.client import SimHttpClient
+from ..httpsim.message import HttpRequest, HttpResponse
+from ..httpsim.server import SimHttpServer
+from ..obs.clock import SimClock
+from ..phasexec.executor import InlineExecutor, PhaseExecutor
+from ..phasexec.recording import RecordingObserver
+from ..simweb.url import Url
+
+__all__ = [
+    "CrawlExecution",
+    "CrawlShardStats",
+    "CrawlSpec",
+    "ParallelCrawlExecutor",
+    "SerialCrawlExecutor",
+]
+
+
+@dataclass
+class CrawlSpec:
+    """One exchange's surf session, fully determined before any crawling.
+
+    The pipeline pre-draws ``seed`` from its own RNG in exchange order,
+    so the serial loop and the executor consume identical draw
+    sequences — the per-exchange crawler RNG streams match bit for bit.
+    """
+
+    index: int
+    name: str
+    exchange: object
+    host: str
+    steps: int
+    seed: int
+
+
+@dataclass
+class CrawlShardStats:
+    """Post-run accounting for one exchange shard."""
+
+    index: int
+    exchange: str
+    steps: int
+    #: simulated crawl-seconds (0.05 s per request on the shard clock)
+    busy_seconds: float
+    requests: int = 0
+    #: worker slot and start offset under deterministic list scheduling
+    worker: int = 0
+    start_seconds: float = 0.0
+
+
+@dataclass
+class CrawlExecution:
+    """Everything one crawl-executor run produced."""
+
+    stats: "Dict[str, CrawlStats]"
+    workers: int
+    shard_stats: List[CrawlShardStats] = field(default_factory=list)
+    #: simulated cost of surfing every exchange back to back
+    serial_seconds: float = 0.0
+    #: simulated makespan with exchanges overlapped across ``workers``
+    parallel_seconds: float = 0.0
+    #: True when a shared-state overlap forced the bit-exact serial re-run
+    fallback_serial: bool = False
+
+    @property
+    def speedup(self) -> float:
+        return self.serial_seconds / self.parallel_seconds if self.parallel_seconds else 1.0
+
+    @property
+    def utilisation(self) -> float:
+        """Mean worker busy-fraction over the parallel phase."""
+        if not self.parallel_seconds or not self.workers:
+            return 1.0
+        busy = sum(stats.busy_seconds for stats in self.shard_stats)
+        return min(1.0, busy / (self.workers * self.parallel_seconds))
+
+
+class _ShardHttpServer(SimHttpServer):
+    """Shard-confined server front-end over the shared registry.
+
+    Rotation counters start fresh (summed into the main server after
+    the conflict check); shortener resolutions are answered from a
+    non-mutating peek and logged, so the merge can replay them through
+    the shared directory in exchange order — the exact order the serial
+    loop would have produced.
+    """
+
+    def __init__(self, registry: object, observer: Optional[object] = None) -> None:
+        super().__init__(registry, observer=observer)
+        #: deferred shortener accounting: (host, slug, referrer_domain, country)
+        self.shortener_log: List[Tuple[str, str, str, str]] = []
+
+    def _handle_shortener(self, request: HttpRequest) -> HttpResponse:
+        url = request.url
+        slug = url.path.lstrip("/")
+        referrer_domain = ""
+        if request.referrer:
+            referrer_url = Url.try_parse(request.referrer)
+            if referrer_url is not None:
+                referrer_domain = referrer_url.registrable_domain
+        self.shortener_log.append((url.host, slug, referrer_domain, request.country))
+        stats = self.registry.shorteners.service(url.host).stats(slug)
+        if stats is None:
+            return HttpResponse.not_found(url=url)
+        return HttpResponse.redirect(stats.long_url, status=301, url=url)
+
+
+@dataclass
+class _ShardJob:
+    """One shard's confined runtime, built on the main thread."""
+
+    server: _ShardHttpServer
+    client: SimHttpClient
+    clock: SimClock
+    dataset: CrawlDataset
+    buffer: Optional[RecordingObserver]
+    registry: object
+
+
+@dataclass
+class _ShardResult:
+    """What one shard's worker hands back to the merge."""
+
+    stats: CrawlStats
+    dataset: CrawlDataset
+    server: _ShardHttpServer
+    #: the shard clock at session end (started at zero)
+    duration: float
+
+
+@dataclass
+class _CrawlPrep:
+    """Main-thread state carried from prepare to merge."""
+
+    #: pre-crawl deep copies of every exchange, for the serial fallback
+    snapshots: Dict[str, object]
+    #: set when the shared clock is not simulated — skip sharding entirely
+    force_serial: bool = False
+
+
+class ParallelCrawlExecutor(PhaseExecutor):
+    """Fans exchange surf sessions out over a worker pool.
+
+    ``execute(specs, pipeline, observer)`` takes the pipeline itself as
+    the phase context: shards read its registry, and the merge writes
+    its dataset, crawl stats, server counters, and shared clock.
+    """
+
+    def __init__(self, workers: int = 4,
+                 pool_factory: Optional[object] = None) -> None:
+        # one shard per exchange: the exchange is the isolation boundary,
+        # so finer shards are impossible and coarser ones waste overlap
+        super().__init__(workers=workers, shards_per_worker=1,
+                         pool_factory=pool_factory)
+
+    # -- PhaseExecutor hooks -------------------------------------------------
+    def execute(self, specs: Sequence[CrawlSpec], pipeline: object,
+                observer: Optional[object] = None) -> CrawlExecution:
+        """Crawl every spec'd exchange; bit-identical to the serial loop."""
+        return super().execute(specs, pipeline, observer)
+
+    def prepare(self, specs: Sequence[CrawlSpec], pipeline: object,
+                observer: Optional[object]) -> _CrawlPrep:
+        # HAR/span timestamps can only be reconciled on a simulated
+        # clock; a wall clock means serial semantics from the start
+        force_serial = not isinstance(pipeline.client.clock, SimClock)
+        snapshots = {} if force_serial else {
+            spec.name: copy.deepcopy(spec.exchange) for spec in specs
+        }
+        return _CrawlPrep(snapshots=snapshots, force_serial=force_serial)
+
+    def shard(self, specs: Sequence[CrawlSpec], pipeline: object,
+              state: _CrawlPrep) -> List[CrawlSpec]:
+        if state.force_serial:
+            return []
+        return list(specs)
+
+    def shard_state(self, spec: CrawlSpec, buffer: Optional[RecordingObserver],
+                    pipeline: object, state: _CrawlPrep) -> _ShardJob:
+        server = _ShardHttpServer(pipeline.web.registry, observer=buffer)
+        clock = SimClock()
+        client = SimHttpClient(server, clock=clock, observer=buffer)
+        return _ShardJob(server=server, client=client, clock=clock,
+                         dataset=CrawlDataset(), buffer=buffer,
+                         registry=pipeline.web.registry)
+
+    def run_shard(self, spec: CrawlSpec, job: _ShardJob) -> _ShardResult:
+        """One worker invocation: surf one exchange end to end."""
+        browser = BrowserSession(
+            client=job.client,
+            registry=job.registry,
+            dataset=job.dataset,
+            exchange_name=spec.name,
+            exchange_host=spec.host,
+            observer=job.buffer,
+        )
+        crawler = ExchangeCrawler(
+            spec.exchange, browser, random.Random(spec.seed),
+            account_id="measurement-%s" % spec.name,
+            observer=job.buffer,
+        )
+        stats = crawler.crawl(spec.steps)
+        return _ShardResult(stats=stats, dataset=job.dataset,
+                            server=job.server, duration=job.clock.now())
+
+    def merge(self, specs: Sequence[CrawlSpec], pipeline: object,
+              state: _CrawlPrep, shards: List[CrawlSpec],
+              results: List[_ShardResult],
+              buffers: List[Optional[RecordingObserver]],
+              observer: Optional[object]) -> CrawlExecution:
+        if state.force_serial or self._rotation_overlap(pipeline, results):
+            return self._serial_fallback(specs, pipeline, state, results, observer)
+
+        clock = pipeline.client.clock
+        shard_stats: List[CrawlShardStats] = []
+        for spec, result, buffer in zip(shards, results, buffers):
+            if observer is not None:
+                with observer.span("crawl.exchange", exchange=spec.name,
+                                   steps=spec.steps):
+                    with observer.frame("exchange:%s" % spec.name):
+                        self._merge_shard(pipeline, spec, result, buffer,
+                                          observer, clock)
+            else:
+                self._merge_shard(pipeline, spec, result, None, None, clock)
+            shard_stats.append(CrawlShardStats(
+                index=spec.index, exchange=spec.name, steps=spec.steps,
+                busy_seconds=result.duration,
+                requests=result.server.requests_served,
+            ))
+
+        execution = CrawlExecution(
+            stats=dict(pipeline.crawl_stats),
+            workers=self.workers,
+            shard_stats=shard_stats,
+            serial_seconds=sum(s.busy_seconds for s in shard_stats),
+            parallel_seconds=self.makespan(shard_stats),
+        )
+        self._emit_metrics(execution, observer)
+        return execution
+
+    # ------------------------------------------------------------------
+    def _merge_shard(self, pipeline: object, spec: CrawlSpec,
+                     result: _ShardResult, buffer: Optional[RecordingObserver],
+                     observer: Optional[object], clock: SimClock) -> None:
+        """Fold one shard back exactly as the serial loop would have.
+
+        Runs inside the exchange's span/frame.  The shared clock is
+        *replayed*, not shifted: every crawl-phase advance is the
+        client's per-request ``REQUEST_SECONDS``, captured as one HAR
+        entry, so re-advancing per entry and restamping ``started``
+        performs the identical float-accumulation sequence the serial
+        loop did — offset-adding a shard-local sum would round
+        differently in the last ulp.  The telemetry buffer replays
+        *after*, so the ``crawl.exchange.done`` event lands on the
+        session-end instant.
+        """
+        pipeline.crawl_stats[spec.name] = result.stats
+        pipeline.dataset.records.extend(result.dataset.records)
+        for url, cached in result.dataset.content.items():
+            # first capture wins across exchanges, in exchange order —
+            # the same winner the serial loop picks
+            pipeline.dataset.cache_content(url, cached)
+        shard_log = result.dataset.har_logs.get(spec.name)
+        if shard_log is not None:
+            for entry in shard_log.entries:
+                clock.advance(SimHttpClient.REQUEST_SECONDS)
+                entry.started = clock.now()
+            pipeline.dataset.har_log(spec.name).extend(shard_log.entries)
+        # server-side accounting continues into the scan phase, so the
+        # main server must hold the post-crawl totals
+        pipeline.server.requests_served += result.server.requests_served
+        rotation = pipeline.server._rotation_counters
+        for key, count in result.server._rotation_counters.items():
+            rotation[key] = rotation.get(key, 0) + count
+        # replay deferred shortener accounting through the shared
+        # directory (hit counts, referrer/country Counters feeding
+        # Table IV insert in exactly the serial order)
+        shorteners = pipeline.web.registry.shorteners
+        for host, slug, referrer_domain, country in result.server.shortener_log:
+            shorteners.service(host).resolve(slug, referrer=referrer_domain,
+                                             country=country)
+        if buffer is not None:
+            buffer.replay(observer)
+
+    def _rotation_overlap(self, pipeline: object,
+                          results: List[_ShardResult]) -> bool:
+        """True when summing rotation counters would change semantics.
+
+        Each rotating redirector hands out targets round-robin; if two
+        exchanges hit the same one, the interleaving matters and only
+        the serial loop reproduces it.
+        """
+        seen: Dict[str, int] = {}
+        for result in results:
+            for key in result.server._rotation_counters:
+                if key in seen or pipeline.server._rotation_counters.get(key):
+                    return True
+                seen[key] = 1
+        return False
+
+    def _serial_fallback(self, specs: Sequence[CrawlSpec], pipeline: object,
+                         state: _CrawlPrep, results: List[_ShardResult],
+                         observer: Optional[object]) -> CrawlExecution:
+        """Restore pre-crawl state and run the reference serial loop."""
+        run_specs = list(specs)
+        if not state.force_serial:
+            # shards mutated the exchanges (members, credits, campaign
+            # cursors, RNG streams); restore the pre-crawl deep copies
+            run_specs = [replace(spec, exchange=state.snapshots[spec.name])
+                         for spec in specs]
+            for spec in run_specs:
+                pipeline.exchanges[spec.name] = spec.exchange
+        pipeline._crawl_serial(run_specs)
+        serial_seconds = sum(result.duration for result in results)
+        execution = CrawlExecution(
+            stats=dict(pipeline.crawl_stats),
+            workers=self.workers,
+            shard_stats=[],
+            serial_seconds=serial_seconds,
+            parallel_seconds=serial_seconds,
+            fallback_serial=True,
+        )
+        self._emit_metrics(execution, observer)
+        return execution
+
+    def _emit_metrics(self, execution: CrawlExecution,
+                      observer: Optional[object]) -> None:
+        if observer is None:
+            return
+        observer.count("crawlexec.shards", len(execution.shard_stats))
+        observer.gauge_set("crawlexec.workers", execution.workers)
+        observer.gauge_max("crawlexec.queue.depth", len(execution.shard_stats))
+        observer.gauge_set("crawlexec.worker.utilisation", execution.utilisation)
+        observer.gauge_set("crawlexec.serial_seconds", execution.serial_seconds)
+        observer.gauge_set("crawlexec.parallel_seconds", execution.parallel_seconds)
+        observer.gauge_set("crawlexec.speedup", execution.speedup)
+        if execution.fallback_serial:
+            observer.count("crawlexec.fallback.serial")
+        for stats in execution.shard_stats:
+            observer.observe("crawlexec.shard.busy_seconds", stats.busy_seconds)
+            observer.observe("crawlexec.shard.steps", stats.steps)
+
+
+class SerialCrawlExecutor(ParallelCrawlExecutor):
+    """One worker, inline execution, no threads — executor accounting
+    (shard stats, simulated makespan) with serial scheduling."""
+
+    def __init__(self) -> None:
+        super().__init__(workers=1, pool_factory=InlineExecutor)

@@ -87,6 +87,7 @@ class UrlVerdictService:
         observer: Optional[object] = None,
         static_prefilter: bool = True,
         record_provenance: bool = False,
+        compile_cache: Optional[object] = None,
     ) -> None:
         self.virustotal = virustotal
         self.quttera = quttera
@@ -103,6 +104,11 @@ class UrlVerdictService:
         #: verdict (the per-URL flight recorder; ~free, but off by
         #: default so unobserved runs build no records at all)
         self.record_provenance = record_provenance
+        #: optional :class:`repro.jsengine.CompileCache`, pipeline-scoped
+        #: and *shared with every shard clone* — the lock is inside the
+        #: cache, so the hit rate (and the compile work saved) does not
+        #: depend on the worker count
+        self.compile_cache = compile_cache
 
     def shard_clone(self, observer: Optional[object] = None) -> "UrlVerdictService":
         """A clone safe to run on one executor shard's worker thread.
@@ -116,15 +122,18 @@ class UrlVerdictService:
         """
         return UrlVerdictService(
             virustotal=VirusTotalSim(observer=observer,
-                                     static_prefilter=self.static_prefilter),
+                                     static_prefilter=self.static_prefilter,
+                                     compile_cache=self.compile_cache),
             quttera=QutteraSim(observer=observer,
-                               static_prefilter=self.static_prefilter),
+                               static_prefilter=self.static_prefilter,
+                               compile_cache=self.compile_cache),
             blacklists=self.blacklists,
             min_blacklist_hits=self.min_blacklist_hits,
             submit_files=self.submit_files,
             observer=observer,
             static_prefilter=self.static_prefilter,
             record_provenance=self.record_provenance,
+            compile_cache=self.compile_cache,
         )
 
     def verdict(
@@ -145,7 +154,8 @@ class UrlVerdictService:
 
                 analysis = analyze_content(content, content_type, url,
                                            observer=self.observer,
-                                           static_prefilter=self.static_prefilter)
+                                           static_prefilter=self.static_prefilter,
+                                           compile_cache=self.compile_cache)
                 submission = Submission(
                     url=url, content=content, content_type=content_type,
                     final_url=final_url, analysis=analysis,

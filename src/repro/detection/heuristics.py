@@ -192,7 +192,8 @@ class ContentAnalysis:
 def analyze_content(content: bytes, content_type: str = "text/html",
                     url: str = "http://unknown.invalid/",
                     observer: Optional[object] = None,
-                    static_prefilter: bool = True) -> ContentAnalysis:
+                    static_prefilter: bool = True,
+                    compile_cache: Optional[object] = None) -> ContentAnalysis:
     """Dispatch on artifact type and analyze.
 
     ``observer`` (a :class:`repro.obs.RunObserver`, optional) is threaded
@@ -200,12 +201,14 @@ def analyze_content(content: bytes, content_type: str = "text/html",
     the scanners execute.  ``static_prefilter`` enables the
     :mod:`repro.staticjs` pass: scripts get static findings before any
     sandbox run, and pages whose every inline script is provably
-    side-effect-free skip dynamic execution entirely.
+    side-effect-free skip dynamic execution entirely.  ``compile_cache``
+    (a :class:`repro.jsengine.CompileCache`, optional) makes the sandbox
+    compile each distinct script source once per run.
     """
     if content_type.startswith("application/x-shockwave-flash") or SwfFile.sniff(content):
         return analyze_swf(content)
     if content_type.startswith("application/pdf") or content[:5] == b"%PDF-":
-        return analyze_pdf(content, observer=observer)
+        return analyze_pdf(content, observer=observer, compile_cache=compile_cache)
     if content_type.startswith(("application/x-msdownload", "application/octet-stream")) and content[:2] == b"MZ":
         analysis = ContentAnalysis(kind="executable")
         analysis.executable_signature_hit = is_malicious_executable(content)
@@ -213,8 +216,10 @@ def analyze_content(content: bytes, content_type: str = "text/html",
     text = content.decode("utf-8", errors="replace")
     if content_type.startswith(("application/javascript", "text/javascript")):
         return _analyze_standalone_js(text, url, observer=observer,
-                                      static_prefilter=static_prefilter)
-    return analyze_html(text, url, observer=observer, static_prefilter=static_prefilter)
+                                      static_prefilter=static_prefilter,
+                                      compile_cache=compile_cache)
+    return analyze_html(text, url, observer=observer, static_prefilter=static_prefilter,
+                        compile_cache=compile_cache)
 
 
 def _observe(observer: Optional[object], name: str, amount: float = 1.0,
@@ -235,7 +240,8 @@ def _frame(observer: Optional[object], name: str) -> ContextManager[None]:
 
 def analyze_html(html: str, url: str = "http://unknown.invalid/",
                  observer: Optional[object] = None,
-                 static_prefilter: bool = True) -> ContentAnalysis:
+                 static_prefilter: bool = True,
+                 compile_cache: Optional[object] = None) -> ContentAnalysis:
     """Full static + dynamic analysis of an HTML page.
 
     With ``static_prefilter`` on, every inline script is first analyzed
@@ -262,7 +268,8 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
                 source = script.text_content()
                 if not source.strip():
                     continue
-                report = analyze_script(source, observer=observer)
+                report = analyze_script(source, observer=observer,
+                                        compile_cache=compile_cache)
                 reports.append(report)
                 analysis.static_findings.extend(report.findings)
                 for target in report.redirect_targets:
@@ -311,7 +318,8 @@ def analyze_html(html: str, url: str = "http://unknown.invalid/",
         # ---- dynamic pass: execute scripts, observe behaviour, mutate DOM
         with _frame(observer, "sandbox"):
             host = run_script_in_page(html, url=url, step_budget=200_000,
-                                      observer=observer)
+                                      observer=observer,
+                                      compile_cache=compile_cache)
         document = host.document_tree
         analysis.navigations = list(host.log.navigations)
         analysis.popups = list(host.log.popups)
@@ -581,7 +589,8 @@ def analyze_swf(content: bytes) -> ContentAnalysis:
     return analysis
 
 
-def analyze_pdf(content: bytes, observer: Optional[object] = None) -> ContentAnalysis:
+def analyze_pdf(content: bytes, observer: Optional[object] = None,
+                compile_cache: Optional[object] = None) -> ContentAnalysis:
     """Inspect a PDF: malformed structure and embedded JavaScript.
 
     Quttera-style heuristics (Section III-B lists "malformed PDFs"):
@@ -619,7 +628,8 @@ def analyze_pdf(content: bytes, observer: Optional[object] = None) -> ContentAna
         page = "<html><body><script>%s</script></body></html>" % source
         with _frame(observer, "sandbox"):
             host = run_script_in_page(page, step_budget=100_000,
-                                      observer=observer)
+                                      observer=observer,
+                                      compile_cache=compile_cache)
         analysis.navigations.extend(host.log.navigations)
         analysis.download_triggers.extend(host.log.download_triggers)
         analysis.popups.extend(host.log.popups)
@@ -629,11 +639,13 @@ def analyze_pdf(content: bytes, observer: Optional[object] = None) -> ContentAna
 
 def _analyze_standalone_js(source: str, url: str,
                            observer: Optional[object] = None,
-                           static_prefilter: bool = True) -> ContentAnalysis:
+                           static_prefilter: bool = True,
+                           compile_cache: Optional[object] = None) -> ContentAnalysis:
     """Analyze a bare ``.js`` file by wrapping it in a page."""
     page = "<html><body><script>%s</script></body></html>" % source
     analysis = analyze_html(page, url=url, observer=observer,
-                            static_prefilter=static_prefilter)
+                            static_prefilter=static_prefilter,
+                            compile_cache=compile_cache)
     analysis.kind = "javascript"
     return analysis
 

@@ -45,12 +45,16 @@ class QutteraSim(DeprecatedScanShims):
 
     def __init__(self, client: Optional[SimHttpClient] = None,
                  observer: Optional[object] = None,
-                 static_prefilter: bool = True) -> None:
+                 static_prefilter: bool = True,
+                 compile_cache: Optional[object] = None) -> None:
         self.client = client
         #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
         self.observer = observer
         #: run the repro.staticjs pass before any sandbox execution
         self.static_prefilter = static_prefilter
+        #: optional :class:`repro.jsengine.CompileCache` shared across
+        #: the run so templated scripts compile once
+        self.compile_cache = compile_cache
 
     # ------------------------------------------------------------------
     def scan(self, submission: Submission) -> ScanReport:
@@ -70,6 +74,7 @@ class QutteraSim(DeprecatedScanShims):
         analysis = analyze_content(
             submission.content or b"", submission.content_type, submission.url,
             observer=self.observer, static_prefilter=self.static_prefilter,
+            compile_cache=self.compile_cache,
         )
         return self._report_from_analysis(submission, analysis)
 

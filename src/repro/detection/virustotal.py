@@ -49,6 +49,7 @@ class VirusTotalSim(DeprecatedScanShims):
         positives_threshold: int = 2,
         observer: Optional[object] = None,
         static_prefilter: bool = True,
+        compile_cache: Optional[object] = None,
     ) -> None:
         self.client = client
         self.engines = engines if engines is not None else default_engine_pool(observer)
@@ -59,6 +60,9 @@ class VirusTotalSim(DeprecatedScanShims):
         #: run the repro.staticjs pass and skip the sandbox for pages
         #: whose scripts are provably side-effect-free
         self.static_prefilter = static_prefilter
+        #: optional :class:`repro.jsengine.CompileCache` shared across
+        #: the run so templated scripts compile once
+        self.compile_cache = compile_cache
         self._url_cache: Dict[str, ScanReport] = {}
 
     # ------------------------------------------------------------------
@@ -71,7 +75,8 @@ class VirusTotalSim(DeprecatedScanShims):
                 submission,
                 analyze_content(submission.content or b"", submission.content_type,
                                 submission.url, observer=self.observer,
-                                static_prefilter=self.static_prefilter),
+                                static_prefilter=self.static_prefilter,
+                                compile_cache=self.compile_cache),
             )
         return self._scan_fetched(submission.url)
 
@@ -91,7 +96,8 @@ class VirusTotalSim(DeprecatedScanShims):
         )
         analysis = analyze_content(submission.content or b"", submission.content_type,
                                    url, observer=self.observer,
-                                   static_prefilter=self.static_prefilter)
+                                   static_prefilter=self.static_prefilter,
+                                   compile_cache=self.compile_cache)
         report = self._scan_analysis(submission, analysis)
         if result.redirected:
             report.details["final_url"] = result.final_url

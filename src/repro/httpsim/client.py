@@ -156,7 +156,14 @@ class SimHttpClient:
             current = next_url
         assert response is not None
         if observer is not None:
-            self._fetch_seconds.observe(self.clock.now() - fetch_started)
+            if isinstance(self.clock, SimClock):
+                # the simulated duration is *defined* as requests × unit
+                # cost; computing it as a clock difference would pick up
+                # accumulated rounding that differs between the serial
+                # loop and a shard-local clock starting at zero
+                self._fetch_seconds.observe(len(entries) * self.REQUEST_SECONDS)
+            else:
+                self._fetch_seconds.observe(self.clock.now() - fetch_started)
             if hops:
                 self._redirect_hops.inc(len(hops))
             # batched per fetch: request/byte work for the profiler

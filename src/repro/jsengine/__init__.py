@@ -12,6 +12,7 @@ Provides everything the paper's behavioural/static JS analysis needs:
   syntax-tree features.
 """
 
+from .compilecache import CompileCache
 from .deobfuscate import DeobfuscationResult, deobfuscate, looks_obfuscated
 from .features import JsFeatures, extract_features
 from .hostenv import BehaviorLog, BrowserHost, run_script_in_page
@@ -24,6 +25,7 @@ __all__ = [
     "BehaviorLog",
     "BrowserHost",
     "BudgetExceeded",
+    "CompileCache",
     "DeobfuscationResult",
     "Interpreter",
     "JSException",

@@ -439,6 +439,7 @@ class BrowserHost:
         step_budget: int = 500_000,
         now_ms: float = 1_420_070_400_000.0,  # fixed clock: 2015-01-01
         observer: Optional[Any] = None,
+        compile_cache: Optional[Any] = None,
     ) -> None:
         self.document_tree = document if document is not None else Document()
         #: threaded into fragment parses (document.write / innerHTML) so
@@ -455,7 +456,7 @@ class BrowserHost:
         self.location = LocationObject(self, url)
         self.interpreter = Interpreter(
             host_globals={}, step_budget=step_budget, rng=rng or random.Random(0),
-            observer=observer,
+            observer=observer, compile_cache=compile_cache,
         )
         self._install_globals()
 
@@ -606,7 +607,8 @@ class _WindowObject:
 def run_script_in_page(html: str, url: str = "http://localhost/", referrer: str = "",
                        step_budget: int = 500_000, simulate_events: bool = True,
                        rng: Optional[random.Random] = None,
-                       observer: Optional[Any] = None) -> BrowserHost:
+                       observer: Optional[Any] = None,
+                       compile_cache: Optional[Any] = None) -> BrowserHost:
     """Parse ``html``, execute its inline scripts, optionally fire events.
 
     Returns the :class:`BrowserHost`, whose ``log`` and mutated
@@ -617,7 +619,8 @@ def run_script_in_page(html: str, url: str = "http://localhost/", referrer: str 
 
     document = parse(html, observer=observer)
     host = BrowserHost(document=document, url=url, referrer=referrer,
-                       step_budget=step_budget, rng=rng, observer=observer)
+                       step_budget=step_budget, rng=rng, observer=observer,
+                       compile_cache=compile_cache)
     for script in document.find_all("script"):
         if script.get("src"):
             host.on_script_src(script.get("src"))

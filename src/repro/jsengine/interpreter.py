@@ -127,9 +127,13 @@ class Interpreter:
         step_budget: int = 500_000,
         rng: Optional[random.Random] = None,
         observer: Optional[Any] = None,
+        compile_cache: Optional[Any] = None,
     ) -> None:
         self.rng = rng or random.Random(0)
         self.step_budget = step_budget
+        #: optional :class:`repro.jsengine.compilecache.CompileCache`;
+        #: when set, :meth:`run` and ``eval()`` compile through it
+        self.compile_cache = compile_cache
         self.steps = 0
         #: steps already attributed to earlier run_program calls — one
         #: Interpreter runs every script on a page, so per-script
@@ -156,8 +160,13 @@ class Interpreter:
     # ------------------------------------------------------------------
     def run(self, source: str) -> Any:
         """Parse and execute ``source`` in the global scope."""
-        program = parse(source, observer=self.observer)
-        return self.run_program(program)
+        return self.run_program(self._compile(source))
+
+    def _compile(self, source: str) -> N.Program:
+        """Compile once per distinct source when a cache is attached."""
+        if self.compile_cache is not None:
+            return self.compile_cache.compile(source, observer=self.observer)
+        return parse(source, observer=self.observer)
 
     def run_program(self, program: N.Program) -> Any:
         self._hoist(program.body, self.global_env)
@@ -218,7 +227,7 @@ class Interpreter:
         if not isinstance(source, str):
             return source
         self.eval_log.append(source)
-        program = parse(source, observer=self.observer)
+        program = self._compile(source)
         self._hoist(program.body, self.global_env)
         result: Any = UNDEFINED
         self.eval_depth += 1

@@ -12,7 +12,7 @@ from typing import Any, List, Optional, Tuple
 from . import nodes as N
 from .lexer import Token, tokenize
 
-__all__ = ["parse", "ParseError"]
+__all__ = ["parse", "parse_tokens", "ParseError"]
 
 
 class ParseError(SyntaxError):
@@ -33,6 +33,18 @@ def parse(source: str, observer: Optional[Any] = None) -> N.Program:
     tokens = tokenize(source)
     if observer is not None:
         observer.work("js.tokens", len(tokens))
+    return parse_tokens(tokens)
+
+
+def parse_tokens(tokens: List[Token]) -> N.Program:
+    """Parse an already-lexed token stream (no work charging).
+
+    Split out from :func:`parse` so the
+    :class:`~repro.jsengine.compilecache.CompileCache` can keep the
+    token count when ``parse_program`` raises — the serial path charges
+    ``js.tokens`` whenever lexing succeeded, even for parse errors, and
+    cached replays must reproduce that accounting exactly.
+    """
     return _Parser(tokens).parse_program()
 
 

@@ -99,10 +99,11 @@ class Histogram:
     """
 
     __slots__ = ("name", "labels", "bounds", "bucket_counts", "count", "total",
-                 "min_value", "max_value")
+                 "min_value", "max_value", "observations")
 
     def __init__(self, name: str, bounds: Optional[Iterable[float]] = None,
-                 labels: LabelKey = ()) -> None:
+                 labels: LabelKey = (),
+                 record_observations: bool = False) -> None:
         self.name = name
         self.labels = labels
         self.bounds = sorted(bounds) if bounds is not None else default_latency_buckets()
@@ -113,6 +114,11 @@ class Histogram:
         self.total = 0.0
         self.min_value = math.inf
         self.max_value = -math.inf
+        #: raw values, kept only in shard-buffer registries so the merge
+        #: can *replay* them — re-running the exact float-accumulation
+        #: sequence the serial loop would have, instead of adding a
+        #: shard-local partial sum whose rounding differs in the last ulp
+        self.observations: Optional[List[float]] = [] if record_observations else None
 
     def observe(self, value: float) -> None:
         self.count += 1
@@ -122,6 +128,8 @@ class Histogram:
         if value > self.max_value:
             self.max_value = value
         self.bucket_counts[self._bucket_index(value)] += 1
+        if self.observations is not None:
+            self.observations.append(value)
 
     def _bucket_index(self, value: float) -> int:
         # bisect_left on bounds gives the first bound >= value, i.e. the
@@ -172,10 +180,13 @@ class Histogram:
 class MetricsRegistry:
     """Creates-on-first-use registry of named, optionally labeled metrics."""
 
-    def __init__(self) -> None:
+    def __init__(self, record_observations: bool = False) -> None:
         self._counters: Dict[Tuple[str, LabelKey], Counter] = {}
         self._gauges: Dict[Tuple[str, LabelKey], Gauge] = {}
         self._histograms: Dict[Tuple[str, LabelKey], Histogram] = {}
+        #: shard-buffer mode: histograms keep raw values so merge_from
+        #: can replay them observation by observation (bit-exact totals)
+        self._record_observations = record_observations
 
     # -- accessors (create on first use) ------------------------------------
     def counter(self, name: str, **labels: object) -> Counter:
@@ -202,8 +213,57 @@ class MetricsRegistry:
                 # latencies, everything else holds unit counts
                 bounds = (default_latency_buckets() if name.endswith("seconds")
                           else default_count_buckets())
-            metric = self._histograms[key] = Histogram(name, bounds, key[1])
+            metric = self._histograms[key] = Histogram(
+                name, bounds, key[1],
+                record_observations=self._record_observations)
         return metric
+
+    # -- merging -------------------------------------------------------------
+    def merge_from(self, other: "MetricsRegistry") -> None:
+        """Fold another registry's totals into this one.
+
+        The shard-merge primitive: worker threads accumulate into their
+        own registry (handles resolved against a per-shard buffer) and
+        the main thread folds each buffer back in original shard order.
+        Counters add, gauges keep the high-water mark (the only gauges
+        written off the main thread are ``gauge_max`` semantics), and
+        histograms *replay* their recorded observations when the source
+        registry kept them (shard buffers do) — re-running the serial
+        float-accumulation sequence exactly — falling back to a
+        field-wise merge otherwise.  All readers sort by key, so
+        creation order never leaks into output.
+        """
+        for key, counter in sorted(other._counters.items()):
+            mine = self._counters.get(key)
+            if mine is None:
+                mine = self._counters[key] = Counter(key[0], key[1])
+            mine.value += counter.value
+        for key, gauge in sorted(other._gauges.items()):
+            mine_g = self._gauges.get(key)
+            if mine_g is None:
+                mine_g = self._gauges[key] = Gauge(key[0], key[1])
+            mine_g.set_max(gauge.value)
+        for key, histogram in sorted(other._histograms.items()):
+            mine_h = self._histograms.get(key)
+            if mine_h is None:
+                mine_h = self._histograms[key] = Histogram(
+                    key[0], histogram.bounds, key[1])
+            if mine_h.bounds != histogram.bounds:
+                raise ValueError(
+                    "histogram %r bucket bounds differ between registries"
+                    % key[0])
+            if histogram.observations is not None:
+                for value in histogram.observations:
+                    mine_h.observe(value)
+                continue
+            for index, bucket_count in enumerate(histogram.bucket_counts):
+                mine_h.bucket_counts[index] += bucket_count
+            mine_h.count += histogram.count
+            mine_h.total += histogram.total
+            if histogram.min_value < mine_h.min_value:
+                mine_h.min_value = histogram.min_value
+            if histogram.max_value > mine_h.max_value:
+                mine_h.max_value = histogram.max_value
 
     # -- reading -------------------------------------------------------------
     def counters_named(self, name: str) -> List[Counter]:

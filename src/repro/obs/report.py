@@ -18,6 +18,7 @@ JSON schema (top-level keys)::
                      redirect_hops, latency: histogram-summary},
       "redirects":  {depth_counts: {"0": n, "1": n, ...}, max_depth},
       "scan":       {urls_scanned, malicious, benign, unscanned_queries,
+                     unscanned_top: [[url, queries], ...],
                      engines: {name: detections}, engine_misses: {...},
                      heuristic_fps: {...}, quttera_threats: {severity: n},
                      blacklist_hits: n},
@@ -29,11 +30,16 @@ JSON schema (top-level keys)::
                      queue_depth_peak, worker_utilisation,
                      serial_seconds_est, parallel_seconds_est,
                      speedup_est, shard_busy: histogram-summary},
+      "crawlexec":  {workers, shards, queue_depth_peak,
+                     worker_utilisation, serial_seconds_est,
+                     parallel_seconds_est, speedup_est, fallback_serial,
+                     shard_busy: histogram-summary},
       "provenance": {records, stage_mix: {stage: n}, mean_stages,
                      recorded_counter},
       "dedup":      {records, new_urls, duplicate_urls, hit_rate},
       "js":         {gauges: {gauge-name: value},
-                     op_count_distribution: histogram-summary},
+                     op_count_distribution: histogram-summary,
+                     compile_cache: {hits, misses, hit_rate}},
       "work":       {totals: {kind: units},          # only when the run
                      hot_paths: [{path, kind, units}],  # was profiled
                      cells: n},
@@ -130,6 +136,10 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "malicious": int(metrics.counter_total("scan.verdict.malicious")),
         "benign": int(metrics.counter_total("scan.verdict.benign")),
         "unscanned_queries": getattr(outcome, "unscanned_queries", 0) if outcome is not None else 0,
+        # worst never-scanned offenders, most-queried first (healthy
+        # runs have none; a populated list names the gap to close)
+        "unscanned_top": [list(item) for item in outcome.unscanned_top()]
+        if outcome is not None and hasattr(outcome, "unscanned_top") else [],
         "engines": _labeled_counts(observer, "scan.engine.detected", "engine"),
         "engine_misses": _labeled_counts(observer, "scan.engine.signature_miss", "engine"),
         "heuristic_fps": _labeled_counts(observer, "scan.engine.heuristic_fp", "engine"),
@@ -182,6 +192,19 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "shard_busy": metrics.histogram("scanexec.shard.busy_seconds").summary(),
     }
 
+    # -- crawl executor (repro.crawlexec; zeros when the run was serial) ----
+    crawlexec = {
+        "workers": int(metrics.gauge("crawlexec.workers").value),
+        "shards": int(metrics.counter_total("crawlexec.shards")),
+        "queue_depth_peak": int(metrics.gauge("crawlexec.queue.depth").value),
+        "worker_utilisation": metrics.gauge("crawlexec.worker.utilisation").value,
+        "serial_seconds_est": metrics.gauge("crawlexec.serial_seconds").value,
+        "parallel_seconds_est": metrics.gauge("crawlexec.parallel_seconds").value,
+        "speedup_est": metrics.gauge("crawlexec.speedup").value,
+        "fallback_serial": bool(metrics.counter_total("crawlexec.fallback.serial")),
+        "shard_busy": metrics.histogram("crawlexec.shard.busy_seconds").summary(),
+    }
+
     # -- verdict provenance (repro.obs.provenance; zeros when disabled) -----
     store = getattr(pipeline, "provenance_store", None)
     provenance = {
@@ -203,6 +226,8 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
     }
 
     # -- JS sandbox: run-level gauges + per-script step distribution --------
+    cache_hits = metrics.counter_total("jsengine.cache.hits")
+    cache_misses = metrics.counter_total("jsengine.cache.misses")
     js = {
         "gauges": {
             key: value
@@ -210,6 +235,14 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
             if key.startswith("js.")
         },
         "op_count_distribution": metrics.histogram("js.op_count").summary(),
+        # the per-source compiled-program cache (repro.jsengine): every
+        # AST request is a hit or a miss; misses == distinct scripts
+        "compile_cache": {
+            "hits": int(cache_hits),
+            "misses": int(cache_misses),
+            "hit_rate": (cache_hits / (cache_hits + cache_misses)
+                         if (cache_hits + cache_misses) else 0.0),
+        },
     }
 
     events = {
@@ -225,6 +258,7 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
         "scan": scan,
         "staticjs": staticjs,
         "scanexec": scanexec,
+        "crawlexec": crawlexec,
         "provenance": provenance,
         "dedup": dedup,
         "js": js,
@@ -305,6 +339,12 @@ def render_run_report_markdown(report: Dict[str, Any],
          ("unscanned queries", scan["unscanned_queries"]),
          ("blacklist hits", scan["blacklist_hits"])],
     ))
+    if scan.get("unscanned_top"):
+        sections.append("\n### Never-scanned URLs (top offenders)\n")
+        sections.append(markdown_table(
+            ("URL", "Queries"),
+            [(url, int(count)) for url, count in scan["unscanned_top"]],
+        ))
     if scan["engines"]:
         sections.append("\n### Per-engine detections\n")
         sections.append(markdown_table(
@@ -372,6 +412,32 @@ def render_run_report_markdown(report: Dict[str, Any],
                            scanexec["speedup_est"],
                            100 * scanexec["worker_utilisation"]))
 
+    crawlexec = report.get("crawlexec", {})
+    if crawlexec.get("workers"):
+        sections.append("\n## Crawl executor\n")
+        sections.append(markdown_table(
+            ("Metric", "Value"),
+            [("workers", crawlexec["workers"]),
+             ("shards (exchanges)", crawlexec["shards"]),
+             ("queue depth peak", crawlexec["queue_depth_peak"])],
+        ))
+        shard_busy = crawlexec["shard_busy"]
+        if shard_busy["count"]:
+            sections.append("\nShard busy time (s): p50 %.1f · p95 %.1f · max %.1f "
+                            "over %d shards"
+                            % (shard_busy["p50"], shard_busy["p95"],
+                               shard_busy["max"], int(shard_busy["count"])))
+        if crawlexec.get("fallback_serial"):
+            sections.append("\nShared-state overlap detected — the crawl "
+                            "re-ran through the bit-exact serial fallback.")
+        else:
+            sections.append("\nSimulated crawl makespan %.0fs parallel vs %.0fs "
+                            "serial — %.1fx speedup at %.0f%% worker utilisation"
+                            % (crawlexec["parallel_seconds_est"],
+                               crawlexec["serial_seconds_est"],
+                               crawlexec["speedup_est"],
+                               100 * crawlexec["worker_utilisation"]))
+
     provenance = report.get("provenance", {})
     if provenance.get("records"):
         sections.append("\n## Verdict provenance\n")
@@ -391,18 +457,25 @@ def render_run_report_markdown(report: Dict[str, Any],
                        dedup["duplicate_urls"], 100 * dedup["hit_rate"]))
 
     js = report["js"]
-    if js["gauges"]:
+    cache = js.get("compile_cache", {})
+    if js["gauges"] or cache.get("hits") or cache.get("misses"):
         sections.append("\n## JS sandbox\n")
-        sections.append(markdown_table(
-            ("Gauge", "Value"),
-            [(name, int(value)) for name, value in sorted(js["gauges"].items())],
-        ))
+        if js["gauges"]:
+            sections.append(markdown_table(
+                ("Gauge", "Value"),
+                [(name, int(value)) for name, value in sorted(js["gauges"].items())],
+            ))
         op_dist = js.get("op_count_distribution", {})
         if op_dist.get("count"):
             sections.append("\nInterpreter steps per script: p50 %.0f · p95 %.0f "
                             "· max %.0f over %d scripts"
                             % (op_dist["p50"], op_dist["p95"], op_dist["max"],
                                int(op_dist["count"])))
+        if cache.get("hits") or cache.get("misses"):
+            sections.append("\nCompile cache: %d hits, %d misses "
+                            "(%.1f%% hit rate — misses are distinct scripts)"
+                            % (cache["hits"], cache["misses"],
+                               100 * cache["hit_rate"]))
 
     work = report.get("work")
     if work and work["totals"]:

@@ -1,0 +1,132 @@
+"""Per-shard observer buffering for deterministic telemetry merges.
+
+The :class:`~repro.obs.metrics.MetricsRegistry` is deliberately
+lock-free, so worker threads must never write to the run observer
+directly.  Each shard instead records its telemetry into a thread-
+confined :class:`RecordingObserver`; after the pool joins, the executor
+replays every buffer into the real observer *in shard-index order* on
+the main thread.  Counter and histogram totals are order-independent
+sums, and the only gauges written off the main thread are high-water
+marks (``gauge_max``), so the replayed registry is value-identical to a
+serial run.
+
+Two write paths feed a buffer:
+
+* the **op log** — ``count`` / ``observe`` / ``event`` / ``work`` /
+  frame pushes buffered as calls and re-dispatched by :meth:`replay`,
+* the **registry** — hot loops (the simulated HTTP client, browser
+  sessions, per-step crawl counters) resolve metric handles once via
+  ``observer.metrics.counter(...)`` and bump ``.value`` directly,
+  bypassing any hook.  The buffer therefore carries a real
+  :class:`~repro.obs.metrics.MetricsRegistry`; replay folds it into the
+  target's registry with
+  :meth:`~repro.obs.metrics.MetricsRegistry.merge_from` before
+  re-dispatching the op log.
+"""
+
+from __future__ import annotations
+
+from contextlib import contextmanager
+from typing import Iterator, List, Optional, Tuple
+
+from ..obs.metrics import MetricsRegistry
+
+__all__ = ["RecordingObserver"]
+
+#: one buffered call: (method, name, value, labels/fields)
+_Op = Tuple[str, str, float, Tuple[Tuple[str, object], ...]]
+
+
+class RecordingObserver:
+    """Observer-compatible buffer, confined to one shard's worker.
+
+    Implements the :class:`~repro.obs.observer.RunObserver` hook surface
+    the scan and crawl call trees use (``count`` / ``gauge_set`` /
+    ``gauge_max`` / ``observe`` / ``event`` / ``span`` plus the
+    ``metrics`` handle registry).  Spans yield ``None`` — worker
+    wall-time is accounted by the executor's shard stats, not by
+    interleaved tracer writes.
+    """
+
+    def __init__(self) -> None:
+        self.ops: List[_Op] = []
+        #: handle-resolved metrics land here (merged on replay)
+        self.metrics = MetricsRegistry(record_observations=True)
+
+    def __bool__(self) -> bool:
+        return True
+
+    # -- buffered hooks ------------------------------------------------------
+    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
+        self.ops.append(("count", name, amount, tuple(labels.items())))
+
+    def gauge_set(self, name: str, value: float, **labels: object) -> None:
+        self.ops.append(("gauge_set", name, value, tuple(labels.items())))
+
+    def gauge_max(self, name: str, value: float, **labels: object) -> None:
+        self.ops.append(("gauge_max", name, value, tuple(labels.items())))
+
+    def observe(self, name: str, value: float, **labels: object) -> None:
+        self.ops.append(("observe", name, value, tuple(labels.items())))
+
+    def event(self, kind: str, **fields: object) -> None:
+        self.ops.append(("event", kind, 0.0, tuple(fields.items())))
+
+    @contextmanager
+    def span(self, name: str, **attrs: object) -> Iterator[None]:
+        yield None
+
+    # -- work profiling ------------------------------------------------------
+    # Buffered unconditionally (the worker cannot know whether the real
+    # observer profiles); :meth:`RunObserver.work` is a no-op when it does
+    # not, so replay stays free on unprofiled runs.  Because replay happens
+    # in shard-index order on the main thread *inside* the executor's open
+    # pipeline frames, the reconstructed frame stacks — and therefore the
+    # WorkLedger — are bit-identical to a serial run.
+    def work(self, kind: str, amount: float = 1.0) -> None:
+        self.ops.append(("work", kind, amount, ()))
+
+    @contextmanager
+    def frame(self, name: str) -> Iterator[None]:
+        self.frame_push(name)
+        try:
+            yield
+        finally:
+            self.frame_pop()
+
+    def frame_push(self, name: str) -> None:
+        self.ops.append(("frame_push", name, 0.0, ()))
+
+    def frame_pop(self) -> None:
+        self.ops.append(("frame_pop", "", 0.0, ()))
+
+    # -- merge ---------------------------------------------------------------
+    def replay(self, observer: Optional[object]) -> None:
+        """Apply everything buffered to ``observer`` (main thread only).
+
+        The handle registry merges first, then the op log re-dispatches;
+        final totals are order-independent, so the split never shows.
+        """
+        if observer is None:
+            return
+        target_metrics = getattr(observer, "metrics", None)
+        if target_metrics is not None:
+            target_metrics.merge_from(self.metrics)
+        for method, name, value, items in self.ops:
+            kwargs = dict(items)
+            if method == "count":
+                observer.count(name, value, **kwargs)
+            elif method == "gauge_set":
+                observer.gauge_set(name, value, **kwargs)
+            elif method == "gauge_max":
+                observer.gauge_max(name, value, **kwargs)
+            elif method == "observe":
+                observer.observe(name, value, **kwargs)
+            elif method == "event":
+                observer.event(name, **kwargs)
+            elif method == "work":
+                observer.work(name, value)
+            elif method == "frame_push":
+                observer.frame_push(name)
+            elif method == "frame_pop":
+                observer.frame_pop()

@@ -2,20 +2,21 @@
 
 Reproduces the paper's bottleneck phase — scanning every distinct URL
 with VirusTotal + Quttera + blacklists — as a batched, fan-out workload
-instead of a single-threaded loop:
+instead of a single-threaded loop.  Since PR 8 the executor is one
+implementation of the phase-agnostic
+:class:`~repro.phasexec.executor.PhaseExecutor` template; its hooks map
+onto the template like so:
 
-1. **partition** — file submissions (the crawler's saved pages, the
+1. **prepare** — file submissions (the crawler's saved pages, the
    footnote-1 cloaking mitigation) are pure functions of their bytes
    and parallelise freely; URL submissions fetch through the stateful
    simulated server (rotating redirectors, shortener hit accounting)
-   and stay on an ordered serial lane so results match the serial path
-   bit for bit,
+   and run here, on an ordered serial lane against the shared service,
+   so results match the serial path bit for bit,
 2. **shard** — file tasks are sharded by registrable domain
    (:func:`~repro.scanexec.sharding.shard_tasks`), preserving the
    staticjs memoisation locality of same-domain pages,
 3. **fan out** — each shard runs on a worker from an injectable pool
-   (:class:`concurrent.futures.ThreadPoolExecutor` by default,
-   :class:`InlineExecutor` for deterministic in-process testing)
    against its own :meth:`~repro.detection.aggregate.UrlVerdictService.shard_clone`,
    buffering telemetry per shard,
 4. **merge** — verdict maps are merged in original workload order and
@@ -32,12 +33,12 @@ about — scan-phase makespan with round-trips overlapped across workers.
 
 from __future__ import annotations
 
-from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Callable, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..detection.aggregate import UrlVerdict, UrlVerdictService
 from ..detection.base import stable_unit
+from ..phasexec.executor import InlineExecutor, PhaseExecutor
 from .recording import RecordingObserver
 from .sharding import ScanShard, ScanTask, shard_tasks
 
@@ -130,46 +131,16 @@ class ScanExecution:
         return min(1.0, busy / (self.workers * self.parallel_seconds))
 
 
-class _ImmediateFuture:
-    """The result of an :class:`InlineExecutor` submission."""
+@dataclass
+class _ScanPrep:
+    """Main-thread state carried from :meth:`prepare` to :meth:`merge`."""
 
-    def __init__(self, value: object = None, error: Optional[BaseException] = None) -> None:
-        self._value = value
-        self._error = error
-
-    def result(self) -> object:
-        if self._error is not None:
-            raise self._error
-        return self._value
+    parallel_tasks: List[ScanTask]
+    verdicts_by_url: Dict[str, UrlVerdict]
+    serial_lane_seconds: float
 
 
-class InlineExecutor:
-    """Pool-API-compatible executor that runs submissions inline.
-
-    Injectable stand-in for :class:`ThreadPoolExecutor` when a test
-    wants the parallel code path — sharding, per-shard services, buffer
-    replay, merge — without any actual threads.
-    """
-
-    def __init__(self, max_workers: int = 1) -> None:
-        self.max_workers = max_workers
-        self.submitted = 0
-
-    def submit(self, fn: Callable, *args: object, **kwargs: object) -> _ImmediateFuture:
-        self.submitted += 1
-        try:
-            return _ImmediateFuture(value=fn(*args, **kwargs))
-        except BaseException as error:  # re-raised from .result(), like a real pool
-            return _ImmediateFuture(error=error)
-
-    def __enter__(self) -> "InlineExecutor":
-        return self
-
-    def __exit__(self, *exc_info: object) -> None:
-        pass
-
-
-class ParallelScanExecutor:
+class ParallelScanExecutor(PhaseExecutor):
     """Shards the scan workload and fans it out over a worker pool.
 
     Parameters
@@ -191,11 +162,8 @@ class ParallelScanExecutor:
     def __init__(self, workers: int = 4, shards_per_worker: int = 2,
                  pool_factory: Optional[Callable[[int], object]] = None,
                  latency: Optional[ScanLatencyModel] = None) -> None:
-        if workers < 1:
-            raise ValueError("workers must be >= 1 (got %d)" % workers)
-        self.workers = workers
-        self.shards_per_worker = max(1, shards_per_worker)
-        self.pool_factory = pool_factory
+        super().__init__(workers=workers, shards_per_worker=shards_per_worker,
+                         pool_factory=pool_factory)
         self.latency = latency if latency is not None else ScanLatencyModel()
 
     # ------------------------------------------------------------------
@@ -209,24 +177,60 @@ class ParallelScanExecutor:
         has ``submit_files=False`` — the cloaking ablation) stay on the
         ordered serial lane of the shared instance.
         """
+        return super().execute(tasks, service, observer)
+
+    # -- PhaseExecutor hooks -------------------------------------------------
+    def prepare(self, tasks: Sequence[ScanTask], service: UrlVerdictService,
+                observer: Optional[object]) -> _ScanPrep:
         submit_files = getattr(service, "submit_files", True)
         parallel_tasks = [t for t in tasks if t.is_file_scan and submit_files]
         serial_tasks = [t for t in tasks if not (t.is_file_scan and submit_files)]
 
-        verdicts_by_url: "dict[str, UrlVerdict]" = {}
+        verdicts_by_url: Dict[str, UrlVerdict] = {}
         serial_lane_seconds = 0.0
         for task in serial_tasks:  # ordered: the simulated server is stateful
             verdicts_by_url[task.url] = self._scan_task(service, task)
             serial_lane_seconds += self.latency.latency(task)
+        return _ScanPrep(parallel_tasks=parallel_tasks,
+                         verdicts_by_url=verdicts_by_url,
+                         serial_lane_seconds=serial_lane_seconds)
 
-        shard_count = max(1, min(len(parallel_tasks),
+    def shard(self, tasks: Sequence[ScanTask], service: UrlVerdictService,
+              state: _ScanPrep) -> List[ScanShard]:
+        if not state.parallel_tasks:
+            return []
+        shard_count = max(1, min(len(state.parallel_tasks),
                                  self.workers * self.shards_per_worker))
-        shards = shard_tasks(parallel_tasks, shard_count) if parallel_tasks else []
-        shard_results = self._run_shards(shards, service, observer)
+        return shard_tasks(state.parallel_tasks, shard_count)
 
+    def shard_state(self, shard: ScanShard, buffer: Optional[RecordingObserver],
+                    service: UrlVerdictService, state: _ScanPrep) -> UrlVerdictService:
+        return service.shard_clone(observer=buffer)
+
+    def run_shard(
+        self, shard: ScanShard, clone: UrlVerdictService,
+    ) -> Tuple[List[Tuple[str, UrlVerdict]], float, Tuple[str, float]]:
+        """One worker invocation: scan a shard's batch back-to-back."""
+        results: List[Tuple[str, UrlVerdict]] = []
+        busy = 0.0
+        slowest_url, slowest_seconds = "", 0.0
+        for task in shard.tasks:
+            results.append((task.url, self._scan_task(clone, task)))
+            seconds = self.latency.latency(task)
+            busy += seconds
+            if seconds > slowest_seconds:
+                slowest_url, slowest_seconds = task.url, seconds
+        return results, busy, (slowest_url, slowest_seconds)
+
+    def merge(self, tasks: Sequence[ScanTask], service: UrlVerdictService,
+              state: _ScanPrep, shards: List[ScanShard], results: List[object],
+              buffers: List[Optional[RecordingObserver]],
+              observer: Optional[object]) -> ScanExecution:
+        verdicts_by_url = state.verdicts_by_url
         stats: List[ShardStats] = []
-        for shard, (results, buffer, busy, slowest) in zip(shards, shard_results):
-            for url, verdict in results:
+        for shard, result, buffer in zip(shards, results, buffers):
+            shard_results, busy, slowest = result
+            for url, verdict in shard_results:
                 verdicts_by_url[url] = verdict
             if buffer is not None:
                 buffer.replay(observer)
@@ -242,54 +246,15 @@ class ParallelScanExecutor:
             verdicts={task.url: verdicts_by_url[task.url] for task in tasks},
             workers=self.workers,
             shard_stats=stats,
-            file_tasks=len(parallel_tasks),
-            url_tasks=len(serial_tasks),
-            serial_seconds=serial_lane_seconds + sum(s.busy_seconds for s in stats),
-            parallel_seconds=serial_lane_seconds + self._list_schedule_makespan(stats),
+            file_tasks=len(state.parallel_tasks),
+            url_tasks=len(tasks) - len(state.parallel_tasks),
+            serial_seconds=state.serial_lane_seconds + sum(s.busy_seconds for s in stats),
+            parallel_seconds=state.serial_lane_seconds + self.makespan(stats),
         )
         self._emit_metrics(execution, observer)
         return execution
 
     # ------------------------------------------------------------------
-    def _run_shards(
-        self, shards: List[ScanShard], service: UrlVerdictService,
-        observer: Optional[object],
-    ) -> List[Tuple[List[Tuple[str, UrlVerdict]], Optional[RecordingObserver],
-                    float, Tuple[str, float]]]:
-        if not shards:
-            return []
-        factory = self.pool_factory or (lambda n: ThreadPoolExecutor(max_workers=n))
-        jobs = []
-        for shard in shards:
-            buffer = RecordingObserver() if observer is not None else None
-            clone = service.shard_clone(observer=buffer)
-            jobs.append((shard, clone, buffer))
-        with factory(self.workers) as pool:
-            futures = [
-                (pool.submit(self._run_shard, shard, clone), buffer)
-                for shard, clone, buffer in jobs
-            ]
-            out = []
-            for future, buffer in futures:
-                results, busy, slowest = future.result()
-                out.append((results, buffer, busy, slowest))
-            return out
-
-    def _run_shard(
-        self, shard: ScanShard, service: UrlVerdictService,
-    ) -> Tuple[List[Tuple[str, UrlVerdict]], float, Tuple[str, float]]:
-        """One worker invocation: scan a shard's batch back-to-back."""
-        results: List[Tuple[str, UrlVerdict]] = []
-        busy = 0.0
-        slowest_url, slowest_seconds = "", 0.0
-        for task in shard.tasks:
-            results.append((task.url, self._scan_task(service, task)))
-            seconds = self.latency.latency(task)
-            busy += seconds
-            if seconds > slowest_seconds:
-                slowest_url, slowest_seconds = task.url, seconds
-        return results, busy, (slowest_url, slowest_seconds)
-
     @staticmethod
     def _scan_task(service: UrlVerdictService, task: ScanTask) -> UrlVerdict:
         if task.is_file_scan:
@@ -297,23 +262,6 @@ class ParallelScanExecutor:
                                    content_type=task.content_type,
                                    final_url=task.final_url)
         return service.verdict(task.url)
-
-    def _list_schedule_makespan(self, stats: Sequence[ShardStats]) -> float:
-        """Makespan of the shards list-scheduled onto ``workers`` slots.
-
-        Shards are dispatched in index order to the earliest-free
-        worker — exactly what a thread pool does, computed on the
-        simulated clock so the figure is deterministic.  As a side
-        effect each shard learns its worker slot and start offset; the
-        Chrome-trace exporter draws the per-worker tracks from these.
-        """
-        free = [0.0] * self.workers
-        for shard in stats:
-            slot = min(range(self.workers), key=lambda i: (free[i], i))
-            shard.worker = slot
-            shard.start_seconds = free[slot]
-            free[slot] += shard.busy_seconds
-        return max(free) if stats else 0.0
 
     def _emit_metrics(self, execution: ScanExecution, observer: Optional[object]) -> None:
         if observer is None:

@@ -1,107 +1,11 @@
-"""Per-shard observer buffering for deterministic telemetry merges.
+"""Per-shard observer buffering (moved to :mod:`repro.phasexec`).
 
-The :class:`~repro.obs.metrics.MetricsRegistry` is deliberately
-lock-free, so worker threads must never write to the run observer
-directly.  Each shard instead records its telemetry into a thread-
-confined :class:`RecordingObserver`; after the pool joins, the executor
-replays every buffer into the real observer *in shard-index order* on
-the main thread.  Counter and histogram totals are order-independent
-sums, and the only gauges on the scan path are high-water marks
-(``gauge_max``), so the replayed registry is value-identical to a
-serial run.
+The buffer-and-replay machinery generalised to every pipeline phase in
+PR 8; this module re-exports it so existing imports keep working.
 """
 
 from __future__ import annotations
 
-from contextlib import contextmanager
-from typing import Iterator, List, Optional, Tuple
+from ..phasexec.recording import RecordingObserver
 
 __all__ = ["RecordingObserver"]
-
-#: one buffered call: (method, name, value, labels/fields)
-_Op = Tuple[str, str, float, Tuple[Tuple[str, object], ...]]
-
-
-class RecordingObserver:
-    """Observer-compatible buffer, confined to one shard's worker.
-
-    Implements the :class:`~repro.obs.observer.RunObserver` hook surface
-    the scan call tree uses (``count`` / ``gauge_set`` / ``gauge_max`` /
-    ``observe`` / ``event`` / ``span``).  Spans yield ``None`` — worker
-    wall-time is accounted by the executor's shard stats, not by
-    interleaved tracer writes.
-    """
-
-    def __init__(self) -> None:
-        self.ops: List[_Op] = []
-
-    def __bool__(self) -> bool:
-        return True
-
-    # -- buffered hooks ------------------------------------------------------
-    def count(self, name: str, amount: float = 1.0, **labels: object) -> None:
-        self.ops.append(("count", name, amount, tuple(labels.items())))
-
-    def gauge_set(self, name: str, value: float, **labels: object) -> None:
-        self.ops.append(("gauge_set", name, value, tuple(labels.items())))
-
-    def gauge_max(self, name: str, value: float, **labels: object) -> None:
-        self.ops.append(("gauge_max", name, value, tuple(labels.items())))
-
-    def observe(self, name: str, value: float, **labels: object) -> None:
-        self.ops.append(("observe", name, value, tuple(labels.items())))
-
-    def event(self, kind: str, **fields: object) -> None:
-        self.ops.append(("event", kind, 0.0, tuple(fields.items())))
-
-    @contextmanager
-    def span(self, name: str, **attrs: object) -> Iterator[None]:
-        yield None
-
-    # -- work profiling ------------------------------------------------------
-    # Buffered unconditionally (the worker cannot know whether the real
-    # observer profiles); :meth:`RunObserver.work` is a no-op when it does
-    # not, so replay stays free on unprofiled runs.  Because replay happens
-    # in shard-index order on the main thread *inside* the executor's open
-    # pipeline frames, the reconstructed frame stacks — and therefore the
-    # WorkLedger — are bit-identical to a serial run.
-    def work(self, kind: str, amount: float = 1.0) -> None:
-        self.ops.append(("work", kind, amount, ()))
-
-    @contextmanager
-    def frame(self, name: str) -> Iterator[None]:
-        self.frame_push(name)
-        try:
-            yield
-        finally:
-            self.frame_pop()
-
-    def frame_push(self, name: str) -> None:
-        self.ops.append(("frame_push", name, 0.0, ()))
-
-    def frame_pop(self) -> None:
-        self.ops.append(("frame_pop", "", 0.0, ()))
-
-    # -- merge ---------------------------------------------------------------
-    def replay(self, observer: Optional[object]) -> None:
-        """Apply every buffered call to ``observer`` (main thread only)."""
-        if observer is None:
-            return
-        for method, name, value, items in self.ops:
-            kwargs = dict(items)
-            if method == "count":
-                observer.count(name, value, **kwargs)
-            elif method == "gauge_set":
-                observer.gauge_set(name, value, **kwargs)
-            elif method == "gauge_max":
-                observer.gauge_max(name, value, **kwargs)
-            elif method == "observe":
-                observer.observe(name, value, **kwargs)
-            elif method == "event":
-                observer.event(name, **kwargs)
-            elif method == "work":
-                observer.work(name, value)
-            elif method == "frame_push":
-                observer.frame_push(name)
-            elif method == "frame_pop":
-                observer.frame_pop()

@@ -423,7 +423,8 @@ def _dedupe(findings: List[StaticFinding]) -> List[StaticFinding]:
 
 
 def analyze_script(source: str, _depth: int = 0,
-                   observer: Optional[Any] = None) -> ScriptReport:
+                   observer: Optional[Any] = None,
+                   compile_cache: Optional[Any] = None) -> ScriptReport:
     """Statically analyze one script; never raises.
 
     Results are memoised per source text (crawled pages repeat a small
@@ -435,8 +436,21 @@ def analyze_script(source: str, _depth: int = 0,
     memo cache: ``node_count`` is stored on the report at parse time,
     so every call — hit or miss, on any thread's shard — charges the
     same deterministic ``staticjs.ast_nodes`` amount to the profiler.
+
+    When the pipeline's :class:`repro.jsengine.CompileCache` is passed,
+    each top-level call routes the script's AST through it: the first
+    occurrence compiles (and seeds the entry the sandbox will reuse for
+    this page), repeats are cache hits.  Tokens are *not* charged here
+    — the uncached static pass parsed without an observer — so the
+    ``js.tokens`` ledger is invariant under caching.
     """
     if _depth == 0:
+        if compile_cache is not None:
+            try:
+                compile_cache.compile(source, observer=observer,
+                                      charge_tokens=False)
+            except Exception:  # noqa: BLE001 - the analyzer reports
+                pass           # lexer/parser failures itself, below
         report = _analyze_script_cached(source, RULESET_VERSION)
     else:
         report = _analyze_script_uncached(source, _depth)

@@ -187,6 +187,43 @@ def test_scan_outcome_tracks_unscanned_queries():
     assert outcome.unscanned_queries == 1
 
 
+def test_scan_outcome_counts_unscanned_per_url():
+    from repro.crawler.pipeline import ScanOutcome
+
+    outcome = ScanOutcome()
+    for _ in range(3):
+        outcome.is_malicious("http://hot.example/")
+    outcome.is_malicious("http://cold.example/")
+    outcome.is_malicious("http://also-cold.example/")
+    assert outcome.unscanned_by_url() == {
+        "http://hot.example/": 3,
+        "http://cold.example/": 1,
+        "http://also-cold.example/": 1,
+    }
+    # sorted by count descending, then URL for determinism
+    assert outcome.unscanned_top(2) == [
+        ("http://hot.example/", 3),
+        ("http://also-cold.example/", 1),
+    ]
+
+
+def test_unscanned_top_in_report_and_markdown():
+    from repro.crawler.pipeline import ScanOutcome
+    from repro.obs.report import render_run_report_markdown
+
+    observer = RunObserver()
+    pipeline = _small_pipeline(observer)
+    pipeline.crawl()
+    outcome = pipeline.scan()
+    assert outcome.is_malicious("http://never-crawled.example/") is False
+    report = build_run_report(pipeline, outcome)
+    assert report["scan"]["unscanned_top"] == \
+        [["http://never-crawled.example/", 1]]
+    markdown = render_run_report_markdown(report)
+    assert "Never-scanned URLs" in markdown
+    assert "http://never-crawled.example/" in markdown
+
+
 # ----------------------------------------------------------------------
 # end-to-end: observed run == unobserved run, plus a real report
 # ----------------------------------------------------------------------
@@ -291,12 +328,13 @@ def test_run_report_parallel_matches_serial():
 
     serial = build(1)
     parallel = build(4)
-    # the scanexec section legitimately differs (zeros on the serial
-    # path); every measurement-bearing section must agree exactly
+    # the scanexec/crawlexec sections legitimately differ (zeros on the
+    # serial path); every measurement-bearing section must agree exactly
     for section in ("exchanges", "http", "redirects", "scan", "staticjs",
                     "provenance", "dedup", "js"):
         assert parallel[section] == serial[section], section
     result = diff_reports(serial, parallel,
                           DiffConfig(ignore=("events.tail", "metrics",
-                                             "scanexec", "spans", "events")))
+                                             "scanexec", "crawlexec",
+                                             "spans", "events")))
     assert result.ok, result.render_text()

@@ -283,7 +283,13 @@ def _scan_metrics(observer):
 
 
 def _non_scanexec_metrics(observer):
-    return _filtered_metrics(observer, lambda name: not name.startswith("scanexec."))
+    # crawlexec.* is excluded too: parallel fixtures run the crawl phase
+    # sharded as well, and executor telemetry is legitimately absent from
+    # serial runs (everything else must match bit-for-bit).
+    return _filtered_metrics(
+        observer,
+        lambda name: not name.startswith(("scanexec.", "crawlexec.")),
+    )
 
 
 class TestPipelineDeterminism:

@@ -1,0 +1,137 @@
+#!/usr/bin/env python3
+"""Parallel-crawl speedup gate (CI ``crawl-speedup`` job).
+
+Runs the pinned-seed pipeline twice — serial and ``--workers`` wide —
+and enforces the two properties ``repro.crawlexec`` must keep:
+
+1. **Bit-identical results**: per-exchange crawl stats, the per-URL
+   verdict map, and every HAR timestamp must match the serial run
+   exactly (the executor's whole contract; any drift fails the gate).
+2. **Simulated speedup**: the crawl phase's simulated makespan
+   (``sum(shard busy)`` vs the critical path under LPT scheduling)
+   must reach at least ``--min-speedup`` (default 2.0), without
+   falling back to the serial path.
+
+The makespan is computed on the simulated clock, so the gate measures
+the scheduling win deterministically — runner speed never enters.
+Regenerate ``benchmarks/BENCH_crawl.json`` after intentional changes
+with ``--write``.  Requires ``PYTHONPATH=src`` (matches the other CI
+jobs).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+DEFAULT_BENCH = "benchmarks/BENCH_crawl.json"
+
+
+def run_pipeline(seed: int, scale: float, workers: int):
+    from repro import MalwareSlumsStudy, StudyConfig
+    from repro.crawler import CrawlPipeline, PipelineOptions
+    from repro.obs import RunObserver
+
+    study = MalwareSlumsStudy(StudyConfig(seed=seed, scale=scale))
+    web = study.generate_web()
+    observer = RunObserver()
+    pipeline = CrawlPipeline(web, PipelineOptions(
+        seed=seed + 61, observer=observer, workers=workers))
+    outcome = pipeline.run()
+    return pipeline, outcome
+
+
+def har_timestamps(pipeline):
+    return {name: [entry.started for entry in log.entries]
+            for name, log in pipeline.dataset.har_logs.items()}
+
+
+def measure(seed: int, scale: float, workers: int):
+    serial_pipe, serial_outcome = run_pipeline(seed, scale, 1)
+    par_pipe, par_outcome = run_pipeline(seed, scale, workers)
+
+    failures = []
+    if serial_pipe.crawl_stats != par_pipe.crawl_stats:
+        failures.append("per-exchange crawl stats differ from serial")
+    serial_verdicts = {u: v.malicious
+                       for u, v in serial_outcome.verdicts.items()}
+    par_verdicts = {u: v.malicious for u, v in par_outcome.verdicts.items()}
+    if serial_verdicts != par_verdicts:
+        failures.append("per-URL verdict map differs from serial")
+    if har_timestamps(serial_pipe) != har_timestamps(par_pipe):
+        failures.append("HAR timestamps differ from serial")
+
+    execution = par_pipe.last_crawl_execution
+    if execution is None:
+        failures.append("workers=%d run never engaged the crawl executor"
+                        % workers)
+        summary = {}
+    else:
+        if execution.fallback_serial:
+            failures.append("crawl executor fell back to the serial path")
+        summary = {
+            "meta": {"seed": seed, "scale": scale, "workers": workers},
+            "shards": len(execution.shard_stats),
+            "serial_seconds_est": round(execution.serial_seconds, 3),
+            "parallel_seconds_est": round(execution.parallel_seconds, 3),
+            "speedup_est": round(execution.speedup, 4),
+            "worker_utilisation": round(execution.utilisation, 4),
+            "verdicts": {
+                "malicious": sum(1 for v in par_verdicts.values() if v),
+                "benign": sum(1 for v in par_verdicts.values() if not v),
+            },
+        }
+    return summary, failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default=DEFAULT_BENCH)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="simulated-makespan speedup floor at "
+                             "--workers (default 2.0)")
+    parser.add_argument("--write", action="store_true",
+                        help="write the measured summary as the new "
+                             "bench artifact")
+    args = parser.parse_args()
+
+    summary, failures = measure(args.seed, args.scale, args.workers)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    if summary and summary["speedup_est"] < args.min_speedup:
+        failures.append("simulated speedup %.2fx below the %.2fx floor"
+                        % (summary["speedup_est"], args.min_speedup))
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+
+    if args.write:
+        with open(args.bench, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote bench artifact to %s" % args.bench)
+        return 0
+
+    with open(args.bench, "r", encoding="utf-8") as handle:
+        bench = json.load(handle)
+    if bench["meta"] != summary["meta"]:
+        print("FAIL: bench meta %r != run meta %r"
+              % (bench["meta"], summary["meta"]), file=sys.stderr)
+        return 1
+    if bench["verdicts"] != summary["verdicts"]:
+        print("FAIL: verdict totals changed: bench %r, run %r"
+              % (bench["verdicts"], summary["verdicts"]), file=sys.stderr)
+        return 1
+    print("crawl speedup %.2fx at workers=%d (bench %.2fx, floor %.2fx), "
+          "results bit-identical to serial"
+          % (summary["speedup_est"], args.workers,
+             bench["speedup_est"], args.min_speedup))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
