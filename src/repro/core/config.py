@@ -36,6 +36,11 @@ class StudyConfig:
     #: (the flight recorder behind ``repro explain``); off by default —
     #: measurement outputs are identical either way
     record_provenance: bool = False
+    #: JS sandbox execution backend: "ast" (tree-walking reference),
+    #: "vm" (opcode-compiled dispatch loop), or None to read
+    #: $REPRO_JS_BACKEND.  Verdicts and reports are bit-identical
+    #: either way; the vm backend just simulates fewer steps
+    js_backend: Optional[str] = None
     #: enable the deterministic work-accounting profiler and memory
     #: ledger (repro.obs.profile): the study builds its pipeline with a
     #: profiling RunObserver and a MemoryLedger attached.  Off by
@@ -65,4 +70,5 @@ class StudyConfig:
             record_provenance=self.record_provenance,
             observer=observer,
             memory_ledger=memory_ledger,
+            js_backend=self.js_backend,
         )

@@ -53,6 +53,11 @@ class PipelineOptions:
     provenance_path: Optional[str] = None
     #: optional per-phase tracemalloc accounting
     memory_ledger: Optional[MemoryLedger] = None
+    #: JS sandbox execution backend: "ast" (tree-walking reference),
+    #: "vm" (opcode-compiled dispatch loop), or None to read
+    #: $REPRO_JS_BACKEND (defaulting to "ast"); both backends produce
+    #: bit-identical verdicts and reports
+    js_backend: Optional[str] = None
 
     @classmethod
     def field_names(cls) -> "tuple[str, ...]":

@@ -37,7 +37,7 @@ from ..detection import (
 from ..exchanges import AutoSurfExchange, ManualSurfExchange, TrafficExchange
 from ..exchanges.roster import ExchangeProfile
 from ..httpsim import SimHttpClient, SimHttpServer
-from ..jsengine import CompileCache
+from ..jsengine import CompileCache, resolve_js_backend
 from ..obs.provenance import (
     STAGE_CRAWL,
     STAGE_REDIRECT,
@@ -251,9 +251,15 @@ class CrawlPipeline:
         #: attribute test and pipeline outputs are identical to seed
         self.observer = options.observer
         observer = options.observer
+        #: JS sandbox backend, resolved once (explicit option beats
+        #: $REPRO_JS_BACKEND beats "ast") and threaded into every
+        #: scanner so serial and sharded scans execute scripts the
+        #: same way
+        self.js_backend = resolve_js_backend(options.js_backend)
         #: pipeline-scoped parsed-program cache shared by every sandbox
         #: run (and every scan-shard clone): each distinct script source
         #: is tokenized/parsed once, then re-run from the cached AST
+        #: (or, under the vm backend, from cached bytecode)
         self.compile_cache = CompileCache()
         self.server = SimHttpServer(web.registry, observer=observer)
         # the client's HAR capture shares the observer's clock so span
@@ -612,17 +618,20 @@ class CrawlPipeline:
             virustotal=VirusTotalSim(client=SimHttpClient(self.server),
                                      observer=self.observer,
                                      static_prefilter=self.static_prefilter,
-                                     compile_cache=self.compile_cache),
+                                     compile_cache=self.compile_cache,
+                                     js_backend=self.js_backend),
             quttera=QutteraSim(client=SimHttpClient(self.server),
                                observer=self.observer,
                                static_prefilter=self.static_prefilter,
-                               compile_cache=self.compile_cache),
+                               compile_cache=self.compile_cache,
+                               js_backend=self.js_backend),
             blacklists=self.blacklists,
             submit_files=self.submit_files,
             observer=self.observer,
             static_prefilter=self.static_prefilter,
             record_provenance=self.record_provenance,
             compile_cache=self.compile_cache,
+            js_backend=self.js_backend,
         )
         return self.verdict_service
 

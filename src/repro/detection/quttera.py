@@ -46,7 +46,8 @@ class QutteraSim(DeprecatedScanShims):
     def __init__(self, client: Optional[SimHttpClient] = None,
                  observer: Optional[object] = None,
                  static_prefilter: bool = True,
-                 compile_cache: Optional[object] = None) -> None:
+                 compile_cache: Optional[object] = None,
+                 js_backend: Optional[str] = None) -> None:
         self.client = client
         #: optional :class:`repro.obs.RunObserver` (None = no-op hooks)
         self.observer = observer
@@ -55,6 +56,8 @@ class QutteraSim(DeprecatedScanShims):
         #: optional :class:`repro.jsengine.CompileCache` shared across
         #: the run so templated scripts compile once
         self.compile_cache = compile_cache
+        #: JS sandbox backend ("ast" or "vm"); None = resolve from env
+        self.js_backend = js_backend
 
     # ------------------------------------------------------------------
     def scan(self, submission: Submission) -> ScanReport:
@@ -74,7 +77,7 @@ class QutteraSim(DeprecatedScanShims):
         analysis = analyze_content(
             submission.content or b"", submission.content_type, submission.url,
             observer=self.observer, static_prefilter=self.static_prefilter,
-            compile_cache=self.compile_cache,
+            compile_cache=self.compile_cache, js_backend=self.js_backend,
         )
         return self._report_from_analysis(submission, analysis)
 

@@ -50,6 +50,7 @@ class VirusTotalSim(DeprecatedScanShims):
         observer: Optional[object] = None,
         static_prefilter: bool = True,
         compile_cache: Optional[object] = None,
+        js_backend: Optional[str] = None,
     ) -> None:
         self.client = client
         self.engines = engines if engines is not None else default_engine_pool(observer)
@@ -63,6 +64,8 @@ class VirusTotalSim(DeprecatedScanShims):
         #: optional :class:`repro.jsengine.CompileCache` shared across
         #: the run so templated scripts compile once
         self.compile_cache = compile_cache
+        #: JS sandbox backend ("ast" or "vm"); None = resolve from env
+        self.js_backend = js_backend
         self._url_cache: Dict[str, ScanReport] = {}
 
     # ------------------------------------------------------------------
@@ -76,7 +79,8 @@ class VirusTotalSim(DeprecatedScanShims):
                 analyze_content(submission.content or b"", submission.content_type,
                                 submission.url, observer=self.observer,
                                 static_prefilter=self.static_prefilter,
-                                compile_cache=self.compile_cache),
+                                compile_cache=self.compile_cache,
+                                js_backend=self.js_backend),
             )
         return self._scan_fetched(submission.url)
 
@@ -97,7 +101,8 @@ class VirusTotalSim(DeprecatedScanShims):
         analysis = analyze_content(submission.content or b"", submission.content_type,
                                    url, observer=self.observer,
                                    static_prefilter=self.static_prefilter,
-                                   compile_cache=self.compile_cache)
+                                   compile_cache=self.compile_cache,
+                                   js_backend=self.js_backend)
         report = self._scan_analysis(submission, analysis)
         if result.redirected:
             report.details["final_url"] = result.final_url

@@ -13,6 +13,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Any, List, Optional, Tuple
 
+from ..jsengine.values import JSFunction
 from .actions import Op, OpCode
 from .swf import SwfFile
 
@@ -142,9 +143,11 @@ class FlashPlayer:
                     break
                 getter = getattr(target, "js_get", None)
                 target = getter(part) if getter else None
+            # isinstance, not a class-name check: the bytecode backend's
+            # VMFunction subclasses JSFunction and must bridge identically
             if target is not None and target is not False and callable(getattr(target, "__call__", None)):
                 interpreter.call_function(target, [arg] if arg else [])
-            elif target is not None and target.__class__.__name__ == "JSFunction":
+            elif isinstance(target, JSFunction):
                 interpreter.call_function(target, [arg] if arg else [])
         except Exception as exc:  # noqa: BLE001 - playback never crashes the scanner
             self.browser_host.log.errors.append("ExternalInterface: %s" % exc)

@@ -1,0 +1,769 @@
+"""AST → opcode compiler for the JS sandbox's VM backend (PR 9).
+
+Lowers the parser's AST into flat bytecode: a list of ``(opcode, arg)``
+instructions with jump targets resolved to absolute indices.  Two design
+constraints shape everything here:
+
+**Tick parity.**  The tree-walking :class:`~repro.jsengine.interpreter.
+Interpreter` charges one "step" per AST-node visit against the step
+budget, and those steps are observable — ``js.op_count`` gauges, the
+``js.interp.steps`` work kind, and *where* a runaway script gets cut
+off all depend on them.  The compiler therefore attaches a **tick
+weight** to every instruction (the parallel ``weights`` array): the
+number of walker ticks the instruction stands for, charged before the
+instruction executes.  Fusing several ticks into one weight is safe
+exactly because, by construction, no instruction — hence no observable
+effect and no alternative exception — exists between the fused tick
+points; on budget overflow the VM normalises ``steps`` to the walker's
+post-raise value.  This keeps step accounting bit-identical between
+backends while the *dispatch count* (``js.vm.ops``) shrinks.
+
+**Constant folding is the speed win.**  The obfuscation idioms the
+paper's samples use — ``eval(String.fromCharCode(104, 101, ...))``,
+``"chu" + "nk" + ...`` concat chains, ``eval(unescape("%68%65.."))`` —
+spend O(payload length) walker steps evaluating literal subtrees.
+Folding them at compile time (via the *shared*
+:func:`~repro.jsengine.interpreter.evaluate_binary`, so a folded value
+can never diverge from runtime evaluation) collapses those to a single
+``LOAD_CONST`` / ``PUSH_CONSTS`` / ``BUILD_CONST_ARRAY`` whose weight
+still charges every fused tick.  Only provably pure literal subtrees
+fold; anything touching the environment (identifiers, calls, members)
+never does, because globals — including ``unescape`` itself — can be
+shadowed at runtime.
+
+Control flow splits two ways: ``If``/``Conditional``/``Logical``/
+``Sequence`` compile flat with resolved jumps, while loops, ``Try`` and
+``Switch`` compile to *block opcodes* holding sub-:class:`Code` objects
+whose VM handlers literally mirror the walker's Python control
+structure (same ``_Break``/``_Continue``/``_Return`` signal classes),
+so break/continue/return-through-finally semantics are inherited rather
+than re-implemented.
+"""
+
+from __future__ import annotations
+
+from typing import Any, List, Optional, Tuple
+
+from . import nodes as N
+from .interpreter import BudgetExceeded, _to_int32, evaluate_binary
+from .values import UNDEFINED, JSException, to_boolean, to_number, to_string, type_of
+
+__all__ = ["Code", "FunctionTemplate", "compile_program", "compile_function_body"]
+
+# ---------------------------------------------------------------------------
+# Opcodes.  Plain ints; `arg` is a per-opcode payload (constant, name,
+# jump target, argc, or a tuple of sub-Code objects for block opcodes).
+# ---------------------------------------------------------------------------
+(
+    LOAD_CONST,         # arg=value             push value
+    PUSH_CONSTS,        # arg=tuple             push each value (folded call args)
+    BUILD_CONST_ARRAY,  # arg=tuple             push JSArray(list(arg)) — fresh per exec
+    BUILD_CONST_OBJECT,  # arg=((key, value),…)  push JSObject with those properties
+    POP,                # —                     discard TOS
+    LOAD_NAME,          # arg=name              push env.lookup(name); ReferenceError if absent
+    LOAD_NAME_SOFT,     # arg=name              push lookup(name) if bound else UNDEFINED
+    STORE_NAME,         # arg=name              env.assign(name, TOS); value stays
+    DECLARE_STORE,      # arg=name              pop value; declare-or-assign (VarDecl)
+    HOIST,              # arg=(("f", tmpl)|("v", name), …)  hoisting prologue
+    DECLARE_FUNCTION,   # arg=template          env.declare(name, fresh function)
+    MAKE_FUNCTION,      # arg=template          push fresh closure (FunctionExpr)
+    LOAD_THIS,          # —                     push this-binding or UNDEFINED
+    BUILD_ARRAY,        # arg=argc              pop argc values, push JSArray
+    BUILD_OBJECT,       # arg=(key, …)          pop len values, push JSObject
+    GET_MEMBER,         # arg=name              pop obj, push get_member(obj, name)
+    GET_MEMBER_DYN,     # —                     pop prop, obj; push member
+    SET_MEMBER,         # arg=name              pop obj; peek value; obj.js_set
+    SET_MEMBER_DYN,     # —                     pop prop, obj; peek value; js_set
+    DELETE_MEMBER,      # arg=name|None         delete member (None = computed prop on stack)
+    CALL,               # arg=argc              pop fn, argc args; push call result
+    CALL_METHOD,        # arg=(name, argc)      pop obj, argc args; this=obj
+    CALL_METHOD_DYN,    # arg=argc              pop prop, obj, argc args; this=obj
+    NEW,                # arg=argc              pop argc args, callee; construct
+    BINOP,              # arg=operator          pop rhs, lhs; push evaluate_binary
+    UNARY,              # arg=operator          pop value; push unary result
+    TYPEOF,             # —                     pop value; push type_of
+    TYPEOF_NAME,        # arg=name              push typeof binding ("undefined" if absent)
+    UPDATE_VALUE,       # arg=(delta, prefix)   pop raw; push result, new (for ++/-- on members)
+    INC_NAME,           # arg=(name, delta, prefix)  ++/-- on an identifier
+    JUMP,               # arg=target            pc = target
+    JUMP_IF_FALSE,      # arg=target            pop; jump when falsy
+    JUMP_IF_FALSE_OR_POP,  # arg=target         && : keep+jump when falsy, else pop
+    JUMP_IF_TRUE_OR_POP,   # arg=target         || : keep+jump when truthy, else pop
+    SET_RESULT,         # —                     result = pop (statement value)
+    CLEAR_RESULT,       # —                     result = UNDEFINED
+    RETURN,             # arg=has_value         raise _Return(pop if has_value else UNDEFINED)
+    BREAK,              # —                     raise _Break
+    CONTINUE,           # —                     raise _Continue
+    THROW,              # —                     raise JSException(pop)
+    RAISE_MSG,          # arg=message           raise JSException(message)
+    WHILE,              # arg=(test, body)      block op: sub-Code loop
+    DOWHILE,            # arg=(body, test)
+    FOR,                # arg=(init, test, update, body)
+    FORIN,              # arg=(target, declare, body)   pops iterated object
+    TRY,                # arg=(block, catch_param, catch, finally)
+    SWITCH,             # arg=((test|None, body), …)    pops discriminant
+) = range(47)
+
+#: printable opcode names, index-aligned with the constants above
+OP_NAMES = (
+    "LOAD_CONST", "PUSH_CONSTS", "BUILD_CONST_ARRAY", "BUILD_CONST_OBJECT",
+    "POP", "LOAD_NAME", "LOAD_NAME_SOFT", "STORE_NAME", "DECLARE_STORE",
+    "HOIST", "DECLARE_FUNCTION", "MAKE_FUNCTION", "LOAD_THIS", "BUILD_ARRAY",
+    "BUILD_OBJECT", "GET_MEMBER", "GET_MEMBER_DYN", "SET_MEMBER",
+    "SET_MEMBER_DYN", "DELETE_MEMBER", "CALL", "CALL_METHOD",
+    "CALL_METHOD_DYN", "NEW", "BINOP", "UNARY", "TYPEOF", "TYPEOF_NAME",
+    "UPDATE_VALUE", "INC_NAME", "JUMP", "JUMP_IF_FALSE",
+    "JUMP_IF_FALSE_OR_POP", "JUMP_IF_TRUE_OR_POP", "SET_RESULT",
+    "CLEAR_RESULT", "RETURN", "BREAK", "CONTINUE", "THROW", "RAISE_MSG",
+    "WHILE", "DOWHILE", "FOR", "FORIN", "TRY", "SWITCH",
+)
+
+
+class Code:
+    """A compiled code unit: instructions plus their tick weights.
+
+    Immutable after compilation and safe to share across threads (the
+    VM keeps all mutable state in its frame locals and environments).
+    """
+
+    __slots__ = ("instrs", "weights", "name")
+
+    def __init__(self, instrs: List[Tuple[int, Any]], weights: List[int],
+                 name: str) -> None:
+        self.instrs = instrs
+        self.weights = weights
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self.instrs)
+
+    def dis(self, indent: str = "") -> str:
+        """Human-readable disassembly (debugging / DESIGN examples)."""
+        lines = []
+        for index, (op, arg) in enumerate(self.instrs):
+            label = OP_NAMES[op]
+            if isinstance(arg, Code):
+                shown: Any = "<code %s>" % arg.name
+            elif isinstance(arg, tuple) and any(isinstance(a, Code) for a in arg):
+                shown = "<%d sub-codes>" % sum(isinstance(a, Code) for a in arg)
+            else:
+                shown = repr(arg)
+            lines.append("%s%4d  w=%-3d %-22s %s"
+                         % (indent, index, self.weights[index], label, shown))
+        return "\n".join(lines)
+
+
+class FunctionTemplate:
+    """Compile-time description of a function: AST body + its bytecode.
+
+    The AST ``body`` is kept so VM-created functions remain structurally
+    compatible with :class:`~repro.jsengine.values.JSFunction` consumers
+    (``call``/``apply`` dispatch, ``type_of``), and so the reference
+    backend could even execute them.
+    """
+
+    __slots__ = ("name", "params", "body", "code")
+
+    def __init__(self, name: Optional[str], params: List[str],
+                 body: List[N.Node], code: Code) -> None:
+        self.name = name
+        self.params = params
+        self.body = body
+        self.code = code
+
+
+class _Folded:
+    """A compile-time constant: its value plus the walker ticks it fuses."""
+
+    __slots__ = ("value", "ticks")
+
+    def __init__(self, value: Any, ticks: int) -> None:
+        self.value = value
+        self.ticks = ticks
+
+
+_PRIMITIVES = (str, float, bool, int, type(None))
+
+
+def _is_primitive(value: Any) -> bool:
+    return isinstance(value, _PRIMITIVES) or value is UNDEFINED
+
+
+class _CodeBuilder:
+    """Accumulates instructions for one code unit.
+
+    ``pending`` holds walker ticks that have occurred "since the last
+    instruction"; the next emitted instruction absorbs them as weight.
+    A sub-builder (loop bodies, tests, function bodies) always starts
+    with ``pending == 0`` — the enclosing statement's ticks land on the
+    block opcode itself.
+    """
+
+    def __init__(self, compiler: "_Compiler", name: str) -> None:
+        self.compiler = compiler
+        self.name = name
+        self.instrs: List[Tuple[int, Any]] = []
+        self.weights: List[int] = []
+        self.pending = 0
+
+    # -- emission helpers --------------------------------------------------
+    def tick(self, count: int = 1) -> None:
+        self.pending += count
+
+    def emit(self, op: int, arg: Any = None) -> int:
+        self.instrs.append((op, arg))
+        self.weights.append(self.pending)
+        self.pending = 0
+        return len(self.instrs) - 1
+
+    def emit_jump(self, op: int) -> int:
+        return self.emit(op, None)
+
+    def patch(self, index: int) -> None:
+        op, _arg = self.instrs[index]
+        self.instrs[index] = (op, len(self.instrs))
+
+    def finish(self) -> Code:
+        assert self.pending == 0, "dangling ticks must attach to an instruction"
+        return Code(self.instrs, self.weights, self.name)
+
+    # -- statements --------------------------------------------------------
+    def stmt_list(self, body: List[N.Node]) -> None:
+        for statement in body:
+            self.stmt(statement)
+
+    def stmt(self, node: N.Node) -> None:
+        # mirrors Interpreter._exec: one tick per statement node
+        self.tick()
+        kind = type(node)
+        if kind is N.ExpressionStatement:
+            self.expr(node.expression)
+            self.emit(SET_RESULT)
+            return
+        if kind is N.VarDecl:
+            for name, init in node.declarations:
+                if init is not None:
+                    self.expr(init)
+                else:
+                    self.emit(LOAD_CONST, UNDEFINED)
+                self.emit(DECLARE_STORE, name)
+            return
+        if kind is N.FunctionDecl:
+            self.emit(DECLARE_FUNCTION,
+                      self.compiler.function_template(node.name, node.params, node.body))
+            return
+        if kind is N.Block:
+            if not node.body:
+                self.emit(CLEAR_RESULT)
+                return
+            self.stmt_list(node.body)
+            return
+        if kind is N.If:
+            self.expr(node.test)
+            jump_false = self.emit_jump(JUMP_IF_FALSE)
+            self.stmt(node.consequent)
+            jump_end = self.emit_jump(JUMP)
+            self.patch(jump_false)
+            if node.alternate is not None:
+                self.stmt(node.alternate)
+            else:
+                self.emit(CLEAR_RESULT)
+            self.patch(jump_end)
+            return
+        if kind is N.While:
+            self.emit(WHILE, (self.sub_expr(node.test, "while.test"),
+                              self.sub_stmt(node.body, "while.body")))
+            return
+        if kind is N.DoWhile:
+            self.emit(DOWHILE, (self.sub_stmt(node.body, "dowhile.body"),
+                                self.sub_expr(node.test, "dowhile.test")))
+            return
+        if kind is N.For:
+            init: Optional[Code] = None
+            if node.init is not None:
+                if isinstance(node.init, (N.VarDecl, N.ExpressionStatement)):
+                    init = self.sub_stmt(node.init, "for.init")
+                else:
+                    init = self.sub_expr(node.init, "for.init")
+            test = self.sub_expr(node.test, "for.test") if node.test is not None else None
+            update = self.sub_expr(node.update, "for.update") if node.update is not None else None
+            self.emit(FOR, (init, test, update, self.sub_stmt(node.body, "for.body")))
+            return
+        if kind is N.ForIn:
+            self.expr(node.obj)
+            self.emit(FORIN, (node.target, node.declare,
+                              self.sub_stmt(node.body, "forin.body")))
+            return
+        if kind is N.Return:
+            if node.argument is not None:
+                self.expr(node.argument)
+                self.emit(RETURN, True)
+            else:
+                self.emit(RETURN, False)
+            return
+        if kind is N.Break:
+            self.emit(BREAK)
+            return
+        if kind is N.Continue:
+            self.emit(CONTINUE)
+            return
+        if kind is N.Throw:
+            self.expr(node.argument)
+            self.emit(THROW)
+            return
+        if kind is N.Try:
+            catch = (self.sub_stmt(node.catch_block, "try.catch")
+                     if node.catch_block is not None else None)
+            final = (self.sub_stmt(node.finally_block, "try.finally")
+                     if node.finally_block is not None else None)
+            self.emit(TRY, (self.sub_stmt(node.block, "try.block"),
+                            node.catch_param, catch, final))
+            return
+        if kind is N.Switch:
+            self.expr(node.discriminant)
+            cases = tuple(
+                (self.sub_expr(case.test, "case.test") if case.test is not None else None,
+                 self.sub_stmts(case.body, "case.body"))
+                for case in node.cases)
+            self.emit(SWITCH, cases)
+            return
+        if kind is N.EmptyStatement:
+            self.emit(CLEAR_RESULT)
+            return
+        # expression node in statement position (e.g. bare for-init)
+        self.expr(node)
+        self.emit(SET_RESULT)
+
+    # -- sub-code units ----------------------------------------------------
+    def sub_stmt(self, node: N.Node, name: str) -> Code:
+        builder = _CodeBuilder(self.compiler, name)
+        builder.stmt(node)
+        return builder.finish()
+
+    def sub_stmts(self, body: List[N.Node], name: str) -> Code:
+        builder = _CodeBuilder(self.compiler, name)
+        builder.stmt_list(body)
+        return builder.finish()
+
+    def sub_expr(self, node: N.Node, name: str) -> Code:
+        builder = _CodeBuilder(self.compiler, name)
+        builder.expr(node)
+        return builder.finish()
+
+    # -- expressions -------------------------------------------------------
+    def expr(self, node: N.Node) -> None:
+        folded = self.compiler.fold(node)
+        if folded is not None:
+            self.tick(folded.ticks)
+            self.emit(LOAD_CONST, folded.value)
+            return
+        # mirrors Interpreter._eval: one tick per expression node
+        self.tick()
+        kind = type(node)
+        if kind is N.Identifier:
+            self.emit(LOAD_NAME, node.name)
+            return
+        if kind is N.ThisExpr:
+            self.emit(LOAD_THIS)
+            return
+        if kind is N.ArrayLiteral:
+            folds = [self.compiler.fold(element) for element in node.elements]
+            if all(f is not None and _is_primitive(f.value) for f in folds):
+                self.tick(sum(f.ticks for f in folds))  # type: ignore[union-attr]
+                self.emit(BUILD_CONST_ARRAY,
+                          tuple(f.value for f in folds))  # type: ignore[union-attr]
+                return
+            for element in node.elements:
+                self.expr(element)
+            self.emit(BUILD_ARRAY, len(node.elements))
+            return
+        if kind is N.ObjectLiteral:
+            folds = [self.compiler.fold(value) for _key, value in node.properties]
+            if all(f is not None and _is_primitive(f.value) for f in folds):
+                self.tick(sum(f.ticks for f in folds))  # type: ignore[union-attr]
+                self.emit(BUILD_CONST_OBJECT,
+                          tuple((to_string(key), f.value)  # type: ignore[union-attr]
+                                for (key, _v), f in zip(node.properties, folds)))
+                return
+            keys = []
+            for key, value in node.properties:
+                keys.append(to_string(key))
+                self.expr(value)
+            self.emit(BUILD_OBJECT, tuple(keys))
+            return
+        if kind is N.FunctionExpr:
+            self.emit(MAKE_FUNCTION,
+                      self.compiler.function_template(node.name, node.params, node.body))
+            return
+        if kind is N.Unary:
+            self.unary(node)
+            return
+        if kind is N.Update:
+            self.update(node)
+            return
+        if kind is N.Binary:
+            self.expr(node.left)
+            self.expr(node.right)
+            self.emit(BINOP, node.operator)
+            return
+        if kind is N.Logical:
+            left_fold = self.compiler.fold(node.left)
+            if left_fold is not None:
+                # fold() didn't collapse the whole node, so the constant
+                # left side must select the right branch: charge its
+                # ticks and compile the right side in place
+                self.tick(left_fold.ticks)
+                self.expr(node.right)
+                return
+            self.expr(node.left)
+            jump = self.emit_jump(
+                JUMP_IF_FALSE_OR_POP if node.operator == "&&" else JUMP_IF_TRUE_OR_POP)
+            self.expr(node.right)
+            self.patch(jump)
+            return
+        if kind is N.Conditional:
+            test_fold = self.compiler.fold(node.test)
+            if test_fold is not None:
+                self.tick(test_fold.ticks)
+                taken = node.consequent if to_boolean(test_fold.value) else node.alternate
+                self.expr(taken)
+                return
+            self.expr(node.test)
+            jump_false = self.emit_jump(JUMP_IF_FALSE)
+            self.expr(node.consequent)
+            jump_end = self.emit_jump(JUMP)
+            self.patch(jump_false)
+            self.expr(node.alternate)
+            self.patch(jump_end)
+            return
+        if kind is N.Assignment:
+            self.assignment(node)
+            return
+        if kind is N.Call:
+            self.call(node)
+            return
+        if kind is N.New:
+            self.expr(node.callee)
+            for argument in node.arguments:
+                self.expr(argument)
+            self.emit(NEW, len(node.arguments))
+            return
+        if kind is N.Member:
+            self.expr(node.obj)
+            if node.computed:
+                self.expr(node.prop)
+                self.emit(GET_MEMBER_DYN)
+            else:
+                self.emit(GET_MEMBER, node.prop.value)  # type: ignore[union-attr]
+            return
+        if kind is N.Sequence:
+            last = len(node.expressions) - 1
+            for index, expression in enumerate(node.expressions):
+                self.expr(expression)
+                if index != last:
+                    self.emit(POP)
+            return
+        # mirror of the walker's runtime error for unknown nodes
+        self.emit(RAISE_MSG, "unsupported node %s" % kind.__name__)
+
+    def unary(self, node: N.Unary) -> None:
+        operator = node.operator
+        if operator == "typeof":
+            if isinstance(node.argument, N.Identifier):
+                self.emit(TYPEOF_NAME, node.argument.name)
+                return
+            self.expr(node.argument)
+            self.emit(TYPEOF)
+            return
+        if operator == "delete":
+            if isinstance(node.argument, N.Member):
+                self.expr(node.argument.obj)
+                if node.argument.computed:
+                    self.expr(node.argument.prop)
+                    self.emit(DELETE_MEMBER, None)
+                else:
+                    self.emit(DELETE_MEMBER, node.argument.prop.value)  # type: ignore[union-attr]
+                return
+            self.emit(LOAD_CONST, True)
+            return
+        self.expr(node.argument)
+        self.emit(UNARY, operator)
+
+    def update(self, node: N.Update) -> None:
+        delta = 1.0 if node.operator == "++" else -1.0
+        target = node.argument
+        if isinstance(target, N.Identifier):
+            self.emit(INC_NAME, (target.name, delta, node.prefix))
+            return
+        if isinstance(target, N.Member):
+            # the walker evaluates obj (and computed prop) twice: once to
+            # read, once to write — replicated here instruction for
+            # instruction so side effects and ticks match
+            self.member_read(target)
+            self.emit(UPDATE_VALUE, (delta, node.prefix))
+            self.member_write(target)
+            self.emit(POP)
+            return
+        self.emit(RAISE_MSG, "invalid update target")
+
+    def member_read(self, target: N.Member) -> None:
+        self.expr(target.obj)
+        if target.computed:
+            self.expr(target.prop)
+            self.emit(GET_MEMBER_DYN)
+        else:
+            self.emit(GET_MEMBER, target.prop.value)  # type: ignore[union-attr]
+
+    def member_write(self, target: N.Member) -> None:
+        """Emit obj/prop evaluation and the store; expects value at TOS."""
+        self.expr(target.obj)
+        if target.computed:
+            self.expr(target.prop)
+            self.emit(SET_MEMBER_DYN)
+        else:
+            self.emit(SET_MEMBER, target.prop.value)  # type: ignore[union-attr]
+
+    def assignment(self, node: N.Assignment) -> None:
+        target = node.target
+        if node.operator == "=":
+            # walker order: value first, then the target's obj/prop
+            self.expr(node.value)
+            if isinstance(target, N.Identifier):
+                self.emit(STORE_NAME, target.name)
+            elif isinstance(target, N.Member):
+                self.member_write(target)
+            else:
+                self.emit(RAISE_MSG, "invalid assignment target")
+            return
+        operator = node.operator[:-1]
+        if isinstance(target, N.Identifier):
+            self.emit(LOAD_NAME_SOFT, target.name)
+            self.expr(node.value)
+            self.emit(BINOP, operator)
+            self.emit(STORE_NAME, target.name)
+            return
+        if isinstance(target, N.Member):
+            self.member_read(target)
+            self.expr(node.value)
+            self.emit(BINOP, operator)
+            self.member_write(target)
+            return
+        # the walker's _read_target raises before evaluating the value
+        self.emit(RAISE_MSG, "invalid update target")
+
+    def call(self, node: N.Call) -> None:
+        # walker order: arguments first, then the callee
+        arguments = node.arguments
+        index = 0
+        count = len(arguments)
+        while index < count:
+            run_values: List[Any] = []
+            run_ticks = 0
+            while index < count:
+                folded = self.compiler.fold(arguments[index])
+                if folded is None or not _is_primitive(folded.value):
+                    break
+                run_values.append(folded.value)
+                run_ticks += folded.ticks
+                index += 1
+            if run_values:
+                self.tick(run_ticks)
+                if len(run_values) == 1:
+                    self.emit(LOAD_CONST, run_values[0])
+                else:
+                    self.emit(PUSH_CONSTS, tuple(run_values))
+            if index < count:
+                self.expr(arguments[index])
+                index += 1
+        callee = node.callee
+        if isinstance(callee, N.Member):
+            # the Member node itself is never ticked by the walker here
+            self.expr(callee.obj)
+            if callee.computed:
+                self.expr(callee.prop)
+                self.emit(CALL_METHOD_DYN, count)
+            else:
+                self.emit(CALL_METHOD, (callee.prop.value, count))  # type: ignore[union-attr]
+            return
+        self.expr(callee)
+        self.emit(CALL, count)
+
+
+class _Compiler:
+    """One compilation: shared fold cache + function-template factory."""
+
+    def __init__(self, max_string_length: int) -> None:
+        self.max_string_length = max_string_length
+        self._fold_cache: dict = {}
+        self._template_cache: dict = {}
+
+    # -- constant folding --------------------------------------------------
+    def fold(self, node: N.Node) -> Optional[_Folded]:
+        key = id(node)
+        if key in self._fold_cache:
+            return self._fold_cache[key]
+        result = self._fold(node)
+        self._fold_cache[key] = result
+        return result
+
+    def _fold(self, node: N.Node) -> Optional[_Folded]:
+        kind = type(node)
+        if kind in (N.NumberLiteral, N.StringLiteral, N.BooleanLiteral):
+            return _Folded(node.value, 1)
+        if kind is N.NullLiteral:
+            return _Folded(None, 1)
+        if kind is N.UndefinedLiteral:
+            return _Folded(UNDEFINED, 1)
+        if kind is N.Unary:
+            operator = node.operator
+            if operator == "delete":
+                # `delete non-member` returns True without evaluating
+                if not isinstance(node.argument, N.Member):
+                    return _Folded(True, 1)
+                return None
+            if operator == "typeof" and isinstance(node.argument, N.Identifier):
+                return None  # environment-dependent
+            sub = self.fold(node.argument)
+            if sub is None:
+                return None
+            value, ticks = sub.value, sub.ticks + 1
+            if operator == "!":
+                return _Folded(not to_boolean(value), ticks)
+            if operator == "-":
+                return _Folded(-to_number(value), ticks)
+            if operator == "+":
+                return _Folded(to_number(value), ticks)
+            if operator == "~":
+                return _Folded(float(~_to_int32(to_number(value))), ticks)
+            if operator == "void":
+                return _Folded(UNDEFINED, ticks)
+            if operator == "typeof":
+                return _Folded(type_of(value), ticks)
+            return None
+        if kind is N.Binary:
+            left = self.fold(node.left)
+            if left is None:
+                return None
+            right = self.fold(node.right)
+            if right is None:
+                return None
+            try:
+                value = evaluate_binary(node.operator, left.value, right.value,
+                                        self.max_string_length)
+            except (JSException, BudgetExceeded):
+                return None  # let the runtime raise it, in evaluation order
+            return _Folded(value, left.ticks + right.ticks + 1)
+        if kind is N.Logical:
+            left = self.fold(node.left)
+            if left is None:
+                return None
+            takes_right = (to_boolean(left.value) if node.operator == "&&"
+                           else not to_boolean(left.value))
+            if not takes_right:
+                return _Folded(left.value, left.ticks + 1)
+            right = self.fold(node.right)
+            if right is None:
+                return None
+            return _Folded(right.value, left.ticks + right.ticks + 1)
+        if kind is N.Conditional:
+            test = self.fold(node.test)
+            if test is None:
+                return None
+            branch = node.consequent if to_boolean(test.value) else node.alternate
+            taken = self.fold(branch)
+            if taken is None:
+                return None
+            return _Folded(taken.value, test.ticks + taken.ticks + 1)
+        if kind is N.Sequence:
+            ticks = 1
+            value: Any = UNDEFINED
+            for expression in node.expressions:
+                sub = self.fold(expression)
+                if sub is None:
+                    return None
+                value = sub.value
+                ticks += sub.ticks
+            return _Folded(value, ticks)
+        return None
+
+    # -- function compilation ----------------------------------------------
+    def function_template(self, name: Optional[str], params: List[str],
+                          body: List[N.Node]) -> FunctionTemplate:
+        # one template per AST function: the hoist prologue and the
+        # FunctionDecl statement share it (each *execution* still makes
+        # a fresh closure, matching the walker)
+        key = id(body)
+        template = self._template_cache.get(key)
+        if template is None:
+            builder = _CodeBuilder(self, name or "<anonymous>")
+            emit_hoist(builder, body)
+            builder.stmt_list(body)
+            template = FunctionTemplate(name, params, body, builder.finish())
+            self._template_cache[key] = template
+        return template
+
+
+def _hoist_items(compiler: _Compiler, body: List[N.Node],
+                 out: List[Tuple[str, Any]]) -> None:
+    """Mirror of Interpreter._hoist, producing HOIST payload items.
+
+    Function declarations bind immediately; var names bind to UNDEFINED
+    only if not already bound *at runtime* (host globals live in the
+    same env), so vars stay conditional in the payload.
+    """
+    for statement in body:
+        if isinstance(statement, N.FunctionDecl):
+            out.append(("f", compiler.function_template(
+                statement.name, statement.params, statement.body)))
+        elif isinstance(statement, N.VarDecl):
+            for name, _init in statement.declarations:
+                out.append(("v", name))
+        elif isinstance(statement, (N.If, N.While, N.DoWhile, N.For, N.ForIn,
+                                    N.Block, N.Try)):
+            _hoist_items(compiler, _nested_bodies(statement), out)
+
+
+def _nested_bodies(statement: N.Node) -> List[N.Node]:
+    # verbatim mirror of Interpreter._nested_bodies
+    out: List[N.Node] = []
+    if isinstance(statement, N.Block):
+        out.extend(statement.body)
+    elif isinstance(statement, N.If):
+        for branch in (statement.consequent, statement.alternate):
+            if isinstance(branch, N.Block):
+                out.extend(branch.body)
+            elif branch is not None:
+                out.append(branch)
+    elif isinstance(statement, (N.While, N.DoWhile, N.For, N.ForIn)):
+        body = statement.body
+        if isinstance(body, N.Block):
+            out.extend(body.body)
+        else:
+            out.append(body)
+    elif isinstance(statement, N.Try):
+        for block in (statement.block, statement.catch_block, statement.finally_block):
+            if isinstance(block, N.Block):
+                out.extend(block.body)
+    return out
+
+
+def emit_hoist(builder: _CodeBuilder, body: List[N.Node]) -> None:
+    items: List[Tuple[str, Any]] = []
+    _hoist_items(builder.compiler, body, items)
+    if items:
+        builder.emit(HOIST, tuple(items))
+
+
+def compile_program(program: N.Program, max_string_length: int) -> Code:
+    """Compile a parsed program (top-level script or eval body)."""
+    compiler = _Compiler(max_string_length)
+    builder = _CodeBuilder(compiler, "<program>")
+    emit_hoist(builder, program.body)
+    builder.stmt_list(program.body)
+    return builder.finish()
+
+
+def compile_function_body(params: List[str], body: List[N.Node],
+                          max_string_length: int) -> Code:
+    """Compile a bare function body (fallback for foreign JSFunctions)."""
+    return _Compiler(max_string_length).function_template(None, params, body).code

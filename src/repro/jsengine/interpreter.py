@@ -38,7 +38,7 @@ from .values import (
     type_of,
 )
 
-__all__ = ["Interpreter", "BudgetExceeded", "Environment"]
+__all__ = ["Interpreter", "BudgetExceeded", "Environment", "evaluate_binary"]
 
 
 class BudgetExceeded(RuntimeError):
@@ -120,6 +120,10 @@ class Interpreter:
     #: strings longer than this abort the script (memory-bomb guard; real
     #: sandboxes enforce allocation limits the same way)
     MAX_STRING_LENGTH = 2_000_000
+
+    #: execution-backend identity (the bytecode VM reports "vm"); see
+    #: :func:`repro.jsengine.vm.resolve_js_backend`
+    backend = "ast"
 
     def __init__(
         self,
@@ -542,74 +546,7 @@ class Interpreter:
         return value
 
     def _eval_binary(self, operator: str, left: Any, right: Any) -> Any:
-        if operator == "+":
-            if isinstance(left, str) or isinstance(right, str) or isinstance(left, (JSObject, JSArray)) or isinstance(right, (JSObject, JSArray)):
-                joined = to_string(left) + to_string(right)
-                if len(joined) > self.MAX_STRING_LENGTH:
-                    raise BudgetExceeded(
-                        "string allocation limit (%d chars) exceeded" % self.MAX_STRING_LENGTH
-                    )
-                return joined
-            return to_number(left) + to_number(right)
-        if operator == "-":
-            return to_number(left) - to_number(right)
-        if operator == "*":
-            return to_number(left) * to_number(right)
-        if operator == "/":
-            rnum = to_number(right)
-            lnum = to_number(left)
-            if rnum == 0:
-                if lnum == 0 or math.isnan(lnum):
-                    return float("nan")
-                return math.copysign(float("inf"), lnum) * (1 if rnum == 0 and not str(rnum).startswith("-") else 1)
-            return lnum / rnum
-        if operator == "%":
-            rnum = to_number(right)
-            lnum = to_number(left)
-            if rnum == 0 or math.isnan(lnum) or math.isinf(lnum):
-                return float("nan")
-            return math.fmod(lnum, rnum)
-        if operator == "==":
-            return loose_equals(left, right)
-        if operator == "!=":
-            return not loose_equals(left, right)
-        if operator == "===":
-            return strict_equals(left, right)
-        if operator == "!==":
-            return not strict_equals(left, right)
-        if operator in ("<", ">", "<=", ">="):
-            if isinstance(left, str) and isinstance(right, str):
-                lval, rval = left, right
-            else:
-                lval, rval = to_number(left), to_number(right)
-                if math.isnan(lval) or math.isnan(rval):
-                    return False
-            if operator == "<":
-                return lval < rval
-            if operator == ">":
-                return lval > rval
-            if operator == "<=":
-                return lval <= rval
-            return lval >= rval
-        if operator == "&":
-            return float(_to_int32(to_number(left)) & _to_int32(to_number(right)))
-        if operator == "|":
-            return float(_to_int32(to_number(left)) | _to_int32(to_number(right)))
-        if operator == "^":
-            return float(_to_int32(to_number(left)) ^ _to_int32(to_number(right)))
-        if operator == "<<":
-            return float(_wrap_int32(_to_int32(to_number(left)) << (_to_int32(to_number(right)) & 31)))
-        if operator == ">>":
-            return float(_to_int32(to_number(left)) >> (_to_int32(to_number(right)) & 31))
-        if operator == ">>>":
-            return float((_to_int32(to_number(left)) & 0xFFFFFFFF) >> (_to_int32(to_number(right)) & 31))
-        if operator == "instanceof":
-            return isinstance(left, (JSObject, JSFunction))
-        if operator == "in":
-            if isinstance(right, JSObject):
-                return right.js_has(to_string(left))
-            return False
-        raise JSException("unsupported operator %s" % operator)
+        return evaluate_binary(operator, left, right, self.MAX_STRING_LENGTH)
 
     def _eval_call(self, node: N.Call, env: Environment) -> Any:
         args = [self._eval(arg, env) for arg in node.arguments]
@@ -635,6 +572,84 @@ class Interpreter:
             result = self.call_function(callee, args, this=instance)
             return result if isinstance(result, (JSObject, JSArray)) else instance
         raise JSException("TypeError: %s is not a constructor" % to_string(callee))
+
+
+def evaluate_binary(operator: str, left: Any, right: Any, max_string_length: int) -> Any:
+    """Binary-operator semantics shared by both execution backends.
+
+    This is the single source of truth: the tree-walking
+    :class:`Interpreter`, the opcode VM's ``BINOP`` handler, and the
+    bytecode compiler's constant folder all call it, so a folded constant
+    can never diverge from what runtime evaluation would have produced.
+    """
+    if operator == "+":
+        if isinstance(left, str) or isinstance(right, str) or isinstance(left, (JSObject, JSArray)) or isinstance(right, (JSObject, JSArray)):
+            joined = to_string(left) + to_string(right)
+            if len(joined) > max_string_length:
+                raise BudgetExceeded(
+                    "string allocation limit (%d chars) exceeded" % max_string_length
+                )
+            return joined
+        return to_number(left) + to_number(right)
+    if operator == "-":
+        return to_number(left) - to_number(right)
+    if operator == "*":
+        return to_number(left) * to_number(right)
+    if operator == "/":
+        rnum = to_number(right)
+        lnum = to_number(left)
+        if rnum == 0:
+            if lnum == 0 or math.isnan(lnum):
+                return float("nan")
+            return math.copysign(float("inf"), lnum) * (1 if rnum == 0 and not str(rnum).startswith("-") else 1)
+        return lnum / rnum
+    if operator == "%":
+        rnum = to_number(right)
+        lnum = to_number(left)
+        if rnum == 0 or math.isnan(lnum) or math.isinf(lnum):
+            return float("nan")
+        return math.fmod(lnum, rnum)
+    if operator == "==":
+        return loose_equals(left, right)
+    if operator == "!=":
+        return not loose_equals(left, right)
+    if operator == "===":
+        return strict_equals(left, right)
+    if operator == "!==":
+        return not strict_equals(left, right)
+    if operator in ("<", ">", "<=", ">="):
+        if isinstance(left, str) and isinstance(right, str):
+            lval, rval = left, right
+        else:
+            lval, rval = to_number(left), to_number(right)
+            if math.isnan(lval) or math.isnan(rval):
+                return False
+        if operator == "<":
+            return lval < rval
+        if operator == ">":
+            return lval > rval
+        if operator == "<=":
+            return lval <= rval
+        return lval >= rval
+    if operator == "&":
+        return float(_to_int32(to_number(left)) & _to_int32(to_number(right)))
+    if operator == "|":
+        return float(_to_int32(to_number(left)) | _to_int32(to_number(right)))
+    if operator == "^":
+        return float(_to_int32(to_number(left)) ^ _to_int32(to_number(right)))
+    if operator == "<<":
+        return float(_wrap_int32(_to_int32(to_number(left)) << (_to_int32(to_number(right)) & 31)))
+    if operator == ">>":
+        return float(_to_int32(to_number(left)) >> (_to_int32(to_number(right)) & 31))
+    if operator == ">>>":
+        return float((_to_int32(to_number(left)) & 0xFFFFFFFF) >> (_to_int32(to_number(right)) & 31))
+    if operator == "instanceof":
+        return isinstance(left, (JSObject, JSFunction))
+    if operator == "in":
+        if isinstance(right, JSObject):
+            return right.js_has(to_string(left))
+        return False
+    raise JSException("unsupported operator %s" % operator)
 
 
 def _to_int32(value: float) -> int:

@@ -1,0 +1,547 @@
+"""Opcode virtual machine: the JS sandbox's dispatch-loop backend (PR 9).
+
+Executes :class:`~repro.jsengine.compiler.Code` produced by
+:mod:`repro.jsengine.compiler`, exposing the exact public surface of the
+tree-walking :class:`~repro.jsengine.interpreter.Interpreter` (``run``,
+``call_function``, ``steps``, ``eval_log``, ``global_env``, …) so the
+browser host environment and builtins work against either backend
+polymorphically.
+
+Equivalence contract (checked continuously by
+``tests/test_vm_differential.py`` and ``tools/check_vm_speedup.py``):
+
+* **values** — every program returns the same result as the walker,
+* **host effects** — navigations, writes, cookies, listener
+  registrations, popups, and DOM mutations occur in the same order,
+* **errors** — the same exception classes with the same messages, at
+  the same point in effect order,
+* **step accounting** — ``self.steps`` is bit-identical to the walker
+  at every observable boundary: each instruction charges its fused tick
+  *weight* before executing, and budget overflow reproduces the
+  walker's tick-at-a-time post-raise value,
+* **telemetry** — identical ``js.op_count``/``js.eval_depth`` gauges,
+  ``js.interp.steps`` work deltas and ``js.scripts_executed`` counts;
+  the VM's own dispatch count is reported only as the ``js.vm.ops``
+  work kind (never as a metrics counter, so unprofiled obs reports stay
+  bit-identical across backends).
+
+Loops, ``try`` and ``switch`` execute as block opcodes whose handlers
+mirror the walker's Python control flow and reuse its ``_Break`` /
+``_Continue`` / ``_Return`` signal classes — break/continue/return
+through ``finally`` behave identically by construction, and escaping
+signals keep the same class names in host error logs.
+"""
+
+from __future__ import annotations
+
+import os
+import random
+from typing import Any, Dict, List, Optional
+
+from . import compiler as C
+from .builtins import get_member, make_global_builtins
+from .compiler import Code, FunctionTemplate, compile_function_body, compile_program
+from .interpreter import (
+    BudgetExceeded,
+    Environment,
+    Interpreter,
+    _Break,
+    _Continue,
+    _Return,
+    evaluate_binary,
+)
+from .parser import parse
+from .values import (
+    UNDEFINED,
+    JSArray,
+    JSException,
+    JSFunction,
+    JSObject,
+    NativeFunction,
+    strict_equals,
+    to_boolean,
+    to_number,
+    to_string,
+    type_of,
+)
+
+__all__ = ["VirtualMachine", "VMFunction", "JS_BACKEND_ENV", "JS_BACKENDS",
+           "resolve_js_backend", "make_js_engine"]
+
+#: environment variable selecting the default backend ("ast" or "vm")
+JS_BACKEND_ENV = "REPRO_JS_BACKEND"
+
+#: valid backend names: "ast" = tree-walking reference Interpreter,
+#: "vm" = this opcode machine
+JS_BACKENDS = ("ast", "vm")
+
+
+def resolve_js_backend(value: Optional[str] = None) -> str:
+    """Resolve a backend name: explicit > ``$REPRO_JS_BACKEND`` > "ast"."""
+    if value is None:
+        value = os.environ.get(JS_BACKEND_ENV) or "ast"
+    if value not in JS_BACKENDS:
+        raise ValueError(
+            "unknown JS backend %r (expected one of %s)" % (value, ", ".join(JS_BACKENDS)))
+    return value
+
+
+def make_js_engine(backend: Optional[str] = None, **kwargs: Any) -> Any:
+    """Construct the selected engine (Interpreter or VirtualMachine)."""
+    if resolve_js_backend(backend) == "vm":
+        return VirtualMachine(**kwargs)
+    return Interpreter(**kwargs)
+
+
+class VMFunction(JSFunction):
+    """A JS function closed over a compiled body.
+
+    Subclasses :class:`JSFunction` so ``typeof``, ``call``/``apply``
+    dispatch and every ``isinstance`` check in the builtins treat it
+    exactly like a walker-created function.
+    """
+
+    def __init__(self, template: FunctionTemplate, env: Any) -> None:
+        super().__init__(template.name, template.params, template.body, env)
+        self.code = template.code
+
+
+class VirtualMachine:
+    """Dispatch-loop executor with Interpreter-compatible surface."""
+
+    MAX_STRING_LENGTH = Interpreter.MAX_STRING_LENGTH
+    backend = "vm"
+
+    def __init__(
+        self,
+        host_globals: Optional[Dict[str, Any]] = None,
+        step_budget: int = 500_000,
+        rng: Optional[random.Random] = None,
+        observer: Optional[Any] = None,
+        compile_cache: Optional[Any] = None,
+    ) -> None:
+        self.rng = rng or random.Random(0)
+        self.step_budget = step_budget
+        self.compile_cache = compile_cache
+        #: walker-equivalent step counter (tick parity with the ast backend)
+        self.steps = 0
+        self._steps_reported = 0
+        #: instructions dispatched — the VM's real work unit, reported as
+        #: the ``js.vm.ops`` work kind
+        self.ops = 0
+        self._ops_reported = 0
+        self.observer = observer
+        self.eval_depth = 0
+        self.max_eval_depth = 0
+        self.global_env = Environment()
+        for name, value in make_global_builtins(self).items():
+            self.global_env.declare(name, value)
+        self.global_env.declare("eval", NativeFunction("eval", self._eval_builtin))
+        self.eval_log: List[str] = []
+        if host_globals:
+            for name, value in host_globals.items():
+                self.global_env.declare(name, value)
+
+    # ------------------------------------------------------------------
+    # Entry points
+    # ------------------------------------------------------------------
+    def limits(self) -> tuple:
+        """Codegen-relevant limits, part of the compile-cache key."""
+        return (self.step_budget, self.MAX_STRING_LENGTH)
+
+    def run(self, source: str) -> Any:
+        """Parse, compile and execute ``source`` in the global scope."""
+        return self.run_code(self._compile(source))
+
+    def _compile(self, source: str) -> Code:
+        if self.compile_cache is not None:
+            return self.compile_cache.compile_code(
+                source, limits=self.limits(), observer=self.observer)
+        program = parse(source, observer=self.observer)
+        return compile_program(program, max_string_length=self.MAX_STRING_LENGTH)
+
+    def run_code(self, code: Code) -> Any:
+        try:
+            return self._run_code(code, self.global_env)
+        finally:
+            self._report_gauges()
+
+    def _report_gauges(self) -> None:
+        if self.observer is not None:
+            script_steps = self.steps - self._steps_reported
+            self._steps_reported = self.steps
+            script_ops = self.ops - self._ops_reported
+            self._ops_reported = self.ops
+            # identical to Interpreter._report_gauges — tick parity makes
+            # the gauges, histogram, and js.interp.steps deltas match …
+            self.observer.gauge_max("js.op_count", self.steps)
+            self.observer.gauge_max("js.eval_depth", self.max_eval_depth)
+            self.observer.count("js.scripts_executed")
+            self.observer.observe("js.op_count", script_steps)
+            self.observer.work("js.interp.steps", script_steps)
+            # … while dispatch is accounted separately, as ledger work
+            # only (a metrics counter would leak into cross-backend
+            # report comparisons)
+            self.observer.work("js.vm.ops", script_ops)
+
+    def call_function(self, fn: Any, args: List[Any], this: Any = UNDEFINED) -> Any:
+        """Invoke a JS or native function from host code."""
+        if isinstance(fn, NativeFunction):
+            return fn(*args)
+        if callable(fn) and not isinstance(fn, JSFunction):
+            return fn(*args)
+        if isinstance(fn, JSFunction):
+            code = getattr(fn, "code", None)
+            if code is None:
+                # a walker-created JSFunction leaked in (host mixing):
+                # compile its body on the fly rather than diverging
+                code = compile_function_body(fn.params, fn.body, self.MAX_STRING_LENGTH)
+            env = Environment(fn.env)
+            for index, param in enumerate(fn.params):
+                env.declare(param, args[index] if index < len(args) else UNDEFINED)
+            env.declare("arguments", JSArray(list(args)))
+            env.declare("this", this)
+            try:
+                self._run_code(code, env)
+            except _Return as ret:
+                return ret.value
+            return UNDEFINED
+        raise JSException("TypeError: %s is not a function" % to_string(fn))
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _charge(self, weight: int) -> None:
+        """Charge a fused tick weight with walker-identical overflow.
+
+        The walker ticks one step at a time and raises at the first
+        crossing, so from ``steps == s``: if even one tick overflows the
+        budget the post-raise value is ``s + 1``; otherwise a crossing
+        inside the fused span lands exactly on ``budget + 1``.
+        """
+        steps = self.steps
+        budget = self.step_budget
+        if steps + weight > budget:
+            self.steps = steps + 1 if steps + 1 > budget else budget + 1
+            raise BudgetExceeded("step budget of %d exceeded" % budget)
+        self.steps = steps + weight
+
+    def _eval_builtin(self, source: Any = UNDEFINED) -> Any:
+        if not isinstance(source, str):
+            return source
+        self.eval_log.append(source)
+        code = self._compile(source)
+        self.eval_depth += 1
+        if self.eval_depth > self.max_eval_depth:
+            self.max_eval_depth = self.eval_depth
+        try:
+            return self._run_code(code, self.global_env)
+        finally:
+            self.eval_depth -= 1
+
+    def _run_code(self, code: Code, env: Environment) -> Any:  # noqa: C901
+        instrs = code.instrs
+        weights = code.weights
+        size = len(instrs)
+        stack: List[Any] = []
+        result: Any = UNDEFINED
+        pc = 0
+        while pc < size:
+            weight = weights[pc]
+            if weight:
+                self._charge(weight)
+            op, arg = instrs[pc]
+            self.ops += 1
+            pc += 1
+            if op == C.LOAD_CONST:
+                stack.append(arg)
+            elif op == C.LOAD_NAME:
+                stack.append(env.lookup(arg))
+            elif op == C.BINOP:
+                right = stack.pop()
+                stack[-1] = evaluate_binary(arg, stack[-1], right, self.MAX_STRING_LENGTH)
+            elif op == C.SET_RESULT:
+                result = stack.pop()
+            elif op == C.JUMP_IF_FALSE:
+                if not to_boolean(stack.pop()):
+                    pc = arg
+            elif op == C.JUMP:
+                pc = arg
+            elif op == C.CALL:
+                fn = stack.pop()
+                if arg:
+                    args = stack[-arg:]
+                    del stack[-arg:]
+                else:
+                    args = []
+                stack.append(self.call_function(fn, args, this=UNDEFINED))
+            elif op == C.CALL_METHOD:
+                name, argc = arg
+                obj = stack.pop()
+                if argc:
+                    args = stack[-argc:]
+                    del stack[-argc:]
+                else:
+                    args = []
+                fn = get_member(self, obj, name)
+                stack.append(self.call_function(fn, args, this=obj))
+            elif op == C.CALL_METHOD_DYN:
+                prop = to_string(stack.pop())
+                obj = stack.pop()
+                if arg:
+                    args = stack[-arg:]
+                    del stack[-arg:]
+                else:
+                    args = []
+                fn = get_member(self, obj, prop)
+                stack.append(self.call_function(fn, args, this=obj))
+            elif op == C.GET_MEMBER:
+                stack[-1] = get_member(self, stack[-1], arg)
+            elif op == C.GET_MEMBER_DYN:
+                prop = to_string(stack.pop())
+                stack[-1] = get_member(self, stack[-1], prop)
+            elif op == C.SET_MEMBER:
+                obj = stack.pop()
+                if hasattr(obj, "js_set"):
+                    obj.js_set(arg, stack[-1])
+            elif op == C.SET_MEMBER_DYN:
+                prop = to_string(stack.pop())
+                obj = stack.pop()
+                if hasattr(obj, "js_set"):
+                    obj.js_set(prop, stack[-1])
+            elif op == C.STORE_NAME:
+                env.assign(arg, stack[-1])
+            elif op == C.LOAD_NAME_SOFT:
+                stack.append(env.lookup(arg) if env.has(arg) else UNDEFINED)
+            elif op == C.DECLARE_STORE:
+                value = stack.pop()
+                if env.has(arg):
+                    env.assign(arg, value)
+                else:
+                    env.declare(arg, value)
+                result = UNDEFINED
+            elif op == C.POP:
+                stack.pop()
+            elif op == C.PUSH_CONSTS:
+                stack.extend(arg)
+            elif op == C.BUILD_CONST_ARRAY:
+                stack.append(JSArray(list(arg)))
+            elif op == C.BUILD_CONST_OBJECT:
+                obj = JSObject()
+                for key, value in arg:
+                    obj.js_set(key, value)
+                stack.append(obj)
+            elif op == C.BUILD_ARRAY:
+                if arg:
+                    elements = stack[-arg:]
+                    del stack[-arg:]
+                else:
+                    elements = []
+                stack.append(JSArray(elements))
+            elif op == C.BUILD_OBJECT:
+                count = len(arg)
+                values = stack[-count:]
+                del stack[-count:]
+                obj = JSObject()
+                for key, value in zip(arg, values):
+                    obj.js_set(key, value)
+                stack.append(obj)
+            elif op == C.DELETE_MEMBER:
+                prop = to_string(stack.pop()) if arg is None else arg
+                obj = stack.pop()
+                if isinstance(obj, JSObject):
+                    obj.js_delete(prop)
+                stack.append(True)
+            elif op == C.UNARY:
+                value = stack.pop()
+                if arg == "!":
+                    stack.append(not to_boolean(value))
+                elif arg == "-":
+                    stack.append(-to_number(value))
+                elif arg == "+":
+                    stack.append(to_number(value))
+                elif arg == "~":
+                    stack.append(float(~C._to_int32(to_number(value))))
+                elif arg == "void":
+                    stack.append(UNDEFINED)
+                else:
+                    raise JSException("unsupported unary %s" % arg)
+            elif op == C.TYPEOF:
+                stack[-1] = type_of(stack[-1])
+            elif op == C.TYPEOF_NAME:
+                if env.has(arg):
+                    # bound name: the walker evaluates the identifier
+                    # node (one tick) before type_of; unbound names
+                    # short-circuit to "undefined" without evaluating
+                    self._charge(1)
+                    stack.append(type_of(env.lookup(arg)))
+                else:
+                    stack.append("undefined")
+            elif op == C.UPDATE_VALUE:
+                delta, prefix = arg
+                old = to_number(stack.pop())
+                new = old + delta
+                stack.append(new if prefix else old)
+                stack.append(new)
+            elif op == C.INC_NAME:
+                name, delta, prefix = arg
+                old = to_number(env.lookup(name) if env.has(name) else UNDEFINED)
+                new = old + delta
+                env.assign(name, new)
+                stack.append(new if prefix else old)
+            elif op == C.LOAD_THIS:
+                stack.append(env.lookup("this") if env.has("this") else UNDEFINED)
+            elif op == C.JUMP_IF_FALSE_OR_POP:
+                if not to_boolean(stack[-1]):
+                    pc = arg
+                else:
+                    stack.pop()
+            elif op == C.JUMP_IF_TRUE_OR_POP:
+                if to_boolean(stack[-1]):
+                    pc = arg
+                else:
+                    stack.pop()
+            elif op == C.CLEAR_RESULT:
+                result = UNDEFINED
+            elif op == C.NEW:
+                if arg:
+                    args = stack[-arg:]
+                    del stack[-arg:]
+                else:
+                    args = []
+                callee = stack.pop()
+                if isinstance(callee, NativeFunction) or (
+                        callable(callee) and not isinstance(callee, JSFunction)):
+                    stack.append(callee(*args))
+                elif isinstance(callee, JSFunction):
+                    instance = JSObject()
+                    returned = self.call_function(callee, args, this=instance)
+                    stack.append(returned if isinstance(returned, (JSObject, JSArray))
+                                 else instance)
+                else:
+                    raise JSException(
+                        "TypeError: %s is not a constructor" % to_string(callee))
+            elif op == C.MAKE_FUNCTION:
+                fn = VMFunction(arg, env)
+                if arg.name:
+                    fn_env = Environment(env)
+                    fn_env.declare(arg.name, fn)
+                    fn.env = fn_env
+                stack.append(fn)
+            elif op == C.DECLARE_FUNCTION:
+                env.declare(arg.name, VMFunction(arg, env))
+                result = UNDEFINED
+            elif op == C.HOIST:
+                for hoist_kind, payload in arg:
+                    if hoist_kind == "f":
+                        env.declare(payload.name, VMFunction(payload, env))
+                    elif payload not in env.vars:
+                        env.declare(payload)
+            elif op == C.RETURN:
+                raise _Return(stack.pop() if arg else UNDEFINED)
+            elif op == C.BREAK:
+                raise _Break()
+            elif op == C.CONTINUE:
+                raise _Continue()
+            elif op == C.THROW:
+                raise JSException(stack.pop())
+            elif op == C.RAISE_MSG:
+                raise JSException(arg)
+            elif op == C.WHILE:
+                test_code, body_code = arg
+                while to_boolean(self._run_code(test_code, env)):
+                    self._charge(1)
+                    try:
+                        self._run_code(body_code, env)
+                    except _Break:
+                        break
+                    except _Continue:
+                        continue
+                result = UNDEFINED
+            elif op == C.DOWHILE:
+                body_code, test_code = arg
+                while True:
+                    self._charge(1)
+                    try:
+                        self._run_code(body_code, env)
+                    except _Break:
+                        break
+                    except _Continue:
+                        pass
+                    if not to_boolean(self._run_code(test_code, env)):
+                        break
+                result = UNDEFINED
+            elif op == C.FOR:
+                init_code, test_code, update_code, body_code = arg
+                if init_code is not None:
+                    self._run_code(init_code, env)
+                while test_code is None or to_boolean(self._run_code(test_code, env)):
+                    self._charge(1)
+                    try:
+                        self._run_code(body_code, env)
+                    except _Break:
+                        break
+                    except _Continue:
+                        pass
+                    if update_code is not None:
+                        self._run_code(update_code, env)
+                result = UNDEFINED
+            elif op == C.FORIN:
+                target, declare, body_code = arg
+                obj = stack.pop()
+                keys: List[str] = []
+                if isinstance(obj, JSArray):
+                    keys = [str(i) for i in range(len(obj.elements))]
+                elif isinstance(obj, JSObject):
+                    keys = obj.keys()
+                elif hasattr(obj, "js_keys"):
+                    keys = list(obj.js_keys())
+                if declare and not env.has(target):
+                    env.declare(target)
+                for key in keys:
+                    env.assign(target, key)
+                    self._charge(1)
+                    try:
+                        self._run_code(body_code, env)
+                    except _Break:
+                        break
+                    except _Continue:
+                        continue
+                result = UNDEFINED
+            elif op == C.TRY:
+                block_code, catch_param, catch_code, finally_code = arg
+                try:
+                    self._run_code(block_code, env)
+                except JSException as exc:
+                    if catch_code is not None:
+                        catch_env = Environment(env)
+                        catch_env.declare(catch_param or "e", exc.value)
+                        self._run_code(catch_code, catch_env)
+                finally:
+                    if finally_code is not None:
+                        self._run_code(finally_code, env)
+                result = UNDEFINED
+            elif op == C.SWITCH:
+                discriminant = stack.pop()
+                matched = False
+                try:
+                    for test_code, body_code in arg:
+                        if not matched and test_code is not None:
+                            if strict_equals(discriminant,
+                                             self._run_code(test_code, env)):
+                                matched = True
+                        if matched:
+                            self._run_code(body_code, env)
+                    if not matched:
+                        default_seen = False
+                        for test_code, body_code in arg:
+                            if test_code is None:
+                                default_seen = True
+                            if default_seen:
+                                self._run_code(body_code, env)
+                except _Break:
+                    pass
+                result = UNDEFINED
+            else:  # pragma: no cover - compiler/VM opcode sets are in lockstep
+                raise JSException("unsupported opcode %d" % op)
+        return stack[-1] if stack else result

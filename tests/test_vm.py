@@ -1,0 +1,172 @@
+"""Unit tests for the bytecode VM backend and values.py coercion corners.
+
+The differential harness (``test_vm_differential.py``) owns breadth;
+this file pins the narrow contracts directly: backend selection, the
+bytecode container, budget-trip parity, VM functions as first-class
+JS values, and the numeric-coercion corners the shared
+``evaluate_binary`` depends on (signed-infinity division, ``fmod``
+modulo, hex string-to-number, ``Infinity`` stringification).
+"""
+
+from __future__ import annotations
+
+import math
+import random
+
+import pytest
+
+from repro.jsengine import (
+    BudgetExceeded,
+    Interpreter,
+    JS_BACKEND_ENV,
+    JS_BACKENDS,
+    VirtualMachine,
+    compile_program,
+    make_js_engine,
+    parse,
+    resolve_js_backend,
+)
+from repro.jsengine.compiler import OP_NAMES
+from repro.jsengine.interpreter import evaluate_binary
+from repro.jsengine.values import to_number, to_string
+
+MAXLEN = Interpreter.MAX_STRING_LENGTH
+
+
+def binop(operator, left, right):
+    return evaluate_binary(operator, left, right, MAXLEN)
+
+
+class TestValuesCoercionCorners:
+    def test_division_by_zero_takes_dividend_sign(self):
+        assert binop("/", 1.0, 0.0) == float("inf")
+        assert binop("/", -1.0, 0.0) == float("-inf")
+        assert math.isnan(binop("/", 0.0, 0.0))
+        assert math.isnan(binop("/", float("nan"), 0.0))
+
+    def test_modulo_is_fmod_not_python_percent(self):
+        # JS % truncates toward zero (C fmod); Python's % floors.
+        assert binop("%", 7.0, -3.0) == 1.0
+        assert binop("%", -7.0, 3.0) == -1.0
+        assert math.isnan(binop("%", 5.0, 0.0))
+        assert math.isnan(binop("%", float("inf"), 3.0))
+        assert math.isnan(binop("%", float("nan"), 3.0))
+        assert binop("%", 5.5, 2.0) == 1.5
+
+    def test_hex_string_to_number(self):
+        assert to_number("0x1A") == 26.0
+        assert to_number("  0X10  ") == 16.0
+        assert to_number("-0x10") == -16.0
+        assert to_number("") == 0.0
+        assert to_number("  ") == 0.0
+        assert math.isnan(to_number("0xZZ"))
+        assert math.isnan(to_number("12abc"))
+
+    def test_infinity_stringification(self):
+        assert to_string(float("inf")) == "Infinity"
+        assert to_string(float("-inf")) == "-Infinity"
+        assert to_string(float("nan")) == "NaN"
+        assert binop("+", "", float("inf")) == "Infinity"
+        assert to_string(1e21) == "1e+21"
+        assert to_string(3.0) == "3"
+
+    def test_string_allocation_limit_raises_budget(self):
+        with pytest.raises(BudgetExceeded):
+            evaluate_binary("+", "a" * 10, "b" * 10, 16)
+
+
+class TestBackendSelection:
+    def test_resolve_order_explicit_env_default(self, monkeypatch):
+        monkeypatch.delenv(JS_BACKEND_ENV, raising=False)
+        assert resolve_js_backend(None) == "ast"
+        monkeypatch.setenv(JS_BACKEND_ENV, "vm")
+        assert resolve_js_backend(None) == "vm"
+        assert resolve_js_backend("ast") == "ast"  # explicit beats env
+
+    def test_unknown_backend_rejected(self, monkeypatch):
+        with pytest.raises(ValueError):
+            resolve_js_backend("jit")
+        monkeypatch.setenv(JS_BACKEND_ENV, "quantum")
+        with pytest.raises(ValueError):
+            resolve_js_backend(None)
+
+    def test_factory_builds_matching_engine(self, monkeypatch):
+        monkeypatch.delenv(JS_BACKEND_ENV, raising=False)
+        assert isinstance(make_js_engine("ast"), Interpreter)
+        assert isinstance(make_js_engine("vm"), VirtualMachine)
+        assert isinstance(make_js_engine(None), Interpreter)
+        assert make_js_engine("vm").backend == "vm"
+        assert make_js_engine("ast").backend == "ast"
+        assert JS_BACKENDS == ("ast", "vm")
+
+
+class TestBytecode:
+    def test_compile_program_yields_disassemblable_code(self):
+        code = compile_program(parse("var x = 1 + 2; x * 3;"),
+                               max_string_length=MAXLEN)
+        listing = code.dis()
+        assert "LOAD_CONST" in listing
+        # 1 + 2 folds at compile time: no BINOP for it remains, but the
+        # runtime multiply stays
+        assert len(code.instrs) == len(code.weights)
+        assert all(weight >= 0 for weight in code.weights)
+        assert all(OP_NAMES[instr[0]] for instr in code.instrs)
+
+    def test_constant_folding_preserves_total_ticks(self):
+        source = '"a" + "b" + "c" + "d";'
+        walker = Interpreter()
+        walker.run(source)
+        vm = VirtualMachine()
+        vm.run(source)
+        assert vm.steps == walker.steps
+        assert vm.ops < walker.steps  # the fold is the win
+
+    def test_budget_trip_positions_match_walker(self):
+        source = "var n = 0; while (true) { n = n + 1; }"
+        for budget in (5, 17, 100):
+            walker = Interpreter(step_budget=budget)
+            vm = VirtualMachine(step_budget=budget)
+            for engine in (walker, vm):
+                with pytest.raises(BudgetExceeded):
+                    engine.run(source)
+            assert vm.steps == walker.steps
+
+    def test_steps_keep_growing_after_budget_across_scripts(self):
+        # walker quirk: each post-budget run still charges its first
+        # tick before tripping, so steps grow by one per failed script
+        walker = Interpreter(step_budget=3)
+        vm = VirtualMachine(step_budget=3)
+        for engine in (walker, vm):
+            for _ in range(3):
+                with pytest.raises(BudgetExceeded):
+                    engine.run("1; 2; 3; 4; 5;")
+        assert vm.steps == walker.steps
+
+
+class TestVMFunctions:
+    def test_vm_function_is_first_class(self):
+        vm = VirtualMachine()
+        assert vm.run(
+            "function add(a, b) { return a + b; } typeof add;") == "function"
+        assert vm.run("add(2, 3);") == 5.0
+        assert vm.run("add.call(null, 1, 2);") == 3.0
+        assert vm.run("add.apply(null, [4, 4]);") == 8.0
+
+    def test_call_function_runs_foreign_ast_closures(self):
+        # a JSFunction built by the walker (no .code) must still be
+        # callable through the VM host surface (lazy body compile)
+        walker = Interpreter()
+        closure = walker.run("function f(x) { return x * 2; } f;")
+        vm = VirtualMachine()
+        assert vm.call_function(closure, [21.0]) == 42.0
+
+    def test_interpreter_compatible_surface(self):
+        vm = VirtualMachine(step_budget=1234, rng=random.Random(5))
+        assert vm.step_budget == 1234
+        assert vm.limits() == (1234, vm.MAX_STRING_LENGTH)
+        vm.run("var x = 1;")
+        assert vm.global_env.lookup("x") == 1.0
+        assert vm.eval_log == []
+        vm.run('eval("2 + 2");')
+        assert vm.eval_log == ["2 + 2"]
+        assert vm.max_eval_depth == 1

