@@ -1,0 +1,56 @@
+"""Live-telemetry overhead gate (not a paper artifact).
+
+The streaming telemetry layer (:mod:`repro.obs.live`) heartbeats only
+at coarse points — end of exchange, every 64 scanned URLs — and its
+status sink writes one flushed JSON line per record, precisely so it
+can stay on for any long measurement run.  This gate holds a run with
+the status sink + watchdog enabled to at most 10% wall-clock overhead
+over a plain observed run.
+"""
+
+import time
+
+from repro import MalwareSlumsStudy, StudyConfig
+from repro.crawler import CrawlPipeline, PipelineOptions
+from repro.obs import RunObserver
+
+
+def _run(status_path):
+    study = MalwareSlumsStudy(StudyConfig(seed=99, scale=0.008))
+    study.generate_web()
+    observer = RunObserver()
+    pipeline = CrawlPipeline(study.web, PipelineOptions(
+        seed=7, observer=observer, status_path=status_path))
+    pipeline.run()
+    return pipeline
+
+
+def test_live_telemetry_overhead(benchmark, tmp_path):
+    """status_path=... must stay within 10% of the plain observed run."""
+
+    def timed(thunk):
+        start = time.perf_counter()
+        result = thunk()
+        return time.perf_counter() - start, result
+
+    status_path = str(tmp_path / "status.jsonl")
+    # warm both paths, then time interleaved plain/live pairs and take
+    # the median per-pair ratio — noise within a pair is correlated,
+    # so ratios are far more stable than best-of timings
+    _run(None), _run(status_path)
+    ratios = []
+    pipeline = None
+    for _ in range(7):
+        plain, _ = timed(lambda: _run(None))
+        seconds, pipeline = timed(lambda: _run(status_path))
+        ratios.append(seconds / plain)
+    benchmark.pedantic(lambda: _run(status_path), rounds=1, iterations=1)
+    assert pipeline is not None and pipeline.live is not None
+    assert pipeline.live.state.records_applied > 0
+    ratios.sort()
+    overhead = ratios[len(ratios) // 2] - 1.0
+    print("\nper-pair overhead: %s -> median %+.1f%%"
+          % (" ".join("%+.1f%%" % (100 * (r - 1)) for r in ratios),
+             100 * overhead))
+    assert overhead <= 0.10, (
+        "live telemetry overhead %.1f%% exceeds 10%%" % (100 * overhead))

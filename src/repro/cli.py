@@ -10,6 +10,7 @@ Usage (after install)::
     python -m repro explain http://...                    # verdict provenance
     python -m repro obs-diff base.json cand.json          # regression gate
     python -m repro profile --budget benchmarks/perf_budget.json
+    python -m repro watch status.jsonl                    # live run progress
 """
 
 from __future__ import annotations
@@ -120,6 +121,37 @@ def build_parser() -> argparse.ArgumentParser:
                           "(load in chrome://tracing or ui.perfetto.dev)")
     obs.add_argument("--provenance", metavar="PATH",
                      help="also write per-URL verdict provenance as JSON-lines")
+    obs.add_argument("--status-out", metavar="PATH",
+                     help="stream live JSON-lines status to this file during "
+                          "the run (`repro watch PATH` tails it); the report "
+                          "is bit-identical with or without the sink")
+    obs.add_argument("--status", metavar="PATH",
+                     help="fold an existing status file into the report as a "
+                          "'status' section (the `repro watch --json` schema)")
+    obs.add_argument("--openmetrics-out", metavar="PATH",
+                     help="also write the final metrics registry in "
+                          "OpenMetrics/Prometheus text format")
+    obs.add_argument("--watchdog-baseline", metavar="PATH",
+                     help="arm the live watchdog's verdict-drift check "
+                          "against this committed baseline report "
+                          "(benchmarks/baseline_report.json)")
+
+    watch = sub.add_parser(
+        "watch",
+        help="tail a run's live status file: per-phase/per-shard progress, "
+             "window rates, ETA, and open health findings",
+    )
+    watch.add_argument("status_file",
+                       help="the JSON-lines status sink a running pipeline "
+                            "writes (PipelineOptions(status_path=...) or "
+                            "`repro obs-report --status-out`)")
+    watch.add_argument("--once", action="store_true",
+                       help="render one snapshot and exit instead of "
+                            "following the file")
+    watch.add_argument("--json", dest="as_json", action="store_true",
+                       help="print the snapshot as JSON (for scripting)")
+    watch.add_argument("--interval", type=float, default=1.0, metavar="SECONDS",
+                       help="re-read cadence in follow mode (default 1.0)")
 
     profile = sub.add_parser(
         "profile",
@@ -318,13 +350,32 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
     study = MalwareSlumsStudy(StudyConfig(seed=args.seed, scale=args.scale))
     web = study.generate_web()
     observer = RunObserver()
+    watchdog = None
+    if args.watchdog_baseline:
+        from .obs import Watchdog
+
+        watchdog = Watchdog.from_baseline_report(args.watchdog_baseline)
     pipeline = CrawlPipeline(web, PipelineOptions(
         seed=args.seed + 61, observer=observer,
         workers=args.workers, record_provenance=True,
-        js_backend=args.js_backend))
+        js_backend=args.js_backend,
+        status_path=args.status_out, watchdog=watchdog))
     outcome = pipeline.run()
     report = build_run_report(pipeline, outcome)
+    if args.status:
+        from .obs import attach_status_section
 
+        attach_status_section(report, args.status)
+
+    if args.status_out:
+        print("streamed live status to %s (tail with `repro watch %s`)"
+              % (args.status_out, args.status_out))
+    if args.openmetrics_out:
+        from .obs import write_openmetrics
+
+        count = write_openmetrics(args.openmetrics_out, observer.metrics)
+        print("wrote %d OpenMetrics lines to %s"
+              % (count, args.openmetrics_out))
     if args.output:
         with open(args.output, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -348,6 +399,38 @@ def _cmd_obs_report(args: argparse.Namespace) -> int:
         print(render_run_report_markdown(report))
     elif not args.output:
         print(json.dumps(report, indent=2, sort_keys=True))
+    return 0
+
+
+def _cmd_watch(args: argparse.Namespace) -> int:
+    import json
+
+    from .obs import load_status_snapshot, render_status_text
+
+    def emit() -> dict:
+        snapshot = load_status_snapshot(args.status_file)
+        if args.as_json:
+            print(json.dumps(snapshot, indent=2, sort_keys=True))
+        else:
+            print(render_status_text(snapshot))
+        return snapshot
+
+    try:
+        snapshot = emit()
+    except OSError as error:
+        print("cannot read status file: %s" % error, file=sys.stderr)
+        return 2
+    if args.once:
+        return 0
+    # follow mode: the sink flushes each record, so a plain re-read loop
+    # (no inotify dependency) tracks an in-flight run; a torn final line
+    # is skipped by the parser and picked up whole on the next pass
+    import time
+
+    while snapshot.get("run", {}).get("state") != "finished":
+        time.sleep(max(0.1, args.interval))
+        print()
+        snapshot = emit()
     return 0
 
 
@@ -607,6 +690,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         "export": _cmd_export,
         "feed": _cmd_feed,
         "obs-report": _cmd_obs_report,
+        "watch": _cmd_watch,
         "profile": _cmd_profile,
         "explain": _cmd_explain,
         "obs-diff": _cmd_obs_diff,

@@ -123,4 +123,13 @@ class ExchangeCrawler:
             observer.event("crawl.exchange.done", exchange=self.exchange.name,
                            steps=stats.steps, member_visits=stats.member_visits,
                            campaign_visits=stats.campaign_visits)
+            # one heartbeat per finished exchange: the one crawl-phase
+            # point that coincides between the serial loop and the shard
+            # replay (which re-advances the clock and merges the shard
+            # registry first), so live series stay worker-count-invariant
+            heartbeat = getattr(observer, "heartbeat", None)
+            if heartbeat is not None:
+                heartbeat("crawl", advance=1, exchange=self.exchange.name,
+                          steps=stats.steps,
+                          campaign_visits=stats.campaign_visits)
         return stats

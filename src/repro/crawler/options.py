@@ -58,6 +58,14 @@ class PipelineOptions:
     #: $REPRO_JS_BACKEND (defaulting to "ast"); both backends produce
     #: bit-identical verdicts and reports
     js_backend: Optional[str] = None
+    #: JSON-lines live-status sink (repro.obs.live) that `repro watch`
+    #: tails; setting it attaches streaming telemetry to the run (an
+    #: internal observer is created if none was passed) without changing
+    #: any pipeline output
+    status_path: Optional[str] = None
+    #: in-flight health checks (a repro.obs.live.Watchdog); None with a
+    #: status_path set still attaches the default watchdog
+    watchdog: Optional[object] = None
 
     @classmethod
     def field_names(cls) -> "tuple[str, ...]":

@@ -72,6 +72,11 @@ WORKERS_ENV = "REPRO_WORKERS"
 #: (with a DeprecationWarning) when the new variable is unset
 WORKERS_ENV_VAR = "REPRO_SCAN_WORKERS"
 
+#: live-telemetry scan heartbeat cadence (one beat per N verdicts); the
+#: serial loop and the executor merge iterate the same workload order,
+#: so the beats coincide at any worker count
+_SCAN_HEARTBEAT_EVERY = 64
+
 
 def workers_from_env() -> int:
     """Default worker count from ``$REPRO_WORKERS`` (1 when unset).
@@ -251,6 +256,28 @@ class CrawlPipeline:
         #: attribute test and pipeline outputs are identical to seed
         self.observer = options.observer
         observer = options.observer
+        #: streaming telemetry (repro.obs.live) — attached when a status
+        #: sink or a watchdog is requested.  It is a pure side channel:
+        #: it reads the metric stream at heartbeat instants and writes
+        #: only to its own state/sink, so every pipeline output (verdict
+        #: map, report, provenance) is bit-identical with it on or off
+        self.live = None
+        if options.status_path is not None or options.watchdog is not None:
+            if observer is None:
+                # live telemetry needs the observer's metric stream and
+                # clock; observers never change pipeline outputs, so an
+                # internal one is safe to create on demand
+                from ..obs.observer import RunObserver
+
+                observer = RunObserver()
+                self.observer = observer
+            from ..obs.live import LiveTelemetry
+
+            self.live = LiveTelemetry(
+                clock=observer.clock,
+                status_path=options.status_path,
+                watchdog=options.watchdog,
+            ).attach(observer)
         #: JS sandbox backend, resolved once (explicit option beats
         #: $REPRO_JS_BACKEND beats "ast") and threaded into every
         #: scanner so serial and sharded scans execute scripts the
@@ -523,6 +550,12 @@ class CrawlPipeline:
         observer = self.observer
         memory = self.memory_ledger
         specs = self._build_crawl_specs(scale)
+        live = self.live
+        if live is not None:
+            live.run_started(seed=self.options.seed, scale=scale,
+                             workers=self.workers, js_backend=self.js_backend)
+            live.phase_started("crawl", total_units=len(specs),
+                               unit="exchanges")
         with (memory.phase("crawl") if memory is not None else nullcontext()):
             with (observer.frame("crawl") if observer is not None
                   else nullcontext()):
@@ -531,6 +564,8 @@ class CrawlPipeline:
                         specs, self, observer=observer)
                 else:
                     self._crawl_serial(specs)
+        if live is not None:
+            live.phase_finished("crawl")
         if memory is not None:
             memory.count_objects("crawl.records", len(self.dataset.records))
             memory.count_objects("crawl.cached_urls", len(self.dataset.content))
@@ -641,6 +676,11 @@ class CrawlPipeline:
         outcome = ScanOutcome()
         observer = self.observer
         memory = self.memory_ledger
+        live = self.live
+        if live is not None:
+            live.phase_started("scan",
+                               total_units=len(self.dataset.distinct_urls()),
+                               unit="urls")
         if self.record_provenance:
             # open the store (and its optional JSON-lines sink) *before*
             # scanning: verdicts write through as they land, so a raise
@@ -663,9 +703,19 @@ class CrawlPipeline:
                                                  if v.malicious))
                 else:
                     self._scan_all(service, outcome)
+            if live is not None:
+                live.phase_finished("scan")
+                live.run_finished(
+                    urls=len(outcome.verdicts),
+                    malicious=sum(1 for v in outcome.verdicts.values()
+                                  if v.malicious))
         finally:
             if self.provenance_store is not None:
                 self.provenance_store.close()
+            if live is not None:
+                # the status sink must survive a crash mid-scan with every
+                # completed record flushed, same contract as provenance
+                live.close()
         if memory is not None:
             memory.count_objects("scan.verdicts", len(outcome.verdicts))
             if self.provenance_store is not None:
@@ -720,6 +770,8 @@ class CrawlPipeline:
             self._scan_executor(service, outcome)
             return
         observer = self.observer
+        live = self.live
+        done = 0
         for url in self.dataset.distinct_urls():
             cached = self.dataset.content.get(url)
             if cached is None:
@@ -737,6 +789,11 @@ class CrawlPipeline:
                 observer.count("scan.urls")
                 observer.count("scan.verdict.malicious" if verdict.malicious
                                else "scan.verdict.benign")
+            done += 1
+            if live is not None and done % _SCAN_HEARTBEAT_EVERY == 0:
+                live.heartbeat("scan", units_done=done)
+        if live is not None and done % _SCAN_HEARTBEAT_EVERY:
+            live.heartbeat("scan", units_done=done)
 
     def _scan_executor(self, service: UrlVerdictService, outcome: ScanOutcome) -> None:
         """Fan the workload out through the configured scan executor.
@@ -746,10 +803,12 @@ class CrawlPipeline:
         every ``scan.*`` counter — is bit-identical to the serial loop.
         """
         observer = self.observer
+        live = self.live
         execution = self.scan_executor.execute(
             build_scan_tasks(self.dataset), service, observer=observer,
         )
         self.last_scan_execution = execution
+        done = 0
         for url, verdict in execution.verdicts.items():
             outcome.verdicts[url] = verdict
             self._record_verdict_provenance(url, verdict)
@@ -757,6 +816,15 @@ class CrawlPipeline:
                 observer.count("scan.urls")
                 observer.count("scan.verdict.malicious" if verdict.malicious
                                else "scan.verdict.benign")
+            # heartbeat cadence matches the serial loop exactly: this
+            # merge iterates verdicts in original workload order with the
+            # same counters landing before each beat, so the status
+            # stream is worker-count-invariant (shard records aside)
+            done += 1
+            if live is not None and done % _SCAN_HEARTBEAT_EVERY == 0:
+                live.heartbeat("scan", units_done=done)
+        if live is not None and done % _SCAN_HEARTBEAT_EVERY:
+            live.heartbeat("scan", units_done=done)
 
     # ------------------------------------------------------------------
     def run(self, scale: Optional[float] = None) -> ScanOutcome:

@@ -164,6 +164,8 @@ class ParallelCrawlExecutor(PhaseExecutor):
     its dataset, crawl stats, server counters, and shared clock.
     """
 
+    phase_name = "crawl"
+
     def __init__(self, workers: int = 4,
                  pool_factory: Optional[object] = None) -> None:
         # one shard per exchange: the exchange is the isolation boundary,
@@ -186,6 +188,12 @@ class ParallelCrawlExecutor(PhaseExecutor):
             spec.name: copy.deepcopy(spec.exchange) for spec in specs
         }
         return _CrawlPrep(snapshots=snapshots, force_serial=force_serial)
+
+    def shard_label(self, shard: object) -> str:
+        return shard.name
+
+    def shard_units(self, shard: object) -> int:
+        return shard.steps
 
     def shard(self, specs: Sequence[CrawlSpec], pipeline: object,
               state: _CrawlPrep) -> List[CrawlSpec]:

@@ -25,13 +25,36 @@ Three companion layers sit on top of the observer:
 - :mod:`repro.obs.export` — Chrome-trace-format span export with
   per-shard scanexec tracks (``repro obs-report --trace-out``);
 - :mod:`repro.obs.diff` — structural run-report diffing for regression
-  gates (``repro obs-diff baseline.json candidate.json``).
+  gates (``repro obs-diff baseline.json candidate.json``);
+- :mod:`repro.obs.live` — streaming in-flight telemetry: sliding-window
+  time series, phase/shard heartbeats, a stall/storm/drift watchdog,
+  and the JSON-lines status sink ``repro watch`` tails
+  (``CrawlPipeline(PipelineOptions(status_path=...))``), plus an
+  OpenMetrics text export (``repro obs-report --openmetrics-out``).
 """
 
 from .clock import Clock, MonotonicClock, SimClock
 from .diff import DiffConfig, DiffEntry, RunDiff, diff_reports
 from .events import EventLog
-from .export import build_chrome_trace, critical_path_summary, write_chrome_trace
+from .export import (
+    build_chrome_trace,
+    critical_path_summary,
+    render_openmetrics,
+    write_chrome_trace,
+    write_openmetrics,
+)
+from .live import (
+    HealthFinding,
+    LiveRunState,
+    LiveTelemetry,
+    TimeSeries,
+    TimeSeriesStore,
+    Watchdog,
+    fold_status_lines,
+    load_status_snapshot,
+    parse_status_text,
+    render_status_text,
+)
 from .metrics import (
     Counter,
     Gauge,
@@ -59,7 +82,7 @@ from .provenance import (
     VerdictProvenance,
     render_provenance,
 )
-from .report import build_run_report, render_run_report_markdown
+from .report import attach_status_section, build_run_report, render_run_report_markdown
 from .tracing import Span, Tracer
 
 __all__ = [
@@ -71,7 +94,10 @@ __all__ = [
     "DiffEntry",
     "EventLog",
     "Gauge",
+    "HealthFinding",
     "Histogram",
+    "LiveRunState",
+    "LiveTelemetry",
     "MemoryLedger",
     "MetricsRegistry",
     "MonotonicClock",
@@ -84,10 +110,14 @@ __all__ = [
     "SimClock",
     "Span",
     "StageRecord",
+    "TimeSeries",
+    "TimeSeriesStore",
     "Tracer",
     "VerdictProvenance",
+    "Watchdog",
     "WorkLedger",
     "WorkProfiler",
+    "attach_status_section",
     "build_budget",
     "build_chrome_trace",
     "build_run_report",
@@ -96,9 +126,15 @@ __all__ = [
     "default_count_buckets",
     "default_latency_buckets",
     "diff_reports",
+    "fold_status_lines",
+    "load_status_snapshot",
+    "parse_status_text",
     "render_budget_table",
+    "render_openmetrics",
     "render_provenance",
     "render_run_report_markdown",
+    "render_status_text",
     "render_work_table",
     "write_chrome_trace",
+    "write_openmetrics",
 ]

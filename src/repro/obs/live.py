@@ -1,0 +1,851 @@
+"""Live run telemetry: the streaming layer that runs *during* a pipeline.
+
+Everything else in :mod:`repro.obs` describes a run after it ends — the
+report, the provenance store, the work ledger are post-hoc artifacts.
+This module is the in-flight view the paper's months-long measurement
+would have needed: sliding-window time series, per-phase/per-shard
+progress, and health findings, all emitted while the crawl and scan are
+still running.
+
+Three cooperating pieces:
+
+* :class:`TimeSeriesStore` — ring-buffered sliding windows of counter
+  rates, gauge samples, and latency quantiles, fed from the observer's
+  metric stream at **heartbeat instants** on the injected clock.
+  Heartbeats fire only at points that coincide between the serial loop
+  and the :class:`~repro.phasexec.recording.RecordingObserver` replay
+  path (end of exchange, every N scanned URLs), so the series of a
+  ``workers=4`` run is bit-identical to serial.
+* :class:`Watchdog` — in-flight health checks over the live state:
+  stalled shards, budget-exhaustion storms in the JS sandbox, and
+  verdict-rate drift against the committed baseline, surfaced as typed
+  :class:`HealthFinding` records.
+* the **status sink** — a crash-safe append-only JSON-lines file
+  (write-through + flush per record, the same discipline as
+  :class:`~repro.obs.provenance.ProvenanceStore`) that ``repro watch``
+  tails.  :class:`LiveRunState` folds status lines back into the same
+  snapshot shape the in-process telemetry exposes, so the watcher, the
+  ``repro obs-report --status`` section, and the live object all share
+  one schema.
+
+The live layer is a **side channel**: it never writes into the
+observer's metrics, events, or spans, so a run's telemetry report is
+trivially bit-identical with the sink on or off.  Every timestamp comes
+off the injected clock — this file is the one ``repro.obs`` module that
+the determinism lint *forbids* from reading the wall clock.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, List, Optional, TextIO, Tuple
+
+from .clock import Clock
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "KIND_BUDGET_STORM",
+    "KIND_STALLED_SHARD",
+    "KIND_VERDICT_DRIFT",
+    "HealthFinding",
+    "LiveRunState",
+    "LiveTelemetry",
+    "TimeSeries",
+    "TimeSeriesStore",
+    "Watchdog",
+    "fold_status_lines",
+    "load_status_snapshot",
+    "parse_status_text",
+    "render_status_text",
+]
+
+#: counters sampled (as cumulative totals) into the time series at every
+#: heartbeat; rates derive from deltas between heartbeat instants
+TRACKED_COUNTERS = (
+    "crawl.steps",
+    "http.requests",
+    "scan.urls",
+    "scan.verdict.benign",
+    "scan.verdict.malicious",
+)
+
+#: gauges sampled by value (high-water marks) at every heartbeat
+TRACKED_GAUGES = ("js.op_count",)
+
+#: (histogram, quantile) pairs sampled at every heartbeat; the series is
+#: named ``<histogram>:p<q>``
+TRACKED_QUANTILES = (("http.fetch.seconds", 0.95),)
+
+#: typed health-finding kinds
+KIND_STALLED_SHARD = "stalled_shard"
+KIND_BUDGET_STORM = "budget_storm"
+KIND_VERDICT_DRIFT = "verdict_drift"
+
+
+# ---------------------------------------------------------------------------
+# Time series
+# ---------------------------------------------------------------------------
+class TimeSeries:
+    """One named ring of ``(t, value)`` samples on the simulated clock."""
+
+    __slots__ = ("name", "kind", "capacity", "points")
+
+    def __init__(self, name: str, kind: str, capacity: int) -> None:
+        self.name = name
+        #: "counter" (cumulative totals; rates derive from deltas),
+        #: "gauge", or "quantile" (point-in-time values)
+        self.kind = kind
+        self.capacity = max(2, capacity)
+        self.points: List[Tuple[float, float]] = []
+
+    def add(self, t: float, value: float) -> None:
+        self.points.append((float(t), float(value)))
+        if len(self.points) > self.capacity:
+            del self.points[0]
+
+    def last(self) -> Optional[Tuple[float, float]]:
+        return self.points[-1] if self.points else None
+
+    def window(self, now: float, seconds: float) -> List[Tuple[float, float]]:
+        """Samples inside the sliding window ``[now - seconds, now]``."""
+        cutoff = now - seconds
+        return [point for point in self.points if point[0] >= cutoff]
+
+    def rate(self, now: float, seconds: float) -> float:
+        """Per-second rate over the window (counter series only).
+
+        Counter samples are cumulative totals, so the windowed rate is
+        the delta between the oldest and newest in-window samples over
+        their elapsed simulated time; 0.0 when time has not moved.
+        """
+        points = self.window(now, seconds)
+        if len(points) < 2:
+            return 0.0
+        (t0, v0), (t1, v1) = points[0], points[-1]
+        if t1 <= t0:
+            return 0.0
+        return (v1 - v0) / (t1 - t0)
+
+
+class TimeSeriesStore:
+    """Create-on-first-use registry of ring-buffered time series."""
+
+    def __init__(self, capacity: int = 240, window_seconds: float = 300.0) -> None:
+        self.capacity = capacity
+        #: default sliding-window width for rates and snapshots
+        self.window_seconds = window_seconds
+        self._series: Dict[str, TimeSeries] = {}
+
+    def series(self, name: str, kind: str = "gauge") -> TimeSeries:
+        existing = self._series.get(name)
+        if existing is None:
+            existing = self._series[name] = TimeSeries(name, kind, self.capacity)
+        return existing
+
+    def record(self, name: str, kind: str, t: float, value: float) -> None:
+        self.series(name, kind).add(t, value)
+
+    def get(self, name: str) -> Optional[TimeSeries]:
+        return self._series.get(name)
+
+    def names(self) -> List[str]:
+        return sorted(self._series)
+
+    def __len__(self) -> int:
+        return len(self._series)
+
+    def snapshot(self, now: float, points: int = 12) -> Dict[str, Dict[str, Any]]:
+        """JSON-ready view: last samples, plus window rates for counters."""
+        out: Dict[str, Dict[str, Any]] = {}
+        for name in self.names():
+            series = self._series[name]
+            entry: Dict[str, Any] = {
+                "kind": series.kind,
+                "points": [list(point) for point in series.points[-points:]],
+            }
+            last = series.last()
+            entry["last"] = last[1] if last is not None else 0.0
+            if series.kind == "counter":
+                entry["rate_per_second"] = series.rate(now, self.window_seconds)
+            out[name] = entry
+        return out
+
+
+# ---------------------------------------------------------------------------
+# Health findings + watchdog
+# ---------------------------------------------------------------------------
+@dataclass
+class HealthFinding:
+    """One typed in-flight health signal."""
+
+    kind: str
+    severity: str
+    phase: str
+    subject: str
+    message: str
+    t: float = 0.0
+    evidence: Dict[str, Any] = field(default_factory=dict)
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "kind": self.kind,
+            "severity": self.severity,
+            "phase": self.phase,
+            "subject": self.subject,
+            "message": self.message,
+            "t": self.t,
+            "evidence": dict(self.evidence),
+        }
+
+    def to_record(self) -> Dict[str, Any]:
+        record = self.to_dict()
+        record["type"] = "finding"
+        return record
+
+
+def _histogram_count_at_or_above(histogram: Histogram, ceiling: float) -> int:
+    """Observations whose whole bucket sits at or above ``ceiling``.
+
+    A deterministic bucket-edge approximation: bucket ``i`` covers
+    ``(bounds[i-1], bounds[i]]`` so it counts when its lower edge is
+    already past the ceiling; the overflow bucket's lower edge is the
+    last bound.  Slight undercount near the ceiling, never an overcount.
+    """
+    count = 0
+    bounds = histogram.bounds
+    for index, bucket_count in enumerate(histogram.bucket_counts):
+        lower = bounds[index - 1] if index > 0 else 0.0
+        if index == len(bounds):
+            lower = bounds[-1]
+        if lower >= ceiling:
+            count += bucket_count
+    return count
+
+
+class Watchdog:
+    """Deterministic in-flight health checks over the live run state.
+
+    Every check reads only the folded :class:`LiveRunState` (shard
+    lifecycle, latest heartbeat samples) and the injected clock's
+    ``now`` — no wall time, no ambient state — so a finding fires on
+    the same heartbeat in every run of the same seed.
+
+    Parameters
+    ----------
+    stall_seconds:
+        A shard still running this many *simulated* seconds after it
+        started is flagged ``stalled_shard``.  Healthy fan-outs never
+        trip it: the shared clock only advances on the main thread,
+        between a phase's shard-start and shard-finish records.
+    budget_ceiling / budget_storm_fraction / budget_min_scripts:
+        When at least ``budget_min_scripts`` scripts have executed and
+        more than ``budget_storm_fraction`` of them hit the
+        ``budget_ceiling`` step budget (read from the ``js.op_count``
+        histogram at heartbeat instants), flag ``budget_storm`` — the
+        sandbox is burning its whole budget on most scripts, which in
+        the real measurement means an obfuscation arms-race page set or
+        a mis-set budget.
+    expected_malicious_rate / drift_tolerance / drift_min_verdicts:
+        With an expected rate armed (see :meth:`from_baseline_report`),
+        flag ``verdict_drift`` when the in-flight malicious fraction
+        moves more than ``drift_tolerance`` (absolute) away from it
+        after at least ``drift_min_verdicts`` verdicts.  ``None``
+        disables the check (the default: rates are scale-dependent).
+    """
+
+    def __init__(self, stall_seconds: float = 300.0,
+                 budget_ceiling: Optional[float] = 500_000.0,
+                 budget_storm_fraction: float = 0.5,
+                 budget_min_scripts: int = 32,
+                 expected_malicious_rate: Optional[float] = None,
+                 drift_tolerance: float = 0.10,
+                 drift_min_verdicts: int = 512) -> None:
+        self.stall_seconds = stall_seconds
+        self.budget_ceiling = budget_ceiling
+        self.budget_storm_fraction = budget_storm_fraction
+        self.budget_min_scripts = budget_min_scripts
+        self.expected_malicious_rate = expected_malicious_rate
+        self.drift_tolerance = drift_tolerance
+        self.drift_min_verdicts = drift_min_verdicts
+        #: finding keys already raised (each fires at most once per run)
+        self._seen: set = set()
+
+    @classmethod
+    def from_baseline_report(cls, path: str, **overrides: Any) -> "Watchdog":
+        """A watchdog armed with the committed baseline's verdict rate.
+
+        ``path`` is a :func:`~repro.obs.report.build_run_report` JSON
+        (e.g. ``benchmarks/baseline_report.json``); the expected
+        malicious rate is ``scan.malicious / scan.urls_scanned``.
+        """
+        with open(path, "r", encoding="utf-8") as handle:
+            report = json.load(handle)
+        scan = report.get("scan", {})
+        scanned = float(scan.get("urls_scanned", 0) or 0)
+        rate = (float(scan.get("malicious", 0)) / scanned) if scanned else None
+        overrides.setdefault("expected_malicious_rate", rate)
+        return cls(**overrides)
+
+    # ------------------------------------------------------------------
+    def check(self, state: "LiveRunState", now: float) -> List[HealthFinding]:
+        """New findings only (each key fires once); deterministic order."""
+        findings: List[HealthFinding] = []
+        self._check_stalls(state, now, findings)
+        self._check_budget_storm(state, now, findings)
+        self._check_verdict_drift(state, now, findings)
+        return findings
+
+    def _raise_once(self, key: Tuple, finding: HealthFinding,
+                    findings: List[HealthFinding]) -> None:
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        findings.append(finding)
+
+    def _check_stalls(self, state: "LiveRunState", now: float,
+                      findings: List[HealthFinding]) -> None:
+        for phase in sorted(state.shards):
+            for index in sorted(state.shards[phase]):
+                shard = state.shards[phase][index]
+                if shard.get("state") != "running":
+                    continue
+                elapsed = now - float(shard.get("t_started", now))
+                if elapsed <= self.stall_seconds:
+                    continue
+                label = str(shard.get("label") or index)
+                self._raise_once(
+                    (KIND_STALLED_SHARD, phase, index),
+                    HealthFinding(
+                        kind=KIND_STALLED_SHARD, severity="critical",
+                        phase=phase, subject=label,
+                        message="shard %s of the %s phase has been running "
+                                "for %.0fs without finishing (threshold %.0fs)"
+                                % (label, phase, elapsed, self.stall_seconds),
+                        t=now,
+                        evidence={"index": index, "elapsed_seconds": elapsed,
+                                  "stall_seconds": self.stall_seconds},
+                    ),
+                    findings)
+
+    def _check_budget_storm(self, state: "LiveRunState", now: float,
+                            findings: List[HealthFinding]) -> None:
+        budget = state.latest.get("budget")
+        if not budget or self.budget_ceiling is None:
+            return
+        scripts = float(budget.get("scripts", 0))
+        over = float(budget.get("over", 0))
+        if scripts < self.budget_min_scripts:
+            return
+        fraction = over / scripts
+        if fraction <= self.budget_storm_fraction:
+            return
+        self._raise_once(
+            (KIND_BUDGET_STORM,),
+            HealthFinding(
+                kind=KIND_BUDGET_STORM, severity="warning",
+                phase="scan", subject="js-sandbox",
+                message="budget-exhaustion storm: %d of %d executed scripts "
+                        "(%.0f%%) hit the %d-step budget"
+                        % (int(over), int(scripts), 100 * fraction,
+                           int(self.budget_ceiling)),
+                t=now,
+                evidence={"scripts": scripts, "over_ceiling": over,
+                          "fraction": fraction,
+                          "ceiling": self.budget_ceiling},
+            ),
+            findings)
+
+    def _check_verdict_drift(self, state: "LiveRunState", now: float,
+                             findings: List[HealthFinding]) -> None:
+        expected = self.expected_malicious_rate
+        if expected is None:
+            return
+        counters = state.latest.get("counters", {})
+        malicious = float(counters.get("scan.verdict.malicious", 0.0))
+        benign = float(counters.get("scan.verdict.benign", 0.0))
+        total = malicious + benign
+        if total < self.drift_min_verdicts:
+            return
+        rate = malicious / total
+        if abs(rate - expected) <= self.drift_tolerance:
+            return
+        self._raise_once(
+            (KIND_VERDICT_DRIFT,),
+            HealthFinding(
+                kind=KIND_VERDICT_DRIFT, severity="warning",
+                phase="scan", subject="verdict-rate",
+                message="malicious verdict rate %.1f%% drifted from the "
+                        "baseline %.1f%% by more than %.0f points over %d "
+                        "verdicts"
+                        % (100 * rate, 100 * expected,
+                           100 * self.drift_tolerance, int(total)),
+                t=now,
+                evidence={"rate": rate, "expected": expected,
+                          "tolerance": self.drift_tolerance,
+                          "verdicts": total},
+            ),
+            findings)
+
+
+# ---------------------------------------------------------------------------
+# Folded run state (shared by the live object and the status-file reader)
+# ---------------------------------------------------------------------------
+class LiveRunState:
+    """The run's current state as a fold over status records.
+
+    Both the in-process :class:`LiveTelemetry` and the offline status
+    file reader drive this same fold, which is what makes
+    ``repro watch``'s snapshot and the live object's snapshot one
+    schema by construction.
+    """
+
+    def __init__(self, window_seconds: float = 300.0, capacity: int = 240) -> None:
+        self.run: Dict[str, Any] = {"state": "pending", "meta": {},
+                                    "t_started": None, "t_finished": None,
+                                    "summary": {}}
+        #: per-phase progress, in arrival order
+        self.phases: Dict[str, Dict[str, Any]] = {}
+        #: ``phase -> index -> shard record``
+        self.shards: Dict[str, Dict[int, Dict[str, Any]]] = {}
+        self.findings: List[Dict[str, Any]] = []
+        self.series = TimeSeriesStore(capacity=capacity,
+                                      window_seconds=window_seconds)
+        #: the newest heartbeat's samples (counters/gauges/quantiles/budget)
+        self.latest: Dict[str, Any] = {"counters": {}, "gauges": {},
+                                       "quantiles": {}, "budget": None}
+        self.last_t = 0.0
+        self.records_applied = 0
+
+    # ------------------------------------------------------------------
+    def _phase(self, name: str) -> Dict[str, Any]:
+        entry = self.phases.get(name)
+        if entry is None:
+            entry = self.phases[name] = {
+                "state": "running", "unit": "", "total_units": 0,
+                "units_done": 0, "t_started": None, "t_finished": None,
+                "t_heartbeat": None, "fields": {},
+            }
+        return entry
+
+    def apply(self, record: Dict[str, Any]) -> None:
+        """Fold one status record in (the only mutation entry point)."""
+        t = float(record.get("t", self.last_t))
+        if t > self.last_t:
+            self.last_t = t
+        self.records_applied += 1
+        rtype = record.get("type")
+        if rtype == "run_started":
+            self.run["state"] = "running"
+            self.run["meta"] = dict(record.get("meta", {}))
+            self.run["t_started"] = t
+        elif rtype == "run_finished":
+            self.run["state"] = "finished"
+            self.run["t_finished"] = t
+            self.run["summary"] = dict(record.get("summary", {}))
+        elif rtype == "phase_started":
+            entry = self._phase(str(record.get("phase", "")))
+            entry["state"] = "running"
+            entry["unit"] = str(record.get("unit", ""))
+            entry["total_units"] = int(record.get("total_units", 0))
+            entry["t_started"] = t
+        elif rtype == "phase_finished":
+            entry = self._phase(str(record.get("phase", "")))
+            entry["state"] = "done"
+            entry["t_finished"] = t
+            if "units_done" in record:
+                entry["units_done"] = int(record["units_done"])
+            self._fold_samples(record.get("samples"), t)
+        elif rtype == "heartbeat":
+            self._apply_heartbeat(record, t)
+        elif rtype == "shard_started":
+            phase = str(record.get("phase", ""))
+            index = int(record.get("index", 0))
+            self.shards.setdefault(phase, {})[index] = {
+                "index": index, "label": str(record.get("label", "")),
+                "units": int(record.get("units", 0)),
+                "state": "running", "t_started": t, "t_finished": None,
+            }
+        elif rtype == "shard_finished":
+            phase = str(record.get("phase", ""))
+            index = int(record.get("index", 0))
+            shard = self.shards.setdefault(phase, {}).setdefault(
+                index, {"index": index,
+                        "label": str(record.get("label", "")),
+                        "units": 0, "t_started": t})
+            shard["state"] = "done"
+            shard["t_finished"] = t
+        elif rtype == "finding":
+            finding = {key: value for key, value in record.items()
+                       if key != "type"}
+            self.findings.append(finding)
+
+    def _apply_heartbeat(self, record: Dict[str, Any], t: float) -> None:
+        entry = self._phase(str(record.get("phase", "")))
+        entry["t_heartbeat"] = t
+        if "units_done" in record:
+            entry["units_done"] = int(record["units_done"])
+        fields = record.get("fields")
+        if fields:
+            entry["fields"] = dict(fields)
+        self._fold_samples(record.get("samples"), t)
+
+    def _fold_samples(self, samples: Optional[Dict[str, Any]], t: float) -> None:
+        samples = samples or {}
+        counters = samples.get("counters") or {}
+        for name in sorted(counters):
+            self.series.record(name, "counter", t, float(counters[name]))
+        gauges = samples.get("gauges") or {}
+        for name in sorted(gauges):
+            self.series.record(name, "gauge", t, float(gauges[name]))
+        quantiles = samples.get("quantiles") or {}
+        for name in sorted(quantiles):
+            self.series.record(name, "quantile", t, float(quantiles[name]))
+        if counters:
+            self.latest["counters"].update(counters)
+        if gauges:
+            self.latest["gauges"].update(gauges)
+        if quantiles:
+            self.latest["quantiles"].update(quantiles)
+        if samples.get("budget") is not None:
+            self.latest["budget"] = dict(samples["budget"])
+
+    # ------------------------------------------------------------------
+    def snapshot(self, now: Optional[float] = None) -> Dict[str, Any]:
+        """The JSON-ready progress/health view (one schema everywhere)."""
+        now = self.last_t if now is None else now
+        phases: Dict[str, Any] = {}
+        for name, entry in self.phases.items():
+            total = entry["total_units"]
+            done = entry["units_done"]
+            percent = (100.0 * done / total) if total else None
+            phases[name] = {
+                "state": entry["state"],
+                "unit": entry["unit"],
+                "total_units": total,
+                "units_done": done,
+                "percent": percent,
+                "eta_seconds": self._eta(entry, total, done),
+                "t_started": entry["t_started"],
+                "t_finished": entry["t_finished"],
+                "t_heartbeat": entry["t_heartbeat"],
+                "fields": dict(entry["fields"]),
+            }
+        shards: Dict[str, Any] = {}
+        for phase in sorted(self.shards):
+            records = [dict(self.shards[phase][index])
+                       for index in sorted(self.shards[phase])]
+            shards[phase] = {
+                "total": len(records),
+                "running": sum(1 for s in records if s["state"] == "running"),
+                "finished": sum(1 for s in records if s["state"] == "done"),
+                "shards": records,
+            }
+        return {
+            "run": {
+                "state": self.run["state"],
+                "meta": dict(self.run["meta"]),
+                "t_started": self.run["t_started"],
+                "t_finished": self.run["t_finished"],
+                "summary": dict(self.run["summary"]),
+            },
+            "phases": phases,
+            "shards": shards,
+            "series": self.series.snapshot(now),
+            "findings": [dict(finding) for finding in self.findings],
+            "t": now,
+            "records_applied": self.records_applied,
+        }
+
+    @staticmethod
+    def _eta(entry: Dict[str, Any], total: int, done: int) -> Optional[float]:
+        """Simulated-seconds to completion, when the clock moved.
+
+        The scan phase never advances the shared clock, so its ETA is
+        ``None`` — progress there is the units fraction, not a rate.
+        """
+        if entry["state"] != "running" or not total or done <= 0:
+            return None
+        started = entry["t_started"]
+        latest = entry["t_heartbeat"]
+        if started is None or latest is None or latest <= started:
+            return None
+        rate = done / (latest - started)
+        return (total - done) / rate
+
+
+# ---------------------------------------------------------------------------
+# The live telemetry object
+# ---------------------------------------------------------------------------
+class LiveTelemetry:
+    """Streaming telemetry for one pipeline run.
+
+    Construct with the run's injected clock, optionally a status-sink
+    path and a :class:`Watchdog`, then :meth:`attach` to the run's
+    :class:`~repro.obs.observer.RunObserver`; the observer's
+    ``heartbeat`` hook and the phase executors forward lifecycle events
+    here.  All entry points run on the main thread (worker-side
+    heartbeats buffer through the
+    :class:`~repro.phasexec.recording.RecordingObserver` and replay
+    after the join, like every other telemetry write).
+    """
+
+    def __init__(self, clock: Clock, status_path: Optional[str] = None,
+                 watchdog: Optional[Watchdog] = None,
+                 window_seconds: float = 300.0, capacity: int = 240) -> None:
+        self.clock = clock
+        self.watchdog = watchdog if watchdog is not None else Watchdog()
+        self.state = LiveRunState(window_seconds=window_seconds,
+                                  capacity=capacity)
+        self.metrics: Optional[MetricsRegistry] = None
+        self.status_path = status_path
+        self._sink: Optional[TextIO] = None
+        if status_path is not None:
+            self._sink = open(status_path, "w", encoding="utf-8")
+
+    # -- lifecycle ----------------------------------------------------------
+    def attach(self, observer: Any) -> "LiveTelemetry":
+        """Bind to an observer: its hooks forward here from now on."""
+        observer.live = self
+        self.metrics = getattr(observer, "metrics", None)
+        return self
+
+    def close(self) -> None:
+        """Flush and release the status sink (idempotent)."""
+        if self._sink is not None:
+            self._sink.close()
+            self._sink = None
+
+    def __enter__(self) -> "LiveTelemetry":
+        return self
+
+    def __exit__(self, *exc_info: object) -> None:
+        self.close()
+
+    # -- reading ------------------------------------------------------------
+    @property
+    def series(self) -> TimeSeriesStore:
+        return self.state.series
+
+    @property
+    def findings(self) -> List[Dict[str, Any]]:
+        return self.state.findings
+
+    def snapshot(self) -> Dict[str, Any]:
+        return self.state.snapshot(self.clock.now())
+
+    # -- event entry points --------------------------------------------------
+    def run_started(self, **meta: Any) -> None:
+        """Announce the run (idempotent: the first announcement wins)."""
+        if self.state.run["state"] != "pending":
+            return
+        self._emit({"type": "run_started", "t": self.clock.now(),
+                    "meta": meta})
+
+    def run_finished(self, **summary: Any) -> None:
+        self._emit({"type": "run_finished", "t": self.clock.now(),
+                    "summary": summary})
+
+    def phase_started(self, phase: str, total_units: int = 0,
+                      unit: str = "") -> None:
+        self.run_started()
+        self._emit({"type": "phase_started", "phase": phase,
+                    "t": self.clock.now(), "total_units": int(total_units),
+                    "unit": unit})
+        self._check()
+
+    def phase_finished(self, phase: str) -> None:
+        entry = self.state.phases.get(phase)
+        record = {"type": "phase_finished", "phase": phase,
+                  "t": self.clock.now(),
+                  "samples": self._sample(merge_complete=True)}
+        if entry is not None:
+            record["units_done"] = entry["units_done"]
+        self._emit(record)
+        self._check()
+
+    def heartbeat(self, phase: str, units_done: Optional[int] = None,
+                  advance: int = 0, **fields: Any) -> None:
+        """One progress beat: resolve units, sample metrics, run checks."""
+        entry = self.state.phases.get(phase)
+        previous = entry["units_done"] if entry is not None else 0
+        done = int(units_done) if units_done is not None else previous + int(advance)
+        self._emit({"type": "heartbeat", "phase": phase,
+                    "t": self.clock.now(), "units_done": done,
+                    "fields": fields, "samples": self._sample()})
+        self._check()
+
+    def shard_started(self, phase: str, index: int, label: str = "",
+                      units: int = 0) -> None:
+        self._emit({"type": "shard_started", "phase": phase,
+                    "t": self.clock.now(), "index": int(index),
+                    "label": label, "units": int(units)})
+        self._check()
+
+    def shard_finished(self, phase: str, index: int, label: str = "") -> None:
+        self._emit({"type": "shard_finished", "phase": phase,
+                    "t": self.clock.now(), "index": int(index),
+                    "label": label})
+        self._check()
+
+    def check(self) -> List[Dict[str, Any]]:
+        """Force a watchdog pass now; returns the full findings list."""
+        self._check()
+        return self.state.findings
+
+    # ------------------------------------------------------------------
+    def _emit(self, record: Dict[str, Any]) -> None:
+        self.state.apply(record)
+        if self._sink is not None:
+            self._sink.write(json.dumps(record, sort_keys=True, default=str))
+            self._sink.write("\n")
+            # flushed per record: the sink must survive a crash mid-run
+            self._sink.flush()
+
+    def _check(self) -> None:
+        if self.watchdog is None:
+            return
+        for finding in self.watchdog.check(self.state, self.clock.now()):
+            self._emit(finding.to_record())
+
+    def _sample(self, merge_complete: bool = False) -> Dict[str, Any]:
+        """Read tracked metrics without creating any (side-channel rule).
+
+        Every read goes through the non-creating ``*_named`` accessors:
+        a run with the sink on must leave the metrics registry — and
+        therefore the committed report baseline — byte-identical to a
+        run with it off.
+
+        Heartbeats sample only metrics written from the main-thread
+        loops (counters, crawl-fed latency quantiles), which coincide
+        between serial and replayed-parallel runs at every beat.  The
+        JS-sandbox metrics (``js.op_count`` gauge, the budget-storm
+        histogram read) are written *inside* scan workers — complete
+        before the parallel merge loop but progressive in serial — so
+        they are sampled only at ``merge_complete`` points (phase
+        boundaries), keeping the status stream worker-count-invariant.
+        """
+        metrics = self.metrics
+        if metrics is None:
+            return {}
+        samples: Dict[str, Any] = {
+            "counters": {name: metrics.counter_total(name)
+                         for name in TRACKED_COUNTERS},
+        }
+        quantiles: Dict[str, float] = {}
+        for name, q in TRACKED_QUANTILES:
+            histograms = metrics.histograms_named(name)
+            quantiles["%s:p%02d" % (name, round(100 * q))] = (
+                histograms[0].percentile(q) if histograms else 0.0)
+        samples["quantiles"] = quantiles
+        if not merge_complete:
+            return samples
+        samples["gauges"] = {
+            name: max((g.value for g in metrics.gauges_named(name)),
+                      default=0.0)
+            for name in TRACKED_GAUGES
+        }
+        ceiling = self.watchdog.budget_ceiling if self.watchdog is not None else None
+        if ceiling is not None:
+            scripts = 0
+            over = 0
+            for histogram in metrics.histograms_named("js.op_count"):
+                scripts += histogram.count
+                over += _histogram_count_at_or_above(histogram, ceiling)
+            samples["budget"] = {"ceiling": ceiling, "scripts": scripts,
+                                 "over": over}
+        return samples
+
+
+# ---------------------------------------------------------------------------
+# Status-file reading (the `repro watch` / `--status` surface)
+# ---------------------------------------------------------------------------
+def parse_status_text(text: str) -> List[Dict[str, Any]]:
+    """Parse JSON-lines status text, skipping a torn trailing line.
+
+    The sink flushes per record, so the only malformed line a reader
+    can ever race into is a partially-written final one; skipping it
+    makes tailing an in-flight run safe.
+    """
+    records: List[Dict[str, Any]] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line:
+            continue
+        try:
+            record = json.loads(line)
+        except ValueError:
+            continue
+        if isinstance(record, dict):
+            records.append(record)
+    return records
+
+
+def fold_status_lines(records: Iterable[Dict[str, Any]],
+                      window_seconds: float = 300.0,
+                      capacity: int = 240) -> LiveRunState:
+    """Fold parsed status records into a :class:`LiveRunState`."""
+    state = LiveRunState(window_seconds=window_seconds, capacity=capacity)
+    for record in records:
+        state.apply(record)
+    return state
+
+
+def load_status_snapshot(path: str) -> Dict[str, Any]:
+    """Read a status file and return its snapshot (live-schema dict)."""
+    with open(path, "r", encoding="utf-8") as handle:
+        text = handle.read()
+    return fold_status_lines(parse_status_text(text)).snapshot()
+
+
+def _progress_bar(percent: Optional[float], width: int = 24) -> str:
+    if percent is None:
+        return "-" * width
+    filled = int(round(width * min(100.0, max(0.0, percent)) / 100.0))
+    return "#" * filled + "-" * (width - filled)
+
+
+def render_status_text(snapshot: Dict[str, Any]) -> str:
+    """Human-readable rendering of a status snapshot (the watch view)."""
+    run = snapshot.get("run", {})
+    meta = run.get("meta", {})
+    lines: List[str] = []
+    meta_text = " ".join("%s=%s" % (key, meta[key]) for key in sorted(meta))
+    lines.append("run: %-8s %s" % (run.get("state", "pending"), meta_text))
+    lines.append("simulated clock: %.1fs" % float(snapshot.get("t", 0.0)))
+    shards = snapshot.get("shards", {})
+    for name, phase in snapshot.get("phases", {}).items():
+        percent = phase.get("percent")
+        percent_text = "%3.0f%%" % percent if percent is not None else "  --"
+        eta = phase.get("eta_seconds")
+        eta_text = "  eta %.0fs" % eta if eta is not None else ""
+        unit = phase.get("unit") or "units"
+        lines.append("%-6s [%s] %s  %d/%d %s (%s)%s"
+                     % (name, _progress_bar(percent), percent_text,
+                        phase.get("units_done", 0),
+                        phase.get("total_units", 0), unit,
+                        phase.get("state", ""), eta_text))
+        shard_info = shards.get(name)
+        if shard_info:
+            lines.append("       shards: %d total, %d running, %d finished"
+                         % (shard_info["total"], shard_info["running"],
+                            shard_info["finished"]))
+    series = snapshot.get("series", {})
+    rates = [(name, entry) for name, entry in sorted(series.items())
+             if entry.get("kind") == "counter"]
+    if rates:
+        lines.append("window rates (/s): "
+                     + "  ".join("%s %.1f" % (name,
+                                              entry.get("rate_per_second", 0.0))
+                                 for name, entry in rates))
+    findings = snapshot.get("findings", [])
+    if findings:
+        lines.append("health findings:")
+        for finding in findings:
+            lines.append("  [%s] %s: %s"
+                         % (finding.get("severity", "?"),
+                            finding.get("kind", "?"),
+                            finding.get("message", "")))
+    else:
+        lines.append("health findings: none")
+    return "\n".join(lines)

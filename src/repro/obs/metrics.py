@@ -272,6 +272,9 @@ class MetricsRegistry:
     def counter_total(self, name: str) -> float:
         return sum(c.value for c in self.counters_named(name))
 
+    def gauges_named(self, name: str) -> List[Gauge]:
+        return [g for (n, _), g in sorted(self._gauges.items()) if n == name]
+
     def histograms_named(self, name: str) -> List[Histogram]:
         return [h for (n, _), h in sorted(self._histograms.items()) if n == name]
 

@@ -58,6 +58,9 @@ class RunObserver:
         #: work-accounting profiler; ``None`` unless ``profile=True``, and
         #: every hook below degrades to a single ``is None`` test when off
         self.profiler: Optional[WorkProfiler] = WorkProfiler() if profile else None
+        #: live telemetry (repro.obs.live.LiveTelemetry) when attached;
+        #: ``None`` keeps heartbeat() a single attribute test
+        self.live: Optional[object] = None
         #: the owning thread id, bound lazily on first mutation (not at
         #: construction, so building the observer on a setup thread and
         #: running the pipeline elsewhere stays legal)
@@ -98,6 +101,13 @@ class RunObserver:
         self._check_thread()
         self.metrics.histogram(name, **labels).observe(value)
 
+    def heartbeat(self, phase: str, **fields: object) -> None:
+        """Forward a progress beat to the attached live telemetry, if any."""
+        self._check_thread()
+        live = self.live
+        if live is not None:
+            live.heartbeat(phase, **fields)  # type: ignore[attr-defined]
+
     # -- tracing / events ----------------------------------------------------
     def span(self, name: str, **attrs: object):
         self._check_thread()
@@ -137,6 +147,8 @@ class NullObserver:
 
     #: mirrors :attr:`RunObserver.profiler` in its disabled state
     profiler: Optional[WorkProfiler] = None
+    #: mirrors :attr:`RunObserver.live` in its detached state
+    live: Optional[object] = None
 
     def __bool__(self) -> bool:
         return False
@@ -151,6 +163,9 @@ class NullObserver:
         pass
 
     def observe(self, name: str, value: float, **labels: object) -> None:
+        pass
+
+    def heartbeat(self, phase: str, **fields: object) -> None:
         pass
 
     @contextmanager

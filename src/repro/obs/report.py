@@ -61,7 +61,8 @@ from typing import Any, Dict, List, Optional
 
 from .observer import RunObserver
 
-__all__ = ["build_run_report", "render_run_report_markdown"]
+__all__ = ["attach_status_section", "build_run_report",
+           "render_run_report_markdown"]
 
 
 def _labeled_counts(observer: RunObserver, name: str, label: str) -> Dict[str, float]:
@@ -283,6 +284,21 @@ def build_run_report(pipeline: Any, outcome: Any = None) -> Dict[str, Any]:
     if memory_ledger is not None:
         report["memory"] = memory_ledger.to_dict()
 
+    return report
+
+
+def attach_status_section(report: Dict[str, Any],
+                          status_path: str) -> Dict[str, Any]:
+    """Fold a live status file into the report as a ``status`` section.
+
+    The section is the same snapshot schema ``repro watch --json``
+    prints — post-hoc reports and live telemetry share one shape.  It
+    is attached only on explicit request (``repro obs-report
+    --status``), so baseline reports are untouched.
+    """
+    from .live import load_status_snapshot
+
+    report["status"] = load_status_snapshot(status_path)
     return report
 
 
@@ -531,5 +547,13 @@ def render_run_report_markdown(report: Dict[str, Any],
     sections.append("\n## Events\n")
     sections.append("%d emitted, %d dropped by the ring bound"
                     % (events["emitted"], events["dropped"]))
+
+    status = report.get("status")
+    if status:
+        from .live import render_status_text
+
+        sections.append("\n## Live status (final snapshot)\n")
+        sections.append("```\n%s\n```" % render_status_text(status))
+
     sections.append("")
     return "\n".join(sections)

@@ -110,6 +110,9 @@ class PhaseExecutor:
         deterministic in-process alternative.
     """
 
+    #: phase label on live-telemetry shard records (subclass override)
+    phase_name = "phase"
+
     def __init__(self, workers: int = 4, shards_per_worker: int = 2,
                  pool_factory: Optional[Callable[[int], object]] = None) -> None:
         if workers < 1:
@@ -144,6 +147,14 @@ class PhaseExecutor:
         """Fold shard results back in order; returns the execution."""
         raise NotImplementedError
 
+    def shard_label(self, shard: object) -> str:
+        """Human label for one shard on live-telemetry records."""
+        return str(getattr(shard, "index", ""))
+
+    def shard_units(self, shard: object) -> int:
+        """Work-unit count for one shard on live-telemetry records."""
+        return 0
+
     # -- the template ---------------------------------------------------------
     def execute(self, workload: object, context: object,
                 observer: Optional[object] = None) -> object:
@@ -155,7 +166,24 @@ class PhaseExecutor:
             buffer = RecordingObserver() if observer is not None else None
             buffers.append(buffer)
             jobs.append((shard, self.shard_state(shard, buffer, context, state)))
+        # shard lifecycle goes straight to live telemetry from the main
+        # thread, bracketing the fan-out in index order: the shared clock
+        # only advances after the join, so a healthy pool never trips the
+        # stall watchdog, while a shard that outlives the run's simulated
+        # progress shows up as still-running from its start timestamp
+        live = getattr(observer, "live", None)
+        if live is not None:
+            for position, shard in enumerate(shards):
+                live.shard_started(self.phase_name,
+                                   index=getattr(shard, "index", position),
+                                   label=self.shard_label(shard),
+                                   units=self.shard_units(shard))
         results = self._fan_out(jobs)
+        if live is not None:
+            for position, shard in enumerate(shards):
+                live.shard_finished(self.phase_name,
+                                    index=getattr(shard, "index", position),
+                                    label=self.shard_label(shard))
         return self.merge(workload, context, state, shards, results,
                           buffers, observer)
 

@@ -69,6 +69,13 @@ class RecordingObserver:
     def observe(self, name: str, value: float, **labels: object) -> None:
         self.ops.append(("observe", name, value, tuple(labels.items())))
 
+    def heartbeat(self, phase: str, **fields: object) -> None:
+        # buffered like any other op: the live layer samples metrics at
+        # dispatch time, and replay runs *after* this buffer's registry
+        # merge, so replayed heartbeats see the same counter totals the
+        # serial loop would have at the same point
+        self.ops.append(("heartbeat", phase, 0.0, tuple(fields.items())))
+
     def event(self, kind: str, **fields: object) -> None:
         self.ops.append(("event", kind, 0.0, tuple(fields.items())))
 
@@ -122,6 +129,8 @@ class RecordingObserver:
                 observer.gauge_max(name, value, **kwargs)
             elif method == "observe":
                 observer.observe(name, value, **kwargs)
+            elif method == "heartbeat":
+                observer.heartbeat(name, **kwargs)
             elif method == "event":
                 observer.event(name, **kwargs)
             elif method == "work":

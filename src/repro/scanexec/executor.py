@@ -159,6 +159,8 @@ class ParallelScanExecutor(PhaseExecutor):
         The :class:`ScanLatencyModel` pricing submissions.
     """
 
+    phase_name = "scan"
+
     def __init__(self, workers: int = 4, shards_per_worker: int = 2,
                  pool_factory: Optional[Callable[[int], object]] = None,
                  latency: Optional[ScanLatencyModel] = None) -> None:
@@ -178,6 +180,17 @@ class ParallelScanExecutor(PhaseExecutor):
         ordered serial lane of the shared instance.
         """
         return super().execute(tasks, service, observer)
+
+    def shard_label(self, shard: object) -> str:
+        domains = sorted(shard.domains)
+        if not domains:
+            return "shard-%d" % shard.index
+        if len(domains) == 1:
+            return domains[0]
+        return "%s +%d" % (domains[0], len(domains) - 1)
+
+    def shard_units(self, shard: object) -> int:
+        return len(shard)
 
     # -- PhaseExecutor hooks -------------------------------------------------
     def prepare(self, tasks: Sequence[ScanTask], service: UrlVerdictService,

@@ -38,6 +38,19 @@ class TestClockRule:
         assert _messages("import time\nt = time.time()\n",
                          path="src/repro/obs/clock.py") == []
 
+    def test_obs_live_may_not_read_clock(self):
+        # repro.obs.live streams bit-reproducible status records off the
+        # injected clock; the obs exemption does not extend to it.
+        assert _messages("import time\nt = time.time()\n",
+                         path="src/repro/obs/live.py")
+        assert _messages(
+            "from datetime import datetime\nn = datetime.now()\n",
+            path="src/repro/obs/live.py")
+
+    def test_other_obs_files_keep_exemption(self):
+        assert _messages("import time\nt = time.monotonic()\n",
+                         path="src/repro/obs/export.py") == []
+
 
 class TestSetIterationRule:
     def test_for_over_set_call_is_flagged(self):

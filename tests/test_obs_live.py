@@ -1,0 +1,414 @@
+"""Tests for repro.obs.live: streaming telemetry, watchdog, status sink.
+
+The ISSUE-level properties under test:
+
+* the status stream and the folded snapshot are **bit-identical**
+  between ``workers=1`` and ``workers=4`` runs of the same seed (after
+  dropping executor-only shard lifecycle lines and the workers meta),
+* the run report is byte-identical with the status sink on or off (the
+  live layer is a pure side channel),
+* an injected stall is detected deterministically under ``SimClock``,
+* ``repro watch --once --json`` emits well-formed JSON for finished
+  *and* torn in-flight status files.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main
+from repro.crawler import CrawlPipeline, PipelineOptions
+from repro.obs import (
+    LiveRunState,
+    LiveTelemetry,
+    RunObserver,
+    MetricsRegistry,
+    SimClock,
+    TimeSeries,
+    TimeSeriesStore,
+    Watchdog,
+    fold_status_lines,
+    load_status_snapshot,
+    parse_status_text,
+    render_openmetrics,
+    render_status_text,
+)
+from repro.obs.live import (
+    KIND_BUDGET_STORM,
+    KIND_STALLED_SHARD,
+    KIND_VERDICT_DRIFT,
+)
+from repro.phasexec.recording import RecordingObserver
+from repro.simweb.generator import WebGenerationConfig, WebGenerator
+
+
+# ----------------------------------------------------------------------
+# Time series
+# ----------------------------------------------------------------------
+class TestTimeSeries:
+    def test_ring_buffer_drops_oldest(self):
+        series = TimeSeries("x", "gauge", capacity=3)
+        for t in range(5):
+            series.add(float(t), float(t * 10))
+        assert series.points == [(2.0, 20.0), (3.0, 30.0), (4.0, 40.0)]
+        assert series.last() == (4.0, 40.0)
+
+    def test_window_filters_by_time(self):
+        series = TimeSeries("x", "counter", capacity=10)
+        for t in (0.0, 5.0, 10.0, 15.0):
+            series.add(t, t)
+        assert series.window(now=15.0, seconds=6.0) == [(10.0, 10.0),
+                                                        (15.0, 15.0)]
+
+    def test_counter_rate_is_windowed_delta(self):
+        series = TimeSeries("x", "counter", capacity=10)
+        series.add(0.0, 100.0)
+        series.add(10.0, 200.0)  # +100 over 10s
+        assert series.rate(now=10.0, seconds=60.0) == pytest.approx(10.0)
+
+    def test_rate_zero_when_clock_frozen_or_single_point(self):
+        series = TimeSeries("x", "counter", capacity=10)
+        series.add(5.0, 1.0)
+        assert series.rate(now=5.0, seconds=60.0) == 0.0
+        series.add(5.0, 9.0)  # same instant: no elapsed time
+        assert series.rate(now=5.0, seconds=60.0) == 0.0
+
+    def test_store_snapshot_has_rates_for_counters_only(self):
+        store = TimeSeriesStore(capacity=8, window_seconds=300.0)
+        store.record("c", "counter", 0.0, 0.0)
+        store.record("c", "counter", 10.0, 50.0)
+        store.record("g", "gauge", 10.0, 7.0)
+        snap = store.snapshot(now=10.0)
+        assert snap["c"]["rate_per_second"] == pytest.approx(5.0)
+        assert "rate_per_second" not in snap["g"]
+        assert snap["g"]["last"] == 7.0
+        assert store.names() == ["c", "g"]
+
+
+# ----------------------------------------------------------------------
+# Watchdog
+# ----------------------------------------------------------------------
+def _stalled_state():
+    state = LiveRunState()
+    state.apply({"type": "phase_started", "phase": "crawl", "t": 0.0,
+                 "total_units": 4, "unit": "exchanges"})
+    state.apply({"type": "shard_started", "phase": "crawl", "index": 0,
+                 "label": "ex-a", "units": 5, "t": 0.0})
+    return state
+
+
+class TestWatchdog:
+    def test_stalled_shard_fires_once_past_threshold(self):
+        state = _stalled_state()
+        dog = Watchdog(stall_seconds=300.0)
+        assert dog.check(state, now=299.0) == []
+        findings = dog.check(state, now=301.0)
+        assert [f.kind for f in findings] == [KIND_STALLED_SHARD]
+        assert findings[0].subject == "ex-a"
+        assert findings[0].severity == "critical"
+        # fires at most once per shard
+        assert dog.check(state, now=500.0) == []
+
+    def test_finished_shard_never_stalls(self):
+        state = _stalled_state()
+        state.apply({"type": "shard_finished", "phase": "crawl",
+                     "index": 0, "t": 1.0})
+        assert Watchdog(stall_seconds=300.0).check(state, now=1e6) == []
+
+    def test_budget_storm_from_latest_samples(self):
+        state = LiveRunState()
+        state.apply({"type": "heartbeat", "phase": "scan", "t": 1.0,
+                     "units_done": 64, "fields": {},
+                     "samples": {"counters": {}, "quantiles": {},
+                                 "budget": {"ceiling": 500000.0,
+                                            "scripts": 40, "over": 30}}})
+        findings = Watchdog().check(state, now=1.0)
+        assert [f.kind for f in findings] == [KIND_BUDGET_STORM]
+        # below the min-scripts floor nothing fires
+        quiet = LiveRunState()
+        quiet.apply({"type": "heartbeat", "phase": "scan", "t": 1.0,
+                     "units_done": 1, "fields": {},
+                     "samples": {"budget": {"ceiling": 500000.0,
+                                            "scripts": 8, "over": 8}}})
+        assert Watchdog().check(quiet, now=1.0) == []
+
+    def test_verdict_drift_against_expected_rate(self):
+        state = LiveRunState()
+        state.apply({"type": "heartbeat", "phase": "scan", "t": 1.0,
+                     "units_done": 600, "fields": {},
+                     "samples": {"counters": {
+                         "scan.verdict.malicious": 400.0,
+                         "scan.verdict.benign": 200.0}}})
+        dog = Watchdog(expected_malicious_rate=0.15, drift_tolerance=0.10,
+                       drift_min_verdicts=512)
+        findings = dog.check(state, now=1.0)
+        assert [f.kind for f in findings] == [KIND_VERDICT_DRIFT]
+        # disabled by default
+        assert Watchdog().check(state, now=1.0) == []
+
+    def test_from_baseline_report_arms_expected_rate(self, tmp_path):
+        baseline = tmp_path / "baseline.json"
+        baseline.write_text(json.dumps(
+            {"scan": {"urls_scanned": 200, "malicious": 30}}))
+        dog = Watchdog.from_baseline_report(str(baseline))
+        assert dog.expected_malicious_rate == pytest.approx(0.15)
+
+
+class TestInjectedStall:
+    """The ISSUE acceptance stall test: injected under SimClock."""
+
+    def _run_once(self, status_path):
+        clock = SimClock()
+        live = LiveTelemetry(clock=clock, status_path=status_path,
+                             watchdog=Watchdog(stall_seconds=300.0))
+        live.phase_started("crawl", total_units=2, unit="exchanges")
+        live.shard_started("crawl", 0, label="ex-a", units=5)
+        live.shard_started("crawl", 1, label="ex-b", units=5)
+        live.shard_finished("crawl", 1, label="ex-b")
+        clock.advance(400.0)
+        live.check()
+        live.close()
+        return live
+
+    def test_stall_detected_and_streamed(self, tmp_path):
+        path = tmp_path / "status.jsonl"
+        live = self._run_once(str(path))
+        kinds = [f["kind"] for f in live.findings]
+        assert kinds == [KIND_STALLED_SHARD]
+        assert live.findings[0]["subject"] == "ex-a"
+        # the finding is also a typed line in the sink, and folds back
+        records = parse_status_text(path.read_text())
+        finding_lines = [r for r in records if r.get("type") == "finding"]
+        assert len(finding_lines) == 1
+        snapshot = fold_status_lines(records).snapshot()
+        assert snapshot["findings"] == live.findings
+
+    def test_stall_detection_is_deterministic(self, tmp_path):
+        first = self._run_once(str(tmp_path / "a.jsonl"))
+        second = self._run_once(str(tmp_path / "b.jsonl"))
+        assert first.findings == second.findings
+        assert (tmp_path / "a.jsonl").read_text() == (
+            tmp_path / "b.jsonl").read_text()
+
+
+# ----------------------------------------------------------------------
+# RecordingObserver heartbeat replay
+# ----------------------------------------------------------------------
+class TestHeartbeatReplay:
+    def test_recorded_heartbeats_replay_in_order(self):
+        recorder = RecordingObserver()
+        recorder.heartbeat("crawl", advance=1, exchange="ex-a", steps=10)
+        recorder.heartbeat("crawl", advance=1, exchange="ex-b", steps=20)
+
+        observer = RunObserver()
+        live = LiveTelemetry(clock=observer.clock).attach(observer)
+        live.phase_started("crawl", total_units=2, unit="exchanges")
+        recorder.replay(observer)
+        snapshot = live.snapshot()
+        assert snapshot["phases"]["crawl"]["units_done"] == 2
+        assert snapshot["phases"]["crawl"]["fields"]["exchange"] == "ex-b"
+
+    def test_observer_without_live_ignores_heartbeats(self):
+        observer = RunObserver()
+        observer.heartbeat("crawl", advance=1)  # no live attached: no-op
+
+
+# ----------------------------------------------------------------------
+# Integration: the pipeline's status stream
+# ----------------------------------------------------------------------
+def _run_pipeline(workers, status_path):
+    web = WebGenerator(WebGenerationConfig(seed=2016, scale=0.005)).build()
+    observer = RunObserver()
+    pipeline = CrawlPipeline(web, PipelineOptions(
+        seed=2016 + 61, observer=observer, workers=workers,
+        status_path=status_path))
+    outcome = pipeline.run()
+    return pipeline, outcome, observer
+
+
+def _comparable_lines(path):
+    """Status lines minus executor-only records and the workers meta.
+
+    ``shard_started``/``shard_finished`` lines exist only on executor
+    paths (serial runs have no shards), and the run meta legitimately
+    records the worker count; everything else must be bit-identical.
+    """
+    lines = []
+    for record in parse_status_text(path.read_text()):
+        if record.get("type") in ("shard_started", "shard_finished"):
+            continue
+        if record.get("type") == "run_started":
+            record = dict(record)
+            record["meta"] = {k: v for k, v in record["meta"].items()
+                              if k != "workers"}
+        lines.append(json.dumps(record, sort_keys=True))
+    return lines
+
+
+@pytest.fixture(scope="module")
+def serial_status(tmp_path_factory):
+    path = tmp_path_factory.mktemp("live") / "serial.jsonl"
+    return _run_pipeline(1, str(path)) + (path,)
+
+
+@pytest.fixture(scope="module")
+def parallel_status(tmp_path_factory):
+    path = tmp_path_factory.mktemp("live") / "parallel.jsonl"
+    return _run_pipeline(4, str(path)) + (path,)
+
+
+class TestStatusStreamParity:
+    def test_verdicts_match_serial(self, serial_status, parallel_status):
+        serial_outcome = serial_status[1]
+        parallel_outcome = parallel_status[1]
+        assert {u: v.malicious for u, v in serial_outcome.verdicts.items()} \
+            == {u: v.malicious for u, v in parallel_outcome.verdicts.items()}
+
+    def test_status_lines_bit_identical(self, serial_status, parallel_status):
+        serial_lines = _comparable_lines(serial_status[3])
+        parallel_lines = _comparable_lines(parallel_status[3])
+        assert serial_lines == parallel_lines
+
+    def test_stream_has_expected_shape(self, serial_status):
+        records = parse_status_text(serial_status[3].read_text())
+        types = [r["type"] for r in records]
+        assert types[0] == "run_started"
+        assert types[-1] == "run_finished"
+        assert types.count("phase_started") == 2
+        assert types.count("phase_finished") == 2
+        assert "heartbeat" in types
+        # crash-safe sink: every line carries a simulated timestamp
+        assert all("t" in r for r in records)
+
+    def test_parallel_stream_has_shard_lifecycle(self, parallel_status):
+        records = parse_status_text(parallel_status[3].read_text())
+        started = [r for r in records if r["type"] == "shard_started"]
+        finished = [r for r in records if r["type"] == "shard_finished"]
+        assert started and len(started) == len(finished)
+
+    def test_healthy_run_has_no_findings(self, serial_status, parallel_status):
+        for run in (serial_status, parallel_status):
+            assert load_status_snapshot(str(run[3]))["findings"] == []
+
+    def test_live_snapshot_matches_folded_file(self, serial_status):
+        pipeline = serial_status[0]
+        folded = load_status_snapshot(str(serial_status[3]))
+        assert pipeline.live.snapshot() == folded
+
+
+class TestReportSideChannel:
+    def test_report_bit_identical_with_sink_on_or_off(self, tmp_path,
+                                                      serial_status):
+        from repro.obs import build_run_report
+
+        with_sink = serial_status[0], serial_status[1]
+        web = WebGenerator(WebGenerationConfig(seed=2016, scale=0.005)).build()
+        observer = RunObserver()
+        pipeline = CrawlPipeline(web, PipelineOptions(
+            seed=2016 + 61, observer=observer, workers=1))
+        outcome = pipeline.run()
+        report_off = build_run_report(pipeline, outcome)
+        report_on = build_run_report(with_sink[0], with_sink[1])
+        assert json.dumps(report_on, sort_keys=True, default=str) \
+            == json.dumps(report_off, sort_keys=True, default=str)
+
+
+# ----------------------------------------------------------------------
+# Status-file reading and rendering
+# ----------------------------------------------------------------------
+class TestStatusReading:
+    def test_torn_trailing_line_is_skipped(self):
+        text = ('{"type": "run_started", "t": 0.0, "meta": {}}\n'
+                '{"type": "phase_started", "phase": "crawl", "t": 0.0,'
+                ' "total_units": 3, "unit": "exchanges"}\n'
+                '{"type": "heartbeat", "phase": "crawl", "t":')  # torn
+        records = parse_status_text(text)
+        assert [r["type"] for r in records] == ["run_started",
+                                                "phase_started"]
+        snapshot = fold_status_lines(records).snapshot()
+        assert snapshot["run"]["state"] == "running"
+        json.dumps(snapshot)  # in-flight snapshot is JSON-clean
+
+    def test_render_status_text_smoke(self, serial_status):
+        snapshot = load_status_snapshot(str(serial_status[3]))
+        text = render_status_text(snapshot)
+        assert "run: finished" in text
+        assert "crawl" in text and "scan" in text
+        assert "window rates (/s):" in text
+        assert "health findings: none" in text
+
+    def test_render_shows_findings(self):
+        state = _stalled_state()
+        dog = Watchdog(stall_seconds=1.0)
+        for finding in dog.check(state, now=10.0):
+            state.apply(finding.to_record())
+        text = render_status_text(state.snapshot())
+        assert "[critical] stalled_shard:" in text
+
+
+# ----------------------------------------------------------------------
+# OpenMetrics export
+# ----------------------------------------------------------------------
+class TestOpenMetrics:
+    def test_render_families_and_terminator(self):
+        registry = MetricsRegistry()
+        registry.counter("scan.urls").inc(3)
+        registry.gauge("js.op_count", shard=1).set_max(42.0)
+        registry.histogram("http.fetch.seconds",
+                           bounds=[0.1, 1.0]).observe(0.5)
+        text = render_openmetrics(registry)
+        assert text.endswith("# EOF\n")
+        assert "# TYPE repro_scan_urls counter" in text
+        assert "repro_scan_urls_total 3" in text
+        assert 'repro_js_op_count{shard="1"} 42' in text
+        assert 'le="+Inf"' in text
+        assert "repro_http_fetch_seconds_count 1" in text
+        # cumulative buckets: the 1.0 bucket includes the 0.1 bucket
+        assert 'repro_http_fetch_seconds_bucket{le="1"} 1' in text
+
+    def test_render_is_deterministic(self):
+        def build():
+            registry = MetricsRegistry()
+            registry.counter("b.second").inc()
+            registry.counter("a.first").inc()
+            return render_openmetrics(registry)
+
+        first, second = build(), build()
+        assert first == second
+        assert first.index("repro_a_first") < first.index("repro_b_second")
+
+
+# ----------------------------------------------------------------------
+# CLI: repro watch
+# ----------------------------------------------------------------------
+class TestWatchCli:
+    def test_watch_once_json_finished_run(self, serial_status, capsys):
+        assert main(["watch", str(serial_status[3]),
+                     "--once", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["run"]["state"] == "finished"
+        assert set(snapshot) >= {"run", "phases", "shards", "series",
+                                 "findings", "t", "records_applied"}
+
+    def test_watch_once_json_in_flight_run(self, tmp_path, capsys):
+        path = tmp_path / "inflight.jsonl"
+        path.write_text(
+            '{"type": "run_started", "t": 0.0, "meta": {"seed": 1}}\n'
+            '{"type": "phase_started", "phase": "crawl", "t": 0.0,'
+            ' "total_units": 3, "unit": "exchanges"}\n'
+            '{"type": "heartbeat", "phase": "crawl", "t": 1.5,'
+            ' "units_done": 1, "fields": {}, "samples": {"counters":'
+            ' {"crawl.steps": 10.0}, "quantiles": {}}}\n'
+            '{"type": "heartb')  # torn mid-write
+        assert main(["watch", str(path), "--once", "--json"]) == 0
+        snapshot = json.loads(capsys.readouterr().out)
+        assert snapshot["run"]["state"] == "running"
+        assert snapshot["phases"]["crawl"]["units_done"] == 1
+
+    def test_watch_once_text(self, serial_status, capsys):
+        assert main(["watch", str(serial_status[3]), "--once"]) == 0
+        assert "run: finished" in capsys.readouterr().out
+
+    def test_watch_missing_file_errors(self, tmp_path, capsys):
+        assert main(["watch", str(tmp_path / "nope.jsonl"),
+                     "--once"]) == 2

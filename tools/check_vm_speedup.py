@@ -24,6 +24,13 @@ keep, both measured deterministically:
 Both measures live on simulated counters, so runner speed never
 enters.  Regenerate ``benchmarks/BENCH_vm.json`` after intentional
 changes with ``--write``.  Requires ``PYTHONPATH=src``.
+
+The bench artifact may also carry an informational ``wallclock``
+section: real ``time.perf_counter`` timings of a serial ast-vs-vm run
+at ``--wallclock-scale`` (default 0.5), recorded with ``--write
+--measure-wallclock``.  Those numbers are printed alongside the gate
+verdict but never compared — wall-clock time is machine-dependent and
+the gate stays on simulated counters.
 """
 
 from __future__ import annotations
@@ -32,6 +39,7 @@ import argparse
 import json
 import random
 import sys
+import time
 
 DEFAULT_BENCH = "benchmarks/BENCH_vm.json"
 
@@ -119,6 +127,37 @@ def measure_corpus(corpus):
     return summary, failures
 
 
+def measure_wallclock(seed: int, scale: float):
+    """Real serial ast-vs-vm timings at ``scale`` (informational only).
+
+    Runs each backend once to warm caches, then times one run apiece
+    with ``time.perf_counter``.  Machine-dependent by nature — stored
+    in the bench artifact for context, never diffed by the gate.
+    """
+    timings = {}
+    for backend in ("ast", "vm"):
+        run_study(seed, scale, 1, backend)  # warm-up
+        start = time.perf_counter()
+        run_study(seed, scale, 1, backend)
+        timings[backend] = time.perf_counter() - start
+    return {
+        "seed": seed,
+        "scale": scale,
+        "ast_seconds": round(timings["ast"], 3),
+        "vm_seconds": round(timings["vm"], 3),
+        "speedup": round(timings["ast"] / timings["vm"], 3)
+        if timings["vm"] else 0.0,
+    }
+
+
+def _render_wallclock(wallclock) -> str:
+    return ("wall-clock (informational, scale %s): ast %.2fs, vm %.2fs "
+            "-> %.2fx" % (wallclock.get("scale"),
+                          wallclock.get("ast_seconds", 0.0),
+                          wallclock.get("vm_seconds", 0.0),
+                          wallclock.get("speedup", 0.0)))
+
+
 def measure(seed: int, scale: float, workers: int, corpus_seed: int,
             cases: int):
     failures = []
@@ -164,6 +203,11 @@ def main() -> int:
     parser.add_argument("--write", action="store_true",
                         help="write the measured summary as the new "
                              "bench artifact")
+    parser.add_argument("--measure-wallclock", action="store_true",
+                        help="with --write: also record real ast-vs-vm "
+                             "timings at --wallclock-scale (informational"
+                             "; the gate never compares them)")
+    parser.add_argument("--wallclock-scale", type=float, default=0.5)
     args = parser.parse_args()
 
     summary, failures = measure(args.seed, args.scale, args.workers,
@@ -179,6 +223,22 @@ def main() -> int:
         return 1
 
     if args.write:
+        if args.measure_wallclock:
+            print("measuring wall-clock at scale %s (this runs the study "
+                  "four times)..." % args.wallclock_scale, file=sys.stderr)
+            summary["wallclock"] = measure_wallclock(
+                args.seed, args.wallclock_scale)
+            print(_render_wallclock(summary["wallclock"]))
+        else:
+            # keep any previously recorded timings: they are informational
+            # and re-measuring needs an explicit --measure-wallclock
+            try:
+                with open(args.bench, "r", encoding="utf-8") as handle:
+                    previous = json.load(handle)
+                if "wallclock" in previous:
+                    summary["wallclock"] = previous["wallclock"]
+            except (OSError, ValueError):
+                pass
         with open(args.bench, "w", encoding="utf-8") as handle:
             json.dump(summary, handle, indent=2, sort_keys=True)
             handle.write("\n")
@@ -203,6 +263,8 @@ def main() -> int:
           "verdicts + telemetry bit-identical to ast, serial and workers=%d"
           % (reduction, summary["corpus"]["cases"], args.min_speedup,
              args.workers))
+    if "wallclock" in bench:
+        print(_render_wallclock(bench["wallclock"]))
     return 0
 
 

@@ -47,6 +47,13 @@ CLOCK_ATTRS = {
 #: directories (relative to the scan root) allowed to read the clock
 CLOCK_ALLOWED_PARTS = ("obs",)
 
+#: files *inside* an allowed directory that still must not read the
+#: clock: repro.obs.live consumes the injected clock only — its status
+#: sink and time series are part of the bit-reproducible output, so a
+#: wall-clock read there is a determinism bug even though the module
+#: lives under repro.obs
+CLOCK_BANNED_FILES = ("live.py",)
+
 
 def _is_set_expr(node: ast.AST) -> bool:
     """Expression whose value is certainly a set."""
@@ -148,7 +155,8 @@ def lint_source(source: str, rel_path: str) -> List[Tuple[int, str]]:
     except SyntaxError as exc:
         return [(exc.lineno or 0, "syntax error: %s" % exc.msg)]
     parts = Path(rel_path).parts
-    clock_allowed = any(part in CLOCK_ALLOWED_PARTS for part in parts)
+    clock_allowed = (any(part in CLOCK_ALLOWED_PARTS for part in parts)
+                     and Path(rel_path).name not in CLOCK_BANNED_FILES)
     visitor = _Visitor(rel_path, clock_allowed)
     visitor.visit(tree)
     allowed_listdir = _sorted_listdir_lines(tree)
